@@ -1,0 +1,144 @@
+//! Refinement-phase cost (paper §4.2–§4.4, Algorithm 2): the
+//! connectedness / gap / frequency / leaf checks over real candidate
+//! sets produced by the in-memory matcher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use prix_core::scan::scan_matches;
+use prix_datagen::{generate, Dataset};
+use prix_prufer::{
+    check_connectedness, check_frequency_consistency, check_gap_consistency, refine_match,
+    subsequence_positions, EdgeKind, PruferSeq, RefineCtx,
+};
+use prix_xml::Sym;
+
+fn bench_phases(c: &mut Criterion) {
+    // A mid-size TREEBANK sentence and a query with many candidate
+    // subsequences: NP chains match all over the place.
+    let collection = generate(Dataset::Treebank, 0.05, 8);
+    let syms = collection.symbols();
+    let np = syms.lookup("NP").unwrap();
+    let s_tag = syms.lookup("S").unwrap();
+    // Pick the deepest document for a worst-case candidate set.
+    let (_, doc) = collection
+        .iter()
+        .max_by_key(|(_, t)| t.max_depth())
+        .unwrap();
+    let doc_seq = PruferSeq::regular(doc);
+    // Query LPS [NP, NP, S]-ish: assemble from a chain query.
+    let query_lps = vec![np, np, s_tag];
+    let query_nps = vec![2u32, 3, 4];
+    let candidates = subsequence_positions(&query_lps, &doc_seq.lps, 5000);
+    assert!(!candidates.is_empty(), "need candidates to refine");
+    let edges = vec![EdgeKind::Child; 3];
+    let leaves: Vec<(Sym, u32)> = Vec::new();
+    let doc_leaves = doc.leaves();
+
+    let mut g = c.benchmark_group("refinement_phases");
+    g.sample_size(30);
+    fn ctx_for<'a>(
+        pos: &'a [u32],
+        doc_nps: &'a [u32],
+        query_nps: &'a [u32],
+        edges: &'a [EdgeKind],
+        leaves: &'a [(Sym, u32)],
+        doc_leaves: &'a [(Sym, u32)],
+        doc_lps: &'a [Sym],
+    ) -> RefineCtx<'a> {
+        RefineCtx {
+            doc_nps,
+            query_nps,
+            positions: pos,
+            edges,
+            query_leaves: leaves,
+            doc_leaves,
+            doc_lps,
+            skip_leaf_check: true,
+        }
+    }
+    g.bench_function("connectedness", |b| {
+        b.iter(|| {
+            let mut pass = 0;
+            for pos in &candidates {
+                pass += check_connectedness(&ctx_for(
+                    pos,
+                    &doc_seq.nps,
+                    &query_nps,
+                    &edges,
+                    &leaves,
+                    &doc_leaves,
+                    &doc_seq.lps,
+                )) as usize;
+            }
+            std::hint::black_box(pass)
+        })
+    });
+    g.bench_function("gap_consistency", |b| {
+        b.iter(|| {
+            let mut pass = 0;
+            for pos in &candidates {
+                pass += check_gap_consistency(&ctx_for(
+                    pos,
+                    &doc_seq.nps,
+                    &query_nps,
+                    &edges,
+                    &leaves,
+                    &doc_leaves,
+                    &doc_seq.lps,
+                )) as usize;
+            }
+            std::hint::black_box(pass)
+        })
+    });
+    g.bench_function("frequency_consistency", |b| {
+        b.iter(|| {
+            let mut pass = 0;
+            for pos in &candidates {
+                pass += check_frequency_consistency(&ctx_for(
+                    pos,
+                    &doc_seq.nps,
+                    &query_nps,
+                    &edges,
+                    &leaves,
+                    &doc_leaves,
+                    &doc_seq.lps,
+                )) as usize;
+            }
+            std::hint::black_box(pass)
+        })
+    });
+    g.bench_function("all_phases", |b| {
+        b.iter(|| {
+            let mut pass = 0;
+            for pos in &candidates {
+                pass += refine_match(&ctx_for(
+                    pos,
+                    &doc_seq.nps,
+                    &query_nps,
+                    &edges,
+                    &leaves,
+                    &doc_leaves,
+                    &doc_seq.lps,
+                )) as usize;
+            }
+            std::hint::black_box(pass)
+        })
+    });
+    g.finish();
+}
+
+fn bench_scan_matcher(c: &mut Criterion) {
+    let mut collection = generate(Dataset::Dblp, 0.02, 9);
+    let dummy = collection.intern("\u{1}d");
+    let mut syms = collection.symbols().clone();
+    let q = prix_core::parse_xpath("//www[./editor]/url", &mut syms).unwrap();
+    let mut g = c.benchmark_group("scan_matcher");
+    g.sample_size(10);
+    g.bench_function("dblp_q2_full_scan", |b| {
+        b.iter(|| std::hint::black_box(scan_matches(&collection, &q, dummy).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_phases, bench_scan_matcher);
+criterion_main!(benches);

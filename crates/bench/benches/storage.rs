@@ -1,0 +1,93 @@
+//! Storage-substrate microbenchmarks: B+-tree inserts, lookups, range
+//! scans, bulk loads, and buffer-pool behaviour.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use prix_storage::bptree::encode_u64_be;
+use prix_storage::{BPlusTree, BufferPool, Pager};
+
+fn pool(cap: usize) -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Pager::in_memory(), cap))
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bptree");
+    g.sample_size(10);
+    g.bench_function("insert_10k_random", |b| {
+        b.iter_batched(
+            || pool(256),
+            |p| {
+                let mut t = BPlusTree::create(p).unwrap();
+                let mut x: u64 = 1;
+                for _ in 0..10_000 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    t.insert(&encode_u64_be(x), &x.to_le_bytes()).unwrap();
+                }
+                std::hint::black_box(t.root())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("bulk_load_100k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    pool(256),
+                    (0..100_000u64)
+                        .map(|i| (encode_u64_be(i).to_vec(), i.to_le_bytes().to_vec()))
+                        .collect::<Vec<_>>(),
+                )
+            },
+            |(p, entries)| {
+                let t = BPlusTree::bulk_load(p, entries, 0.9).unwrap();
+                std::hint::black_box(t.root())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Shared tree for read benches.
+    let p = pool(1024);
+    let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
+        .map(|i| (encode_u64_be(i).to_vec(), i.to_le_bytes().to_vec()))
+        .collect();
+    let t = BPlusTree::bulk_load(Arc::clone(&p), entries, 0.9).unwrap();
+    g.bench_function("point_get_warm", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 31 + 7) % 100_000;
+            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap())
+        })
+    });
+    g.bench_function("range_scan_1k", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            t.scan(
+                Bound::Included(&encode_u64_be(50_000)),
+                Bound::Excluded(&encode_u64_be(51_000)),
+                |_, _| {
+                    n += 1;
+                    true
+                },
+            )
+            .unwrap();
+            std::hint::black_box(n)
+        })
+    });
+    g.bench_function("point_get_cold", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            p.clear().unwrap();
+            i = (i * 31 + 7) % 100_000;
+            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bptree);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! `prix` — command-line interface for the PRIX XML index.
+//!
+//! ```text
+//! prix index  <out.prix> <file.xml>...    build a database from XML files
+//! prix query  <db.prix>  "<xpath>"        run a twig query
+//! prix stats  <db.prix>                   show index statistics
+//! prix gen    <dataset> <dir> [--scale S] [--seed N]
+//!                                         write a synthetic corpus as XML
+//! ```
+//!
+//! Each `<file.xml>` becomes one document of the collection. Queries use
+//! the XPath subset of the paper (Table 3): `/`, `//`, `*` steps,
+//! attribute steps, and `[...]` predicates with optional `="value"`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use prix_core::{EngineConfig, PrixEngine};
+use prix_xml::{write_document, Collection};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("add") => cmd_add(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" \
+                 [--unordered]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> \
+                 [--scale S] [--seed N]"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let (split, args) = match args {
+        [flag, rest @ ..] if flag == "--split" => (true, rest),
+        _ => (false, args),
+    };
+    let [out, files @ ..] = args else {
+        return Err("usage: prix index [--split] <out.prix> <file.xml>...".into());
+    };
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut collection = Collection::new();
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        if split {
+            // One monolithic export (like the real DBLP file): each
+            // child of the root becomes its own document.
+            collection
+                .add_xml_split(&text)
+                .map_err(|e| format!("{f}: {e}"))?;
+        } else {
+            collection.add_xml(&text).map_err(|e| format!("{f}: {e}"))?;
+        }
+    }
+    let stats = collection.stats();
+    let mut engine = PrixEngine::build(
+        collection,
+        EngineConfig {
+            path: Some(PathBuf::from(out)),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    engine.save().map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} documents ({} elements, {} values) into {out}",
+        stats.sequences, stats.elements, stats.values
+    );
+    print_index_stats(&engine);
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (db, xpath, unordered) = match args {
+        [db, xpath] => (db, xpath, false),
+        [db, xpath, flag] if flag == "--unordered" => (db, xpath, true),
+        _ => return Err("usage: prix query <db.prix> \"<xpath>\" [--unordered]".into()),
+    };
+    let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
+    let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
+    let out = if unordered {
+        engine.query_unordered(&q).map_err(|e| e.to_string())?
+    } else {
+        engine.query(&q).map_err(|e| e.to_string())?
+    };
+    println!(
+        "{} match(es) via {} in {:?} ({} pages read, {} range queries, {} candidates)",
+        out.matches.len(),
+        out.index_used,
+        out.elapsed,
+        out.io.physical_reads,
+        out.stats.range_queries,
+        out.stats.candidates
+    );
+    for m in out.matches.iter().take(50) {
+        println!("  doc {} -> nodes {:?}", m.doc, m.embedding);
+    }
+    if out.matches.len() > 50 {
+        println!("  ... and {} more", out.matches.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let [db, xpath] = args else {
+        return Err("usage: prix explain <db.prix> \"<xpath>\"".into());
+    };
+    let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
+    let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
+    print!("{}", engine.explain(&q).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn cmd_add(args: &[String]) -> Result<(), String> {
+    let [db, files @ ..] = args else {
+        return Err("usage: prix add <db.prix> <file.xml>...".into());
+    };
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
+    for f in files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+        let id = engine
+            .insert_document(&text)
+            .map_err(|e| format!("{f}: {e}"))?;
+        println!("added {f} as doc {id}");
+    }
+    engine.save().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [db] = args else {
+        return Err("usage: prix stats <db.prix>".into());
+    };
+    let engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
+    print_index_stats(&engine);
+    Ok(())
+}
+
+fn print_index_stats(engine: &PrixEngine) {
+    for (name, idx) in [
+        ("RPIndex", engine.rp_index()),
+        ("EPIndex", engine.ep_index()),
+    ] {
+        if let Some(idx) = idx {
+            let b = idx.build_stats();
+            println!(
+                "{name}: {} docs, {} trie nodes, {} paths (best shared by {}), total seq len {}",
+                idx.doc_count(),
+                b.trie_nodes,
+                b.trie_paths,
+                b.max_path_sharing,
+                b.total_seq_len
+            );
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use prix_datagen::Dataset;
+    let (dataset, dir, rest) = match args {
+        [ds, dir, rest @ ..] => (ds, dir, rest),
+        _ => {
+            return Err(
+                "usage: prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]".into(),
+            )
+        }
+    };
+    let dataset = match dataset.as_str() {
+        "dblp" => Dataset::Dblp,
+        "swissprot" => Dataset::Swissprot,
+        "treebank" => Dataset::Treebank,
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let mut scale = 0.05f64;
+    let mut seed = 42u64;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--scale needs a number")?
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let collection = prix_datagen::generate(dataset, scale, seed);
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for (id, tree) in collection.iter() {
+        let xml = write_document(tree, collection.symbols());
+        std::fs::write(dir.join(format!("doc{id:06}.xml")), xml).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "wrote {} documents ({} elements) to {}",
+        collection.len(),
+        collection.stats().elements,
+        dir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,642 @@
+//! The PRIX engine: both indexes plus the §5.6 query optimizer.
+//!
+//! "In the PRIX system, both RPIndex and EPIndex can coexist. A query
+//! optimizer can choose either of the indexes based on the presence or
+//! absence of values in twig queries." [`PrixEngine::query`] implements
+//! exactly that routing, and [`PrixEngine::query_unordered`] adds the
+//! §5.7 branch-arrangement loop.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prix_storage::{BufferPool, IoSnapshot, Pager, RecordId, RecordStore, PAGE_SIZE};
+use prix_xml::{Collection, PostNum, Sym, SymbolTable};
+
+use crate::arrange::arrangements;
+use crate::index::{ExecOpts, IndexError, IndexKind, PrixIndex, QueryStats, Result, TwigMatch};
+use crate::query::TwigQuery;
+use crate::trie::LabelingMode;
+use crate::xpath::{parse_xpath, XPathError};
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Buffer-pool capacity in pages (paper default: 2000, §6.1).
+    pub buffer_pages: usize,
+    /// Virtual-trie labeling mode.
+    pub labeling: LabelingMode,
+    /// Backing file; `None` = in-memory pager.
+    pub path: Option<PathBuf>,
+    /// Build the Regular-Prüfer index.
+    pub build_rp: bool,
+    /// Build the Extended-Prüfer index.
+    pub build_ep: bool,
+    /// Cap on unordered branch arrangements.
+    pub arrangement_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            buffer_pages: 2000,
+            labeling: LabelingMode::Exact,
+            path: None,
+            build_rp: true,
+            build_ep: true,
+            arrangement_limit: 720,
+        }
+    }
+}
+
+/// Everything a query execution reports.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The twig occurrences (deduplicated embeddings).
+    pub matches: Vec<TwigMatch>,
+    /// Filter/refinement counters.
+    pub stats: QueryStats,
+    /// Which index answered the query.
+    pub index_used: IndexKind,
+    /// I/O performed during the query (pages read = the paper's
+    /// "Disk IO" column when the pool started cold).
+    pub io: IoSnapshot,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// An indexed XML database: the collection, its RP/EP indexes, and a
+/// shared buffer pool.
+pub struct PrixEngine {
+    collection: Collection,
+    pool: Arc<BufferPool>,
+    rp: Option<PrixIndex>,
+    ep: Option<PrixIndex>,
+    dummy: Sym,
+    arrangement_limit: usize,
+}
+
+impl PrixEngine {
+    /// Builds the engine over `collection`.
+    pub fn build(mut collection: Collection, cfg: EngineConfig) -> Result<Self> {
+        let pager = match &cfg.path {
+            Some(p) => Pager::create(p).map_err(IndexError::Storage)?,
+            None => Pager::in_memory(),
+        };
+        let pool = Arc::new(BufferPool::new(pager, cfg.buffer_pages));
+        let dummy = collection.intern("\u{1}prix-dummy");
+        // Both indexes read the same immutable collection and write
+        // through the internally synchronized buffer pool, so they can
+        // be built concurrently.
+        let (rp, ep) = if cfg.build_rp && cfg.build_ep {
+            let (rp_res, ep_res) = crossbeam::thread::scope(|s| {
+                let rp_pool = Arc::clone(&pool);
+                let ep_pool = Arc::clone(&pool);
+                let coll = &collection;
+                let rp = s.spawn(move |_| {
+                    PrixIndex::build(rp_pool, coll, IndexKind::Regular, cfg.labeling, dummy)
+                });
+                let ep = s.spawn(move |_| {
+                    PrixIndex::build(ep_pool, coll, IndexKind::Extended, cfg.labeling, dummy)
+                });
+                (
+                    rp.join().expect("rp build thread"),
+                    ep.join().expect("ep build thread"),
+                )
+            })
+            .expect("index build scope");
+            (Some(rp_res?), Some(ep_res?))
+        } else if cfg.build_rp {
+            (
+                Some(PrixIndex::build(
+                    Arc::clone(&pool),
+                    &collection,
+                    IndexKind::Regular,
+                    cfg.labeling,
+                    dummy,
+                )?),
+                None,
+            )
+        } else if cfg.build_ep {
+            (
+                None,
+                Some(PrixIndex::build(
+                    Arc::clone(&pool),
+                    &collection,
+                    IndexKind::Extended,
+                    cfg.labeling,
+                    dummy,
+                )?),
+            )
+        } else {
+            (None, None)
+        };
+        Ok(PrixEngine {
+            collection,
+            pool,
+            rp,
+            ep,
+            dummy,
+            arrangement_limit: cfg.arrangement_limit,
+        })
+    }
+
+    /// The indexed collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// The shared buffer pool (for cold-cache benchmarking).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The dummy label used for extended sequences.
+    pub fn dummy(&self) -> Sym {
+        self.dummy
+    }
+
+    /// The RPIndex, if built.
+    pub fn rp_index(&self) -> Option<&PrixIndex> {
+        self.rp.as_ref()
+    }
+
+    /// The EPIndex, if built.
+    pub fn ep_index(&self) -> Option<&PrixIndex> {
+        self.ep.as_ref()
+    }
+
+    /// Parses an XPath string against this engine's symbol table.
+    pub fn parse_query(&mut self, xpath: &str) -> std::result::Result<TwigQuery, XPathError> {
+        parse_xpath(xpath, self.collection.symbols_mut())
+    }
+
+    /// Flushes and empties the buffer pool so the next query measures
+    /// cold-cache I/O, like the paper's direct-I/O setup.
+    pub fn clear_cache(&self) -> Result<()> {
+        self.pool.clear().map_err(IndexError::Storage)
+    }
+
+    /// Picks the index for a query (§5.6's optimizer rule).
+    pub fn pick_index(&self, q: &TwigQuery) -> Result<&PrixIndex> {
+        if q.needs_extended() {
+            self.ep.as_ref().ok_or_else(|| {
+                IndexError::Unsupported("query requires the EPIndex, which was not built".into())
+            })
+        } else {
+            // Prefer RPIndex for value-free queries (§5.6: "If twig
+            // queries have no values, then indexing Regular-Prüfer
+            // sequences is recommended").
+            self.rp
+                .as_ref()
+                .or(self.ep.as_ref())
+                .ok_or_else(|| IndexError::Unsupported("no index was built".into()))
+        }
+    }
+
+    /// Persists the engine so [`PrixEngine::reopen`] can load it from
+    /// the backing file: index metadata and the symbol table go into
+    /// the shared store, their locations into the reserved catalog page
+    /// (page 0), and the buffer pool is flushed.
+    ///
+    /// Only works for file-backed engines (`EngineConfig::path`);
+    /// in-memory engines have nowhere to persist to.
+    pub fn save(&mut self) -> Result<()> {
+        let rp_meta = match &mut self.rp {
+            Some(i) => i.save()?.raw(),
+            None => 0,
+        };
+        let ep_meta = match &mut self.ep {
+            Some(i) => i.save()?.raw(),
+            None => 0,
+        };
+        // Serialize the symbol table (needed to parse queries after
+        // reopen).
+        let mut buf: Vec<u8> = Vec::new();
+        let syms = self.collection.symbols();
+        buf.extend_from_slice(&(syms.len() as u32).to_le_bytes());
+        for (_, name) in syms.iter() {
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
+        }
+        let mut store = RecordStore::open(Arc::clone(&self.pool)).map_err(IndexError::Storage)?;
+        let syms_rec = store.append(&buf).map_err(IndexError::Storage)?;
+        // Catalog page.
+        self.pool
+            .with_page_mut(0, |p: &mut [u8; PAGE_SIZE]| {
+                p[..4].copy_from_slice(b"PRIX");
+                p[4..8].copy_from_slice(&1u32.to_le_bytes()); // version
+                p[8..16].copy_from_slice(&rp_meta.to_le_bytes());
+                p[16..24].copy_from_slice(&ep_meta.to_le_bytes());
+                p[24..32].copy_from_slice(&syms_rec.raw().to_le_bytes());
+                p[32..36].copy_from_slice(&self.dummy.0.to_le_bytes());
+            })
+            .map_err(IndexError::Storage)?;
+        self.pool.flush().map_err(IndexError::Storage)
+    }
+
+    /// Reopens a previously [`PrixEngine::save`]d database.
+    ///
+    /// The document trees themselves are not persisted — only what
+    /// query processing needs (sequences, leaf lists, indexes, symbol
+    /// table) — so [`PrixEngine::collection`] of a reopened engine is
+    /// empty. Queries, embeddings, and statistics work as before.
+    pub fn reopen<P: AsRef<Path>>(path: P, buffer_pages: usize) -> Result<Self> {
+        let pager = Pager::open(path).map_err(IndexError::Storage)?;
+        let pool = Arc::new(BufferPool::new(pager, buffer_pages));
+        let (rp_meta, ep_meta, syms_rec, dummy) = pool
+            .with_page(0, |p: &[u8; PAGE_SIZE]| {
+                if &p[..4] != b"PRIX" {
+                    return Err(IndexError::Unsupported(
+                        "file is not a PRIX database (bad magic)".into(),
+                    ));
+                }
+                Ok((
+                    u64::from_le_bytes(p[8..16].try_into().unwrap()),
+                    u64::from_le_bytes(p[16..24].try_into().unwrap()),
+                    u64::from_le_bytes(p[24..32].try_into().unwrap()),
+                    Sym(u32::from_le_bytes(p[32..36].try_into().unwrap())),
+                ))
+            })
+            .map_err(IndexError::Storage)??;
+        let store = RecordStore::open(Arc::clone(&pool)).map_err(IndexError::Storage)?;
+        let bytes = store
+            .read(RecordId::from_raw(syms_rec))
+            .map_err(IndexError::Storage)?;
+        let mut syms = SymbolTable::new();
+        let mut off = 4usize;
+        let count = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        for _ in 0..count {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            let name = std::str::from_utf8(&bytes[off..off + len])
+                .map_err(|_| IndexError::Unsupported("corrupt symbol table".into()))?;
+            syms.intern(name);
+            off += len;
+        }
+        let mut collection = Collection::new();
+        *collection.symbols_mut() = syms;
+        let rp = (rp_meta != 0)
+            .then(|| PrixIndex::load(Arc::clone(&pool), RecordId::from_raw(rp_meta)))
+            .transpose()?;
+        let ep = (ep_meta != 0)
+            .then(|| PrixIndex::load(Arc::clone(&pool), RecordId::from_raw(ep_meta)))
+            .transpose()?;
+        Ok(PrixEngine {
+            collection,
+            pool,
+            rp,
+            ep,
+            dummy,
+            arrangement_limit: 720,
+        })
+    }
+
+    /// Parses `xml` and incrementally indexes it into every built
+    /// index (§5.2.1 dynamic labeling in action). Use
+    /// [`LabelingMode::Dynamic`] at build time to leave scope headroom;
+    /// a bulk-exact index only accepts documents whose trie paths
+    /// already exist or branch at the root.
+    pub fn insert_document(&mut self, xml: &str) -> Result<prix_xml::DocId> {
+        let tree = prix_xml::parse_document(xml, self.collection.symbols_mut())
+            .map_err(|e| IndexError::Unsupported(format!("parse error: {e}")))?;
+        let mut id = None;
+        if let Some(rp) = &mut self.rp {
+            id = Some(rp.insert_document(&tree)?);
+        }
+        if let Some(ep) = &mut self.ep {
+            let ep_id = ep.insert_document(&tree)?;
+            if let Some(rp_id) = id {
+                debug_assert_eq!(rp_id, ep_id, "indexes assign ids in lockstep");
+            }
+            id = Some(ep_id);
+        }
+        let coll_id = self.collection.add_tree(tree);
+        let id = id.unwrap_or(coll_id);
+        debug_assert_eq!(id, coll_id, "collection and indexes stay aligned");
+        Ok(id)
+    }
+
+    /// Describes the plan the optimizer would use for `q` (index
+    /// choice, sequences, edge constraints, MaxGap rules).
+    pub fn explain(&self, q: &TwigQuery) -> Result<String> {
+        let idx = self.pick_index(q)?;
+        let mut out = format!("index: {}\n", idx.kind());
+        out.push_str(&idx.explain(q, self.collection.symbols())?);
+        Ok(out)
+    }
+
+    /// Executes an ordered twig query.
+    pub fn query(&self, q: &TwigQuery) -> Result<QueryOutcome> {
+        self.query_opts(q, &ExecOpts::default())
+    }
+
+    /// Executes an ordered twig query with options.
+    pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
+        let idx = self.pick_index(q)?;
+        let io_before = self.pool.snapshot();
+        let start = Instant::now();
+        let (matches, stats) = idx.execute_opts(q, opts)?;
+        Ok(QueryOutcome {
+            matches,
+            stats,
+            index_used: idx.kind(),
+            io: self.pool.snapshot().since(&io_before),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Executes an unordered twig query by running every distinct branch
+    /// arrangement (§5.7) and unioning the embeddings.
+    pub fn query_unordered(&self, q: &TwigQuery) -> Result<QueryOutcome> {
+        let arrs = arrangements(q, self.arrangement_limit)
+            .map_err(|e| IndexError::Unsupported(e.to_string()))?;
+        let io_before = self.pool.snapshot();
+        let start = Instant::now();
+        let mut stats = QueryStats::default();
+        let mut index_used = IndexKind::Regular;
+        let mut seen: std::collections::HashSet<(u32, Vec<PostNum>)> =
+            std::collections::HashSet::new();
+        let mut matches: Vec<TwigMatch> = Vec::new();
+        for arr in &arrs {
+            let idx = self.pick_index(&arr.query)?;
+            index_used = idx.kind();
+            let (arr_matches, s) = idx.execute(&arr.query)?;
+            stats.range_queries += s.range_queries;
+            stats.nodes_scanned += s.nodes_scanned;
+            stats.maxgap_pruned += s.maxgap_pruned;
+            stats.candidates += s.candidates;
+            stats.refined += s.refined;
+            for m in arr_matches {
+                // Re-map the arrangement's postorder numbering back to
+                // the base query's.
+                let mut base_emb = vec![0 as PostNum; m.embedding.len()];
+                for (arr_q, &img) in m.embedding.iter().enumerate() {
+                    let base_q = arr.base_of[arr_q];
+                    base_emb[(base_q - 1) as usize] = img;
+                }
+                if seen.insert((m.doc, base_emb.clone())) {
+                    matches.push(TwigMatch {
+                        doc: m.doc,
+                        embedding: base_emb,
+                    });
+                }
+            }
+        }
+        matches.sort();
+        stats.matches = matches.len() as u64;
+        Ok(QueryOutcome {
+            matches,
+            stats,
+            index_used,
+            io: self.pool.snapshot().since(&io_before),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PrixEngine {
+        let mut c = Collection::new();
+        c.add_xml("<dblp><inproceedings><author>Jim Gray</author><year>1990</year></inproceedings></dblp>")
+            .unwrap();
+        c.add_xml("<dblp><inproceedings><year>1990</year><author>Jim Gray</author></inproceedings></dblp>")
+            .unwrap();
+        c.add_xml("<dblp><www><editor>E</editor><url>u</url></www></dblp>")
+            .unwrap();
+        PrixEngine::build(c, EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn optimizer_routes_value_queries_to_ep() {
+        let mut e = engine();
+        let q = e
+            .parse_query(r#"//inproceedings[./author="Jim Gray"]"#)
+            .unwrap();
+        let out = e.query(&q).unwrap();
+        assert_eq!(out.index_used, IndexKind::Extended);
+        assert_eq!(out.matches.len(), 2);
+    }
+
+    #[test]
+    fn optimizer_routes_structural_queries_to_rp() {
+        let mut e = engine();
+        let q = e.parse_query("//www[./editor]/url").unwrap();
+        let out = e.query(&q).unwrap();
+        assert_eq!(out.index_used, IndexKind::Regular);
+        assert_eq!(out.matches.len(), 1);
+    }
+
+    #[test]
+    fn ordered_vs_unordered() {
+        let mut e = engine();
+        // Ordered: author before year — only doc 0.
+        let q = e
+            .parse_query(r#"//inproceedings[./author="Jim Gray"][./year="1990"]"#)
+            .unwrap();
+        let ordered = e.query(&q).unwrap();
+        assert_eq!(ordered.matches.len(), 1);
+        assert_eq!(ordered.matches[0].doc, 0);
+        // Unordered: both docs.
+        let unordered = e.query_unordered(&q).unwrap();
+        assert_eq!(unordered.matches.len(), 2);
+    }
+
+    #[test]
+    fn unordered_embeddings_use_base_numbering() {
+        let mut e = engine();
+        let q = e
+            .parse_query(r#"//inproceedings[./author="Jim Gray"][./year="1990"]"#)
+            .unwrap();
+        let out = e.query_unordered(&q).unwrap();
+        let syms = e.collection().symbols();
+        let author = syms.lookup("author").unwrap();
+        for m in &out.matches {
+            let t = e.collection().doc(m.doc);
+            // Base query postorder: "Jim Gray"=1, author=2, "1990"=3,
+            // year=4, inproceedings=5.
+            assert_eq!(t.label_at(m.embedding[1]), author, "doc {}", m.doc);
+        }
+    }
+
+    #[test]
+    fn cold_cache_queries_report_io() {
+        let mut e = engine();
+        let q = e.parse_query("//www[./editor]/url").unwrap();
+        e.clear_cache().unwrap();
+        let out = e.query(&q).unwrap();
+        assert!(out.io.physical_reads > 0, "cold run must hit the disk");
+        let warm = e.query(&q).unwrap();
+        assert_eq!(warm.io.physical_reads, 0, "warm run is fully cached");
+        assert_eq!(warm.matches.len(), out.matches.len());
+    }
+
+    #[test]
+    fn rp_only_engine_rejects_value_queries() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let cfg = EngineConfig {
+            build_ep: false,
+            ..Default::default()
+        };
+        let mut e = PrixEngine::build(c, cfg).unwrap();
+        let q = e.parse_query(r#"//a[./b="v"]"#).unwrap();
+        assert!(e.query(&q).is_err());
+    }
+
+    #[test]
+    fn file_backed_engine_works() {
+        let dir = std::env::temp_dir().join(format!("prix-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut c = Collection::new();
+        c.add_xml("<a><b><c/></b></a>").unwrap();
+        let cfg = EngineConfig {
+            path: Some(dir.join("db.prix")),
+            buffer_pages: 16,
+            ..Default::default()
+        };
+        let mut e = PrixEngine::build(c, cfg).unwrap();
+        let q = e.parse_query("//a/b/c").unwrap();
+        let out = e.query(&q).unwrap();
+        assert_eq!(out.matches.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dynamic_labeling_engine_matches_exact() {
+        let mut c = Collection::new();
+        for i in 0..20 {
+            c.add_xml(&format!("<a><b><c>v{i}</c></b><d/></a>"))
+                .unwrap();
+        }
+        let exact = PrixEngine::build(c.clone(), EngineConfig::default()).unwrap();
+        let dynamic = PrixEngine::build(
+            c,
+            EngineConfig {
+                labeling: LabelingMode::Dynamic { alpha: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut syms = exact.collection().symbols().clone();
+        let q = parse_xpath("//a[./b/c]/d", &mut syms).unwrap();
+        let a = exact.query(&q).unwrap();
+        let b = dynamic.query(&q).unwrap();
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.matches.len(), 20);
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let mut e = engine();
+        let q = e.parse_query("//www[./editor]/url").unwrap();
+        let text = e.explain(&q).unwrap();
+        assert!(text.contains("RPIndex"), "{text}");
+        assert!(text.contains("leaf-extended"), "{text}");
+        assert!(text.contains("LPS(Q)"), "{text}");
+        assert!(text.contains("MaxGap rules"), "{text}");
+        let qv = e
+            .parse_query(r#"//inproceedings[./author="Jim Gray"]"#)
+            .unwrap();
+        let tv = e.explain(&qv).unwrap();
+        assert!(tv.contains("EPIndex"), "{tv}");
+    }
+
+    #[test]
+    fn incremental_insert_matches_bulk_build() {
+        // Build small, insert more, compare against building everything
+        // at once.
+        let docs = [
+            "<dblp><www><editor>E</editor><url>u</url></www></dblp>",
+            "<dblp><inproceedings><author>A</author><year>1990</year></inproceedings></dblp>",
+            "<dblp><www><editor>F</editor><url>v</url></www></dblp>",
+            "<x><y><z>deep</z></y></x>",
+            "<dblp><www><url>no-editor</url></www></dblp>",
+        ];
+        let mut base = Collection::new();
+        for d in &docs[..2] {
+            base.add_xml(d).unwrap();
+        }
+        let mut incremental = PrixEngine::build(
+            base,
+            EngineConfig {
+                labeling: LabelingMode::Dynamic { alpha: 2 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for d in &docs[2..] {
+            incremental.insert_document(d).unwrap();
+        }
+
+        let mut full = Collection::new();
+        for d in &docs {
+            full.add_xml(d).unwrap();
+        }
+        let mut bulk = PrixEngine::build(full, EngineConfig::default()).unwrap();
+
+        for xpath in [
+            "//www[./editor]/url",
+            r#"//inproceedings[./author="A"]"#,
+            "//x//z",
+            "//www/url",
+        ] {
+            let qi = incremental.parse_query(xpath).unwrap();
+            let qb = bulk.parse_query(xpath).unwrap();
+            let mi = incremental.query(&qi).unwrap().matches;
+            let mb = bulk.query(&qb).unwrap().matches;
+            assert_eq!(mi, mb, "{xpath}");
+            let oracle = crate::naive::naive_count(incremental.collection(), &qi);
+            assert_eq!(mi.len(), oracle, "{xpath} vs oracle");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_shares_existing_paths() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b><c>v</c></b></a>").unwrap();
+        let mut e = PrixEngine::build(
+            c,
+            EngineConfig {
+                labeling: LabelingMode::Dynamic { alpha: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let nodes_before = e.rp_index().unwrap().build_stats().trie_nodes;
+        // Identical structure: the RP trie path is fully shared.
+        e.insert_document("<a><b><c>w</c></b></a>").unwrap();
+        let nodes_after = e.rp_index().unwrap().build_stats().trie_nodes;
+        assert_eq!(nodes_before, nodes_after, "no new RP trie nodes");
+        let q = e.parse_query("//a/b/c").unwrap();
+        assert_eq!(e.query(&q).unwrap().matches.len(), 2);
+    }
+
+    #[test]
+    fn inserted_documents_survive_save_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("prix-incr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.prix");
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let mut e = PrixEngine::build(
+            c,
+            EngineConfig {
+                path: Some(path.clone()),
+                labeling: LabelingMode::Dynamic { alpha: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.insert_document("<a><q><b>w</b></q></a>").unwrap();
+        e.save().unwrap();
+        drop(e);
+        let mut reopened = PrixEngine::reopen(&path, 256).unwrap();
+        let q = reopened.parse_query("//a//b").unwrap();
+        assert_eq!(reopened.query(&q).unwrap().matches.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! The PRIX system (paper §3, §5): indexing XML document collections by
+//! Prüfer sequences and answering twig queries by subsequence matching
+//! plus refinement.
+//!
+//! The pipeline mirrors Figure 3 of the paper:
+//!
+//! ```text
+//!  indexing                       query processing
+//!  ────────                       ────────────────
+//!  XML docs ──► Prüfer seqs       twig ──► Prüfer seq
+//!       │             │             │
+//!       ▼             ▼             ▼
+//!  NPS + leaf     virtual trie    filtering by subsequence matching
+//!  records        (B⁺-trees)      (Algorithm 1 + MaxGap pruning)
+//!                                   │
+//!                                   ▼
+//!                                 refinement: connectedness,
+//!                                 gap/frequency consistency, leaves
+//!                                 (Algorithm 2)
+//! ```
+//!
+//! Main types:
+//!
+//! * [`TwigQuery`] / [`parse_xpath`] — query twigs with `/`, `//`, `*`
+//!   edges and equality value predicates,
+//! * [`PrixIndex`] — a disk-resident index (RPIndex or EPIndex, §5.6)
+//!   over one collection,
+//! * [`PrixEngine`] — owns both indexes and routes each query to the
+//!   right one like the paper's query optimizer (§5.6),
+//! * [`naive`] — a direct tree-matching oracle used to validate every
+//!   engine (no false alarms, no false dismissals),
+//! * [`scan`] — an index-free in-memory matcher built from the same
+//!   filtering + refinement phases.
+
+pub mod arrange;
+pub mod engine;
+pub mod index;
+pub mod naive;
+pub mod query;
+pub mod scan;
+pub mod trie;
+pub mod xpath;
+
+pub use engine::{EngineConfig, PrixEngine};
+pub use index::{IndexKind, PrixIndex, QueryStats, TwigMatch};
+pub use query::{TwigBuilder, TwigQuery};
+pub use trie::{LabelingMode, VirtualTrie};
+pub use xpath::{parse_xpath, XPathError};

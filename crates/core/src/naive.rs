@@ -1,0 +1,280 @@
+//! Naive tree-matching oracle.
+//!
+//! Enumerates ordered twig embeddings directly on the document tree by
+//! backtracking — no Prüfer sequences, no index. The paper proves
+//! (Theorems 1–3) that PRIX's filtering + refinement returns *exactly*
+//! the twig matches; this oracle is the other side of that equation in
+//! our test suite: for random documents and queries,
+//! `naive == scan == PrixIndex` must hold.
+//!
+//! Semantics of an ordered match (the semantics PRIX computes):
+//!
+//! * every query node maps to a document node with the same label,
+//! * a node's image relates to its parent's image according to the edge
+//!   kind (`/` = parent, `//` = proper ancestor, `*`-chain = ancestor at
+//!   exactly that distance),
+//! * the mapping is monotone in postorder — if `q1 < q2` as query
+//!   postorder numbers then `img(q1) < img(q2)` (what strictly
+//!   increasing subsequence positions enforce) — **and** in preorder,
+//!   so ancestor/disjoint relations between query nodes are preserved
+//!   exactly (ordered tree inclusion à la Kilpeläinen & Mannila; a node
+//!   pair is ancestor/descendant iff preorder and postorder disagree).
+//!
+//! An unordered match is an ordered match of some branch arrangement of
+//! the query (§5.7); see [`crate::arrange`].
+
+use prix_prufer::EdgeKind;
+use prix_xml::{PostNum, XmlTree};
+
+use crate::query::TwigQuery;
+
+/// All ordered embeddings of `q` in `doc`, each as
+/// `embedding[q_post - 1] = doc_post`, in lexicographic order.
+pub fn naive_ordered(doc: &XmlTree, q: &TwigQuery) -> Vec<Vec<PostNum>> {
+    let m = q.tree().len();
+    let n = doc.len();
+    let edges = q.edges_by_post();
+    let mut img = vec![0 as PostNum; m];
+    let mut out = Vec::new();
+
+    // Parent postorder of each query node (0 for the root).
+    let qtree = q.tree();
+    let parent_post: Vec<PostNum> = (1..=m as PostNum)
+        .map(|p| qtree.parent_post(p).unwrap_or(0))
+        .collect();
+    let q_pre = preorder_ranks(qtree);
+    let d_pre = preorder_ranks(doc);
+
+    struct Env<'a> {
+        m: usize,
+        n: usize,
+        doc: &'a XmlTree,
+        qtree: &'a XmlTree,
+        parent_post: &'a [PostNum],
+        edges: &'a [EdgeKind],
+        absolute: bool,
+        /// Preorder rank by postorder number, query / document.
+        q_pre: &'a [u32],
+        d_pre: &'a [u32],
+    }
+
+    // Backtracking over query postorder index (1-based q).
+    fn rec(env: &Env<'_>, q_idx: usize, img: &mut Vec<PostNum>, out: &mut Vec<Vec<PostNum>>) {
+        if q_idx > env.m {
+            out.push(img.clone());
+            return;
+        }
+        let q_post = q_idx as PostNum;
+        let label = env.qtree.label_at(q_post);
+        let start = if q_idx == 1 { 1 } else { img[q_idx - 2] + 1 };
+        'cand: for d in start..=env.n as PostNum {
+            if env.doc.label_at(d) != label {
+                continue;
+            }
+            // Edges to already-assigned children of this node.
+            for c in 1..q_post {
+                if env.parent_post[(c - 1) as usize] != q_post {
+                    continue;
+                }
+                if !edge_ok(
+                    env.doc,
+                    img[(c - 1) as usize],
+                    d,
+                    env.edges[(c - 1) as usize],
+                ) {
+                    continue 'cand;
+                }
+            }
+            // Preorder consistency against every assigned node: ancestor
+            // vs disjoint relations must be preserved exactly.
+            for prev in 1..q_post {
+                let qp = env.q_pre[(prev - 1) as usize] < env.q_pre[(q_post - 1) as usize];
+                let dp = env.d_pre[(img[(prev - 1) as usize] - 1) as usize]
+                    < env.d_pre[(d - 1) as usize];
+                if qp != dp {
+                    continue 'cand;
+                }
+            }
+            if q_idx == env.m && env.absolute && d != env.n as PostNum {
+                continue;
+            }
+            img[q_idx - 1] = d;
+            rec(env, q_idx + 1, img, out);
+        }
+        img[q_idx - 1] = 0;
+    }
+
+    let env = Env {
+        m,
+        n,
+        doc,
+        qtree,
+        parent_post: &parent_post,
+        edges: &edges,
+        absolute: q.is_absolute(),
+        q_pre: &q_pre,
+        d_pre: &d_pre,
+    };
+    rec(&env, 1, &mut img, &mut out);
+    out
+}
+
+/// Preorder rank indexed by postorder number (`ranks[post - 1]`).
+fn preorder_ranks(tree: &XmlTree) -> Vec<u32> {
+    let mut ranks = vec![0u32; tree.len()];
+    let mut stack = vec![tree.root()];
+    let mut next = 0u32;
+    while let Some(node) = stack.pop() {
+        ranks[(tree.postorder(node) - 1) as usize] = next;
+        next += 1;
+        for &c in tree.children(node).iter().rev() {
+            stack.push(c);
+        }
+    }
+    ranks
+}
+
+/// Does `child_img`'s ancestor chain relate to `parent_img` per `edge`?
+fn edge_ok(doc: &XmlTree, child_img: PostNum, parent_img: PostNum, edge: EdgeKind) -> bool {
+    match edge {
+        EdgeKind::Child => doc.parent_post(child_img) == Some(parent_img),
+        EdgeKind::Descendant => {
+            let mut cur = child_img;
+            while let Some(p) = doc.parent_post(cur) {
+                if p == parent_img {
+                    return true;
+                }
+                if p > parent_img {
+                    return false;
+                }
+                cur = p;
+            }
+            false
+        }
+        EdgeKind::Exactly(k) => {
+            let mut cur = child_img;
+            for _ in 0..k {
+                match doc.parent_post(cur) {
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+            }
+            cur == parent_img
+        }
+    }
+}
+
+/// Counts ordered matches across a whole collection.
+pub fn naive_count(collection: &prix_xml::Collection, q: &TwigQuery) -> usize {
+    collection
+        .iter()
+        .map(|(_, t)| naive_ordered(t, q).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse_xpath;
+    use prix_xml::{parse_document, SymbolTable};
+
+    fn doc(xml: &str, syms: &mut SymbolTable) -> XmlTree {
+        parse_document(xml, syms).unwrap()
+    }
+
+    #[test]
+    fn simple_path_match() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><b><c/></b></a>", &mut syms);
+        let q = parse_xpath("//a/b/c", &mut syms).unwrap();
+        let m = naive_ordered(&t, &q);
+        // Query postorder: c=1, b=2, a=3 -> images 1, 2, 3.
+        assert_eq!(m, vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn multiple_matches_enumerate() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><b><c/></b><b><c/></b></a>", &mut syms);
+        let q = parse_xpath("//a/b/c", &mut syms).unwrap();
+        let m = naive_ordered(&t, &q);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn child_edge_is_strict() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><x><b/></x></a>", &mut syms);
+        let q_child = parse_xpath("//a/b", &mut syms).unwrap();
+        assert!(naive_ordered(&t, &q_child).is_empty());
+        let q_desc = parse_xpath("//a//b", &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &q_desc).len(), 1);
+    }
+
+    #[test]
+    fn star_distance() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><x><b/></x></a>", &mut syms);
+        let q2 = parse_xpath("//a/*/b", &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &q2).len(), 1);
+        let q3 = parse_xpath("//a/*/*/b", &mut syms).unwrap();
+        assert!(naive_ordered(&t, &q3).is_empty());
+    }
+
+    #[test]
+    fn order_matters_for_ordered_matching() {
+        let mut syms = SymbolTable::new();
+        // Document has R before Q.
+        let t = doc("<P><R/><Q/></P>", &mut syms);
+        let q = parse_xpath("//P[./Q]/R", &mut syms).unwrap();
+        // Ordered query expects Q (postorder 1) before R (postorder 2).
+        assert!(naive_ordered(&t, &q).is_empty());
+        let q_flipped = parse_xpath("//P[./R]/Q", &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &q_flipped).len(), 1);
+    }
+
+    #[test]
+    fn branches_must_share_the_parent() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<root><P><Q/></P><P><R/></P></root>", &mut syms);
+        let q = parse_xpath("//P[./Q]/R", &mut syms).unwrap();
+        assert!(naive_ordered(&t, &q).is_empty());
+    }
+
+    #[test]
+    fn values_are_labels() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<book><title>Gone</title></book>", &mut syms);
+        let q = parse_xpath(r#"//book[./title="Gone"]"#, &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &q).len(), 1);
+        let q2 = parse_xpath(r#"//book[./title="Other"]"#, &mut syms).unwrap();
+        assert!(naive_ordered(&t, &q2).is_empty());
+    }
+
+    #[test]
+    fn absolute_pins_root() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<r><a><b/></a></r>", &mut syms);
+        let rel = parse_xpath("//a/b", &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &rel).len(), 1);
+        let abs = parse_xpath("/a/b", &mut syms).unwrap();
+        assert!(naive_ordered(&t, &abs).is_empty());
+    }
+
+    #[test]
+    fn single_node_query() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><b/><b/></a>", &mut syms);
+        let q = parse_xpath("//b", &mut syms).unwrap();
+        assert_eq!(naive_ordered(&t, &q).len(), 2);
+    }
+
+    #[test]
+    fn nested_same_label_descendants() {
+        let mut syms = SymbolTable::new();
+        let t = doc("<a><a><b/></a></a>", &mut syms);
+        let q = parse_xpath("//a//b", &mut syms).unwrap();
+        // b under inner a (child->desc) and outer a: two embeddings.
+        assert_eq!(naive_ordered(&t, &q).len(), 2);
+    }
+}

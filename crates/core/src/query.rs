@@ -1,0 +1,349 @@
+//! Twig queries.
+//!
+//! A [`TwigQuery`] is an ordered labeled tree (like a document) plus a
+//! structural constraint on every node's edge to its parent
+//! ([`EdgeKind`]): `/` (child), `//` (descendant), or a `*`-chain
+//! (exact distance). Value predicates are ordinary [`NodeKind::Text`]
+//! leaves, exactly as the paper treats values (§2, §5.6).
+
+use prix_prufer::{EdgeKind, ExtendedTree, PruferSeq};
+use prix_xml::{NodeId, NodeKind, PostNum, Sym, SymbolTable, XmlTree};
+
+/// A twig pattern with per-edge structural constraints.
+#[derive(Debug, Clone)]
+pub struct TwigQuery {
+    tree: XmlTree,
+    /// Edge kind per node id (arena order); root entry is unused.
+    edges_by_id: Vec<EdgeKind>,
+    /// `true` when the query began with a single `/`: the twig root must
+    /// be the document root.
+    absolute: bool,
+}
+
+impl TwigQuery {
+    /// Wraps an already-built tree; `edges_by_id[node as usize]` gives
+    /// the constraint on the node's edge to its parent.
+    pub fn new(tree: XmlTree, edges_by_id: Vec<EdgeKind>, absolute: bool) -> Self {
+        assert_eq!(tree.len(), edges_by_id.len());
+        TwigQuery {
+            tree,
+            edges_by_id,
+            absolute,
+        }
+    }
+
+    /// The query twig as a tree.
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// Whether the twig root must match the document root.
+    pub fn is_absolute(&self) -> bool {
+        self.absolute
+    }
+
+    /// Edge kind of the node with arena id `id`.
+    pub fn edge_of_id(&self, id: NodeId) -> EdgeKind {
+        self.edges_by_id[id as usize]
+    }
+
+    /// Edge kinds indexed by postorder number (`out[q - 1]` = edge of
+    /// the node numbered `q`); the layout the refinement phases consume.
+    pub fn edges_by_post(&self) -> Vec<EdgeKind> {
+        let mut out = vec![EdgeKind::Child; self.tree.len()];
+        for id in self.tree.nodes() {
+            out[(self.tree.postorder(id) - 1) as usize] = self.edges_by_id[id as usize];
+        }
+        out
+    }
+
+    /// Regular-Prüfer sequence of the twig (§3.3).
+    pub fn prufer(&self) -> PruferSeq {
+        PruferSeq::regular(&self.tree)
+    }
+
+    /// Extended twig: tree with dummies, sequences, and edge kinds in
+    /// extended postorder (dummies get [`EdgeKind::Child`]).
+    pub fn extended(&self, dummy: Sym) -> ExtendedQuery {
+        let ext = ExtendedTree::build(&self.tree, dummy);
+        let seq = PruferSeq::regular(&ext.tree);
+        let base_edges = self.edges_by_post();
+        let edges: Vec<EdgeKind> = (1..=ext.tree.len() as PostNum)
+            .map(|e| match ext.to_original(e) {
+                Some(orig) => base_edges[(orig - 1) as usize],
+                None => EdgeKind::Child,
+            })
+            .collect();
+        ExtendedQuery { ext, seq, edges }
+    }
+
+    /// Leaf list `(label, postorder)` of the twig.
+    pub fn leaves(&self) -> Vec<(Sym, PostNum)> {
+        self.tree.leaves()
+    }
+
+    /// `true` when the query must be answered through the EPIndex:
+    /// it contains value leaves (the paper's optimizer rule, §5.6), has
+    /// a non-`/` edge directly above a leaf (whose label would otherwise
+    /// never be checked — regular LPS's contain no leaf labels), or is a
+    /// single node.
+    pub fn needs_extended(&self) -> bool {
+        if self.tree.len() == 1 {
+            return true;
+        }
+        for id in self.tree.nodes() {
+            if self.tree.kind(id) == NodeKind::Text {
+                return true;
+            }
+            if self.tree.is_leaf(id) && self.edges_by_id[id as usize] != EdgeKind::Child {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of branching nodes (nodes with ≥ 2 children).
+    pub fn branch_count(&self) -> usize {
+        self.tree
+            .nodes()
+            .filter(|&n| self.tree.children(n).len() >= 2)
+            .count()
+    }
+
+    /// Renders the twig in a compact single-line form for debugging.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let mut out = String::new();
+        self.fmt_node(self.tree.root(), syms, &mut out);
+        out
+    }
+
+    fn fmt_node(&self, node: NodeId, syms: &SymbolTable, out: &mut String) {
+        match self.edges_by_id[node as usize] {
+            EdgeKind::Child => {}
+            EdgeKind::Descendant => out.push('~'),
+            EdgeKind::Exactly(k) => out.push_str(&format!("^{k}")),
+        }
+        if self.tree.kind(node) == NodeKind::Text {
+            out.push('"');
+            out.push_str(syms.name(self.tree.label(node)));
+            out.push('"');
+        } else {
+            out.push_str(syms.name(self.tree.label(node)));
+        }
+        let kids = self.tree.children(node);
+        if !kids.is_empty() {
+            out.push('(');
+            for (i, &c) in kids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.fmt_node(c, syms, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// The extended form of a twig query (per §5.6).
+pub struct ExtendedQuery {
+    /// Extended tree plus mapping back to original postorder numbers.
+    pub ext: ExtendedTree,
+    /// Sequences of the extended twig.
+    pub seq: PruferSeq,
+    /// Edge kinds in extended postorder.
+    pub edges: Vec<EdgeKind>,
+}
+
+/// Push-style construction of a [`TwigQuery`].
+///
+/// ```
+/// use prix_xml::SymbolTable;
+/// use prix_core::TwigBuilder;
+/// use prix_prufer::EdgeKind;
+/// let mut syms = SymbolTable::new();
+/// // //inproceedings[./author="Jim Gray"][./year="1990"]
+/// let mut b = TwigBuilder::new(&mut syms, "inproceedings");
+/// b.child("author", EdgeKind::Child);
+/// b.value("Jim Gray");
+/// b.up();
+/// b.child("year", EdgeKind::Child);
+/// b.value("1990");
+/// b.up();
+/// let q = b.finish();
+/// assert_eq!(q.tree().len(), 5);
+/// assert!(q.needs_extended());
+/// ```
+pub struct TwigBuilder<'a> {
+    syms: &'a mut SymbolTable,
+    tree: XmlTree,
+    edges: Vec<EdgeKind>,
+    stack: Vec<NodeId>,
+    absolute: bool,
+}
+
+impl<'a> TwigBuilder<'a> {
+    /// Starts a twig rooted at `root_tag` (relative: `//root_tag`).
+    pub fn new(syms: &'a mut SymbolTable, root_tag: &str) -> Self {
+        let sym = syms.intern(root_tag);
+        let tree = XmlTree::with_root(sym, NodeKind::Element);
+        TwigBuilder {
+            syms,
+            stack: vec![tree.root()],
+            tree,
+            edges: vec![EdgeKind::Child],
+            absolute: false,
+        }
+    }
+
+    /// Marks the query as absolute (`/root_tag/...`): the twig root must
+    /// be the document root.
+    pub fn absolute(&mut self) -> &mut Self {
+        self.absolute = true;
+        self
+    }
+
+    /// Opens a child element with the given edge constraint and descends
+    /// into it.
+    pub fn child(&mut self, tag: &str, edge: EdgeKind) -> &mut Self {
+        let sym = self.syms.intern(tag);
+        let parent = *self.stack.last().expect("twig stack empty");
+        let id = self.tree.add_child(parent, sym, NodeKind::Element);
+        self.edges.push(edge);
+        self.stack.push(id);
+        self
+    }
+
+    /// Adds a value (text) leaf under the current node with a `/` edge.
+    pub fn value(&mut self, text: &str) -> &mut Self {
+        let sym = self.syms.intern(text);
+        let parent = *self.stack.last().expect("twig stack empty");
+        self.tree.add_child(parent, sym, NodeKind::Text);
+        self.edges.push(EdgeKind::Child);
+        self
+    }
+
+    /// Closes the current node.
+    pub fn up(&mut self) -> &mut Self {
+        assert!(self.stack.len() > 1, "up() would close the twig root");
+        self.stack.pop();
+        self
+    }
+
+    /// Seals the twig.
+    pub fn finish(self) -> TwigQuery {
+        let mut tree = self.tree;
+        tree.seal();
+        TwigQuery::new(tree, self.edges, self.absolute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1(syms: &mut SymbolTable) -> TwigQuery {
+        let mut b = TwigBuilder::new(syms, "inproceedings");
+        b.child("author", EdgeKind::Child);
+        b.value("Jim Gray");
+        b.up();
+        b.child("year", EdgeKind::Child);
+        b.value("1990");
+        b.up();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let mut syms = SymbolTable::new();
+        let q = q1(&mut syms);
+        let t = q.tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.children(t.root()).len(), 2);
+        // Postorder: "Jim Gray"=1, author=2, "1990"=3, year=4, root=5.
+        assert_eq!(syms.name(t.label_at(2)), "author");
+        assert_eq!(syms.name(t.label_at(1)), "Jim Gray");
+        assert_eq!(t.kind(t.node_at(1)), NodeKind::Text);
+    }
+
+    #[test]
+    fn edges_by_post_permutes_correctly() {
+        let mut syms = SymbolTable::new();
+        let mut b = TwigBuilder::new(&mut syms, "S");
+        b.child("NP", EdgeKind::Descendant);
+        b.child("SYM", EdgeKind::Child);
+        let q = b.finish();
+        // Postorder: SYM=1, NP=2, S=3.
+        let e = q.edges_by_post();
+        assert_eq!(e[0], EdgeKind::Child); // SYM
+        assert_eq!(e[1], EdgeKind::Descendant); // NP
+    }
+
+    #[test]
+    fn needs_extended_rules() {
+        let mut syms = SymbolTable::new();
+        // Values -> extended.
+        assert!(q1(&mut syms).needs_extended());
+        // Element-only with child leaf edges -> regular.
+        let mut b = TwigBuilder::new(&mut syms, "NP");
+        b.child("RBR_OR_JJR", EdgeKind::Child).up();
+        b.child("PP", EdgeKind::Child);
+        let q8 = b.finish();
+        assert!(!q8.needs_extended());
+        // Descendant edge above a leaf -> extended.
+        let mut b = TwigBuilder::new(&mut syms, "Entry");
+        b.child("from", EdgeKind::Descendant);
+        let q = b.finish();
+        assert!(q.needs_extended());
+        // Single node -> extended.
+        let b = TwigBuilder::new(&mut syms, "lonely");
+        assert!(b.finish().needs_extended());
+    }
+
+    #[test]
+    fn extended_query_edges_follow_originals() {
+        let mut syms = SymbolTable::new();
+        let mut b = TwigBuilder::new(&mut syms, "S");
+        b.child("NP", EdgeKind::Descendant);
+        b.child("SYM", EdgeKind::Child);
+        let q = b.finish();
+        let dummy = syms.intern("\u{1}d");
+        let eq = q.extended(dummy);
+        // Extended tree: S(NP(SYM(dummy))) -> 4 nodes.
+        assert_eq!(eq.ext.tree.len(), 4);
+        // Postorder: dummy=1, SYM=2, NP=3, S=4.
+        assert_eq!(eq.edges[0], EdgeKind::Child); // dummy
+        assert_eq!(eq.edges[1], EdgeKind::Child); // SYM
+        assert_eq!(eq.edges[2], EdgeKind::Descendant); // NP
+        assert_eq!(eq.seq.len(), 3);
+    }
+
+    #[test]
+    fn branch_count() {
+        let mut syms = SymbolTable::new();
+        let q = q1(&mut syms);
+        assert_eq!(q.branch_count(), 1);
+        let mut b = TwigBuilder::new(&mut syms, "a");
+        b.child("b", EdgeKind::Child);
+        let q2 = b.finish();
+        assert_eq!(q2.branch_count(), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut syms = SymbolTable::new();
+        let mut b = TwigBuilder::new(&mut syms, "S");
+        b.child("NP", EdgeKind::Descendant);
+        b.child("SYM", EdgeKind::Exactly(2));
+        let q = b.finish();
+        assert_eq!(q.display(&syms), "S(~NP(^2SYM))");
+    }
+
+    #[test]
+    fn absolute_flag() {
+        let mut syms = SymbolTable::new();
+        let mut b = TwigBuilder::new(&mut syms, "dblp");
+        b.absolute();
+        let q = b.finish();
+        assert!(q.is_absolute());
+    }
+}

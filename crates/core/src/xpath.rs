@@ -1,0 +1,384 @@
+//! XPath-subset parser for twig queries.
+//!
+//! Covers the query class evaluated in the paper (Table 3): location
+//! paths with `/` and `//` axes, `*` wildcard steps, attribute steps
+//! (`@name`, equivalent to a subelement per §2), and predicates that are
+//! either existential relative paths (`[./editor]`, `[.//Author]`) or
+//! equality tests against a string (`[./year="1990"]`,
+//! `[text()="..."]`).
+//!
+//! `*` steps between named steps fold into the edge constraint
+//! ([`EdgeKind::Exactly`]), matching the paper's `*` processing (§4.5).
+
+use std::fmt;
+
+use prix_prufer::EdgeKind;
+use prix_xml::SymbolTable;
+
+use crate::query::{TwigBuilder, TwigQuery};
+
+/// Error from parsing an XPath expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parses an XPath expression into a [`TwigQuery`].
+///
+/// ```
+/// use prix_xml::SymbolTable;
+/// use prix_core::parse_xpath;
+/// let mut syms = SymbolTable::new();
+/// let q = parse_xpath(r#"//Entry[./Org="Piroplasmida"][.//Author]//from"#, &mut syms).unwrap();
+/// assert_eq!(q.display(&syms), r#"Entry(Org("Piroplasmida"),~Author,~from)"#);
+/// ```
+pub fn parse_xpath(input: &str, syms: &mut SymbolTable) -> Result<TwigQuery, XPathError> {
+    let mut p = Lexer {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    // Leading axis.
+    let absolute = match (p.eat("//"), p.eat("/")) {
+        (true, _) => false,
+        (false, true) => true,
+        // A bare name is treated like "//name".
+        (false, false) => false,
+    };
+    let (root_name, _) = p.parse_step_name()?;
+    let mut b = TwigBuilder::new(syms, &root_name);
+    if absolute {
+        b.absolute();
+    }
+    // Depth of open nodes created along the *main path* below the root.
+    let mut open_depth = 0usize;
+    loop {
+        // Predicates of the current step.
+        while p.peek() == Some(b'[') {
+            p.pos += 1;
+            parse_predicate(&mut p, &mut b)?;
+            p.expect("]")?;
+        }
+        if p.at_end() {
+            break;
+        }
+        let edge = p.parse_axis_and_stars()?;
+        let (name, is_text) = p.parse_step_name()?;
+        if is_text {
+            return Err(p.err("text() is only valid inside a predicate"));
+        }
+        b.child(&name, edge);
+        open_depth += 1;
+    }
+    let _ = open_depth;
+    Ok(b.finish())
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, message: impl Into<String>) -> XPathError {
+        XPathError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XPathError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Parses `/`, `//`, and any interleaved `*` steps, returning the
+    /// resulting edge constraint for the next named step.
+    ///
+    /// `/a/*/b` → `Exactly(2)` on `b`; `//a` → `Descendant`;
+    /// `/*//b` → `Descendant` (a `//` anywhere makes the distance
+    /// unbounded).
+    fn parse_axis_and_stars(&mut self) -> Result<EdgeKind, XPathError> {
+        let mut descendant = false;
+        let mut stars: u32 = 0;
+        loop {
+            if self.eat("//") {
+                descendant = true;
+            } else if self.eat("/") {
+                // child axis: nothing extra
+            } else {
+                return Err(self.err("expected `/` or `//`"));
+            }
+            if self.peek() == Some(b'*') {
+                self.pos += 1;
+                stars += 1;
+                continue; // another axis must follow
+            }
+            break;
+        }
+        Ok(if descendant {
+            EdgeKind::Descendant
+        } else if stars > 0 {
+            EdgeKind::Exactly(stars + 1)
+        } else {
+            EdgeKind::Child
+        })
+    }
+
+    /// Parses a step name: QName, `@name` (attribute = subelement), or
+    /// `text()` (returned with the flag set).
+    fn parse_step_name(&mut self) -> Result<(String, bool), XPathError> {
+        if self.eat("text()") {
+            return Ok((String::new(), true));
+        }
+        let start = self.pos;
+        if self.peek() == Some(b'@') {
+            self.pos += 1;
+        }
+        let name_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' || c == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == name_start {
+            return Err(XPathError {
+                offset: start,
+                message: "expected a step name".into(),
+            });
+        }
+        let name = std::str::from_utf8(&self.input[name_start..self.pos])
+            .map_err(|_| self.err("step name is not UTF-8"))?
+            .to_owned();
+        Ok((name, false))
+    }
+
+    fn parse_string(&mut self) -> Result<String, XPathError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted string")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("string is not UTF-8"))?
+                    .to_owned();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string"))
+    }
+}
+
+/// Parses one predicate body (after `[`): `.` (sep step)* (`=` string)?
+/// or `text() = string`.
+fn parse_predicate(p: &mut Lexer<'_>, b: &mut TwigBuilder<'_>) -> Result<(), XPathError> {
+    if p.eat("text()") {
+        skip_ws(p);
+        p.expect("=")?;
+        skip_ws(p);
+        let v = p.parse_string()?;
+        b.value(&v);
+        return Ok(());
+    }
+    p.expect(".")?;
+    let mut depth = 0usize;
+    while matches!(p.peek(), Some(b'/')) {
+        let edge = p.parse_axis_and_stars()?;
+        let (name, is_text) = p.parse_step_name()?;
+        if is_text {
+            // ./text() = "v" — value directly under the current node.
+            skip_ws(p);
+            p.expect("=")?;
+            skip_ws(p);
+            let v = p.parse_string()?;
+            b.value(&v);
+            for _ in 0..depth {
+                b.up();
+            }
+            return Ok(());
+        }
+        b.child(&name, edge);
+        depth += 1;
+    }
+    skip_ws(p);
+    if p.eat("=") {
+        skip_ws(p);
+        let v = p.parse_string()?;
+        b.value(&v);
+    }
+    for _ in 0..depth {
+        b.up();
+    }
+    Ok(())
+}
+
+fn skip_ws(p: &mut Lexer<'_>) {
+    while matches!(p.peek(), Some(b' ' | b'\t')) {
+        p.pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn show(xpath: &str) -> String {
+        let mut syms = SymbolTable::new();
+        let q = parse_xpath(xpath, &mut syms).unwrap();
+        q.display(&syms)
+    }
+
+    #[test]
+    fn paper_query_q1() {
+        assert_eq!(
+            show(r#"//inproceedings[./author="Jim Gray"][./year="1990"]"#),
+            r#"inproceedings(author("Jim Gray"),year("1990"))"#
+        );
+    }
+
+    #[test]
+    fn paper_query_q2() {
+        assert_eq!(show("//www[./editor]/url"), "www(editor,url)");
+    }
+
+    #[test]
+    fn paper_query_q3() {
+        assert_eq!(
+            show(r#"//title[text()="Semantic Analysis Patterns"]"#),
+            r#"title("Semantic Analysis Patterns")"#
+        );
+    }
+
+    #[test]
+    fn paper_query_q4() {
+        assert_eq!(
+            show(r#"//Entry[./Keyword="Rhizomelic"]"#),
+            r#"Entry(Keyword("Rhizomelic"))"#
+        );
+    }
+
+    #[test]
+    fn paper_query_q5() {
+        assert_eq!(
+            show(r#"//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]"#),
+            r#"Entry(Ref(Author("Mueller P"),Author("Keller M")))"#
+        );
+    }
+
+    #[test]
+    fn paper_query_q6() {
+        assert_eq!(
+            show(r#"//Entry[./Org="Piroplasmida"][.//Author]//from"#),
+            r#"Entry(Org("Piroplasmida"),~Author,~from)"#
+        );
+    }
+
+    #[test]
+    fn paper_query_q7() {
+        assert_eq!(show("//S//NP/SYM"), "S(~NP(SYM))");
+    }
+
+    #[test]
+    fn paper_query_q8() {
+        assert_eq!(show("//NP[./RBR_OR_JJR]/PP"), "NP(RBR_OR_JJR,PP)");
+    }
+
+    #[test]
+    fn paper_query_q9() {
+        assert_eq!(
+            show("//NP/PP/NP[./NNS_OR_NN][./NN]"),
+            "NP(PP(NP(NNS_OR_NN,NN)))"
+        );
+    }
+
+    #[test]
+    fn star_steps_fold_into_distance() {
+        assert_eq!(show("//a/*/b"), "a(^2b)");
+        assert_eq!(show("//a/*/*/b"), "a(^3b)");
+        assert_eq!(show("//a/*//b"), "a(~b)");
+        // Stars inside predicates too.
+        assert_eq!(show("//a[./*/c]"), "a(^2c)");
+    }
+
+    #[test]
+    fn attribute_steps_are_subelements() {
+        assert_eq!(show(r#"//Entry[./@id="P1"]"#), r#"Entry(id("P1"))"#);
+        assert_eq!(show("//Entry/@id"), "Entry(id)");
+    }
+
+    #[test]
+    fn absolute_paths_set_the_flag() {
+        let mut syms = SymbolTable::new();
+        let q = parse_xpath("/dblp/inproceedings", &mut syms).unwrap();
+        assert!(q.is_absolute());
+        let q2 = parse_xpath("//dblp/inproceedings", &mut syms).unwrap();
+        assert!(!q2.is_absolute());
+    }
+
+    #[test]
+    fn nested_predicates_restore_the_path_position() {
+        // The step after the predicates continues from the predicate
+        // host, not from inside the predicate.
+        assert_eq!(show("//a[./b/c]/d"), "a(b(c),d)");
+    }
+
+    #[test]
+    fn single_quotes_work() {
+        assert_eq!(show("//a[./b='x']"), r#"a(b("x"))"#);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut syms = SymbolTable::new();
+        assert!(parse_xpath("//a[", &mut syms).is_err());
+        assert!(parse_xpath("//a[./b=\"x]", &mut syms).is_err());
+        assert!(parse_xpath("//", &mut syms).is_err());
+        assert!(parse_xpath("//a//", &mut syms).is_err());
+        assert!(parse_xpath("a/text()", &mut syms).is_err());
+    }
+
+    #[test]
+    fn bare_name_is_relative() {
+        let mut syms = SymbolTable::new();
+        let q = parse_xpath("book", &mut syms).unwrap();
+        assert!(!q.is_absolute());
+        assert_eq!(q.tree().len(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! DBLP-like bibliography generator.
+//!
+//! Characteristics reproduced from Table 2 / §6.2: many small document
+//! trees (one per bibliography record), *good structural similarity*
+//! (few distinct shapes → heavy trie-path sharing, §6.4.2), shallow
+//! (max depth ≤ 6 counting value leaves).
+//!
+//! Planted query answers (Table 3):
+//! * Q1 `//inproceedings[./author="Jim Gray"][./year="1990"]` → **6**
+//! * Q2 `//www[./editor]/url` → **21**
+//! * Q3 `//title[text()="Semantic Analysis Patterns"]` → **1**
+
+use prix_xml::{Collection, TreeBuilder};
+
+use crate::rng::SplitMix64;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of bibliography records (documents).
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DblpConfig {
+    /// Scales the paper's 328 858 sequences: `scale = 1.0` ≈ 20 000
+    /// records.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        DblpConfig {
+            records: ((20_000.0 * scale) as usize).max(400),
+            seed,
+        }
+    }
+}
+
+const FIRST: &[&str] = &[
+    "Alice", "Bob", "Carol", "David", "Erika", "Frank", "Grace", "Hiro", "Ivan", "Judy", "Kamal",
+    "Lena", "Marco", "Nadia", "Omar", "Priya", "Quentin", "Rosa", "Sven", "Tara",
+];
+const LAST: &[&str] = &[
+    "Abiteboul",
+    "Bernstein",
+    "Codd",
+    "DeWitt",
+    "Eswaran",
+    "Fagin",
+    "Garcia",
+    "Haas",
+    "Ioannidis",
+    "Jagadish",
+    "Kim",
+    "Lohman",
+    "Mohan",
+    "Naughton",
+    "Olken",
+    "Patel",
+    "Ramakrishnan",
+    "Stonebraker",
+    "Traiger",
+    "Ullman",
+    "Valduriez",
+    "Widom",
+    "Yu",
+    "Zaniolo",
+];
+const TITLE_WORDS: &[&str] = &[
+    "Efficient",
+    "Scalable",
+    "Indexing",
+    "Query",
+    "Processing",
+    "XML",
+    "Databases",
+    "Twig",
+    "Patterns",
+    "Joins",
+    "Storage",
+    "Semistructured",
+    "Data",
+    "Optimization",
+    "Algorithms",
+    "Structures",
+    "Trees",
+    "Sequences",
+    "Holistic",
+    "Matching",
+    "Views",
+    "Caching",
+    "Systems",
+];
+const BOOKTITLES: &[&str] = &[
+    "SIGMOD Conference",
+    "VLDB",
+    "ICDE",
+    "EDBT",
+    "PODS",
+    "WebDB",
+    "CIKM",
+    "DASFAA",
+];
+const JOURNALS: &[&str] = &[
+    "TODS",
+    "VLDB Journal",
+    "TKDE",
+    "Information Systems",
+    "SIGMOD Record",
+];
+
+fn author(r: &mut SplitMix64) -> String {
+    format!("{} {}", r.pick(FIRST), r.pick(LAST))
+}
+
+fn title(r: &mut SplitMix64) -> String {
+    let n = r.range(3, 7);
+    let mut t = String::new();
+    for i in 0..n {
+        if i > 0 {
+            t.push(' ');
+        }
+        t.push_str(TITLE_WORDS[r.skewed(TITLE_WORDS.len() as u64) as usize]);
+    }
+    t
+}
+
+fn year(r: &mut SplitMix64) -> String {
+    r.range(1970, 2003).to_string()
+}
+
+/// Generates the collection.
+pub fn generate(cfg: &DblpConfig) -> Collection {
+    assert!(cfg.records >= 400, "DBLP generator needs >= 400 records");
+    let mut c = Collection::new();
+    let mut r = SplitMix64::new(cfg.seed ^ 0xD8_1B_70_05);
+    let n = cfg.records;
+
+    // Deterministic slots for planted records, spread over the file.
+    // Slots must be pairwise distinct or one plant would absorb another;
+    // claim them in priority order, shifting on clash.
+    let slot = |k: usize, of: usize| -> usize { (n / (of + 1)) * (k + 1) };
+    let mut taken = std::collections::HashSet::new();
+    let mut claim = |mut s: usize| -> usize {
+        while !taken.insert(s % n) {
+            s += 1;
+        }
+        s % n
+    };
+    // Q1: 8 Jim Gray inproceedings, 6 with year 1990.
+    let jim_slots: Vec<usize> = (0..8).map(|k| claim(slot(k, 8))).collect();
+    // Q3: one exact title.
+    let sap_slot = claim(slot(3, 8) + 1);
+    // Q2: 21 www records with editor (+ ~0.9% www without editor below).
+    let www_editor_slots: Vec<usize> = (0..21).map(|k| claim(slot(k, 21) + 2)).collect();
+
+    let mut attr_count = 0u64;
+    for i in 0..n {
+        let mut b;
+        if let Some(k) = jim_slots.iter().position(|&s| s == i) {
+            b = TreeBuilder::new(c.symbols_mut(), "inproceedings");
+            b.attribute("key", &format!("conf/ip/{i}"));
+            attr_count += 1;
+            b.leaf_element("author", "Jim Gray");
+            if r.chance(0.5) {
+                let coauthor = author(&mut r);
+                b.leaf_element("author", &coauthor);
+            }
+            let t = title(&mut r);
+            b.leaf_element("title", &t);
+            b.leaf_element(
+                "booktitle",
+                BOOKTITLES[r.skewed(BOOKTITLES.len() as u64) as usize],
+            );
+            // Exactly 6 of the 8 get year 1990 (Table 3: Q1 = 6).
+            let y = if k < 6 {
+                "1990".to_string()
+            } else {
+                r.range(1991, 1995).to_string()
+            };
+            b.leaf_element("year", &y);
+            b.leaf_element(
+                "pages",
+                &format!("{}-{}", r.range(1, 400), r.range(401, 800)),
+            );
+        } else if i == sap_slot {
+            b = TreeBuilder::new(c.symbols_mut(), "article");
+            b.attribute("key", &format!("journals/a/{i}"));
+            attr_count += 1;
+            let a = author(&mut r);
+            b.leaf_element("author", &a);
+            b.leaf_element("title", "Semantic Analysis Patterns");
+            b.leaf_element(
+                "journal",
+                JOURNALS[r.skewed(JOURNALS.len() as u64) as usize],
+            );
+            b.leaf_element("year", &year(&mut r));
+        } else if let Some(_k) = www_editor_slots.iter().position(|&s| s == i) {
+            b = TreeBuilder::new(c.symbols_mut(), "www");
+            b.attribute("key", &format!("www/e/{i}"));
+            attr_count += 1;
+            let e = author(&mut r);
+            b.leaf_element("editor", &e);
+            b.leaf_element("title", &title(&mut r));
+            b.leaf_element("url", &format!("http://example.org/{i}"));
+        } else {
+            let kind = r.below(100);
+            if kind < 55 {
+                // inproceedings
+                b = TreeBuilder::new(c.symbols_mut(), "inproceedings");
+                b.attribute("key", &format!("conf/x/{i}"));
+                attr_count += 1;
+                let na = r.range(1, 3);
+                for _ in 0..na {
+                    let a = author(&mut r);
+                    // The planted name never appears at random.
+                    debug_assert_ne!(a, "Jim Gray");
+                    b.leaf_element("author", &a);
+                }
+                b.leaf_element("title", &title(&mut r));
+                b.leaf_element(
+                    "booktitle",
+                    BOOKTITLES[r.skewed(BOOKTITLES.len() as u64) as usize],
+                );
+                b.leaf_element("year", &year(&mut r));
+                b.leaf_element(
+                    "pages",
+                    &format!("{}-{}", r.range(1, 400), r.range(401, 800)),
+                );
+                if r.chance(0.4) {
+                    b.leaf_element("url", &format!("db/conf/{i}.html"));
+                }
+            } else if kind < 90 {
+                // article
+                b = TreeBuilder::new(c.symbols_mut(), "article");
+                b.attribute("key", &format!("journals/x/{i}"));
+                attr_count += 1;
+                let na = r.range(1, 4);
+                for _ in 0..na {
+                    let a = author(&mut r);
+                    b.leaf_element("author", &a);
+                }
+                b.leaf_element("title", &title(&mut r));
+                // Editors are frequent outside www records too — the
+                // distribution that forces TwigStackXB to drill down on
+                // Q2 (§6.4.2: "editor and url occurred frequently ...
+                // around the documents with www elements").
+                if r.chance(0.18) {
+                    let e = author(&mut r);
+                    b.leaf_element("editor", &e);
+                }
+                b.leaf_element(
+                    "journal",
+                    JOURNALS[r.skewed(JOURNALS.len() as u64) as usize],
+                );
+                b.leaf_element("volume", &r.range(1, 30).to_string());
+                b.leaf_element("year", &year(&mut r));
+                if r.chance(0.5) {
+                    b.leaf_element("url", &format!("db/journals/{i}.html"));
+                }
+            } else if kind < 99 {
+                // phdthesis / book
+                let root = if kind < 95 { "phdthesis" } else { "book" };
+                b = TreeBuilder::new(c.symbols_mut(), root);
+                b.attribute("key", &format!("{root}/x/{i}"));
+                attr_count += 1;
+                let a = author(&mut r);
+                b.leaf_element("author", &a);
+                let e = author(&mut r);
+                b.leaf_element("editor", &e);
+                b.leaf_element("title", &title(&mut r));
+                b.leaf_element("year", &year(&mut r));
+                b.leaf_element("publisher", "Imaginary Press");
+            } else {
+                // www WITHOUT editor (≈1%): the Q2 pain case — www is
+                // scattered while editor/url are frequent nearby
+                // (§6.4.2).
+                b = TreeBuilder::new(c.symbols_mut(), "www");
+                b.attribute("key", &format!("www/x/{i}"));
+                attr_count += 1;
+                b.leaf_element("title", &title(&mut r));
+                b.leaf_element("url", &format!("http://example.org/x{i}"));
+            }
+        }
+        let tree = b.finish();
+        c.note_source_bytes(40 * tree.len() as u64); // rough serialized size
+        c.add_tree(tree);
+    }
+    c.note_attributes(attr_count);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prix_xml::NodeKind;
+
+    fn count_planted(c: &Collection) -> (usize, usize, usize) {
+        let syms = c.symbols();
+        let jim = syms.lookup("Jim Gray");
+        let sap = syms.lookup("Semantic Analysis Patterns");
+        let editor = syms.lookup("editor");
+        let www = syms.lookup("www");
+        let year90 = syms.lookup("1990");
+        let inproc = syms.lookup("inproceedings");
+        let mut q1 = 0;
+        let mut q3 = 0;
+        let mut q2 = 0;
+        for (_, t) in c.iter() {
+            let root_label = t.label(t.root());
+            // Q1: inproceedings with author "Jim Gray" AND year "1990".
+            if Some(root_label) == inproc {
+                let mut has_jim = false;
+                let mut has_90 = false;
+                for node in t.nodes() {
+                    if Some(t.label(node)) == jim && t.kind(node) == NodeKind::Text {
+                        has_jim = true;
+                    }
+                    if Some(t.label(node)) == year90 && t.kind(node) == NodeKind::Text {
+                        has_90 = true;
+                    }
+                }
+                if has_jim && has_90 {
+                    q1 += 1;
+                }
+            }
+            if Some(root_label) == www {
+                let has_editor = t.nodes().any(|nd| Some(t.label(nd)) == editor);
+                if has_editor {
+                    q2 += 1;
+                }
+            }
+            if t.nodes().any(|nd| Some(t.label(nd)) == sap) {
+                q3 += 1;
+            }
+        }
+        (q1, q2, q3)
+    }
+
+    #[test]
+    fn planted_counts_match_table3() {
+        let c = generate(&DblpConfig {
+            records: 1000,
+            seed: 11,
+        });
+        let (q1, q2, q3) = count_planted(&c);
+        assert_eq!(q1, 6, "Q1 = 6 twig matches");
+        assert_eq!(q2, 21, "Q2 = 21 www-with-editor records");
+        assert_eq!(q3, 1, "Q3 = 1 exact title");
+    }
+
+    #[test]
+    fn planted_counts_are_scale_invariant() {
+        for records in [500, 2000] {
+            let c = generate(&DblpConfig { records, seed: 3 });
+            let (q1, q2, q3) = count_planted(&c);
+            assert_eq!((q1, q2, q3), (6, 21, 1), "at {records} records");
+        }
+    }
+
+    #[test]
+    fn records_are_shallow_and_similar() {
+        let c = generate(&DblpConfig {
+            records: 500,
+            seed: 5,
+        });
+        assert_eq!(c.len(), 500);
+        let s = c.stats();
+        assert!(
+            s.max_depth <= 4,
+            "record trees are shallow (got {})",
+            s.max_depth
+        );
+        assert!(s.attributes >= 500, "every record has a key attribute");
+    }
+
+    #[test]
+    fn author_ordering_supports_ordered_q1() {
+        // In every planted record, the Jim Gray author precedes the year
+        // element (ordered twig matching needs document order to agree
+        // with the query's branch order).
+        let c = generate(&DblpConfig {
+            records: 800,
+            seed: 9,
+        });
+        let syms = c.symbols();
+        let jim = syms.lookup("Jim Gray").unwrap();
+        let year90 = syms.lookup("1990").unwrap();
+        for (_, t) in c.iter() {
+            let jim_pos = t
+                .nodes()
+                .find(|&n| t.label(n) == jim)
+                .map(|n| t.postorder(n));
+            let y_pos = t
+                .nodes()
+                .find(|&n| t.label(n) == year90)
+                .map(|n| t.postorder(n));
+            if let (Some(j), Some(y)) = (jim_pos, y_pos) {
+                assert!(j < y, "author before year in postorder");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The paper's query workload (Table 3).
+
+use crate::Dataset;
+
+/// One of the paper's nine XPath queries.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperQuery {
+    /// Identifier, `"Q1"` .. `"Q9"`.
+    pub id: &'static str,
+    /// XPath text, exactly as in Table 3.
+    pub xpath: &'static str,
+    /// Dataset the query targets.
+    pub dataset: Dataset,
+    /// Twig-match count the paper reports (and the generators plant).
+    pub expected_matches: u64,
+    /// Whether the query contains value predicates (drives the §5.6
+    /// RPIndex/EPIndex routing).
+    pub has_values: bool,
+}
+
+/// Table 3, verbatim.
+pub fn paper_queries() -> Vec<PaperQuery> {
+    vec![
+        PaperQuery {
+            id: "Q1",
+            xpath: r#"//inproceedings[./author="Jim Gray"][./year="1990"]"#,
+            dataset: Dataset::Dblp,
+            expected_matches: 6,
+            has_values: true,
+        },
+        PaperQuery {
+            id: "Q2",
+            xpath: "//www[./editor]/url",
+            dataset: Dataset::Dblp,
+            expected_matches: 21,
+            has_values: false,
+        },
+        PaperQuery {
+            id: "Q3",
+            xpath: r#"//title[text()="Semantic Analysis Patterns"]"#,
+            dataset: Dataset::Dblp,
+            expected_matches: 1,
+            has_values: true,
+        },
+        PaperQuery {
+            id: "Q4",
+            xpath: r#"//Entry[./Keyword="Rhizomelic"]"#,
+            dataset: Dataset::Swissprot,
+            expected_matches: 3,
+            has_values: true,
+        },
+        PaperQuery {
+            id: "Q5",
+            xpath: r#"//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]"#,
+            dataset: Dataset::Swissprot,
+            expected_matches: 5,
+            has_values: true,
+        },
+        PaperQuery {
+            id: "Q6",
+            xpath: r#"//Entry[./Org="Piroplasmida"][.//Author]//from"#,
+            dataset: Dataset::Swissprot,
+            expected_matches: 158,
+            has_values: true,
+        },
+        PaperQuery {
+            id: "Q7",
+            xpath: "//S//NP/SYM",
+            dataset: Dataset::Treebank,
+            expected_matches: 9,
+            has_values: false,
+        },
+        PaperQuery {
+            id: "Q8",
+            xpath: "//NP[./RBR_OR_JJR]/PP",
+            dataset: Dataset::Treebank,
+            expected_matches: 1,
+            has_values: false,
+        },
+        PaperQuery {
+            id: "Q9",
+            xpath: "//NP/PP/NP[./NNS_OR_NN][./NN]",
+            dataset: Dataset::Treebank,
+            expected_matches: 6,
+            has_values: false,
+        },
+    ]
+}
+
+/// The queries that target one dataset.
+pub fn queries_for(dataset: Dataset) -> Vec<PaperQuery> {
+    paper_queries()
+        .into_iter()
+        .filter(|q| q.dataset == dataset)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_queries_three_per_dataset() {
+        let qs = paper_queries();
+        assert_eq!(qs.len(), 9);
+        for ds in Dataset::all() {
+            assert_eq!(queries_for(ds).len(), 3, "{ds}");
+        }
+    }
+
+    #[test]
+    fn expected_counts_match_table3() {
+        let counts: Vec<u64> = paper_queries().iter().map(|q| q.expected_matches).collect();
+        assert_eq!(counts, vec![6, 21, 1, 3, 5, 158, 9, 1, 6]);
+    }
+
+    #[test]
+    fn value_flags() {
+        let qs = paper_queries();
+        let with_values: Vec<&str> = qs.iter().filter(|q| q.has_values).map(|q| q.id).collect();
+        assert_eq!(with_values, vec!["Q1", "Q3", "Q4", "Q5", "Q6"]);
+    }
+}

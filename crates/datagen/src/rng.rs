@@ -1,0 +1,126 @@
+//! Deterministic pseudo-random numbers for reproducible datasets.
+//!
+//! A SplitMix64 generator: tiny, fast, and stable across platforms and
+//! crate versions — dataset bytes never change under dependency bumps,
+//! which keeps the planted Table 3 match counts exact.
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift rejection-free mapping (slight bias is fine for
+        // synthetic data).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 <= p
+    }
+
+    /// Picks an element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Zipf-ish skewed index in `[0, n)`: low indexes are much more
+    /// likely (square-of-uniform skew; cheap and adequate for tag/value
+    /// frequency skew).
+    pub fn skewed(&mut self, n: u64) -> u64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        ((u * u) * n as f64) as u64
+    }
+
+    /// Random lowercase "encrypted" token of the given length (used for
+    /// TREEBANK's encrypted values).
+    pub fn token(&mut self, len: usize) -> String {
+        (0..len)
+            .map(|_| (b'a' + self.below(26) as u8) as char)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut r = SplitMix64::new(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(r.range(5, 7) - 5) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn skewed_prefers_low_indexes() {
+        let mut r = SplitMix64::new(4);
+        let mut low = 0;
+        for _ in 0..1000 {
+            if r.skewed(100) < 25 {
+                low += 1;
+            }
+        }
+        assert!(low > 400, "square-skew puts >40% below the first quartile");
+    }
+
+    #[test]
+    fn token_shape() {
+        let mut r = SplitMix64::new(5);
+        let t = r.token(8);
+        assert_eq!(t.len(), 8);
+        assert!(t.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+}

@@ -1,0 +1,312 @@
+//! SWISSPROT-like protein-entry generator.
+//!
+//! Characteristics reproduced from Table 2 / §6.2: 50 000 *bushy and
+//! shallow* document trees with a very high attribute count (≈ 2.2M
+//! attributes vs 3.0M elements in the paper).
+//!
+//! Planted query answers (Table 3):
+//! * Q4 `//Entry[./Keyword="Rhizomelic"]` → **3**
+//! * Q5 `//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]` → **5**
+//! * Q6 `//Entry[./Org="Piroplasmida"][.//Author]//from` → **158**
+//!
+//! Q6's 158 occurrences are *embeddings*: ten planted entries whose
+//! (#Author × #from) products sum to exactly 158 (9 × 16 + 1 × 14).
+//! Entries carrying `Piroplasmida` are scattered and surrounded by
+//! entries rich in `Author`/`from` tags, recreating the distribution
+//! that forces TwigStackXB to drill down (§6.4.2).
+
+use prix_xml::{Collection, TreeBuilder};
+
+use crate::rng::SplitMix64;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct SwissprotConfig {
+    /// Number of Entry documents.
+    pub entries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SwissprotConfig {
+    /// `scale = 1.0` ≈ 4000 entries (the paper used 50 000).
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        SwissprotConfig {
+            entries: ((4000.0 * scale) as usize).max(300),
+            seed,
+        }
+    }
+}
+
+const ORGS: &[&str] = &[
+    "Eukaryota",
+    "Metazoa",
+    "Chordata",
+    "Mammalia",
+    "Primates",
+    "Hominidae",
+    "Rodentia",
+    "Bacteria",
+    "Proteobacteria",
+    "Firmicutes",
+    "Fungi",
+    "Viridiplantae",
+];
+const KEYWORDS: &[&str] = &[
+    "Hydrolase",
+    "Transferase",
+    "Kinase",
+    "Membrane",
+    "Transmembrane",
+    "Signal",
+    "Repeat",
+    "Zinc-finger",
+    "DNA-binding",
+    "Transport",
+    "Glycoprotein",
+    "Phosphorylation",
+];
+const AUTHORS: &[&str] = &[
+    "Smith J",
+    "Brown T",
+    "Chen L",
+    "Garcia M",
+    "Kim S",
+    "Patel R",
+    "Nguyen H",
+    "Sato K",
+    "Ivanov P",
+    "Rossi G",
+    "Dubois C",
+    "Hansen E",
+    "Kowalski A",
+    "Novak J",
+    "Silva P",
+];
+const FEATURES: &[&str] = &[
+    "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "BINDING", "ACT_SITE",
+];
+
+/// Generates the collection.
+pub fn generate(cfg: &SwissprotConfig) -> Collection {
+    assert!(
+        cfg.entries >= 300,
+        "SWISSPROT generator needs >= 300 entries"
+    );
+    let mut c = Collection::new();
+    let mut r = SplitMix64::new(cfg.seed ^ 0x0005_7155);
+    let n = cfg.entries;
+
+    let slot = |k: usize, of: usize| -> usize { (n / (of + 1)) * (k + 1) };
+    // Planted slots must be pairwise distinct (a collision would skew a
+    // planted count): claim them in priority order, shifting on clash.
+    let mut taken = std::collections::HashSet::new();
+    let mut claim = |mut s: usize| -> usize {
+        while !taken.insert(s % n) {
+            s += 1;
+        }
+        s % n
+    };
+    // Q6: ten scattered Piroplasmida entries; (authors, froms) per entry
+    // chosen so Σ authors × froms = 9*16 + 14 = 158.
+    let piro_slots: Vec<usize> = (0..10).map(|k| claim(slot(k, 10) + 2)).collect();
+    // Q4: three entries with the rare keyword.
+    let rhizo_slots: Vec<usize> = (0..3).map(|k| claim(slot(k, 3))).collect();
+    // Q5: five entries with the double-author Ref.
+    let mueller_slots: Vec<usize> = (0..5).map(|k| claim(slot(k, 5) + 1)).collect();
+    let piro_shape = |k: usize| -> (u64, u64) {
+        if k < 9 {
+            (4, 4)
+        } else {
+            (7, 2)
+        }
+    };
+
+    let mut attr_count = 0u64;
+    for i in 0..n {
+        let mut b = TreeBuilder::new(c.symbols_mut(), "Entry");
+        // Attribute-heavy header (SWISSPROT's hallmark).
+        b.attribute("id", &format!("P{:05}", i));
+        b.attribute(
+            "class",
+            if r.chance(0.8) {
+                "STANDARD"
+            } else {
+                "PRELIMINARY"
+            },
+        );
+        b.attribute("mtype", "PRT");
+        b.attribute("seqlen", &r.range(60, 4000).to_string());
+        attr_count += 4;
+        b.leaf_element("AC", &format!("Q{:05}", r.below(100_000)));
+        b.leaf_element(
+            "Mod",
+            &format!(
+                "{:02}-{:02}-199{}",
+                r.range(1, 28),
+                r.range(1, 12),
+                r.below(10)
+            ),
+        );
+        b.leaf_element("Descr", "HYPOTHETICAL PROTEIN");
+        b.leaf_element("Species", "Generic species");
+
+        // Org lineage (1-4 entries, ordered general -> specific).
+        let piro = piro_slots.iter().position(|&s| s == i);
+        if piro.is_some() {
+            b.leaf_element("Org", "Piroplasmida");
+        } else {
+            let norgs = r.range(1, 4);
+            for _ in 0..norgs {
+                b.leaf_element("Org", ORGS[r.skewed(ORGS.len() as u64) as usize]);
+            }
+        }
+
+        // Keywords.
+        if rhizo_slots.contains(&i) {
+            b.leaf_element("Keyword", "Rhizomelic");
+        }
+        let nkw = r.below(4);
+        for _ in 0..nkw {
+            b.leaf_element(
+                "Keyword",
+                KEYWORDS[r.skewed(KEYWORDS.len() as u64) as usize],
+            );
+        }
+
+        // References with authors (bushy!).
+        if mueller_slots.contains(&i) {
+            b.start_element("Ref");
+            b.leaf_element("Author", "Mueller P");
+            b.leaf_element("Author", "Keller M");
+            b.leaf_element("Cite", "Planted reference");
+            b.end_element();
+        }
+        let (nref, nauth_each) = if let Some(k) = piro.map(piro_shape) {
+            (1u64, k.0)
+        } else {
+            (r.range(1, 4), r.range(1, 5))
+        };
+        for _ in 0..nref {
+            b.start_element("Ref");
+            for _ in 0..nauth_each {
+                b.leaf_element("Author", AUTHORS[r.skewed(AUTHORS.len() as u64) as usize]);
+            }
+            b.leaf_element(
+                "Cite",
+                &format!("J. Mol. Biol. {}:{}", r.range(100, 300), r.range(1, 999)),
+            );
+            b.end_element();
+        }
+
+        // Features with from/to spans — `from` comes after all Refs so
+        // ordered Q6 embeddings count every (Author, from) pair.
+        let nfrom = if let Some(k) = piro.map(piro_shape) {
+            k.1
+        } else {
+            r.range(0, 5)
+        };
+        for _ in 0..nfrom {
+            b.start_element("Features");
+            b.leaf_element("FtKey", FEATURES[r.skewed(FEATURES.len() as u64) as usize]);
+            let lo = r.range(1, 500);
+            b.leaf_element("from", &lo.to_string());
+            b.leaf_element("to", &(lo + r.range(1, 200)).to_string());
+            b.end_element();
+        }
+
+        let tree = b.finish();
+        c.note_source_bytes(35 * tree.len() as u64);
+        c.add_tree(tree);
+    }
+    c.note_attributes(attr_count);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prix_xml::NodeKind;
+
+    #[test]
+    fn planted_counts_match_table3() {
+        let c = generate(&SwissprotConfig {
+            entries: 600,
+            seed: 21,
+        });
+        let syms = c.symbols();
+        let rhizo = syms.lookup("Rhizomelic").unwrap();
+        let mueller = syms.lookup("Mueller P").unwrap();
+        let keller = syms.lookup("Keller M").unwrap();
+        let piro = syms.lookup("Piroplasmida").unwrap();
+        let author = syms.lookup("Author").unwrap();
+        let from = syms.lookup("from").unwrap();
+
+        let mut q4 = 0usize;
+        let mut q5 = 0usize;
+        let mut q6_embeddings = 0usize;
+        for (_, t) in c.iter() {
+            if t.nodes().any(|nd| t.label(nd) == rhizo) {
+                q4 += 1;
+            }
+            // Q5: a Ref containing both planted authors in order.
+            let has_pair = t.nodes().any(|nd| {
+                t.label(nd) == mueller && t.kind(nd) == NodeKind::Text && {
+                    // sibling Ref also holds Keller M
+                    let ref_node = t.parent(t.parent(nd).unwrap()).unwrap();
+                    t.children(ref_node)
+                        .iter()
+                        .any(|&a| t.children(a).first().is_some_and(|&v| t.label(v) == keller))
+                }
+            });
+            if has_pair {
+                q5 += 1;
+            }
+            if t.nodes().any(|nd| t.label(nd) == piro) {
+                let n_auth = t.nodes().filter(|&nd| t.label(nd) == author).count();
+                let n_from = t.nodes().filter(|&nd| t.label(nd) == from).count();
+                q6_embeddings += n_auth * n_from;
+            }
+        }
+        assert_eq!(q4, 3, "Q4 = 3");
+        assert_eq!(q5, 5, "Q5 = 5");
+        assert_eq!(q6_embeddings, 158, "Q6 = 158 embeddings");
+    }
+
+    #[test]
+    fn entries_are_bushy_and_attribute_heavy() {
+        let c = generate(&SwissprotConfig {
+            entries: 400,
+            seed: 2,
+        });
+        let s = c.stats();
+        assert_eq!(s.sequences, 400);
+        assert!(s.max_depth <= 5, "shallow (got {})", s.max_depth);
+        assert!(s.attributes >= 1600, "4 attributes per entry");
+        // Bushy: average fanout of the root is large.
+        let avg_children: f64 = c
+            .iter()
+            .map(|(_, t)| t.children(t.root()).len() as f64)
+            .sum::<f64>()
+            / c.len() as f64;
+        assert!(avg_children >= 8.0, "bushy entries (got {avg_children:.1})");
+    }
+
+    #[test]
+    fn piroplasmida_is_scattered() {
+        let c = generate(&SwissprotConfig {
+            entries: 500,
+            seed: 8,
+        });
+        let syms = c.symbols();
+        let piro = syms.lookup("Piroplasmida").unwrap();
+        let docs: Vec<u32> = c
+            .iter()
+            .filter(|(_, t)| t.nodes().any(|nd| t.label(nd) == piro))
+            .map(|(d, _)| d)
+            .collect();
+        assert_eq!(docs.len(), 10);
+        // Scattered: no two planted entries are adjacent.
+        assert!(docs.windows(2).all(|w| w[1] - w[0] > 5));
+    }
+}

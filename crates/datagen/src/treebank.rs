@@ -1,0 +1,315 @@
+//! TREEBANK-like parse-tree generator.
+//!
+//! Characteristics reproduced from Table 2 / §6.2: *skinny and deep*
+//! document trees (max depth ≈ 36) with deep recursion of element names
+//! (NP/VP/PP chains) and encrypted values (random tokens standing in
+//! for the paper's encrypted character data).
+//!
+//! Planted query answers (Table 3):
+//! * Q7 `//S//NP/SYM` → **9**
+//! * Q8 `//NP[./RBR_OR_JJR]/PP` → **1**
+//! * Q9 `//NP/PP/NP[./NNS_OR_NN][./NN]` → **6**
+//!
+//! Q8's distribution is the paper's §6.4.2 showcase: dozens of *near
+//! misses* — sentences where `NP` is an ancestor but **not** the parent
+//! of `RBR_OR_JJR` and `PP` — are scattered through the collection.
+//! TwigStack's stack phase accepts them (its parent-child
+//! sub-optimality) and discards them only during merge; PRIX prunes
+//! them during subsequence matching because `MaxGap(RBR_OR_JJR) = 0`
+//! (it always has exactly one child, its token).
+
+use prix_xml::{Collection, TreeBuilder};
+
+use crate::rng::SplitMix64;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// Number of sentences (documents).
+    pub sentences: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Deepest recursion budget (paper: max depth 36).
+    pub max_depth: usize,
+    /// Number of Q8 near-miss sentences to scatter.
+    pub near_misses: usize,
+}
+
+impl TreebankConfig {
+    /// `scale = 1.0` ≈ 3000 sentences (the paper used 56 385).
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        TreebankConfig {
+            sentences: ((3000.0 * scale) as usize).max(300),
+            seed,
+            max_depth: 33,
+            near_misses: ((60.0 * scale) as usize).max(20),
+        }
+    }
+}
+
+/// Generates the collection.
+pub fn generate(cfg: &TreebankConfig) -> Collection {
+    assert!(
+        cfg.sentences >= 300,
+        "TREEBANK generator needs >= 300 sentences"
+    );
+    let mut c = Collection::new();
+    let mut r = SplitMix64::new(cfg.seed ^ 0x7EE_BA0C);
+    let n = cfg.sentences;
+
+    let slot = |k: usize, of: usize| -> usize { (n / (of + 1)) * (k + 1) };
+    let mut taken = std::collections::HashSet::new();
+    let mut claim = |mut s: usize| -> usize {
+        while !taken.insert(s % n) {
+            s += 1;
+        }
+        s % n
+    };
+    let q7_slots: Vec<usize> = (0..9).map(|k| claim(slot(k, 9))).collect();
+    let q8_slot = claim(slot(4, 9) + 1);
+    let q9_slots: Vec<usize> = (0..6).map(|k| claim(slot(k, 6) + 2)).collect();
+    let near_miss_slots: Vec<usize> = (0..cfg.near_misses)
+        .map(|k| claim(slot(k, cfg.near_misses) + 3))
+        .collect();
+
+    for i in 0..n {
+        let mut b = TreeBuilder::new(c.symbols_mut(), "S");
+        // Depth budget: mostly shallow-ish, a tail of deep recursions.
+        let budget = if r.chance(0.12) {
+            cfg.max_depth
+        } else {
+            r.range(4, 14) as usize
+        };
+
+        // Leading noun phrase, possibly deeply recursive.
+        gen_np(&mut b, &mut r, budget);
+
+        // Plants hang off dedicated phrases so their structure is exact.
+        if let Some(_k) = q7_slots.iter().position(|&s| s == i) {
+            // //S//NP/SYM: an NP (below VP, so "//" is exercised) with a
+            // SYM child. Exactly one S ancestor exists (the root).
+            b.start_element("VP");
+            b.start_element("NP");
+            let t = r.token(6);
+            b.leaf_element("SYM", &t);
+            let t2 = r.token(5);
+            b.leaf_element("NN", &t2);
+            b.end_element();
+            b.end_element();
+        } else if i == q8_slot {
+            // //NP[./RBR_OR_JJR]/PP: the one real occurrence.
+            b.start_element("VP");
+            b.start_element("NP");
+            let t = r.token(6);
+            b.leaf_element("RBR_OR_JJR", &t);
+            b.start_element("PP");
+            let t2 = r.token(4);
+            b.leaf_element("IN", &t2);
+            let t3 = r.token(5);
+            b.leaf_element("NN", &t3);
+            b.end_element();
+            b.end_element();
+            b.end_element();
+        } else if q9_slots.contains(&i) {
+            // //NP/PP/NP[./NNS_OR_NN][./NN].
+            b.start_element("VP");
+            b.start_element("NP");
+            b.start_element("PP");
+            let t = r.token(4);
+            b.leaf_element("IN", &t);
+            b.start_element("NP");
+            let t2 = r.token(5);
+            b.leaf_element("NNS_OR_NN", &t2);
+            let t3 = r.token(5);
+            b.leaf_element("NN", &t3);
+            b.end_element();
+            b.end_element();
+            b.end_element();
+            b.end_element();
+        } else if near_miss_slots.contains(&i) {
+            // Q8 near miss: NP is an ancestor but not the parent of both
+            // RBR_OR_JJR and PP.
+            b.start_element("VP");
+            b.start_element("NP");
+            b.start_element("ADJP");
+            let t = r.token(6);
+            b.leaf_element("RBR_OR_JJR", &t);
+            b.end_element();
+            b.start_element("VPX");
+            b.start_element("PP");
+            let t2 = r.token(4);
+            b.leaf_element("IN", &t2);
+            let t3 = r.token(5);
+            b.leaf_element("NN", &t3);
+            b.end_element();
+            b.end_element();
+            b.end_element();
+            b.end_element();
+        } else {
+            // Ordinary verb phrase, with occasional SYM distractors that
+            // are *not* under NP.
+            b.start_element("VP");
+            let t = r.token(5);
+            b.leaf_element("VB", &t);
+            if r.chance(0.15) {
+                let t = r.token(6);
+                b.leaf_element("SYM", &t);
+            }
+            if r.chance(0.5) {
+                gen_np(&mut b, &mut r, budget.saturating_sub(2).max(2));
+            }
+            b.end_element();
+        }
+
+        let tree = b.finish();
+        c.note_source_bytes(30 * tree.len() as u64);
+        c.add_tree(tree);
+    }
+    c
+}
+
+/// Generates a (possibly deeply recursive) noun phrase. Never emits
+/// SYM, RBR_OR_JJR, or NNS_OR_NN — those tags belong to plants.
+fn gen_np(b: &mut TreeBuilder<'_>, r: &mut SplitMix64, budget: usize) {
+    b.start_element("NP");
+    // Recursion is forced while the budget is generous (that is what
+    // makes the deep-budget sentences actually reach depth ~36) and
+    // geometric once it runs low.
+    if budget > 3 && (budget > 6 || r.chance(0.72)) {
+        // Skinny recursion: NP -> NP (PP?).
+        gen_np(b, r, budget - 1);
+        if budget > 5 && r.chance(0.25) {
+            b.start_element("PP");
+            let t = r.token(4);
+            b.leaf_element("IN", &t);
+            // PP -> IN NP(flat): keep the inner NP free of NNS_OR_NN.
+            b.start_element("NP");
+            let t2 = r.token(5);
+            b.leaf_element("NN", &t2);
+            b.end_element();
+            b.end_element();
+        }
+    } else {
+        if r.chance(0.6) {
+            let t = r.token(3);
+            b.leaf_element("DT", &t);
+        }
+        if r.chance(0.3) {
+            let t = r.token(6);
+            b.leaf_element("JJ", &t);
+        }
+        let t = r.token(5);
+        b.leaf_element("NN", &t);
+    }
+    b.end_element();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(sentences: usize, seed: u64) -> TreebankConfig {
+        TreebankConfig {
+            sentences,
+            seed,
+            max_depth: 33,
+            near_misses: 25,
+        }
+    }
+
+    #[test]
+    fn q7_plants_are_exact() {
+        let c = generate(&cfg(600, 17));
+        let syms = c.symbols();
+        let sym = syms.lookup("SYM").unwrap();
+        let np = syms.lookup("NP").unwrap();
+        let mut sym_under_np = 0;
+        for (_, t) in c.iter() {
+            for node in t.nodes() {
+                if t.label(node) == sym {
+                    let parent = t.parent(node).unwrap();
+                    if t.label(parent) == np {
+                        sym_under_np += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(sym_under_np, 9, "Q7 = 9");
+    }
+
+    #[test]
+    fn q8_has_one_real_occurrence_and_many_near_misses() {
+        let c = generate(&cfg(600, 17));
+        let syms = c.symbols();
+        let rbr = syms.lookup("RBR_OR_JJR").unwrap();
+        let np = syms.lookup("NP").unwrap();
+        let pp = syms.lookup("PP").unwrap();
+        let mut real = 0;
+        let mut docs_with_rbr = 0;
+        for (_, t) in c.iter() {
+            if t.nodes().any(|n| t.label(n) == rbr) {
+                docs_with_rbr += 1;
+            }
+            for node in t.nodes() {
+                if t.label(node) != np {
+                    continue;
+                }
+                let kids = t.children(node);
+                let rbr_pos = kids.iter().position(|&k| t.label(k) == rbr);
+                let pp_pos = kids.iter().position(|&k| t.label(k) == pp);
+                if let (Some(a), Some(b)) = (rbr_pos, pp_pos) {
+                    if a < b {
+                        real += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(real, 1, "Q8 = 1");
+        assert!(
+            docs_with_rbr >= 20,
+            "near misses are scattered (got {docs_with_rbr})"
+        );
+    }
+
+    #[test]
+    fn q9_plants_are_exact() {
+        let c = generate(&cfg(600, 17));
+        let syms = c.symbols();
+        let nns = syms.lookup("NNS_OR_NN").unwrap();
+        // NNS_OR_NN appears only in plants, once per plant.
+        let count: usize = c
+            .iter()
+            .map(|(_, t)| t.nodes().filter(|&n| t.label(n) == nns).count())
+            .sum();
+        assert_eq!(count, 6, "Q9 = 6");
+    }
+
+    #[test]
+    fn trees_are_deep_and_skinny() {
+        let c = generate(&cfg(800, 4));
+        let max_depth = c.iter().map(|(_, t)| t.max_depth()).max().unwrap();
+        assert!(max_depth >= 30, "deep recursion (got {max_depth})");
+        // Skinny: average fanout close to 1-2.
+        let (nodes, leaves): (usize, usize) = c
+            .iter()
+            .fold((0, 0), |(n, l), (_, t)| (n + t.len(), l + t.leaves().len()));
+        let fanout = nodes as f64 / (nodes - leaves) as f64;
+        assert!(fanout < 3.0, "skinny trees (avg fanout {fanout:.2})");
+    }
+
+    #[test]
+    fn maxgap_of_rbr_is_zero() {
+        // RBR_OR_JJR always has exactly one child (its token), the
+        // property §6.4.2 exploits.
+        let c = generate(&cfg(600, 9));
+        let syms = c.symbols();
+        let rbr = syms.lookup("RBR_OR_JJR").unwrap();
+        for (_, t) in c.iter() {
+            for node in t.nodes() {
+                if t.label(node) == rbr {
+                    assert_eq!(t.children(node).len(), 1);
+                }
+            }
+        }
+    }
+}

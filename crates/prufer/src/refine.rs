@@ -1,0 +1,559 @@
+//! Refinement predicates (paper §4.2–§4.5, Algorithm 2).
+//!
+//! After the filtering phase produces a candidate subsequence match `S`
+//! (positions into a document's LPS), the match survives only if it
+//! passes, in order:
+//!
+//! 1. **Connectedness** (Theorem 2): the data nodes behind the matched
+//!    positions form a tree. At every position `i` holding the *last*
+//!    occurrence of a postorder value `Nᵢ`, the next value `Nᵢ₊₁` must be
+//!    the parent of node `Nᵢ` in the document — or, for wildcard query
+//!    edges (§4.5), reachable from it by climbing the parent chain.
+//! 2. **Gap consistency** (Definition 3): adjacent postorder gaps have
+//!    equal signs and the query gap never exceeds the data gap.
+//! 3. **Frequency consistency** (Definition 4): equal values occur at
+//!    identical position sets in the query NPS and the matched data
+//!    values.
+//! 4. **Leaf matching** (§4.4): query leaf labels are verified against
+//!    the document's leaf list (or its LPS/NPS for internal matches).
+//!    Skipped for Extended-Prüfer matches (§5.6), where every label
+//!    already participates in filtering.
+//!
+//! Positions are 1-based throughout, matching the paper: position `p`
+//! in an LPS corresponds to the deletion of the data node with postorder
+//! number `p` (Lemma 1).
+
+use prix_xml::{PostNum, Sym};
+
+/// Structural constraint on a query node's edge to its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// `/` — the node's parent in the data is the image of the query
+    /// parent (one edge).
+    Child,
+    /// `//` — the image of the query parent is reachable by one or more
+    /// edges.
+    Descendant,
+    /// `*` chains — exactly `k` edges (`A/*/B` gives `Exactly(2)` on B,
+    /// per the paper's "we simply test whether the match is found at
+    /// i = 2", §4.5).
+    Exactly(u32),
+}
+
+/// Everything the refinement phases need to judge one candidate match.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineCtx<'a> {
+    /// NPS of the document: `doc_nps[k - 1]` = parent of data node `k`.
+    pub doc_nps: &'a [PostNum],
+    /// NPS of the query twig.
+    pub query_nps: &'a [PostNum],
+    /// Match positions `S` (1-based into the document LPS), one per
+    /// query LPS element.
+    pub positions: &'a [PostNum],
+    /// `edges[q - 1]` = edge kind of query node `q` toward its parent.
+    pub edges: &'a [EdgeKind],
+    /// Query leaf list `(label, postorder)`.
+    pub query_leaves: &'a [(Sym, PostNum)],
+    /// Document leaf list, sorted by postorder.
+    pub doc_leaves: &'a [(Sym, PostNum)],
+    /// Document LPS (for verifying labels of internal data nodes during
+    /// leaf matching).
+    pub doc_lps: &'a [Sym],
+    /// `true` for Extended-Prüfer matches: leaf matching is unnecessary
+    /// because every label already took part in subsequence matching.
+    pub skip_leaf_check: bool,
+}
+
+/// Parent of data node `k` (`None` for the root).
+#[inline]
+fn parent_of(doc_nps: &[PostNum], k: PostNum) -> Option<PostNum> {
+    doc_nps.get((k - 1) as usize).copied()
+}
+
+/// Refinement by connectedness (Theorem 2), with the wildcard
+/// relaxations of §4.5.
+///
+/// At a last-occurrence position `i` (1-based), the verified edge is the
+/// one from query node `i + 1` to its parent (by Lemma 1 applied to the
+/// query, the node deleted next is the parent whose occurrences just
+/// ended).
+pub fn check_connectedness(ctx: &RefineCtx<'_>) -> bool {
+    let s = ctx.positions;
+    let n: Vec<PostNum> = s.iter().map(|&p| ctx.doc_nps[(p - 1) as usize]).collect();
+    let max_n = *n.iter().max().expect("positions must be non-empty");
+    for i in 0..n.len() {
+        if n[i] == max_n {
+            continue;
+        }
+        if n[i + 1..].contains(&n[i]) {
+            continue; // not the last occurrence
+        }
+        // Last occurrence of n[i], and it is not the subtree root of the
+        // match: the next element must be (or lead to) its parent.
+        let Some(&target) = n.get(i + 1) else {
+            return false; // nothing follows a non-max value: disconnected
+        };
+        // Edge being verified: query node (i + 2) in 1-based numbering
+        // would be wrong — the node deleted at query step i+1 (0-based i)
+        // is query node i+1, whose deletion marks its own subtree
+        // complete; the edge climbed belongs to query node i + 2?  No:
+        // by Lemma 1 on the query, if position index i (0-based) holds
+        // the last occurrence of value p = N_Q[i], then the node deleted
+        // at the next step is p itself, i.e. p = i + 2 in 1-based terms.
+        // The climb from n[i] to n[i+1] therefore verifies the edge of
+        // query node p = i + 2 ... except p is exactly the query node
+        // whose image is n[i]; its edge index is p - 1 = i + 1.
+        let edge = ctx.edges.get(i + 1).copied().unwrap_or(EdgeKind::Child);
+        if !climb_matches(ctx.doc_nps, n[i], target, edge) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does climbing the parent chain from `from` reach `target` under the
+/// edge constraint?
+fn climb_matches(doc_nps: &[PostNum], from: PostNum, target: PostNum, edge: EdgeKind) -> bool {
+    match edge {
+        EdgeKind::Child => parent_of(doc_nps, from) == Some(target),
+        EdgeKind::Descendant => {
+            let mut cur = from;
+            loop {
+                match parent_of(doc_nps, cur) {
+                    Some(p) if p == target => return true,
+                    // Parents have strictly larger postorder numbers, so
+                    // overshooting means the target is not an ancestor.
+                    Some(p) if p > target => return false,
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+            }
+        }
+        EdgeKind::Exactly(k) => {
+            let mut cur = from;
+            for _ in 0..k {
+                match parent_of(doc_nps, cur) {
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+            }
+            cur == target
+        }
+    }
+}
+
+/// Refinement by structure, part 1: gap consistency (Definition 3,
+/// Algorithm 2 lines 5–11).
+pub fn check_gap_consistency(ctx: &RefineCtx<'_>) -> bool {
+    let s = ctx.positions;
+    for i in 0..s.len().saturating_sub(1) {
+        let data_gap =
+            ctx.doc_nps[(s[i] - 1) as usize] as i64 - ctx.doc_nps[(s[i + 1] - 1) as usize] as i64;
+        let query_gap = ctx.query_nps[i] as i64 - ctx.query_nps[i + 1] as i64;
+        if (data_gap == 0) != (query_gap == 0) {
+            return false;
+        }
+        if data_gap * query_gap < 0 {
+            return false;
+        }
+        if query_gap.abs() > data_gap.abs() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Refinement by structure, part 2: frequency consistency
+/// (Definition 4). Implements the full *iff* — equal values must occur
+/// at identical position sets in both sequences — via first-occurrence
+/// fingerprints.
+pub fn check_frequency_consistency(ctx: &RefineCtx<'_>) -> bool {
+    let s = ctx.positions;
+    let len = s.len();
+    debug_assert_eq!(ctx.query_nps.len(), len);
+    // first_q[i] = first index holding the same value as query_nps[i];
+    // likewise for the matched data values. The sequences are frequency
+    // consistent iff the fingerprints agree elementwise.
+    let mut first_q: Vec<usize> = Vec::with_capacity(len);
+    let mut first_d: Vec<usize> = Vec::with_capacity(len);
+    let mut seen_q: std::collections::HashMap<PostNum, usize> = std::collections::HashMap::new();
+    let mut seen_d: std::collections::HashMap<PostNum, usize> = std::collections::HashMap::new();
+    for i in 0..len {
+        let q = ctx.query_nps[i];
+        let d = ctx.doc_nps[(s[i] - 1) as usize];
+        first_q.push(*seen_q.entry(q).or_insert(i));
+        first_d.push(*seen_d.entry(d).or_insert(i));
+        if first_q[i] != first_d[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Refinement by matching leaf nodes (§4.4, Example 6).
+///
+/// A query leaf `(l, q)` maps to data node `d = S_q`. The match holds if
+/// the document's leaf list contains `(l, d)`, or — when `d` is an
+/// internal node — some LPS position records `d` as a parent labeled
+/// `l`.
+pub fn check_leaves(ctx: &RefineCtx<'_>) -> bool {
+    if ctx.skip_leaf_check {
+        return true;
+    }
+    for &(label, q) in ctx.query_leaves {
+        debug_assert!(
+            (q as usize) <= ctx.positions.len(),
+            "a query leaf is never the query root for multi-node queries"
+        );
+        let d = ctx.positions[(q - 1) as usize];
+        // Leaf list is sorted by postorder: binary search.
+        match ctx.doc_leaves.binary_search_by_key(&d, |&(_, p)| p) {
+            Ok(idx) => {
+                if ctx.doc_leaves[idx].0 != label {
+                    return false;
+                }
+            }
+            Err(_) => {
+                // Internal data node: its label appears in the LPS at any
+                // position whose NPS value is d (deletion of a child).
+                let found = ctx
+                    .doc_nps
+                    .iter()
+                    .zip(ctx.doc_lps.iter())
+                    .any(|(&p, &l)| p == d && l == label);
+                if !found {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs all refinement phases in the paper's order (Algorithm 2).
+pub fn refine_match(ctx: &RefineCtx<'_>) -> bool {
+    check_connectedness(ctx)
+        && check_gap_consistency(ctx)
+        && check_frequency_consistency(ctx)
+        && check_leaves(ctx)
+}
+
+/// Computes the embedding (query node → data node, both as postorder
+/// numbers) witnessed by a refined match.
+///
+/// Internal query nodes map through the matched NPS values (all children
+/// of a node agree by frequency consistency); leaves map to their match
+/// positions directly.
+pub fn embedding(
+    query_nps: &[PostNum],
+    positions: &[PostNum],
+    doc_nps: &[PostNum],
+) -> Vec<PostNum> {
+    let m = query_nps.len() + 1;
+    let mut img = vec![0 as PostNum; m];
+    // Pass 1: every parent p = query_nps[j] maps to the data parent of
+    // the match of its child j + 1.
+    for (j, &p) in query_nps.iter().enumerate() {
+        let d = doc_nps[(positions[j] - 1) as usize];
+        img[(p - 1) as usize] = d;
+    }
+    // Pass 2: leaves (never parents) map to their own positions.
+    for q in 1..m {
+        if img[q - 1] == 0 {
+            img[q - 1] = positions[q - 1];
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::PruferSeq;
+    use prix_xml::{parse_document, SymbolTable, XmlTree};
+
+    /// The Figure 2(a) tree (see seq.rs for the derivation).
+    fn figure2() -> (XmlTree, SymbolTable, PruferSeq) {
+        let mut syms = SymbolTable::new();
+        let (a, b, c, d, e, f, g) = (
+            syms.intern("A"),
+            syms.intern("B"),
+            syms.intern("C"),
+            syms.intern("D"),
+            syms.intern("E"),
+            syms.intern("F"),
+            syms.intern("G"),
+        );
+        use prix_xml::NodeKind::Element;
+        let mut t = XmlTree::with_root(a, Element);
+        let root = t.root();
+        t.add_child(root, c, Element); // node 1
+        let n7 = t.add_child(root, b, Element);
+        let n3 = t.add_child(n7, c, Element);
+        t.add_child(n3, d, Element); // 2
+        let n6 = t.add_child(n7, c, Element);
+        t.add_child(n6, d, Element); // 4
+        t.add_child(n6, e, Element); // 5
+        let n9 = t.add_child(root, c, Element);
+        t.add_child(n9, c, Element); // 8
+        let n14 = t.add_child(root, d, Element);
+        let n13 = t.add_child(n14, e, Element);
+        t.add_child(n13, g, Element); // 10
+        t.add_child(n13, f, Element); // 11
+        t.add_child(n13, f, Element); // 12
+        t.seal();
+        let seq = PruferSeq::regular(&t);
+        let _ = (b, f, g);
+        (t, syms, seq)
+    }
+
+    fn all_child_edges(n: usize) -> Vec<EdgeKind> {
+        vec![EdgeKind::Child; n]
+    }
+
+    fn ctx<'a>(
+        doc: &'a PruferSeq,
+        query_nps: &'a [PostNum],
+        positions: &'a [PostNum],
+        edges: &'a [EdgeKind],
+    ) -> RefineCtx<'a> {
+        RefineCtx {
+            doc_nps: &doc.nps,
+            query_nps,
+            positions,
+            edges,
+            query_leaves: &[],
+            doc_leaves: &[],
+            doc_lps: &doc.lps,
+            skip_leaf_check: true,
+        }
+    }
+
+    #[test]
+    fn example3_disconnected_subsequence_fails() {
+        let (_, _, seq) = figure2();
+        // S_A = C B C E D at positions (2,3,8,10,13), N_A = 3 7 9 13 14.
+        let positions = [2, 3, 8, 10, 13];
+        let nvals: Vec<u32> = positions
+            .iter()
+            .map(|&p| seq.nps[(p - 1) as usize])
+            .collect();
+        assert_eq!(nvals, vec![3, 7, 9, 13, 14]);
+        let q_nps = [0u32; 5]; // connectedness ignores the query NPS
+        let edges = all_child_edges(5);
+        assert!(!check_connectedness(&ctx(&seq, &q_nps, &positions, &edges)));
+    }
+
+    #[test]
+    fn example3_connected_subsequence_passes() {
+        let (_, _, seq) = figure2();
+        // S_B = C B A C A E D A at positions (2,3,7,8,9,10,13,14),
+        // N_B = 3 7 15 9 15 13 14 15.
+        let positions = [2, 3, 7, 8, 9, 10, 13, 14];
+        let nvals: Vec<u32> = positions
+            .iter()
+            .map(|&p| seq.nps[(p - 1) as usize])
+            .collect();
+        assert_eq!(nvals, vec![3, 7, 15, 9, 15, 13, 14, 15]);
+        let q_nps = [0u32; 8];
+        let edges = all_child_edges(8);
+        assert!(check_connectedness(&ctx(&seq, &q_nps, &positions, &edges)));
+    }
+
+    #[test]
+    fn example4_gap_consistency() {
+        let (_, _, seq) = figure2();
+        // S1 at positions (6,7,10,11,14): N_S1 = 7 15 13 13 15.
+        let positions = [6u32, 7, 10, 11, 14];
+        let nvals: Vec<u32> = positions
+            .iter()
+            .map(|&p| seq.nps[(p - 1) as usize])
+            .collect();
+        assert_eq!(nvals, vec![7, 15, 13, 13, 15]);
+        // S2 (the query side) has N_S2 = 2 7 6 6 7.
+        let q_nps = [2u32, 7, 6, 6, 7];
+        let edges = all_child_edges(5);
+        assert!(check_gap_consistency(&ctx(
+            &seq, &q_nps, &positions, &edges
+        )));
+    }
+
+    #[test]
+    fn example5_frequency_consistency() {
+        let (_, _, seq) = figure2();
+        let positions = [6u32, 7, 10, 11, 14];
+        let q_nps = [2u32, 7, 6, 6, 7];
+        let edges = all_child_edges(5);
+        assert!(check_frequency_consistency(&ctx(
+            &seq, &q_nps, &positions, &edges
+        )));
+    }
+
+    #[test]
+    fn frequency_consistency_is_an_iff() {
+        let (_, _, seq) = figure2();
+        // Data values at (10, 11) are 13, 13 (equal); a query NPS with
+        // distinct values there must fail even though the one-directional
+        // check of Algorithm 2 lines 12-15 would pass.
+        let positions = [10u32, 11];
+        let q_nps = [2u32, 3];
+        let edges = all_child_edges(2);
+        assert!(!check_frequency_consistency(&ctx(
+            &seq, &q_nps, &positions, &edges
+        )));
+    }
+
+    #[test]
+    fn gap_consistency_rejects_sign_flips_and_zero_mismatch() {
+        let (_, _, seq) = figure2();
+        let positions = [6u32, 7]; // data gap = 7 - 15 = -8
+        let edges = all_child_edges(2);
+        // Query gap positive: sign flip.
+        assert!(!check_gap_consistency(&ctx(
+            &seq,
+            &[9, 2],
+            &positions,
+            &edges
+        )));
+        // Query gap zero vs data gap nonzero.
+        assert!(!check_gap_consistency(&ctx(
+            &seq,
+            &[4, 4],
+            &positions,
+            &edges
+        )));
+        // Query gap larger in magnitude than data gap.
+        assert!(!check_gap_consistency(&ctx(
+            &seq,
+            &[9, 0],
+            &positions,
+            &edges
+        )));
+        // |q| <= |d| with matching sign: fine (-8 vs -2).
+        assert!(check_gap_consistency(&ctx(
+            &seq,
+            &[2, 4],
+            &positions,
+            &edges
+        )));
+    }
+
+    #[test]
+    fn example2_full_match_passes_refinement() {
+        let (t, syms, seq) = figure2();
+        // Query of Example 2: LPS(Q) = B A E D A, NPS(Q) = 2 6 4 5 6,
+        // matched at positions (6,7,11,13,14) — wait, the paper's
+        // Example 2 reports (6,7,11,13,14) while Example 6 uses
+        // (3,7,11,13,14); both are genuine subsequence matches, but only
+        // one survives refinement with the leaves of Q. We test the
+        // positions from Example 6: P = (3,7,11,13,14) with
+        // N = 7 15 13 14 15.
+        let positions = [3u32, 7, 11, 13, 14];
+        let nvals: Vec<u32> = positions
+            .iter()
+            .map(|&p| seq.nps[(p - 1) as usize])
+            .collect();
+        assert_eq!(nvals, vec![7, 15, 13, 14, 15]);
+        let q_nps = [2u32, 6, 4, 5, 6];
+        let edges = all_child_edges(5);
+        let c = syms.lookup("C").unwrap();
+        let f = syms.lookup("F").unwrap();
+        let rctx = RefineCtx {
+            doc_nps: &seq.nps,
+            query_nps: &q_nps,
+            positions: &positions,
+            edges: &edges,
+            // Example 6: query leaves are (C,1) and (F,3).
+            query_leaves: &[(c, 1), (f, 3)],
+            doc_leaves: &t.leaves(),
+            doc_lps: &seq.lps,
+            skip_leaf_check: false,
+        };
+        assert!(check_connectedness(&rctx));
+        assert!(check_gap_consistency(&rctx));
+        assert!(check_frequency_consistency(&rctx));
+        assert!(
+            check_leaves(&rctx),
+            "leaf (F,11) and internal (C,3) both match"
+        );
+        assert!(refine_match(&rctx));
+    }
+
+    #[test]
+    fn leaf_check_fails_on_wrong_label() {
+        let (t, syms, seq) = figure2();
+        let positions = [3u32, 7, 11, 13, 14];
+        let q_nps = [2u32, 6, 4, 5, 6];
+        let edges = all_child_edges(5);
+        let g = syms.lookup("G").unwrap();
+        let rctx = RefineCtx {
+            doc_nps: &seq.nps,
+            query_nps: &q_nps,
+            positions: &positions,
+            edges: &edges,
+            // Query leaf demands (G, 3): data node 11 is (F, 11).
+            query_leaves: &[(g, 3)],
+            doc_leaves: &t.leaves(),
+            doc_lps: &seq.lps,
+            skip_leaf_check: false,
+        };
+        assert!(!check_leaves(&rctx));
+    }
+
+    #[test]
+    fn example7_wildcard_climb() {
+        let (_, _, seq) = figure2();
+        // LPS(Q) = C A, NPS(Q) = 2 3; match S = C A at positions (2, 7);
+        // N = 3 15. Under Child edges connectedness fails (parent of 3 is
+        // 7, not 15); under a Descendant edge on query node 2 the climb
+        // 3 -> 7 -> 15 succeeds at i = 2; Exactly(2) also succeeds while
+        // Exactly(1) and Exactly(3) fail.
+        let positions = [2u32, 7];
+        let q_nps = [2u32, 3];
+        let child_edges = all_child_edges(2);
+        assert!(!check_connectedness(&ctx(
+            &seq,
+            &q_nps,
+            &positions,
+            &child_edges
+        )));
+        let desc = [EdgeKind::Child, EdgeKind::Descendant];
+        assert!(check_connectedness(&ctx(&seq, &q_nps, &positions, &desc)));
+        let star2 = [EdgeKind::Child, EdgeKind::Exactly(2)];
+        assert!(check_connectedness(&ctx(&seq, &q_nps, &positions, &star2)));
+        let star1 = [EdgeKind::Child, EdgeKind::Exactly(1)];
+        assert!(!check_connectedness(&ctx(&seq, &q_nps, &positions, &star1)));
+        let star3 = [EdgeKind::Child, EdgeKind::Exactly(3)];
+        assert!(!check_connectedness(&ctx(&seq, &q_nps, &positions, &star3)));
+    }
+
+    #[test]
+    fn embedding_of_example6_match() {
+        let (_, _, seq) = figure2();
+        let positions = [3u32, 7, 11, 13, 14];
+        let q_nps = [2u32, 6, 4, 5, 6];
+        let img = embedding(&q_nps, &positions, &seq.nps);
+        // Query nodes: 1 (leaf C), 2 (B), 3 (leaf F), 4 (E), 5 (D),
+        // 6 (root A). Expected images: 1->3, 2->7, 3->11, 4->13, 5->14,
+        // 6->15.
+        assert_eq!(img, vec![3, 7, 11, 13, 14, 15]);
+    }
+
+    #[test]
+    fn trailing_non_max_value_is_disconnected() {
+        let mut syms = SymbolTable::new();
+        let t = parse_document("<a><b><c/></b><d><e/></d></a>", &mut syms).unwrap();
+        let seq = PruferSeq::regular(&t);
+        // Positions (1, 3): N = (parent of 1, parent of 3) = (2, 4);
+        // value 4 is max; value 2's last occurrence is followed by 4,
+        // whose parent-of-2 check: parent of node 2 is 5 != 4 -> fail.
+        let positions = [1u32, 3];
+        let edges = all_child_edges(2);
+        assert!(!check_connectedness(&ctx(
+            &seq,
+            &[0, 0],
+            &positions,
+            &edges
+        )));
+    }
+}

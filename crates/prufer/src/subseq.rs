@@ -1,0 +1,171 @@
+//! In-memory subsequence-match enumeration (paper Definition 1, §4.1).
+//!
+//! The disk-based engine enumerates subsequences through the virtual
+//! trie (Algorithm 1); this module provides the same enumeration over
+//! plain label arrays. It backs the index-free reference matcher and the
+//! property-test oracle, and is also what the engine uses when a
+//! collection is small enough to scan.
+
+use prix_xml::{PostNum, Sym};
+
+/// Calls `f` with the (1-based) positions of every subsequence of `doc`
+/// that matches `query`. `f` returns `false` to stop the enumeration
+/// early; the function returns `false` iff it was stopped.
+///
+/// Positions are 1-based to match the paper (position `p` = deletion of
+/// data node `p`, Lemma 1).
+pub fn for_each_subsequence(
+    query: &[Sym],
+    doc: &[Sym],
+    f: &mut impl FnMut(&[PostNum]) -> bool,
+) -> bool {
+    if query.is_empty() {
+        return true;
+    }
+    // occ[k] = positions (0-based) in doc where query[k] occurs; the
+    // standard candidate-list driven backtracking.
+    let mut stack: Vec<usize> = Vec::with_capacity(query.len());
+    let mut positions: Vec<PostNum> = Vec::with_capacity(query.len());
+    // Quick infeasibility check: remaining[k] = last possible start.
+    // (A simple greedy existence test prunes hopeless documents fast.)
+    if !is_subsequence(query, doc) {
+        return true;
+    }
+    // Iterative DFS: stack[d] = next doc index (0-based) to try at
+    // query depth d.
+    stack.push(0);
+    while let Some(top) = stack.last_mut() {
+        let d = positions.len();
+        let start = *top;
+        // Find the next occurrence of query[d] at or after `start`.
+        let mut found = None;
+        for (off, &sym) in doc[start..].iter().enumerate() {
+            if sym == query[d] {
+                found = Some(start + off);
+                break;
+            }
+        }
+        match found {
+            None => {
+                stack.pop();
+                positions.pop();
+            }
+            Some(pos) => {
+                *top = pos + 1; // on backtrack, resume after this match
+                positions.push((pos + 1) as PostNum);
+                if positions.len() == query.len() {
+                    if !f(&positions) {
+                        return false;
+                    }
+                    positions.pop();
+                } else {
+                    stack.push(pos + 1);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Collects up to `limit` subsequence matches (see
+/// [`for_each_subsequence`]).
+pub fn subsequence_positions(query: &[Sym], doc: &[Sym], limit: usize) -> Vec<Vec<PostNum>> {
+    let mut out = Vec::new();
+    for_each_subsequence(query, doc, &mut |pos| {
+        out.push(pos.to_vec());
+        out.len() < limit
+    });
+    out
+}
+
+/// `true` iff `query` is a subsequence of `doc` (Definition 1).
+pub fn is_subsequence(query: &[Sym], doc: &[Sym]) -> bool {
+    let mut qi = 0;
+    for &sym in doc {
+        if qi == query.len() {
+            return true;
+        }
+        if sym == query[qi] {
+            qi += 1;
+        }
+    }
+    qi == query.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<Sym> {
+        s.chars().map(|c| Sym(c as u32)).collect()
+    }
+
+    #[test]
+    fn greedy_subsequence_check() {
+        assert!(is_subsequence(&syms("BAE"), &syms("BXAXXE")));
+        assert!(!is_subsequence(&syms("BAE"), &syms("EAB")));
+        assert!(is_subsequence(&syms(""), &syms("X")));
+        assert!(!is_subsequence(&syms("X"), &syms("")));
+    }
+
+    #[test]
+    fn enumerates_all_matches() {
+        // "AB" in "AABB": positions (1,3),(1,4),(2,3),(2,4).
+        let m = subsequence_positions(&syms("AB"), &syms("AABB"), usize::MAX);
+        assert_eq!(m, vec![vec![1, 3], vec![1, 4], vec![2, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn positions_are_strictly_increasing() {
+        let m = subsequence_positions(&syms("AA"), &syms("AAA"), usize::MAX);
+        assert_eq!(m, vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+        for pos in m {
+            assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let m = subsequence_positions(&syms("AB"), &syms("AABB"), 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn no_match_yields_nothing() {
+        assert!(subsequence_positions(&syms("Z"), &syms("AABB"), usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn paper_example2_has_a_match_at_the_reported_positions() {
+        // LPS(T) = A C B C C B A C A E E E D A; LPS(Q) = B A E D A.
+        let doc = syms("ACBCCBACAEEEDA");
+        let query = syms("BAEDA");
+        let all = subsequence_positions(&query, &doc, usize::MAX);
+        assert!(all.contains(&vec![6, 7, 11, 13, 14]), "Example 2's match");
+        assert!(all.contains(&vec![3, 7, 11, 13, 14]), "Example 6's match");
+        // "Note that there may be more than one subsequence in LPS(T)
+        // that matches LPS(Q)."
+        assert!(all.len() > 1);
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let mut count = 0;
+        let stopped = !for_each_subsequence(&syms("AB"), &syms("AABB"), &mut |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(stopped);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_query_matches_trivially() {
+        let mut called = false;
+        for_each_subsequence(&syms(""), &syms("ABC"), &mut |_| {
+            called = true;
+            true
+        });
+        assert!(!called, "empty query produces no position vectors");
+    }
+}

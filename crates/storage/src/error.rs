@@ -1,0 +1,82 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page contained data that does not decode as expected.
+    Corrupt {
+        /// Offending page.
+        page: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A key or record exceeds what a page layout can hold.
+    TooLarge {
+        /// Payload size that was attempted.
+        size: usize,
+        /// Maximum size the layout supports.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "corrupt page {page}: {reason}")
+            }
+            StorageError::TooLarge { size, max } => {
+                write!(f, "payload of {size} bytes exceeds layout maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = StorageError::TooLarge {
+            size: 9000,
+            max: 8000,
+        };
+        assert!(e.to_string().contains("9000"));
+        let e = StorageError::Corrupt {
+            page: 7,
+            reason: "bad type".into(),
+        };
+        assert!(e.to_string().contains("page 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: StorageError = io::Error::other("boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

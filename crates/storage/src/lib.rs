@@ -1,0 +1,33 @@
+//! Disk-based storage substrate for the PRIX reproduction.
+//!
+//! The paper's evaluation (§6.1) runs every index on GiST B⁺-trees over
+//! 8 KiB pages with a 2000-page buffer pool and direct I/O, and reports
+//! cost as *pages read from disk*. This crate rebuilds that substrate:
+//!
+//! * [`Pager`] — a page-granular backing store (file or in-memory),
+//! * [`BufferPool`] — a fixed-capacity LRU cache over a pager that counts
+//!   logical and physical page accesses ([`IoStats`]); clearing the pool
+//!   ([`BufferPool::clear`]) gives the cold-cache runs the paper measures
+//!   with direct I/O,
+//! * [`BPlusTree`] — a B⁺-tree over byte-string keys (memcmp order) with
+//!   duplicate-key support, point/range scans, and sorted bulk loading,
+//! * [`RecordStore`] — a heap file for variable-length records (NPS
+//!   arrays, leaf-node lists, positional streams) with overflow chains.
+//!
+//! All components of one database share a single buffer pool, so the
+//! "Disk IO (pages)" columns of Tables 4–9 fall out of
+//! [`IoStats::physical_reads`].
+
+pub mod bptree;
+pub mod buffer;
+pub mod error;
+pub mod pager;
+pub mod record;
+pub mod stats;
+
+pub use bptree::BPlusTree;
+pub use buffer::BufferPool;
+pub use error::{Result, StorageError};
+pub use pager::{PageId, Pager, NIL_PAGE, PAGE_SIZE};
+pub use record::{RecordId, RecordStore};
+pub use stats::{IoSnapshot, IoStats};

@@ -1,0 +1,147 @@
+//! I/O accounting.
+//!
+//! The paper reports query cost as "Disk IO (pages read from disk)" under
+//! direct I/O (§6.1). [`IoStats`] counts exactly that: a *physical read*
+//! is a page fetched from the pager because it was not resident in the
+//! buffer pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe I/O counters. One instance is attached to each
+/// [`crate::Pager`] and observed through its [`crate::BufferPool`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a buffer-pool page request (hit or miss).
+    #[inline]
+    pub fn record_logical_read(&self) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page fetched from the backing store.
+    #[inline]
+    pub fn record_physical_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a page written back to the backing store.
+    #[inline]
+    pub fn record_physical_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pages requested from the buffer pool.
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Pages read from the backing store — the paper's "Disk IO" metric.
+    pub fn physical_reads(&self) -> u64 {
+        self.physical_reads.load(Ordering::Relaxed)
+    }
+
+    /// Pages written to the backing store.
+    pub fn physical_writes(&self) -> u64 {
+        self.physical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads(),
+            physical_reads: self.physical_reads(),
+            physical_writes: self.physical_writes(),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`]. Subtract two snapshots to get
+/// per-query costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Pages requested from the buffer pool.
+    pub logical_reads: u64,
+    /// Pages read from the backing store.
+    pub physical_reads: u64,
+    /// Pages written to the backing store.
+    pub physical_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+        }
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; `1.0` when nothing was read.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            return 1.0;
+        }
+        1.0 - (self.physical_reads as f64 / self.logical_reads as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        s.record_logical_read();
+        s.record_physical_read();
+        s.record_physical_write();
+        assert_eq!(s.logical_reads(), 2);
+        assert_eq!(s.physical_reads(), 1);
+        assert_eq!(s.physical_writes(), 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_logical_read();
+        let a = s.snapshot();
+        s.record_logical_read();
+        s.record_physical_read();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.logical_reads, 1);
+        assert_eq!(d.physical_reads, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let snap = IoSnapshot {
+            logical_reads: 10,
+            physical_reads: 2,
+            physical_writes: 0,
+        };
+        assert!((snap.hit_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(IoSnapshot::default().hit_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Positional (region) encoding of XML elements.
+//!
+//! Every node gets `(Left, Right, Level, DocId)` where `(Left, Right)`
+//! ranges are globally unique across the collection (documents occupy
+//! disjoint ranges, as if under a virtual super-root), so
+//! ancestor-descendant tests are pure interval containment:
+//! `a` is an ancestor of `d` iff `a.left < d.left && d.right < a.right`.
+//! `Right` order equals postorder and `Left` order equals preorder,
+//! which the merge phase uses to check PRIX-style ordered embeddings.
+
+use std::collections::HashMap;
+
+use prix_xml::{Collection, DocId, NodeId, Sym};
+
+/// One element instance in positional representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Element {
+    /// Region start (document-order / preorder rank, global).
+    pub left: u64,
+    /// Region end; contains all descendants' regions.
+    pub right: u64,
+    /// Depth in the document (root = 1).
+    pub level: u32,
+    /// Owning document.
+    pub doc: DocId,
+}
+
+impl Element {
+    /// Is `self` a proper ancestor of `d`?
+    #[inline]
+    pub fn contains(&self, d: &Element) -> bool {
+        self.left < d.left && d.right < self.right
+    }
+
+    /// Is `self` the parent of `d`?
+    #[inline]
+    pub fn is_parent_of(&self, d: &Element) -> bool {
+        self.contains(d) && self.level + 1 == d.level
+    }
+
+    /// Serialized size in bytes.
+    pub const ENCODED_LEN: usize = 24;
+
+    /// Serializes into 24 bytes.
+    pub fn encode(&self) -> [u8; Self::ENCODED_LEN] {
+        let mut b = [0u8; Self::ENCODED_LEN];
+        b[..8].copy_from_slice(&self.left.to_le_bytes());
+        b[8..16].copy_from_slice(&self.right.to_le_bytes());
+        b[16..20].copy_from_slice(&self.level.to_le_bytes());
+        b[20..24].copy_from_slice(&self.doc.to_le_bytes());
+        b
+    }
+
+    /// Deserializes from [`Self::encode`] output.
+    pub fn decode(b: &[u8]) -> Element {
+        Element {
+            left: u64::from_le_bytes(b[..8].try_into().unwrap()),
+            right: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            level: u32::from_le_bytes(b[16..20].try_into().unwrap()),
+            doc: u32::from_le_bytes(b[20..24].try_into().unwrap()),
+        }
+    }
+}
+
+/// Region-encodes a whole collection into per-tag streams sorted by
+/// `Left` (ascending `Left` = global document order, which is the sort
+/// order the stack algorithms require).
+pub fn encode_collection(collection: &Collection) -> HashMap<Sym, Vec<Element>> {
+    let mut streams: HashMap<Sym, Vec<Element>> = HashMap::new();
+    let mut counter: u64 = 0;
+    for (doc, tree) in collection.iter() {
+        // Iterative DFS assigning left on entry, right on exit.
+        let mut stack: Vec<(NodeId, usize, u64, u32)> = Vec::new();
+        counter += 1;
+        stack.push((tree.root(), 0, counter, 1));
+        while let Some(&mut (node, ref mut next, left, level)) = stack.last_mut() {
+            let kids = tree.children(node);
+            if *next < kids.len() {
+                let c = kids[*next];
+                *next += 1;
+                counter += 1;
+                stack.push((c, 0, counter, level + 1));
+            } else {
+                counter += 1;
+                let right = counter;
+                streams.entry(tree.label(node)).or_default().push(Element {
+                    left,
+                    right,
+                    level,
+                    doc,
+                });
+                stack.pop();
+            }
+        }
+    }
+    // DFS pushes elements at exit (postorder); streams must be sorted by
+    // Left (preorder).
+    for s in streams.values_mut() {
+        s.sort_unstable_by_key(|e| e.left);
+    }
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prix_xml::Collection;
+
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml("<a><b><c/></b><d/></a>").unwrap();
+        c.add_xml("<a><b/></a>").unwrap();
+        c
+    }
+
+    #[test]
+    fn streams_are_sorted_by_left() {
+        let streams = encode_collection(&collection());
+        for s in streams.values() {
+            assert!(s.windows(2).all(|w| w[0].left < w[1].left));
+        }
+    }
+
+    #[test]
+    fn containment_reflects_ancestry() {
+        let c = collection();
+        let streams = encode_collection(&c);
+        let syms = c.symbols();
+        let a = &streams[&syms.lookup("a").unwrap()];
+        let b = &streams[&syms.lookup("b").unwrap()];
+        let cc = &streams[&syms.lookup("c").unwrap()];
+        let d = &streams[&syms.lookup("d").unwrap()];
+        // Doc 0 relations.
+        assert!(a[0].contains(&b[0]));
+        assert!(a[0].contains(&cc[0]));
+        assert!(b[0].contains(&cc[0]));
+        assert!(a[0].contains(&d[0]));
+        assert!(!b[0].contains(&d[0]));
+        assert!(a[0].is_parent_of(&b[0]));
+        assert!(!a[0].is_parent_of(&cc[0]));
+        assert!(b[0].is_parent_of(&cc[0]));
+    }
+
+    #[test]
+    fn documents_have_disjoint_ranges() {
+        let c = collection();
+        let streams = encode_collection(&c);
+        let syms = c.symbols();
+        let a = &streams[&syms.lookup("a").unwrap()];
+        assert_eq!(a.len(), 2);
+        assert!(a[0].right < a[1].left);
+        assert_ne!(a[0].doc, a[1].doc);
+    }
+
+    #[test]
+    fn right_order_is_postorder() {
+        let c = collection();
+        let streams = encode_collection(&c);
+        let t = c.doc(0);
+        let mut elems: Vec<Element> = streams
+            .values()
+            .flatten()
+            .filter(|e| e.doc == 0)
+            .copied()
+            .collect();
+        elems.sort_unstable_by_key(|e| e.right);
+        assert_eq!(elems.len(), t.len());
+        // Levels along postorder: c(3), b(2), d(2), a(1).
+        let levels: Vec<u32> = elems.iter().map(|e| e.level).collect();
+        assert_eq!(levels, vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = Element {
+            left: 123456789,
+            right: 987654321,
+            level: 7,
+            doc: 42,
+        };
+        assert_eq!(Element::decode(&e.encode()), e);
+    }
+}

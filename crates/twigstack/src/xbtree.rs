@@ -1,0 +1,362 @@
+//! XB-Trees (Bruno et al. §5): the index TwigStackXB uses to skip
+//! portions of its input streams.
+//!
+//! An XB-tree is a B-tree over the `Left` positions of one element
+//! stream whose internal entries additionally carry the maximum `Right`
+//! in their subtree. A cursor over the tree can sit at an *internal*
+//! entry — a conservative `(minL, maxR)` summary of a whole page
+//! subtree — and either `advance` past it in one step (skipping all its
+//! leaf pages, the I/O win of Table 7) or `drill_down` into it when a
+//! potential match demands precision.
+//!
+//! Pages live in the shared [`BufferPool`], so skipped pages are pages
+//! never read.
+
+use std::sync::Arc;
+
+use prix_storage::{BufferPool, PageId, Result, PAGE_SIZE};
+
+use crate::pos::Element;
+
+const TYPE_LEAF: u8 = 10;
+const TYPE_INTERNAL: u8 = 11;
+const HDR: usize = 3;
+const ENTRY: usize = 24;
+/// Entries per page (both levels use 24-byte entries).
+pub const FANOUT: usize = (PAGE_SIZE - HDR) / ENTRY;
+
+/// A static (bulk-built) XB-tree over one stream.
+pub struct XbTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    len: usize,
+}
+
+impl XbTree {
+    /// Bulk-builds an XB-tree from a stream sorted by `Left`.
+    pub fn build(pool: Arc<BufferPool>, elems: &[Element]) -> Result<Self> {
+        if elems.is_empty() {
+            // A single empty leaf keeps the cursor logic uniform.
+            let page = pool.allocate_page()?;
+            pool.with_page_mut(page, |p| {
+                p[0] = TYPE_LEAF;
+                p[1..3].copy_from_slice(&0u16.to_le_bytes());
+            })?;
+            return Ok(XbTree {
+                pool,
+                root: page,
+                len: 0,
+            });
+        }
+        // Leaf level.
+        let mut level: Vec<(u64, u64, PageId)> = Vec::new(); // (minL, maxR, page)
+        for chunk in elems.chunks(FANOUT) {
+            let page = pool.allocate_page()?;
+            pool.with_page_mut(page, |p| {
+                p[0] = TYPE_LEAF;
+                p[1..3].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                for (i, e) in chunk.iter().enumerate() {
+                    let off = HDR + i * ENTRY;
+                    p[off..off + ENTRY].copy_from_slice(&e.encode());
+                }
+            })?;
+            let max_r = chunk.iter().map(|e| e.right).max().unwrap();
+            level.push((chunk[0].left, max_r, page));
+        }
+        // Internal levels.
+        while level.len() > 1 {
+            let mut next: Vec<(u64, u64, PageId)> = Vec::new();
+            for chunk in level.chunks(FANOUT) {
+                let page = pool.allocate_page()?;
+                pool.with_page_mut(page, |p| {
+                    p[0] = TYPE_INTERNAL;
+                    p[1..3].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+                    for (i, &(min_l, max_r, child)) in chunk.iter().enumerate() {
+                        let off = HDR + i * ENTRY;
+                        p[off..off + 8].copy_from_slice(&min_l.to_le_bytes());
+                        p[off + 8..off + 16].copy_from_slice(&max_r.to_le_bytes());
+                        p[off + 16..off + 24].copy_from_slice(&child.to_le_bytes());
+                    }
+                })?;
+                let max_r = chunk.iter().map(|c| c.1).max().unwrap();
+                next.push((chunk[0].0, max_r, page));
+            }
+            level = next;
+        }
+        Ok(XbTree {
+            pool,
+            root: level[0].2,
+            len: elems.len(),
+        })
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no element is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Opens a cursor positioned at the first (root-level) entry.
+    pub fn cursor(&self) -> Result<XbCursor<'_>> {
+        let mut c = XbCursor {
+            tree: self,
+            path: vec![(self.root, 0)],
+            eof: self.len == 0,
+            cur_left: u64::MAX,
+            cur_right: u64::MAX,
+            cur_exact: false,
+            cur_elem: None,
+        };
+        if !c.eof {
+            c.load()?;
+        }
+        Ok(c)
+    }
+}
+
+/// A cursor into an [`XbTree`], possibly positioned at an internal
+/// (summary) entry.
+pub struct XbCursor<'a> {
+    tree: &'a XbTree,
+    /// (page, entry index) from root to the current position.
+    path: Vec<(PageId, usize)>,
+    eof: bool,
+    cur_left: u64,
+    cur_right: u64,
+    cur_exact: bool,
+    cur_elem: Option<Element>,
+}
+
+impl<'a> XbCursor<'a> {
+    fn load(&mut self) -> Result<()> {
+        let &(page, idx) = self.path.last().expect("cursor path never empty");
+        let (typ, left, right, elem) = self.tree.pool.with_page(page, |p| {
+            let typ = p[0];
+            let off = HDR + idx * ENTRY;
+            if typ == TYPE_LEAF {
+                let e = Element::decode(&p[off..off + ENTRY]);
+                (typ, e.left, e.right, Some(e))
+            } else {
+                let min_l = u64::from_le_bytes(p[off..off + 8].try_into().unwrap());
+                let max_r = u64::from_le_bytes(p[off + 8..off + 16].try_into().unwrap());
+                (typ, min_l, max_r, None)
+            }
+        })?;
+        self.cur_exact = typ == TYPE_LEAF;
+        self.cur_left = left;
+        self.cur_right = right;
+        self.cur_elem = elem;
+        Ok(())
+    }
+
+    fn entry_count(&self, page: PageId) -> Result<usize> {
+        self.tree
+            .pool
+            .with_page(page, |p| u16::from_le_bytes([p[1], p[2]]) as usize)
+    }
+
+    fn child_of_current(&self) -> Result<PageId> {
+        let &(page, idx) = self.path.last().unwrap();
+        self.tree.pool.with_page(page, |p| {
+            let off = HDR + idx * ENTRY;
+            u64::from_le_bytes(p[off + 16..off + 24].try_into().unwrap())
+        })
+    }
+
+    /// `true` once the cursor moved past the last entry.
+    pub fn eof(&self) -> bool {
+        self.eof
+    }
+
+    /// `Left` of the current position (`minL` at internal entries);
+    /// `u64::MAX` at eof.
+    pub fn left(&self) -> u64 {
+        if self.eof {
+            u64::MAX
+        } else {
+            self.cur_left
+        }
+    }
+
+    /// `Right` of the current position (`maxR` at internal entries);
+    /// `u64::MAX` at eof.
+    pub fn right(&self) -> u64 {
+        if self.eof {
+            u64::MAX
+        } else {
+            self.cur_right
+        }
+    }
+
+    /// Is the cursor at a leaf-level (exact) element?
+    pub fn is_exact(&self) -> bool {
+        !self.eof && self.cur_exact
+    }
+
+    /// The exact element under the cursor.
+    ///
+    /// # Panics
+    /// Panics if the cursor is at an internal entry or eof.
+    pub fn element(&self) -> Element {
+        self.cur_elem
+            .expect("element() at an internal entry or eof")
+    }
+
+    /// Moves to the next entry at the current level, climbing to the
+    /// parent level when a page is exhausted (Bruno et al.'s `advance`:
+    /// climbing re-summarizes, it never re-reads skipped leaves).
+    pub fn advance(&mut self) -> Result<()> {
+        if self.eof {
+            return Ok(());
+        }
+        loop {
+            let (page, idx) = *self.path.last().unwrap();
+            let count = self.entry_count(page)?;
+            if idx + 1 < count {
+                self.path.last_mut().unwrap().1 = idx + 1;
+                return self.load();
+            }
+            self.path.pop();
+            if self.path.is_empty() {
+                self.eof = true;
+                self.cur_elem = None;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Descends into the subtree under the current internal entry.
+    /// No-op at leaf level.
+    pub fn drill_down(&mut self) -> Result<()> {
+        if self.eof || self.cur_exact {
+            return Ok(());
+        }
+        let child = self.child_of_current()?;
+        self.path.push((child, 0));
+        self.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prix_storage::Pager;
+
+    fn elems(n: u64) -> Vec<Element> {
+        (0..n)
+            .map(|i| Element {
+                left: 2 * i + 1,
+                right: 2 * i + 2,
+                level: 1,
+                doc: 0,
+            })
+            .collect()
+    }
+
+    fn tree(n: u64) -> (XbTree, Arc<BufferPool>) {
+        let pool = Arc::new(BufferPool::new(Pager::in_memory(), 128));
+        let t = XbTree::build(Arc::clone(&pool), &elems(n)).unwrap();
+        (t, pool)
+    }
+
+    #[test]
+    fn empty_tree_cursor_is_eof() {
+        let (t, _) = tree(0);
+        let c = t.cursor().unwrap();
+        assert!(c.eof());
+        assert_eq!(c.left(), u64::MAX);
+    }
+
+    #[test]
+    fn single_level_scan() {
+        let (t, _) = tree(10);
+        let mut c = t.cursor().unwrap();
+        assert!(c.is_exact(), "a one-page tree starts at leaf level");
+        let mut seen = Vec::new();
+        while !c.eof() {
+            assert!(c.is_exact());
+            seen.push(c.element().left);
+            c.advance().unwrap();
+        }
+        assert_eq!(seen, (0..10).map(|i| 2 * i + 1).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn multi_level_drilldown_visits_everything() {
+        let n = (FANOUT * 3 + 17) as u64;
+        let (t, _) = tree(n);
+        let mut c = t.cursor().unwrap();
+        assert!(!c.is_exact(), "root is internal for multi-page trees");
+        let mut count = 0u64;
+        while !c.eof() {
+            if c.is_exact() {
+                count += 1;
+                c.advance().unwrap();
+            } else {
+                c.drill_down().unwrap();
+            }
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn advancing_internal_entries_skips_pages() {
+        let n = (FANOUT * 8) as u64;
+        let pool = Arc::new(BufferPool::new(Pager::in_memory(), 256));
+        let t = XbTree::build(Arc::clone(&pool), &elems(n)).unwrap();
+        pool.clear().unwrap();
+        let before = pool.snapshot();
+        let mut c = t.cursor().unwrap();
+        // Skip everything at the internal level.
+        while !c.eof() {
+            assert!(!c.is_exact());
+            c.advance().unwrap();
+        }
+        let skipped = pool.snapshot().since(&before);
+        assert!(
+            skipped.physical_reads <= 2,
+            "skipping reads only the root, got {skipped:?}"
+        );
+        // Full drill-down for comparison.
+        pool.clear().unwrap();
+        let before = pool.snapshot();
+        let mut c = t.cursor().unwrap();
+        let mut count = 0;
+        while !c.eof() {
+            if c.is_exact() {
+                count += 1;
+                c.advance().unwrap();
+            } else {
+                c.drill_down().unwrap();
+            }
+        }
+        let full = pool.snapshot().since(&before);
+        assert_eq!(count, n);
+        assert!(
+            full.physical_reads > skipped.physical_reads * 3,
+            "drilling reads all leaf pages ({full:?} vs {skipped:?})"
+        );
+    }
+
+    #[test]
+    fn internal_summaries_bound_their_subtrees() {
+        let n = (FANOUT * 2 + 5) as u64;
+        let (t, _) = tree(n);
+        let mut c = t.cursor().unwrap();
+        assert!(!c.is_exact());
+        let (lo, hi) = (c.left(), c.right());
+        c.drill_down().unwrap();
+        let mut count = 0;
+        while !c.eof() && count < FANOUT {
+            assert!(c.is_exact());
+            let e = c.element();
+            assert!(e.left >= lo && e.right <= hi);
+            count += 1;
+            c.advance().unwrap();
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Push-style tree construction.
+//!
+//! [`TreeBuilder`] mirrors the callback shape of a SAX parser
+//! (`start_element` / `text` / `end_element`) so both the XML parser and
+//! the synthetic dataset generators share one construction path.
+
+use crate::sym::{Sym, SymbolTable};
+use crate::tree::{NodeId, NodeKind, XmlTree};
+
+/// Incremental builder for an [`XmlTree`].
+///
+/// ```
+/// use prix_xml::{SymbolTable, TreeBuilder};
+/// let mut syms = SymbolTable::new();
+/// let mut b = TreeBuilder::new(&mut syms, "book");
+/// b.start_element("title");
+/// b.text("Gone With The Wind");
+/// b.end_element();
+/// let tree = b.finish();
+/// assert_eq!(tree.len(), 3);
+/// ```
+pub struct TreeBuilder<'a> {
+    syms: &'a mut SymbolTable,
+    tree: XmlTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> TreeBuilder<'a> {
+    /// Starts a document whose root element is `root_tag`.
+    pub fn new(syms: &'a mut SymbolTable, root_tag: &str) -> Self {
+        let root_sym = syms.intern(root_tag);
+        let tree = XmlTree::with_root(root_sym, NodeKind::Element);
+        TreeBuilder {
+            syms,
+            stack: vec![tree.root()],
+            tree,
+        }
+    }
+
+    /// Opens a child element under the current element.
+    pub fn start_element(&mut self, tag: &str) {
+        let sym = self.syms.intern(tag);
+        self.start_element_sym(sym);
+    }
+
+    /// Opens a child element with an already-interned label.
+    pub fn start_element_sym(&mut self, sym: Sym) {
+        let parent = *self.stack.last().expect("builder stack empty");
+        let id = self.tree.add_child(parent, sym, NodeKind::Element);
+        self.stack.push(id);
+    }
+
+    /// Closes the current element.
+    ///
+    /// # Panics
+    /// Panics on an attempt to close the root before [`Self::finish`].
+    pub fn end_element(&mut self) {
+        assert!(self.stack.len() > 1, "end_element would close the root");
+        self.stack.pop();
+    }
+
+    /// Adds a text (value) leaf under the current element.
+    pub fn text(&mut self, value: &str) {
+        let sym = self.syms.intern(value);
+        self.text_sym(sym);
+    }
+
+    /// Adds a text leaf with an already-interned label.
+    pub fn text_sym(&mut self, sym: Sym) {
+        let parent = *self.stack.last().expect("builder stack empty");
+        self.tree.add_child(parent, sym, NodeKind::Text);
+    }
+
+    /// Adds an attribute as a subelement holding one text leaf, the
+    /// representation the paper prescribes in §2.
+    pub fn attribute(&mut self, name: &str, value: &str) {
+        self.start_element(name);
+        self.text(value);
+        self.end_element();
+    }
+
+    /// Convenience: `start_element(tag); text(value); end_element()`.
+    pub fn leaf_element(&mut self, tag: &str, value: &str) {
+        self.start_element(tag);
+        self.text(value);
+        self.end_element();
+    }
+
+    /// Current open-element depth (root = 1).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Seals and returns the finished tree.
+    ///
+    /// # Panics
+    /// Panics if elements are still open (other than the root).
+    pub fn finish(self) -> XmlTree {
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "finish() with {} unclosed element(s)",
+            self.stack.len() - 1
+        );
+        let mut tree = self.tree;
+        tree.seal();
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "dblp");
+        b.start_element("inproceedings");
+        b.leaf_element("author", "Jim Gray");
+        b.leaf_element("year", "1990");
+        b.end_element();
+        let t = b.finish();
+        assert_eq!(t.len(), 6);
+        let root = t.root();
+        assert_eq!(t.children(root).len(), 1);
+        let inp = t.children(root)[0];
+        assert_eq!(t.children(inp).len(), 2);
+    }
+
+    #[test]
+    fn attribute_becomes_subelement_with_text() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "Entry");
+        b.attribute("id", "P1234");
+        let t = b.finish();
+        let attr = t.children(t.root())[0];
+        assert_eq!(t.kind(attr), NodeKind::Element);
+        let val = t.children(attr)[0];
+        assert_eq!(t.kind(val), NodeKind::Text);
+        assert!(t.is_leaf(val));
+    }
+
+    #[test]
+    fn depth_tracks_open_elements() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "a");
+        assert_eq!(b.depth(), 1);
+        b.start_element("b");
+        assert_eq!(b.depth(), 2);
+        b.end_element();
+        assert_eq!(b.depth(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_with_open_elements_panics() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "a");
+        b.start_element("b");
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "close the root")]
+    fn closing_root_panics() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "a");
+        b.end_element();
+    }
+}

@@ -1,0 +1,622 @@
+//! A hand-written, dependency-free XML parser.
+//!
+//! The parser covers the subset of XML 1.0 needed to load document
+//! collections like DBLP / SWISSPROT / TREEBANK: elements, attributes,
+//! character data, CDATA sections, comments, processing instructions,
+//! a DOCTYPE declaration (skipped), and the predefined plus numeric
+//! character references. Attributes are materialized as subelements per
+//! paper §2; whitespace-only character data between elements is dropped.
+
+use std::fmt;
+
+use crate::sax::SaxHandler;
+use crate::sym::SymbolTable;
+use crate::tree::{NodeId, NodeKind, XmlTree};
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one XML document into an [`XmlTree`], interning labels into
+/// `syms`.
+///
+/// ```
+/// use prix_xml::{parse_document, SymbolTable};
+/// let mut syms = SymbolTable::new();
+/// let t = parse_document("<a x='1'><b>hi</b></a>", &mut syms).unwrap();
+/// assert_eq!(t.len(), 5); // a, x, "1", b, "hi"
+/// ```
+pub fn parse_document(input: &str, syms: &mut SymbolTable) -> Result<XmlTree, ParseError> {
+    Parser::new(input).parse(syms)
+}
+
+/// Streaming cursor over the XML text. Most users want
+/// [`parse_document`]; `Parser` is public so tests can exercise pieces.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips text up to and including `end`, or errors at EOF.
+    fn skip_until(&mut self, end: &str) -> Result<(), ParseError> {
+        let needle = end.as_bytes();
+        while self.pos + needle.len() <= self.input.len() {
+            if self.input[self.pos..].starts_with(needle) {
+                self.pos += needle.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        self.err(format!("unterminated construct, expected `{end}`"))
+    }
+
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // <!DOCTYPE ... ( [ internal subset ] )? >
+        self.pos += "<!DOCTYPE".len();
+        let mut depth = 0usize;
+        while let Some(b) = self.bump() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        self.err("unterminated DOCTYPE")
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => self.pos += 1,
+            _ => return self.err("expected a name"),
+        }
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+            offset: start,
+            message: "name is not valid UTF-8".into(),
+        })
+    }
+
+    fn parse_reference(&mut self, out: &mut String) -> Result<(), ParseError> {
+        // self.pos is at '&'
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b';' {
+                let ent =
+                    std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+                        offset: start,
+                        message: "entity is not valid UTF-8".into(),
+                    })?;
+                self.pos += 1;
+                match ent {
+                    "lt" => out.push('<'),
+                    "gt" => out.push('>'),
+                    "amp" => out.push('&'),
+                    "apos" => out.push('\''),
+                    "quot" => out.push('"'),
+                    _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                        let code = u32::from_str_radix(&ent[2..], 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| ParseError {
+                                offset: start,
+                                message: format!("bad character reference `&{ent};`"),
+                            })?;
+                        out.push(code);
+                    }
+                    _ if ent.starts_with('#') => {
+                        let code = ent[1..]
+                            .parse::<u32>()
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| ParseError {
+                                offset: start,
+                                message: format!("bad character reference `&{ent};`"),
+                            })?;
+                        out.push(code);
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            offset: start,
+                            message: format!("unknown entity `&{ent};`"),
+                        })
+                    }
+                }
+                return Ok(());
+            }
+            if !Self::is_name_char(b) && b != b'#' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.err("unterminated entity reference")
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected a quoted attribute value"),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated attribute value"),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => self.parse_reference(&mut out)?,
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote || b == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.input[start..self.pos]).map_err(
+                        |_| ParseError {
+                            offset: start,
+                            message: "attribute value is not valid UTF-8".into(),
+                        },
+                    )?);
+                }
+            }
+        }
+    }
+
+    /// Parses the document, returning the sealed tree.
+    pub fn parse(self, syms: &mut SymbolTable) -> Result<XmlTree, ParseError> {
+        let mut h = BuildHandler {
+            syms,
+            tree: None,
+            stack: Vec::new(),
+        };
+        self.parse_sax(&mut h)?;
+        Ok(h.tree.expect("parse_sax produced a root"))
+    }
+
+    /// Streams the document through `handler` (see [`crate::sax`]).
+    pub fn parse_sax(mut self, handler: &mut dyn SaxHandler) -> Result<(), ParseError> {
+        // UTF-8 BOM
+        if self.input.starts_with(&[0xEF, 0xBB, 0xBF]) {
+            self.pos = 3;
+        }
+        self.skip_misc()?;
+        if self.peek() != Some(b'<') {
+            return self.err("expected the root element");
+        }
+        // Root start tag.
+        self.pos += 1;
+        let root_name = self.parse_name()?.to_owned();
+        handler.start_element(&root_name);
+        let self_closed = self.parse_attrs_and_tag_end(handler)?;
+        if self_closed {
+            handler.end_element(&root_name);
+        } else {
+            self.parse_content(handler, &root_name)?;
+        }
+        self.skip_misc()?;
+        if self.pos != self.input.len() {
+            return self.err("trailing content after the root element");
+        }
+        Ok(())
+    }
+
+    /// Parses `attr="v"* ('>' | '/>')`, emitting attribute events.
+    /// Returns `true` if the tag was self-closing.
+    fn parse_attrs_and_tag_end(
+        &mut self,
+        handler: &mut dyn SaxHandler,
+    ) -> Result<bool, ParseError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(false);
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(">")?;
+                    return Ok(true);
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let name = self.parse_name()?.to_owned();
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    handler.attribute(&name, &value);
+                }
+                _ => return self.err("expected attribute, `>`, or `/>`"),
+            }
+        }
+    }
+
+    /// Parses element content until (and including) `</open_name>`.
+    fn parse_content(
+        &mut self,
+        handler: &mut dyn SaxHandler,
+        open_name: &str,
+    ) -> Result<(), ParseError> {
+        // Explicit open-tag stack to avoid recursion on deep documents
+        // (TREEBANK recursions reach depth 36; synthetic data may go
+        // deeper).
+        let mut open: Vec<String> = vec![open_name.to_owned()];
+        let mut text = String::new();
+
+        macro_rules! flush_text {
+            () => {
+                if !text.trim().is_empty() {
+                    handler.text(text.trim());
+                }
+                text.clear();
+            };
+        }
+
+        while let Some(ch) = self.peek() {
+            if ch == b'<' {
+                if self.starts_with("<!--") {
+                    self.pos += 4;
+                    self.skip_until("-->")?;
+                } else if self.starts_with("<![CDATA[") {
+                    self.pos += "<![CDATA[".len();
+                    let start = self.pos;
+                    self.skip_until("]]>")?;
+                    let chunk = &self.input[start..self.pos - 3];
+                    text.push_str(std::str::from_utf8(chunk).map_err(|_| ParseError {
+                        offset: start,
+                        message: "CDATA is not valid UTF-8".into(),
+                    })?);
+                } else if self.starts_with("<?") {
+                    self.pos += 2;
+                    self.skip_until("?>")?;
+                } else if self.starts_with("</") {
+                    flush_text!();
+                    self.pos += 2;
+                    let name = self.parse_name()?;
+                    let expected = open.last().expect("open stack never empty");
+                    if name != expected {
+                        return self.err(format!(
+                            "mismatched end tag: expected `</{expected}>`, found `</{name}>`"
+                        ));
+                    }
+                    self.skip_ws();
+                    self.expect(">")?;
+                    let closed = open.pop().expect("open stack never empty");
+                    handler.end_element(&closed);
+                    if open.is_empty() {
+                        return Ok(());
+                    }
+                } else {
+                    flush_text!();
+                    self.pos += 1;
+                    let name = self.parse_name()?.to_owned();
+                    handler.start_element(&name);
+                    let self_closed = self.parse_attrs_and_tag_end(handler)?;
+                    if self_closed {
+                        handler.end_element(&name);
+                    } else {
+                        open.push(name);
+                    }
+                }
+            } else if ch == b'&' {
+                self.parse_reference(&mut text)?;
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' || c == b'&' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                text.push_str(
+                    std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| ParseError {
+                        offset: start,
+                        message: "character data is not valid UTF-8".into(),
+                    })?,
+                );
+            }
+        }
+        self.err(format!("unterminated element `<{}>`", open.last().unwrap()))
+    }
+}
+
+/// SAX handler that materializes the tree — [`Parser::parse`] is this
+/// handler driven by [`Parser::parse_sax`].
+struct BuildHandler<'a> {
+    syms: &'a mut SymbolTable,
+    tree: Option<XmlTree>,
+    stack: Vec<NodeId>,
+}
+
+impl SaxHandler for BuildHandler<'_> {
+    fn start_element(&mut self, name: &str) {
+        let sym = self.syms.intern(name);
+        match &mut self.tree {
+            None => {
+                let tree = XmlTree::with_root(sym, NodeKind::Element);
+                self.stack.push(tree.root());
+                self.tree = Some(tree);
+            }
+            Some(tree) => {
+                let parent = *self.stack.last().expect("element stack never empty");
+                let id = tree.add_child(parent, sym, NodeKind::Element);
+                self.stack.push(id);
+            }
+        }
+    }
+
+    fn attribute(&mut self, name: &str, value: &str) {
+        let nsym = self.syms.intern(name);
+        let vsym = self.syms.intern(value);
+        let tree = self.tree.as_mut().expect("attribute after root start");
+        let parent = *self.stack.last().expect("element stack never empty");
+        let attr = tree.add_child(parent, nsym, NodeKind::Element);
+        tree.add_child(attr, vsym, NodeKind::Text);
+    }
+
+    fn text(&mut self, value: &str) {
+        let sym = self.syms.intern(value);
+        let tree = self.tree.as_mut().expect("text after root start");
+        let parent = *self.stack.last().expect("element stack never empty");
+        tree.add_child(parent, sym, NodeKind::Text);
+    }
+
+    fn end_element(&mut self, _name: &str) {
+        self.stack.pop();
+        if self.stack.is_empty() {
+            if let Some(tree) = self.tree.as_mut() {
+                tree.seal();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    fn parse(s: &str) -> (XmlTree, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let t = parse_document(s, &mut syms).expect("parse failed");
+        (t, syms)
+    }
+
+    #[test]
+    fn parses_minimal_document() {
+        let (t, syms) = parse("<a/>");
+        assert_eq!(t.len(), 1);
+        assert_eq!(syms.name(t.label(t.root())), "a");
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let (t, syms) = parse("<book><title>Gone</title><year>1936</year></book>");
+        assert_eq!(t.len(), 5);
+        let title = t.children(t.root())[0];
+        assert_eq!(syms.name(t.label(title)), "title");
+        let text = t.children(title)[0];
+        assert_eq!(t.kind(text), NodeKind::Text);
+        assert_eq!(syms.name(t.label(text)), "Gone");
+    }
+
+    #[test]
+    fn attributes_become_subelements_in_order() {
+        let (t, syms) = parse(r#"<e a="1" b="2"><c/></e>"#);
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 3);
+        assert_eq!(syms.name(t.label(kids[0])), "a");
+        assert_eq!(syms.name(t.label(kids[1])), "b");
+        assert_eq!(syms.name(t.label(kids[2])), "c");
+        // Attribute values are text leaves.
+        assert_eq!(t.kind(t.children(kids[0])[0]), NodeKind::Text);
+        assert_eq!(syms.name(t.label(t.children(kids[0])[0])), "1");
+    }
+
+    #[test]
+    fn decodes_predefined_entities() {
+        let (t, syms) = parse("<a>x &lt; y &amp;&amp; y &gt; &quot;z&apos;&quot;</a>");
+        let text = t.children(t.root())[0];
+        assert_eq!(syms.name(t.label(text)), r#"x < y && y > "z'""#);
+    }
+
+    #[test]
+    fn decodes_numeric_character_references() {
+        let (t, syms) = parse("<a>&#65;&#x42;</a>");
+        let text = t.children(t.root())[0];
+        assert_eq!(syms.name(t.label(text)), "AB");
+    }
+
+    #[test]
+    fn skips_prolog_doctype_comments_and_pis() {
+        let (t, _) = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp [ <!ELEMENT dblp (x)*> ]>\n\
+             <!-- a comment --><?pi data?><dblp><x/></dblp><!-- trailing -->",
+        );
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cdata_is_text() {
+        let (t, syms) = parse("<a><![CDATA[<not> & parsed]]></a>");
+        let text = t.children(t.root())[0];
+        assert_eq!(syms.name(t.label(text)), "<not> & parsed");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let (t, _) = parse("<a>\n  <b/>\n  <c/>\n</a>");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn adjacent_text_runs_coalesce() {
+        let (t, syms) = parse("<a>one &amp; <![CDATA[two]]></a>");
+        assert_eq!(t.len(), 2);
+        let text = t.children(t.root())[0];
+        assert_eq!(syms.name(t.label(text)), "one & two");
+    }
+
+    #[test]
+    fn mismatched_end_tag_is_an_error() {
+        let mut syms = SymbolTable::new();
+        let e = parse_document("<a><b></a></b>", &mut syms).unwrap_err();
+        assert!(e.message.contains("mismatched"), "{e}");
+    }
+
+    #[test]
+    fn unterminated_element_is_an_error() {
+        let mut syms = SymbolTable::new();
+        let e = parse_document("<a><b>", &mut syms).unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let mut syms = SymbolTable::new();
+        let e = parse_document("<a/>junk", &mut syms).unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let mut syms = SymbolTable::new();
+        assert!(parse_document("<a>&nope;</a>", &mut syms).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_does_not_overflow_the_stack() {
+        let depth = 50_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let (t, _) = parse(&s);
+        assert_eq!(t.len(), depth);
+        assert_eq!(t.max_depth(), depth);
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        let mut syms = SymbolTable::new();
+        let t = parse_document("\u{feff}<a/>", &mut syms).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn paper_figure_1a_document() {
+        // Figure 1(a): book with title, allauthors(author x2), year,
+        // chapter(title, section x2).
+        let doc = r#"<book>
+            <title>Gone With The Wind</title>
+            <allauthors><author>A1</author><author>A2</author></allauthors>
+            <year>1936</year>
+            <chapter><title>Chapter 1</title><section>S1</section><section>S2</section></chapter>
+        </book>"#;
+        let (t, syms) = parse(doc);
+        assert_eq!(syms.name(t.label(t.root())), "book");
+        assert_eq!(t.children(t.root()).len(), 4);
+        assert_eq!(t.element_count(), 10);
+        assert_eq!(t.text_count(), 7);
+    }
+}

@@ -1,0 +1,77 @@
+//! Collection statistics — the columns of Table 2 of the paper.
+
+use std::fmt;
+
+/// Dataset statistics as reported in Table 2 of the paper
+/// (size, number of elements, number of attributes, maximum depth,
+/// number of sequences), plus the value/total-node counts that the
+/// index-size bound of §5.2.2 is stated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollectionStats {
+    /// Source XML size in bytes.
+    pub size_bytes: u64,
+    /// Number of element nodes (attributes are counted separately even
+    /// though they are stored as subelements).
+    pub elements: u64,
+    /// Number of nodes that originate from XML attributes.
+    pub attributes: u64,
+    /// Number of value (text) leaves.
+    pub values: u64,
+    /// Maximum tree depth across the collection.
+    pub max_depth: usize,
+    /// Number of documents = number of Prüfer sequences.
+    pub sequences: u64,
+    /// Total node count (elements + values).
+    pub total_nodes: u64,
+}
+
+impl CollectionStats {
+    /// Size in mebibytes, as Table 2 reports it.
+    pub fn size_mib(&self) -> f64 {
+        self.size_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+impl fmt::Display for CollectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} MiB, {} elements, {} attributes, max depth {}, {} sequences",
+            self.size_mib(),
+            self.elements,
+            self.attributes,
+            self.max_depth,
+            self.sequences
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_mib_converts() {
+        let s = CollectionStats {
+            size_bytes: 3 * 1024 * 1024,
+            ..Default::default()
+        };
+        assert!((s.size_mib() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let s = CollectionStats {
+            size_bytes: 1024 * 1024,
+            elements: 10,
+            attributes: 2,
+            values: 3,
+            max_depth: 4,
+            sequences: 5,
+            total_nodes: 13,
+        };
+        let d = s.to_string();
+        assert!(d.contains("10 elements"));
+        assert!(d.contains("max depth 4"));
+    }
+}

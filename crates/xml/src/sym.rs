@@ -1,0 +1,144 @@
+//! Label interning.
+//!
+//! Element tags and text values share a single symbol space: the paper
+//! treats value nodes as ordinary labeled tree nodes (§2), and the
+//! Extended Prüfer sequences of §5.6 mix tag and value labels freely.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned label (element tag or text value).
+///
+/// `Sym` is a dense `u32` handle into a [`SymbolTable`]; comparing two
+/// symbols for equality is an integer compare, which is what makes
+/// sequence matching cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Bidirectional interner mapping label strings to dense [`Sym`] handles.
+///
+/// A collection of XML documents shares one `SymbolTable` so that a tag
+/// used in many documents maps to the same symbol everywhere — a
+/// prerequisite for the per-tag Trie-Symbol indexes of paper §5.2.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for a symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no symbol has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Sym, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("book");
+        let b = t.intern("book");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("book");
+        let b = t.intern("author");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "book");
+        assert_eq!(t.name(b), "author");
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut t = SymbolTable::new();
+        assert!(t.lookup("x").is_none());
+        t.intern("x");
+        assert_eq!(t.lookup("x"), Some(Sym(0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tags_and_values_share_the_space() {
+        let mut t = SymbolTable::new();
+        let tag = t.intern("title");
+        let val = t.intern("Semantic Analysis Patterns");
+        assert_ne!(tag, val);
+        // A value that happens to equal a tag maps to the same symbol:
+        // labels are labels.
+        assert_eq!(t.intern("title"), tag);
+    }
+}

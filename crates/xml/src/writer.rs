@@ -1,0 +1,125 @@
+//! Serialization of an [`XmlTree`] back to XML text.
+//!
+//! Used by the dataset generators to materialize on-disk corpora and by
+//! round-trip tests (`parse(write(t)) == t` up to attribute/subelement
+//! normalization, which is lossy by design per paper §2).
+
+use crate::sym::SymbolTable;
+use crate::tree::{NodeId, NodeKind, XmlTree};
+
+/// Serializes `tree` to XML text.
+///
+/// Text nodes are escaped; because attributes were normalized into
+/// subelements at parse time, everything is emitted in element form.
+pub fn write_document(tree: &XmlTree, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    write_node(tree, syms, tree.root(), &mut out);
+    out
+}
+
+fn write_node(tree: &XmlTree, syms: &SymbolTable, node: NodeId, out: &mut String) {
+    match tree.kind(node) {
+        NodeKind::Text => escape_into(syms.name(tree.label(node)), out),
+        NodeKind::Element => {
+            let name = syms.name(tree.label(node));
+            out.push('<');
+            out.push_str(name);
+            if tree.is_leaf(node) {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            // Iterative DFS: deep documents must not overflow the stack.
+            let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
+            while let Some(&mut (n, ref mut next)) = stack.last_mut() {
+                let kids = tree.children(n);
+                if *next < kids.len() {
+                    let c = kids[*next];
+                    *next += 1;
+                    match tree.kind(c) {
+                        NodeKind::Text => escape_into(syms.name(tree.label(c)), out),
+                        NodeKind::Element => {
+                            let cname = syms.name(tree.label(c));
+                            out.push('<');
+                            out.push_str(cname);
+                            if tree.is_leaf(c) {
+                                out.push_str("/>");
+                            } else {
+                                out.push('>');
+                                stack.push((c, 0));
+                            }
+                        }
+                    }
+                } else {
+                    stack.pop();
+                    out.push_str("</");
+                    out.push_str(syms.name(tree.label(n)));
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+/// Escapes `s` for use as XML character data.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use crate::TreeBuilder;
+
+    #[test]
+    fn writes_elements_and_text() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "a");
+        b.leaf_element("b", "x<y");
+        b.start_element("c");
+        b.end_element();
+        let t = b.finish();
+        assert_eq!(write_document(&t, &syms), "<a><b>x&lt;y</b><c/></a>");
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape() {
+        let src = "<dblp><inproceedings><author>Jim Gray</author><year>1990</year></inproceedings></dblp>";
+        let mut syms = SymbolTable::new();
+        let t = parse_document(src, &mut syms).unwrap();
+        let written = write_document(&t, &syms);
+        let mut syms2 = SymbolTable::new();
+        let t2 = parse_document(&written, &mut syms2).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for (a, b) in t.postorder_iter().zip(t2.postorder_iter()) {
+            assert_eq!(syms.name(t.label(a)), syms2.name(t2.label(b)));
+            assert_eq!(t.kind(a), t2.kind(b));
+        }
+    }
+
+    #[test]
+    fn deep_tree_writes_iteratively() {
+        let mut syms = SymbolTable::new();
+        let mut b = TreeBuilder::new(&mut syms, "d");
+        for _ in 0..20_000 {
+            b.start_element("d");
+        }
+        for _ in 0..20_000 {
+            b.end_element();
+        }
+        let t = b.finish();
+        let s = write_document(&t, &syms);
+        assert!(s.starts_with("<d><d>"));
+        assert!(s.ends_with("</d></d>"));
+    }
+}

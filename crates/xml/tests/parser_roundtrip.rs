@@ -1,0 +1,163 @@
+//! Property tests for the XML layer: write → parse round-trips, and the
+//! postorder numbering invariants every PRIX phase relies on.
+
+use proptest::prelude::*;
+
+use prix_xml::{parse_document, write_document, NodeKind, SymbolTable, XmlTree};
+
+#[derive(Debug, Clone)]
+struct Step {
+    label: u8,
+    text: Option<u8>,
+    descend: bool,
+    ups: u8,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0u8..6, prop::option::of(0u8..4), any::<bool>(), 0u8..3).prop_map(
+            |(label, text, descend, ups)| Step {
+                label,
+                text,
+                descend,
+                ups,
+            },
+        ),
+        0..40,
+    )
+}
+
+fn names(i: u8) -> &'static str {
+    ["alpha", "beta", "gamma", "delta", "eps", "zeta"][i as usize % 6]
+}
+
+fn texts(i: u8) -> &'static str {
+    ["hello world", "x < y && z", "\"quoted\"", "tab\tand&amp"][i as usize % 4]
+}
+
+fn build(steps: &[Step], syms: &mut SymbolTable) -> XmlTree {
+    let root = syms.intern("root");
+    let mut tree = XmlTree::with_root(root, NodeKind::Element);
+    let mut stack = vec![tree.root()];
+    for s in steps {
+        let sym = syms.intern(names(s.label));
+        let cur = *stack.last().unwrap();
+        let id = tree.add_child(cur, sym, NodeKind::Element);
+        if let Some(t) = s.text {
+            let tsym = syms.intern(texts(t));
+            tree.add_child(id, tsym, NodeKind::Text);
+        }
+        if s.descend {
+            stack.push(id);
+        }
+        for _ in 0..s.ups {
+            if stack.len() > 1 {
+                stack.pop();
+            }
+        }
+    }
+    tree.seal();
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// write_document(parse_document(write_document(t))) is stable and
+    /// label/kind/structure are preserved.
+    #[test]
+    fn write_parse_roundtrip(steps in arb_steps()) {
+        let mut syms = SymbolTable::new();
+        let tree = build(&steps, &mut syms);
+        let xml = write_document(&tree, &syms);
+        let mut syms2 = SymbolTable::new();
+        let parsed = parse_document(&xml, &mut syms2).expect("own output parses");
+        prop_assert_eq!(parsed.len(), tree.len());
+        for (a, b) in tree.postorder_iter().zip(parsed.postorder_iter()) {
+            prop_assert_eq!(syms.name(tree.label(a)), syms2.name(parsed.label(b)));
+            prop_assert_eq!(tree.kind(a), parsed.kind(b));
+            prop_assert_eq!(
+                tree.parent(a).map(|p| tree.postorder(p)),
+                parsed.parent(b).map(|p| parsed.postorder(p))
+            );
+        }
+        // Idempotence: a second round-trip produces identical text.
+        let xml2 = write_document(&parsed, &syms2);
+        prop_assert_eq!(xml, xml2);
+    }
+
+    /// Postorder invariants: dense 1..=n, children before parents,
+    /// siblings increasing, root last, subtrees contiguous.
+    #[test]
+    fn postorder_invariants(steps in arb_steps()) {
+        let mut syms = SymbolTable::new();
+        let tree = build(&steps, &mut syms);
+        let n = tree.len() as u32;
+        prop_assert_eq!(tree.postorder(tree.root()), n, "root is numbered n");
+        let mut seen = vec![false; n as usize];
+        for node in tree.nodes() {
+            let p = tree.postorder(node);
+            prop_assert!(p >= 1 && p <= n);
+            prop_assert!(!seen[(p - 1) as usize], "numbers are unique");
+            seen[(p - 1) as usize] = true;
+            if let Some(parent) = tree.parent(node) {
+                prop_assert!(tree.postorder(node) < tree.postorder(parent));
+            }
+            let kids = tree.children(node);
+            for w in kids.windows(2) {
+                prop_assert!(tree.postorder(w[0]) < tree.postorder(w[1]));
+            }
+            // Subtree of `node` is exactly the contiguous range
+            // [p - subtree_size + 1, p].
+            let mut size = 0u32;
+            let mut stack = vec![node];
+            let mut min_post = p;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                min_post = min_post.min(tree.postorder(v));
+                stack.extend_from_slice(tree.children(v));
+            }
+            prop_assert_eq!(min_post, p - size + 1, "subtree is contiguous");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    /// The parser never panics: arbitrary input yields Ok or a clean
+    /// ParseError.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let mut syms = SymbolTable::new();
+        let _ = parse_document(&input, &mut syms);
+    }
+
+    /// Angle-bracket-heavy fuzzing hits the tag state machine harder.
+    #[test]
+    fn parser_never_panics_on_taggy_input(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+                Just("/>".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("<![CDATA[".to_string()),
+                Just("]]>".to_string()),
+                Just("&".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("\"".to_string()),
+                Just("a".to_string()),
+                Just(" ".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let input: String = parts.concat();
+        let mut syms = SymbolTable::new();
+        let _ = parse_document(&input, &mut syms);
+    }
+}

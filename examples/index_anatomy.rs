@@ -1,0 +1,85 @@
+//! A guided tour of the PRIX machinery on one small document: Prüfer
+//! sequences (§3), subsequence filtering (§4.1), the refinement phases
+//! (§4.2–§4.4), and the virtual trie's labeling schemes (§5.2.1).
+//!
+//! ```sh
+//! cargo run --example index_anatomy
+//! ```
+
+use prix::core::trie::{LabelingMode, VirtualTrie};
+use prix::prufer::{subsequence_positions, ExtendedTree, PruferSeq};
+use prix::xml::{parse_document, SymbolTable};
+
+fn main() {
+    let mut syms = SymbolTable::new();
+    // The running example of the paper (Figure 2 is similar in spirit).
+    let doc = parse_document(
+        "<A><C/><B><C><D/></C><C><D/><E/></C></B><C><C/></C><D><E><G/><F/><F/></E></D></A>",
+        &mut syms,
+    )
+    .expect("valid XML");
+
+    // LPS / NPS construction (Example 1).
+    let seq = PruferSeq::regular(&doc);
+    let lps: Vec<&str> = seq.lps.iter().map(|&s| syms.name(s)).collect();
+    println!("document has {} nodes", doc.len());
+    println!("LPS(T) = {}", lps.join(" "));
+    println!(
+        "NPS(T) = {}",
+        seq.nps
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // Extended sequences (§5.6) pull leaf labels in.
+    let dummy = syms.intern("\u{1}dummy");
+    let ext = ExtendedTree::build(&doc, dummy);
+    let eseq = PruferSeq::regular(&ext.tree);
+    println!(
+        "Extended LPS has {} elements (regular: {})",
+        eseq.len(),
+        seq.len()
+    );
+
+    // Filtering by subsequence matching (Example 2): the query twig
+    // B//E with LPS(Q) built by hand.
+    let b = syms.lookup("B").unwrap();
+    let a = syms.lookup("A").unwrap();
+    let hits = subsequence_positions(&[b, a], &seq.lps, usize::MAX);
+    println!(
+        "\nLPS(Q) = B A matches {} subsequences of LPS(T): {:?}",
+        hits.len(),
+        hits
+    );
+    println!("(each position p is the deletion of data node p — Lemma 1)");
+
+    // The virtual trie and its two labeling schemes.
+    let mut trie = VirtualTrie::new();
+    trie.insert(&seq.lps, 0);
+    trie.insert(&eseq.lps, 1);
+    trie.assign_ranges(LabelingMode::Exact);
+    println!(
+        "\nvirtual trie: {} nodes, {} paths, containment violations: {}",
+        trie.node_count(),
+        trie.leaf_count(),
+        trie.validate_containment()
+    );
+
+    let mut dyn_trie = VirtualTrie::new();
+    // Insert many sequences to provoke dynamic-labeling underflows.
+    for i in 0..50 {
+        let mut s = seq.lps.clone();
+        let k = i % s.len();
+        s.rotate_left(k);
+        dyn_trie.insert(&s, i as u32);
+    }
+    dyn_trie.assign_ranges(LabelingMode::Dynamic { alpha: 2 });
+    println!(
+        "dynamic labeling (alpha=2): {} nodes, {} scope underflows, violations: {}",
+        dyn_trie.node_count(),
+        dyn_trie.underflows(),
+        dyn_trie.validate_containment()
+    );
+}

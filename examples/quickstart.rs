@@ -1,0 +1,68 @@
+//! Quickstart: index a handful of XML documents and run twig queries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use prix::core::{EngineConfig, PrixEngine};
+use prix::xml::Collection;
+
+fn main() {
+    // 1. Load documents into a collection (one shared symbol table).
+    let mut collection = Collection::new();
+    collection
+        .add_xml(
+            r#"<book>
+                 <title>Gone With The Wind</title>
+                 <allauthors><author>Margaret Mitchell</author></allauthors>
+                 <year>1936</year>
+               </book>"#,
+        )
+        .expect("valid XML");
+    collection
+        .add_xml(
+            r#"<book>
+                 <title>The Art of Computer Programming</title>
+                 <allauthors><author>Donald Knuth</author></allauthors>
+                 <year>1968</year>
+               </book>"#,
+        )
+        .expect("valid XML");
+    collection
+        .add_xml(r#"<article><title>Gone With The Wind</title><journal>Films</journal></article>"#)
+        .expect("valid XML");
+
+    // 2. Build the PRIX engine: documents become Prüfer sequences,
+    //    indexed in B+-tree-backed virtual tries (RPIndex + EPIndex).
+    let mut engine = PrixEngine::build(collection, EngineConfig::default())
+        .expect("in-memory build cannot fail");
+
+    // 3. Ask twig queries in the supported XPath subset.
+    for xpath in [
+        r#"//book[./title="Gone With The Wind"]"#,
+        r#"//book[./allauthors/author]/year"#,
+        r#"//title"#,
+        r#"//book//author"#,
+    ] {
+        let query = engine.parse_query(xpath).expect("valid XPath");
+        let outcome = engine.query(&query).expect("query");
+        println!(
+            "{xpath}\n  -> {} match(es) via {} ({} range queries, {} candidates)",
+            outcome.matches.len(),
+            outcome.index_used,
+            outcome.stats.range_queries,
+            outcome.stats.candidates,
+        );
+        for m in &outcome.matches {
+            // The embedding maps every query node (by postorder number)
+            // to a document node (by postorder number).
+            let doc = engine.collection().doc(m.doc);
+            let labels: Vec<&str> = m
+                .embedding
+                .iter()
+                .map(|&p| engine.collection().symbols().name(doc.label_at(p)))
+                .collect();
+            println!("     doc {} nodes {:?} = {:?}", m.doc, m.embedding, labels);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! PRIX — indexing and querying XML using Prüfer sequences.
+//!
+//! This is the facade crate of the workspace: it re-exports every
+//! subsystem so downstream users (and the `examples/` binaries) can write
+//! `use prix::...`. See `DESIGN.md` for the system inventory and
+//! `README.md` for a quickstart.
+//!
+//! * [`xml`] — document model, parser, collections.
+//! * [`prufer`] — Prüfer sequence construction and refinement predicates.
+//! * [`storage`] — paged storage, buffer pool, B+-trees, I/O accounting.
+//! * [`core`] — the PRIX engine (virtual trie indexes, filtering,
+//!   refinement, twig queries).
+//! * [`vist`] — the ViST baseline.
+//! * [`twigstack`] — the PathStack / TwigStack / TwigStackXB baseline.
+//! * [`datagen`] — synthetic DBLP / SWISSPROT / TREEBANK-like datasets
+//!   and the paper's query workload.
+
+pub use prix_core as core;
+pub use prix_datagen as datagen;
+pub use prix_prufer as prufer;
+pub use prix_storage as storage;
+pub use prix_twigstack as twigstack;
+pub use prix_vist as vist;
+pub use prix_xml as xml;

@@ -1,0 +1,76 @@
+//! Concurrent read queries: the engine is `Sync` — all index reads go
+//! through the internally synchronized buffer pool — so many threads
+//! can query one database simultaneously.
+
+use prix::core::{EngineConfig, PrixEngine};
+use prix::datagen::{generate, queries::queries_for, Dataset};
+
+#[test]
+fn parallel_queries_agree_with_serial() {
+    let collection = generate(Dataset::Swissprot, 0.03, 5);
+    let mut engine = PrixEngine::build(collection, EngineConfig::default()).unwrap();
+    let queries: Vec<_> = queries_for(Dataset::Swissprot)
+        .into_iter()
+        .map(|pq| {
+            (
+                pq.id,
+                engine.parse_query(pq.xpath).unwrap(),
+                pq.expected_matches,
+            )
+        })
+        .collect();
+
+    // Serial baseline.
+    let serial: Vec<usize> = queries
+        .iter()
+        .map(|(_, q, _)| engine.query(q).unwrap().matches.len())
+        .collect();
+
+    // 8 threads x all queries, sharing the engine immutably.
+    let engine_ref = &engine;
+    crossbeam::scope(|s| {
+        for t in 0..8 {
+            let queries = &queries;
+            let serial = &serial;
+            s.spawn(move |_| {
+                for (i, (id, q, expected)) in queries.iter().enumerate() {
+                    let out = engine_ref.query(q).unwrap();
+                    assert_eq!(out.matches.len(), serial[i], "thread {t} query {id}");
+                    assert_eq!(out.matches.len() as u64, *expected, "{id}");
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn parallel_queries_under_cache_pressure() {
+    // A tiny buffer pool forces constant eviction while 4 threads hit
+    // different queries: exercises the LRU under contention.
+    let collection = generate(Dataset::Dblp, 0.025, 9);
+    let mut engine = PrixEngine::build(
+        collection,
+        EngineConfig {
+            buffer_pages: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let queries: Vec<_> = queries_for(Dataset::Dblp)
+        .into_iter()
+        .map(|pq| (engine.parse_query(pq.xpath).unwrap(), pq.expected_matches))
+        .collect();
+    let engine_ref = &engine;
+    crossbeam::scope(|s| {
+        for _ in 0..4 {
+            let queries = &queries;
+            s.spawn(move |_| {
+                for (q, expected) in queries {
+                    assert_eq!(engine_ref.query(q).unwrap().matches.len() as u64, *expected);
+                }
+            });
+        }
+    })
+    .unwrap();
+}

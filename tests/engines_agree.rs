@@ -1,0 +1,75 @@
+//! Cross-engine agreement: PRIX, TwigStack, TwigStackXB, ViST
+//! (verified), the scan matcher, and the naive oracle all return the
+//! same twig-match counts for the paper's workload.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prix::core::{naive, EngineConfig, PrixEngine};
+use prix::datagen::{generate, queries::queries_for, Dataset};
+use prix::storage::{BufferPool, Pager};
+use prix::twigstack::{encode_collection, Algorithm, StreamStore, TwigJoin, XbTree};
+use prix::vist::VistIndex;
+
+fn check(ds: Dataset) {
+    let collection = generate(ds, 0.03, 7);
+    let mut engine = PrixEngine::build(collection.clone(), EngineConfig::default()).unwrap();
+
+    // TwigStack substrate.
+    let pool = Arc::new(BufferPool::new(Pager::in_memory(), 2000));
+    let raw = encode_collection(&collection);
+    let streams = StreamStore::build(Arc::clone(&pool), &raw).unwrap();
+    let mut xb = HashMap::new();
+    for (&sym, elems) in &raw {
+        xb.insert(sym, XbTree::build(Arc::clone(&pool), elems).unwrap());
+    }
+
+    // ViST substrate.
+    let vist_pool = Arc::new(BufferPool::new(Pager::in_memory(), 2000));
+    let vist = VistIndex::build(vist_pool, &collection).unwrap();
+
+    for pq in queries_for(ds) {
+        let q = engine.parse_query(pq.xpath).unwrap();
+        let expected = naive::naive_count(engine.collection(), &q) as u64;
+
+        let prix_n = engine.query(&q).unwrap().matches.len() as u64;
+        assert_eq!(prix_n, expected, "{}: PRIX", pq.id);
+
+        let ts = TwigJoin::new(&streams)
+            .execute(&q, Algorithm::TwigStack)
+            .unwrap();
+        assert_eq!(ts.stats.matches, expected, "{}: TwigStack", pq.id);
+
+        let xbj = TwigJoin::with_xbtrees(&streams, &xb)
+            .execute(&q, Algorithm::TwigStackXB)
+            .unwrap();
+        assert_eq!(xbj.stats.matches, expected, "{}: TwigStackXB", pq.id);
+
+        let vo = vist.execute(&q, &collection).unwrap();
+        assert_eq!(vo.verified_matches, expected, "{}: ViST verified", pq.id);
+        // Native ViST never loses answers (no false dismissals).
+        for m in &engine.query(&q).unwrap().matches {
+            assert!(
+                vo.candidate_docs.contains(&m.doc),
+                "{}: ViST missed doc {}",
+                pq.id,
+                m.doc
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_engines_agree() {
+    check(Dataset::Dblp);
+}
+
+#[test]
+fn swissprot_engines_agree() {
+    check(Dataset::Swissprot);
+}
+
+#[test]
+fn treebank_engines_agree() {
+    check(Dataset::Treebank);
+}

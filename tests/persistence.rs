@@ -1,0 +1,79 @@
+//! Engine persistence: a saved database reopens from its file and
+//! answers the same queries with the same results and realistic cold
+//! I/O.
+
+use prix::core::{EngineConfig, PrixEngine};
+use prix::datagen::{generate, queries::queries_for, Dataset};
+
+#[test]
+fn saved_engine_reopens_and_answers_identically() {
+    let dir = std::env::temp_dir().join(format!("prix-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.prix");
+
+    let collection = generate(Dataset::Dblp, 0.025, 42);
+    let mut engine = PrixEngine::build(
+        collection,
+        EngineConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let queries = queries_for(Dataset::Dblp);
+    let mut expected = Vec::new();
+    for pq in &queries {
+        let q = engine.parse_query(pq.xpath).unwrap();
+        expected.push(engine.query(&q).unwrap().matches);
+    }
+    engine.save().unwrap();
+    drop(engine);
+
+    let mut reopened = PrixEngine::reopen(&path, 2000).unwrap();
+    assert!(reopened.collection().is_empty(), "trees are not persisted");
+    for (pq, exp) in queries.iter().zip(&expected) {
+        let q = reopened.parse_query(pq.xpath).unwrap();
+        reopened.clear_cache().unwrap();
+        let out = reopened.query(&q).unwrap();
+        assert_eq!(&out.matches, exp, "{} after reopen", pq.id);
+        assert_eq!(out.matches.len() as u64, pq.expected_matches, "{}", pq.id);
+        assert!(
+            out.io.physical_reads > 0,
+            "{}: cold reopen reads pages",
+            pq.id
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopening_garbage_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("prix-persist-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("junk.bin");
+    std::fs::write(&path, vec![0xABu8; 3 * 8192]).unwrap();
+    assert!(PrixEngine::reopen(&path, 64).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unsaved_new_queries_after_save_still_work_in_original() {
+    // Saving is not destructive: the original engine keeps working.
+    let dir = std::env::temp_dir().join(format!("prix-persist2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.prix");
+    let collection = generate(Dataset::Treebank, 0.02, 1);
+    let mut engine = PrixEngine::build(
+        collection,
+        EngineConfig {
+            path: Some(path),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    engine.save().unwrap();
+    let q = engine.parse_query("//S//NP/SYM").unwrap();
+    assert_eq!(engine.query(&q).unwrap().matches.len(), 9);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,33 +1,28 @@
 //! End-to-end query latency for every engine on the paper's workload —
-//! the Criterion companion to Figure 6 / Tables 4–9 (run
-//! `run_experiments` for the cold-cache page-count versions).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! the timing companion to Figure 6 / Tables 4–9 (run `run_experiments`
+//! for the cold-cache page-count versions).
 
 use prix_bench::Workbench;
 use prix_datagen::{queries::queries_for, Dataset};
+use prix_testkit::bench::{Harness, Opts};
 
-fn bench_dataset(c: &mut Criterion, ds: Dataset, scale: f64) {
+fn bench_dataset(h: &mut Harness, ds: Dataset, scale: f64) {
     let mut wb = Workbench::setup(ds, scale, 42);
     let queries = queries_for(ds);
-    let mut g = c.benchmark_group(format!("engines_{}", ds.name().to_lowercase()));
-    g.sample_size(10);
+    h.set_opts(Opts { warmup: 1, samples: 10 });
     for pq in queries {
-        g.bench_function(format!("{}_all_engines", pq.id), |b| {
-            b.iter(|| {
-                let row = wb.run_query(pq.id, pq.xpath);
-                std::hint::black_box(row.prix.matches)
-            })
+        let name = format!("{}/{}_all_engines", ds.name().to_lowercase(), pq.id);
+        h.bench(&name, || {
+            let row = wb.run_query(pq.id, pq.xpath);
+            std::hint::black_box(row.prix.matches);
         });
     }
-    g.finish();
 }
 
-fn benches(c: &mut Criterion) {
-    bench_dataset(c, Dataset::Dblp, 0.05);
-    bench_dataset(c, Dataset::Swissprot, 0.05);
-    bench_dataset(c, Dataset::Treebank, 0.05);
+fn main() {
+    let mut h = Harness::from_args("engines");
+    bench_dataset(&mut h, Dataset::Dblp, 0.05);
+    bench_dataset(&mut h, Dataset::Swissprot, 0.05);
+    bench_dataset(&mut h, Dataset::Treebank, 0.05);
+    h.finish();
 }
-
-criterion_group!(engine_benches, benches);
-criterion_main!(engine_benches);

@@ -1,67 +1,54 @@
 //! Tree-to-sequence transformation throughput (paper §3.1, §5.6):
 //! Regular vs Extended Prüfer construction, and the inverse transform.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use prix_datagen::{generate, Dataset};
 use prix_prufer::{reconstruct, PruferSeq};
+use prix_testkit::bench::{Harness, Opts};
 
-fn bench_construction(c: &mut Criterion) {
+fn bench_construction(h: &mut Harness) {
     let collection = generate(Dataset::Swissprot, 0.05, 1);
     let dummy = prix_xml::Sym(u32::MAX - 1);
-    let mut g = c.benchmark_group("prufer_construction");
-    g.sample_size(20);
-    g.bench_function("regular_all_docs", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for (_, t) in collection.iter() {
-                total += PruferSeq::regular(t).len();
-            }
-            std::hint::black_box(total)
-        })
+    h.set_opts(Opts::samples(20));
+    h.bench("construction/regular_all_docs", || {
+        let mut total = 0usize;
+        for (_, t) in collection.iter() {
+            total += PruferSeq::regular(t).len();
+        }
+        std::hint::black_box(total);
     });
-    g.bench_function("extended_all_docs", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for (_, t) in collection.iter() {
-                total += PruferSeq::extended(t, dummy).len();
-            }
-            std::hint::black_box(total)
-        })
+    h.bench("construction/extended_all_docs", || {
+        let mut total = 0usize;
+        for (_, t) in collection.iter() {
+            total += PruferSeq::extended(t, dummy).len();
+        }
+        std::hint::black_box(total);
     });
-    g.finish();
 }
 
-fn bench_reconstruction(c: &mut Criterion) {
+fn bench_reconstruction(h: &mut Harness) {
     let collection = generate(Dataset::Treebank, 0.05, 2);
     let seqs: Vec<(PruferSeq, Vec<(prix_xml::Sym, u32)>)> = collection
         .iter()
         .map(|(_, t)| (PruferSeq::regular(t), t.leaves()))
         .collect();
-    let mut g = c.benchmark_group("prufer_reconstruction");
-    g.sample_size(20);
-    g.bench_function("shape_from_nps", |b| {
-        b.iter(|| {
-            for (s, _) in &seqs {
-                std::hint::black_box(reconstruct::shape_from_nps(&s.nps).unwrap());
-            }
-        })
+    h.set_opts(Opts::samples(20));
+    h.bench("reconstruction/shape_from_nps", || {
+        for (s, _) in &seqs {
+            std::hint::black_box(reconstruct::shape_from_nps(&s.nps).unwrap());
+        }
     });
-    g.bench_function("full_tree", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                for (s, leaves) in &seqs {
-                    std::hint::black_box(
-                        reconstruct::tree_from_sequences(&s.lps, &s.nps, leaves).unwrap(),
-                    );
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    h.bench("reconstruction/full_tree", || {
+        for (s, leaves) in &seqs {
+            std::hint::black_box(
+                reconstruct::tree_from_sequences(&s.lps, &s.nps, leaves).unwrap(),
+            );
+        }
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_reconstruction);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("prufer");
+    bench_construction(&mut h);
+    bench_reconstruction(&mut h);
+    h.finish();
+}

@@ -2,17 +2,16 @@
 //! connectedness / gap / frequency / leaf checks over real candidate
 //! sets produced by the in-memory matcher.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use prix_core::scan::scan_matches;
 use prix_datagen::{generate, Dataset};
 use prix_prufer::{
     check_connectedness, check_frequency_consistency, check_gap_consistency, refine_match,
     subsequence_positions, EdgeKind, PruferSeq, RefineCtx,
 };
+use prix_testkit::bench::{Harness, Opts};
 use prix_xml::Sym;
 
-fn bench_phases(c: &mut Criterion) {
+fn bench_phases(h: &mut Harness) {
     // A mid-size TREEBANK sentence and a query with many candidate
     // subsequences: NP chains match all over the place.
     let collection = generate(Dataset::Treebank, 0.05, 8);
@@ -34,8 +33,6 @@ fn bench_phases(c: &mut Criterion) {
     let leaves: Vec<(Sym, u32)> = Vec::new();
     let doc_leaves = doc.leaves();
 
-    let mut g = c.benchmark_group("refinement_phases");
-    g.sample_size(30);
     fn ctx_for<'a>(
         pos: &'a [u32],
         doc_nps: &'a [u32],
@@ -56,89 +53,83 @@ fn bench_phases(c: &mut Criterion) {
             skip_leaf_check: true,
         }
     }
-    g.bench_function("connectedness", |b| {
-        b.iter(|| {
-            let mut pass = 0;
-            for pos in &candidates {
-                pass += check_connectedness(&ctx_for(
-                    pos,
-                    &doc_seq.nps,
-                    &query_nps,
-                    &edges,
-                    &leaves,
-                    &doc_leaves,
-                    &doc_seq.lps,
-                )) as usize;
-            }
-            std::hint::black_box(pass)
-        })
+    h.set_opts(Opts::samples(30));
+    h.bench("phases/connectedness", || {
+        let mut pass = 0;
+        for pos in &candidates {
+            pass += check_connectedness(&ctx_for(
+                pos,
+                &doc_seq.nps,
+                &query_nps,
+                &edges,
+                &leaves,
+                &doc_leaves,
+                &doc_seq.lps,
+            )) as usize;
+        }
+        std::hint::black_box(pass);
     });
-    g.bench_function("gap_consistency", |b| {
-        b.iter(|| {
-            let mut pass = 0;
-            for pos in &candidates {
-                pass += check_gap_consistency(&ctx_for(
-                    pos,
-                    &doc_seq.nps,
-                    &query_nps,
-                    &edges,
-                    &leaves,
-                    &doc_leaves,
-                    &doc_seq.lps,
-                )) as usize;
-            }
-            std::hint::black_box(pass)
-        })
+    h.bench("phases/gap_consistency", || {
+        let mut pass = 0;
+        for pos in &candidates {
+            pass += check_gap_consistency(&ctx_for(
+                pos,
+                &doc_seq.nps,
+                &query_nps,
+                &edges,
+                &leaves,
+                &doc_leaves,
+                &doc_seq.lps,
+            )) as usize;
+        }
+        std::hint::black_box(pass);
     });
-    g.bench_function("frequency_consistency", |b| {
-        b.iter(|| {
-            let mut pass = 0;
-            for pos in &candidates {
-                pass += check_frequency_consistency(&ctx_for(
-                    pos,
-                    &doc_seq.nps,
-                    &query_nps,
-                    &edges,
-                    &leaves,
-                    &doc_leaves,
-                    &doc_seq.lps,
-                )) as usize;
-            }
-            std::hint::black_box(pass)
-        })
+    h.bench("phases/frequency_consistency", || {
+        let mut pass = 0;
+        for pos in &candidates {
+            pass += check_frequency_consistency(&ctx_for(
+                pos,
+                &doc_seq.nps,
+                &query_nps,
+                &edges,
+                &leaves,
+                &doc_leaves,
+                &doc_seq.lps,
+            )) as usize;
+        }
+        std::hint::black_box(pass);
     });
-    g.bench_function("all_phases", |b| {
-        b.iter(|| {
-            let mut pass = 0;
-            for pos in &candidates {
-                pass += refine_match(&ctx_for(
-                    pos,
-                    &doc_seq.nps,
-                    &query_nps,
-                    &edges,
-                    &leaves,
-                    &doc_leaves,
-                    &doc_seq.lps,
-                )) as usize;
-            }
-            std::hint::black_box(pass)
-        })
+    h.bench("phases/all_phases", || {
+        let mut pass = 0;
+        for pos in &candidates {
+            pass += refine_match(&ctx_for(
+                pos,
+                &doc_seq.nps,
+                &query_nps,
+                &edges,
+                &leaves,
+                &doc_leaves,
+                &doc_seq.lps,
+            )) as usize;
+        }
+        std::hint::black_box(pass);
     });
-    g.finish();
 }
 
-fn bench_scan_matcher(c: &mut Criterion) {
+fn bench_scan_matcher(h: &mut Harness) {
     let mut collection = generate(Dataset::Dblp, 0.02, 9);
     let dummy = collection.intern("\u{1}d");
     let mut syms = collection.symbols().clone();
     let q = prix_core::parse_xpath("//www[./editor]/url", &mut syms).unwrap();
-    let mut g = c.benchmark_group("scan_matcher");
-    g.sample_size(10);
-    g.bench_function("dblp_q2_full_scan", |b| {
-        b.iter(|| std::hint::black_box(scan_matches(&collection, &q, dummy).len()))
+    h.set_opts(Opts::samples(10));
+    h.bench("scan_matcher/dblp_q2_full_scan", || {
+        std::hint::black_box(scan_matches(&collection, &q, dummy).len());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_phases, bench_scan_matcher);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("refinement");
+    bench_phases(&mut h);
+    bench_scan_matcher(&mut h);
+    h.finish();
+}

@@ -4,90 +4,84 @@
 use std::ops::Bound;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use prix_storage::bptree::encode_u64_be;
 use prix_storage::{BPlusTree, BufferPool, Pager};
+use prix_testkit::bench::{Harness, Opts};
 
 fn pool(cap: usize) -> Arc<BufferPool> {
     Arc::new(BufferPool::new(Pager::in_memory(), cap))
 }
 
-fn bench_bptree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bptree");
-    g.sample_size(10);
-    g.bench_function("insert_10k_random", |b| {
-        b.iter_batched(
-            || pool(256),
-            |p| {
-                let mut t = BPlusTree::create(p).unwrap();
-                let mut x: u64 = 1;
-                for _ in 0..10_000 {
-                    x = x
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    t.insert(&encode_u64_be(x), &x.to_le_bytes()).unwrap();
-                }
-                std::hint::black_box(t.root())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("bulk_load_100k", |b| {
-        b.iter_batched(
-            || {
-                (
-                    pool(256),
-                    (0..100_000u64)
-                        .map(|i| (encode_u64_be(i).to_vec(), i.to_le_bytes().to_vec()))
-                        .collect::<Vec<_>>(),
-                )
-            },
-            |(p, entries)| {
-                let t = BPlusTree::bulk_load(p, entries, 0.9).unwrap();
-                std::hint::black_box(t.root())
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_bptree(h: &mut Harness) {
+    h.set_opts(Opts::samples(10));
+    h.bench_with_setup(
+        "insert_10k_random",
+        || pool(256),
+        |p| {
+            let mut t = BPlusTree::create(p).unwrap();
+            let mut x: u64 = 1;
+            for _ in 0..10_000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                t.insert(&encode_u64_be(x), &x.to_le_bytes()).unwrap();
+            }
+            std::hint::black_box(t.root());
+        },
+    );
+    h.bench_with_setup(
+        "bulk_load_100k",
+        || {
+            (
+                pool(256),
+                (0..100_000u64)
+                    .map(|i| (encode_u64_be(i).to_vec(), i.to_le_bytes().to_vec()))
+                    .collect::<Vec<_>>(),
+            )
+        },
+        |(p, entries)| {
+            let t = BPlusTree::bulk_load(p, entries, 0.9).unwrap();
+            std::hint::black_box(t.root());
+        },
+    );
     // Shared tree for read benches.
     let p = pool(1024);
     let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100_000u64)
         .map(|i| (encode_u64_be(i).to_vec(), i.to_le_bytes().to_vec()))
         .collect();
     let t = BPlusTree::bulk_load(Arc::clone(&p), entries, 0.9).unwrap();
-    g.bench_function("point_get_warm", |b| {
+    {
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("point_get_warm", || {
             i = (i * 31 + 7) % 100_000;
-            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap())
-        })
+            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap());
+        });
+    }
+    h.bench("range_scan_1k", || {
+        let mut n = 0;
+        t.scan(
+            Bound::Included(&encode_u64_be(50_000)),
+            Bound::Excluded(&encode_u64_be(51_000)),
+            |_, _| {
+                n += 1;
+                true
+            },
+        )
+        .unwrap();
+        std::hint::black_box(n);
     });
-    g.bench_function("range_scan_1k", |b| {
-        b.iter(|| {
-            let mut n = 0;
-            t.scan(
-                Bound::Included(&encode_u64_be(50_000)),
-                Bound::Excluded(&encode_u64_be(51_000)),
-                |_, _| {
-                    n += 1;
-                    true
-                },
-            )
-            .unwrap();
-            std::hint::black_box(n)
-        })
-    });
-    g.bench_function("point_get_cold", |b| {
+    {
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("point_get_cold", || {
             p.clear().unwrap();
             i = (i * 31 + 7) % 100_000;
-            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap())
-        })
-    });
-    g.finish();
+            std::hint::black_box(t.get(&encode_u64_be(i)).unwrap());
+        });
+    }
 }
 
-criterion_group!(benches, bench_bptree);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("bptree");
+    bench_bptree(&mut h);
+    h.finish();
+}

@@ -15,8 +15,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
-
 use prix_core::{naive, EngineConfig, PrixEngine};
 use prix_datagen::{generate, Dataset};
 use prix_storage::{BufferPool, Pager};
@@ -25,7 +23,7 @@ use prix_vist::VistIndex;
 use prix_xml::{CollectionStats, Sym};
 
 /// One engine's measurement for one query.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Wall-clock seconds.
     pub seconds: f64,
@@ -37,7 +35,7 @@ pub struct Measurement {
 }
 
 /// All engines' measurements for one query.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QueryRow {
     /// Query id ("Q1".."Q9" or ad hoc).
     pub id: String,
@@ -291,8 +289,9 @@ pub fn render_figure6(rows: &[QueryRow]) -> String {
     out
 }
 
-/// Serializes rows to JSON (hand-rolled: the approved dependency set
-/// has no `serde_json`; fields are numeric or simple strings).
+/// Serializes rows to JSON (hand-rolled: the workspace is dependency-free
+/// by design — see README "Building offline"; fields are numeric or
+/// simple strings).
 pub fn rows_to_json(rows: &[QueryRow]) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -324,7 +323,9 @@ pub fn rows_to_json(rows: &[QueryRow]) -> String {
     format!("[\n  {}\n]\n", body.join(",\n  "))
 }
 
-/// A `Duration` helper for criterion benches: median of `n` runs of `f`.
+/// A `Duration` helper for ad hoc timing: median of `n` runs of `f`.
+/// (The bench binaries use `prix_testkit::bench::Harness`, which also
+/// reports p95; this stays for quick one-off measurements in tests.)
 pub fn median_duration(n: usize, mut f: impl FnMut()) -> Duration {
     let mut samples: Vec<Duration> = (0..n)
         .map(|_| {

@@ -89,22 +89,21 @@ impl PrixEngine {
         // through the internally synchronized buffer pool, so they can
         // be built concurrently.
         let (rp, ep) = if cfg.build_rp && cfg.build_ep {
-            let (rp_res, ep_res) = crossbeam::thread::scope(|s| {
+            let (rp_res, ep_res) = std::thread::scope(|s| {
                 let rp_pool = Arc::clone(&pool);
                 let ep_pool = Arc::clone(&pool);
                 let coll = &collection;
-                let rp = s.spawn(move |_| {
+                let rp = s.spawn(move || {
                     PrixIndex::build(rp_pool, coll, IndexKind::Regular, cfg.labeling, dummy)
                 });
-                let ep = s.spawn(move |_| {
+                let ep = s.spawn(move || {
                     PrixIndex::build(ep_pool, coll, IndexKind::Extended, cfg.labeling, dummy)
                 });
                 (
                     rp.join().expect("rp build thread"),
                     ep.join().expect("ep build thread"),
                 )
-            })
-            .expect("index build scope");
+            });
             (Some(rp_res?), Some(ep_res?))
         } else if cfg.build_rp {
             (

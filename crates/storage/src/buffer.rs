@@ -9,11 +9,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::error::Result;
 use crate::pager::{PageId, Pager, PAGE_SIZE};
 use crate::stats::{IoSnapshot, IoStats};
+use crate::sync::Mutex;
 
 /// Default pool capacity, matching the paper's 2000-page configuration.
 pub const DEFAULT_CAPACITY: usize = 2000;

@@ -24,6 +24,7 @@ pub mod error;
 pub mod pager;
 pub mod record;
 pub mod stats;
+pub mod sync;
 
 pub use bptree::BPlusTree;
 pub use buffer::BufferPool;

@@ -10,9 +10,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::error::Result;
+use crate::sync::Mutex;
 use crate::stats::IoStats;
 
 /// Size of every page, matching the paper's 8 K page configuration §6.1.

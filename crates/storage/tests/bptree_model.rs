@@ -7,9 +7,8 @@ use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use prix_storage::{BPlusTree, BufferPool, Pager};
+use prix_testkit::{check, from_fn, vec_of, Config, Generator};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,92 +19,103 @@ enum Op {
     Scan(u16, u16),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
-        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::DeleteExact(k % 512, v)),
-        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
-        1 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Scan(a % 512, b % 512)),
-    ]
+/// Weighted op mix (4 insert : 1 delete : 1 delete-exact : 2 get :
+/// 1 scan), keys in a small space so collisions and duplicates happen.
+fn arb_op() -> impl Generator<Value = Op> {
+    from_fn(|rng| {
+        let k = rng.below(512) as u16;
+        match rng.below(9) {
+            0..=3 => Op::Insert(k, rng.below(256) as u8),
+            4 => Op::Delete(k),
+            5 => Op::DeleteExact(k, rng.below(256) as u8),
+            6 | 7 => Op::Get(k),
+            _ => Op::Scan(k, rng.below(512) as u16),
+        }
+    })
 }
 
 fn key(k: u16) -> [u8; 2] {
     k.to_be_bytes()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+#[test]
+fn bptree_matches_ordered_multimap() {
+    let ops_gen = vec_of(1, 400, arb_op());
+    check(
+        "bptree_matches_ordered_multimap",
+        &Config::cases(64),
+        &ops_gen,
+        |ops| {
+            let pool = Arc::new(BufferPool::new(Pager::in_memory(), 16));
+            let mut tree = BPlusTree::create(pool).unwrap();
+            let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
 
-    #[test]
-    fn bptree_matches_ordered_multimap(ops in prop::collection::vec(arb_op(), 1..400)) {
-        let pool = Arc::new(BufferPool::new(Pager::in_memory(), 16));
-        let mut tree = BPlusTree::create(pool).unwrap();
-        let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
-
-        for op in &ops {
-            match *op {
-                Op::Insert(k, v) => {
-                    tree.insert(&key(k), &[v]).unwrap();
-                    model.entry(k).or_default().push(v);
-                }
-                Op::Delete(k) => {
-                    let removed = tree.delete(&key(k), None).unwrap();
-                    let expected = model.remove(&k).map_or(0, |v| v.len());
-                    prop_assert_eq!(removed, expected, "delete all {}", k);
-                }
-                Op::DeleteExact(k, v) => {
-                    let removed = tree.delete(&key(k), Some(&[v])).unwrap();
-                    let expected = match model.get_mut(&k) {
-                        Some(vals) => {
-                            let before = vals.len();
-                            vals.retain(|&x| x != v);
-                            let after = vals.len();
-                            if vals.is_empty() {
-                                model.remove(&k);
+            for op in ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        tree.insert(&key(k), &[v]).unwrap();
+                        model.entry(k).or_default().push(v);
+                    }
+                    Op::Delete(k) => {
+                        let removed = tree.delete(&key(k), None).unwrap();
+                        let expected = model.remove(&k).map_or(0, |v| v.len());
+                        assert_eq!(removed, expected, "delete all {k}");
+                    }
+                    Op::DeleteExact(k, v) => {
+                        let removed = tree.delete(&key(k), Some(&[v])).unwrap();
+                        let expected = match model.get_mut(&k) {
+                            Some(vals) => {
+                                let before = vals.len();
+                                vals.retain(|&x| x != v);
+                                let after = vals.len();
+                                if vals.is_empty() {
+                                    model.remove(&k);
+                                }
+                                before - after
                             }
-                            before - after
-                        }
-                        None => 0,
-                    };
-                    prop_assert_eq!(removed, expected, "delete exact {} {}", k, v);
-                }
-                Op::Get(k) => {
-                    let got = tree.get_all(&key(k)).unwrap();
-                    let want = model.get(&k).cloned().unwrap_or_default();
-                    let mut got_sorted: Vec<u8> = got.iter().map(|v| v[0]).collect();
-                    let mut want_sorted = want.clone();
-                    got_sorted.sort_unstable();
-                    want_sorted.sort_unstable();
-                    prop_assert_eq!(got_sorted, want_sorted, "get {}", k);
-                }
-                Op::Scan(a, b) => {
-                    let (lo, hi) = (a.min(b), a.max(b));
-                    let mut got: Vec<(u16, u8)> = Vec::new();
-                    tree.scan(
-                        Bound::Included(&key(lo)),
-                        Bound::Included(&key(hi)),
-                        |k, v| {
-                            got.push((u16::from_be_bytes(k.try_into().unwrap()), v[0]));
-                            true
-                        },
-                    )
-                    .unwrap();
-                    let mut want: Vec<(u16, u8)> = model
-                        .range(lo..=hi)
-                        .flat_map(|(&k, vs)| vs.iter().map(move |&v| (k, v)))
-                        .collect();
-                    // Key order must match exactly; among equal keys the
-                    // order is unspecified, so sort value-within-key.
-                    got.sort();
-                    want.sort();
-                    prop_assert_eq!(got, want, "scan {}..={}", lo, hi);
+                            None => 0,
+                        };
+                        assert_eq!(removed, expected, "delete exact {k} {v}");
+                    }
+                    Op::Get(k) => {
+                        let got = tree.get_all(&key(k)).unwrap();
+                        let want = model.get(&k).cloned().unwrap_or_default();
+                        let mut got_sorted: Vec<u8> = got.iter().map(|v| v[0]).collect();
+                        let mut want_sorted = want.clone();
+                        got_sorted.sort_unstable();
+                        want_sorted.sort_unstable();
+                        assert_eq!(got_sorted, want_sorted, "get {k}");
+                    }
+                    Op::Scan(a, b) => {
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        let mut got: Vec<(u16, u8)> = Vec::new();
+                        tree.scan(
+                            Bound::Included(&key(lo)),
+                            Bound::Included(&key(hi)),
+                            |k, v| {
+                                got.push((u16::from_be_bytes(k.try_into().unwrap()), v[0]));
+                                true
+                            },
+                        )
+                        .unwrap();
+                        let mut want: Vec<(u16, u8)> = model
+                            .range(lo..=hi)
+                            .flat_map(|(&k, vs)| vs.iter().map(move |&v| (k, v)))
+                            .collect();
+                        // Key order must match exactly; among equal keys
+                        // the order is unspecified, so sort
+                        // value-within-key.
+                        got.sort();
+                        want.sort();
+                        assert_eq!(got, want, "scan {lo}..={hi}");
+                    }
                 }
             }
-        }
-        // Final full-scan equivalence.
-        let total = tree.len().unwrap();
-        let model_total: usize = model.values().map(Vec::len).sum();
-        prop_assert_eq!(total, model_total);
-    }
+            // Final full-scan equivalence.
+            let total = tree.len().unwrap();
+            let model_total: usize = model.values().map(Vec::len).sum();
+            assert_eq!(total, model_total);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,315 @@
+//! A tiny benchmark harness: warmup, fixed sample count, median/p95.
+//!
+//! Replaces `criterion` for the `crates/bench/benches/*` targets (which
+//! keep `harness = false` and drive this from `fn main()`):
+//!
+//! ```no_run
+//! use prix_testkit::bench::{Harness, Opts};
+//!
+//! let mut h = Harness::from_args("my_suite");
+//! h.bench("fast_path", || { /* measured work */ });
+//! h.bench_with_setup("cold_start", || make_input(), |input| consume(input));
+//! # fn make_input() {}
+//! # fn consume(_: ()) {}
+//! h.finish();
+//! ```
+//!
+//! Output is one line per benchmark with median and p95 over the
+//! samples. `--json PATH` (or `PRIX_BENCH_JSON=PATH`) additionally
+//! writes machine-readable results; a positional argument filters
+//! benchmarks by substring (so `cargo bench -- bptree` works).
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Untimed runs before sampling starts.
+    pub warmup: u32,
+    /// Timed samples collected.
+    pub samples: u32,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            warmup: 3,
+            samples: 15,
+        }
+    }
+}
+
+impl Opts {
+    /// Default warmup with a custom sample count.
+    pub fn samples(samples: u32) -> Self {
+        Opts {
+            samples,
+            ..Default::default()
+        }
+    }
+}
+
+/// One benchmark's aggregated timings.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `suite/name` of the benchmark.
+    pub name: String,
+    /// Number of samples.
+    pub samples: u32,
+    /// Median sample.
+    pub median: Duration,
+    /// 95th-percentile sample (nearest-rank).
+    pub p95: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// The bench driver: registers runs, prints a table, optionally emits
+/// JSON.
+pub struct Harness {
+    suite: String,
+    default_opts: Opts,
+    filter: Option<String>,
+    json: Option<String>,
+    list_only: bool,
+    reports: Vec<Report>,
+}
+
+impl Harness {
+    /// Builds a harness, reading the arguments cargo passes to
+    /// `harness = false` bench binaries. Recognized: `--json PATH`,
+    /// `--list`, a positional substring filter; `--bench`/`--test` and
+    /// other libtest-style flags are ignored.
+    pub fn from_args(suite: &str) -> Self {
+        let mut filter = None;
+        let mut json = std::env::var("PRIX_BENCH_JSON").ok();
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => json = args.next(),
+                "--list" => list_only = true,
+                s if s.starts_with("--") => {} // --bench, --test, ...
+                s => filter = Some(s.to_string()),
+            }
+        }
+        println!("suite {suite}: median/p95 over fixed samples (in-repo harness)");
+        Harness {
+            suite: suite.to_string(),
+            default_opts: Opts::default(),
+            filter,
+            json,
+            list_only,
+            reports: Vec::new(),
+        }
+    }
+
+    /// A harness with explicit settings (for tests of the harness).
+    pub fn new(suite: &str, default_opts: Opts) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            default_opts,
+            filter: None,
+            json: None,
+            list_only: false,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Changes the default sampling options for subsequent benches.
+    pub fn set_opts(&mut self, opts: Opts) {
+        self.default_opts = opts;
+    }
+
+    fn skip(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Benchmarks `f` with the current default options.
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.bench_with_opts(name, self.default_opts, f)
+    }
+
+    /// Benchmarks `f` with explicit options.
+    pub fn bench_with_opts(&mut self, name: &str, opts: Opts, mut f: impl FnMut()) {
+        let full = format!("{}/{}", self.suite, name);
+        if self.skip(&full) {
+            return;
+        }
+        if self.list_only {
+            println!("{full}");
+            return;
+        }
+        for _ in 0..opts.warmup {
+            f();
+        }
+        let samples: Vec<Duration> = (0..opts.samples.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed()
+            })
+            .collect();
+        self.record(full, samples);
+    }
+
+    /// Benchmarks `routine` over a fresh untimed `setup` product per
+    /// sample (the `iter_batched` replacement: use when the routine
+    /// consumes or mutates its input).
+    pub fn bench_with_setup<S>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S),
+    ) {
+        let full = format!("{}/{}", self.suite, name);
+        if self.skip(&full) {
+            return;
+        }
+        if self.list_only {
+            println!("{full}");
+            return;
+        }
+        let opts = self.default_opts;
+        for _ in 0..opts.warmup {
+            routine(setup());
+        }
+        let samples: Vec<Duration> = (0..opts.samples.max(1))
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                routine(input);
+                t.elapsed()
+            })
+            .collect();
+        self.record(full, samples);
+    }
+
+    fn record(&mut self, name: String, mut samples: Vec<Duration>) {
+        samples.sort();
+        let n = samples.len();
+        let report = Report {
+            name,
+            samples: n as u32,
+            median: samples[n / 2],
+            p95: samples[(n * 95 / 100).min(n - 1)],
+            min: samples[0],
+            max: samples[n - 1],
+        };
+        println!(
+            "  {:<44} median {:>10}  p95 {:>10}  ({} samples)",
+            report.name,
+            fmt_duration(report.median),
+            fmt_duration(report.p95),
+            report.samples
+        );
+        self.reports.push(report);
+    }
+
+    /// The reports collected so far.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Prints the summary line and writes JSON if requested.
+    pub fn finish(self) {
+        if self.list_only {
+            return;
+        }
+        println!(
+            "suite {}: {} benchmarks done",
+            self.suite,
+            self.reports.len()
+        );
+        if let Some(path) = &self.json {
+            std::fs::write(path, reports_to_json(&self.reports))
+                .unwrap_or_else(|e| panic!("writing bench JSON to {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+}
+
+/// Human formatting with an adaptive unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Hand-rolled JSON for the report list (the workspace has no serde).
+pub fn reports_to_json(reports: &[Report]) -> String {
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                r#"  {{"name":"{}","samples":{},"median_ns":{},"p95_ns":{},"min_ns":{},"max_ns":{}}}"#,
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.samples,
+                r.median.as_nanos(),
+                r.p95.as_nanos(),
+                r.min.as_nanos(),
+                r.max.as_nanos()
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_p95_come_from_sorted_samples() {
+        let mut h = Harness::new("t", Opts { warmup: 0, samples: 20 });
+        let mut calls = 0u32;
+        h.bench("count_calls", || calls += 1);
+        assert_eq!(calls, 20);
+        let r = &h.reports()[0];
+        assert_eq!(r.name, "t/count_calls");
+        assert!(r.min <= r.median && r.median <= r.p95 && r.p95 <= r.max);
+    }
+
+    #[test]
+    fn setup_runs_outside_the_timer() {
+        let mut h = Harness::new("t", Opts { warmup: 1, samples: 3 });
+        h.bench_with_setup(
+            "sleepy_setup",
+            || std::thread::sleep(Duration::from_millis(5)),
+            |()| {},
+        );
+        let r = &h.reports()[0];
+        assert!(
+            r.median < Duration::from_millis(5),
+            "setup time must not be measured (median {:?})",
+            r.median
+        );
+    }
+
+    #[test]
+    fn json_has_all_fields() {
+        let mut h = Harness::new("t", Opts { warmup: 0, samples: 2 });
+        h.bench("x", || {});
+        let json = reports_to_json(h.reports());
+        for key in ["\"name\"", "median_ns", "p95_ns", "min_ns", "max_ns"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).contains(" s"));
+    }
+}

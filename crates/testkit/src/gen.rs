@@ -1,0 +1,161 @@
+//! Generators: pure functions from a [`TestRng`] to values.
+//!
+//! Because shrinking happens on the rng's recorded tape (see
+//! [`crate::runner`]), a generator is *only* a sampling function — no
+//! per-type shrink logic. The workhorse is [`from_fn`]: write ordinary
+//! imperative sampling code against the rng and get replay + shrinking
+//! for free. The named combinators below cover the common shapes.
+
+use crate::rng::TestRng;
+
+/// Something that can sample a value from a [`TestRng`].
+pub trait Generator {
+    /// The generated type.
+    type Value;
+    /// Draws one value. Must consume a bounded number of draws and be a
+    /// pure function of the rng's output.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+struct FromFn<F>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Generator for FromFn<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// The universal generator: any closure over the rng.
+pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> impl Generator<Value = T> {
+    FromFn(f)
+}
+
+/// Uniform `u64` in `[lo, hi]`.
+pub fn u64_in(lo: u64, hi: u64) -> impl Generator<Value = u64> {
+    from_fn(move |rng| rng.range(lo, hi))
+}
+
+/// Uniform `u8` in `[lo, hi]`.
+pub fn u8_in(lo: u8, hi: u8) -> impl Generator<Value = u8> {
+    from_fn(move |rng| rng.range(lo as u64, hi as u64) as u8)
+}
+
+/// Uniform `usize` in `[lo, hi]`.
+pub fn usize_in(lo: usize, hi: usize) -> impl Generator<Value = usize> {
+    from_fn(move |rng| rng.range(lo as u64, hi as u64) as usize)
+}
+
+/// Fair coin.
+pub fn bools() -> impl Generator<Value = bool> {
+    from_fn(|rng| rng.next_u64() & (1 << 32) != 0)
+}
+
+/// `Some(inner)` with probability `p_some`, else `None`. Shrinks toward
+/// `None` (a zero draw fails the chance).
+pub fn option_of<G: Generator>(
+    p_some: f64,
+    inner: G,
+) -> impl Generator<Value = Option<G::Value>> {
+    from_fn(move |rng| {
+        if rng.chance(p_some) {
+            Some(inner.generate(rng))
+        } else {
+            None
+        }
+    })
+}
+
+/// A vector with uniformly chosen length in `[min_len, max_len]`.
+/// Shrinks toward shorter vectors of smaller elements.
+pub fn vec_of<G: Generator>(
+    min_len: usize,
+    max_len: usize,
+    inner: G,
+) -> impl Generator<Value = Vec<G::Value>> {
+    from_fn(move |rng| {
+        let len = rng.range(min_len as u64, max_len as u64) as usize;
+        (0..len).map(|_| inner.generate(rng)).collect()
+    })
+}
+
+/// A weighted alternative for [`one_of`].
+pub struct Weighted<T>(pub u32, pub T);
+
+/// Picks among weighted constants (the `prop_oneof!` replacement for
+/// value enums). Index 0 is the shrink target, so list the simplest
+/// alternative first.
+pub fn one_of<T: Clone>(choices: Vec<Weighted<T>>) -> impl Generator<Value = T> {
+    assert!(!choices.is_empty(), "one_of needs at least one choice");
+    let total: u64 = choices.iter().map(|w| w.0 as u64).sum();
+    assert!(total > 0, "one_of needs positive total weight");
+    from_fn(move |rng| {
+        let mut roll = rng.below(total);
+        for Weighted(w, v) in &choices {
+            if roll < *w as u64 {
+                return v.clone();
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll < total")
+    })
+}
+
+impl<A: Generator, B: Generator> Generator for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Generator, B: Generator, C: Generator> Generator for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_bounds() {
+        let g = vec_of(1, 5, u8_in(0, 9));
+        for seed in 0..50 {
+            let v = g.generate(&mut TestRng::from_seed(seed));
+            assert!((1..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x <= 9));
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_choices() {
+        let g = one_of(vec![Weighted(1, 'a'), Weighted(3, 'b'), Weighted(1, 'c')]);
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(g.generate(&mut rng) as u8 - b'a') as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn zero_tape_yields_minimal_values() {
+        let mut rng = TestRng::from_tape(vec![]);
+        assert_eq!(vec_of(0, 7, u8_in(2, 9)).generate(&mut rng), Vec::<u8>::new());
+        assert_eq!(option_of(0.9, bools()).generate(&mut rng), None);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let g = (u8_in(0, 4), bools(), usize_in(10, 20));
+        let (a, _b, c) = g.generate(&mut TestRng::from_seed(8));
+        assert!(a <= 4);
+        assert!((10..=20).contains(&c));
+    }
+}

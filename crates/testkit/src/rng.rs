@@ -1,0 +1,141 @@
+//! The tape-recording random source behind every generator.
+//!
+//! [`TestRng`] wraps the workspace's deterministic SplitMix64 (the same
+//! generator `prix-datagen` uses for reproducible datasets) and records
+//! every raw 64-bit draw on a *tape*. The shrinker in [`crate::runner`]
+//! never needs to understand values: it edits the tape (deleting,
+//! zeroing, halving entries) and replays generation over the edited
+//! tape. Draws past the end of a replay tape read as 0 — the smallest
+//! value — so truncation is itself a shrink.
+
+use prix_datagen::SplitMix64;
+
+/// Hard cap on draws per generation, so a pathological generator (or a
+/// shrink-edited tape) can never loop forever.
+pub const MAX_DRAWS: usize = 1 << 22;
+
+enum Source {
+    /// Fresh generation from a seed.
+    Fresh(SplitMix64),
+    /// Replay of an edited tape; draws past the end are 0.
+    Tape(Vec<u64>),
+}
+
+/// A deterministic random source that records its draws.
+///
+/// All derived draws (`below`, `range`, `chance`, …) are monotone-ish
+/// functions of a single raw `next_u64`, so shrinking a tape entry
+/// toward 0 shrinks the generated value toward its minimum.
+pub struct TestRng {
+    source: Source,
+    /// Every raw draw actually handed out, in order.
+    tape: Vec<u64>,
+    pos: usize,
+}
+
+impl TestRng {
+    /// A fresh recording source. Generation from equal seeds is
+    /// identical — this is the whole replay story.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            source: Source::Fresh(SplitMix64::new(seed)),
+            tape: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// A source that replays `tape`, reading 0 once it runs out.
+    pub fn from_tape(tape: Vec<u64>) -> Self {
+        TestRng {
+            source: Source::Tape(tape),
+            tape: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The draws consumed so far (the *effective* tape: replays record
+    /// what they actually read, including implicit trailing zeros).
+    pub fn tape(&self) -> &[u64] {
+        &self.tape
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        assert!(
+            self.pos < MAX_DRAWS,
+            "generator exceeded {MAX_DRAWS} draws; generators must be bounded"
+        );
+        let v = match &mut self.source {
+            Source::Fresh(rng) => rng.next_u64(),
+            Source::Tape(tape) => tape.get(self.pos).copied().unwrap_or(0),
+        };
+        self.pos += 1;
+        self.tape.push(v);
+        v
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive. Monotone in the
+    /// underlying draw (draw 0 ⇒ result 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        match hi - lo {
+            u64::MAX => self.next_u64(),
+            span => lo + self.below(span + 1),
+        }
+    }
+
+    /// Bernoulli trial with probability `p`. Draw 0 ⇒ `false` for any
+    /// `p < 1`, so shrinking turns coin flips off.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) >= 1.0 - p
+    }
+
+    /// Picks an element of a non-empty slice (index shrinks toward 0).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_is_deterministic_per_seed() {
+        let mut a = TestRng::from_seed(7);
+        let mut b = TestRng::from_seed(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn tape_records_then_replays_identically() {
+        let mut a = TestRng::from_seed(42);
+        let vals: Vec<u64> = (0..10).map(|_| a.below(1000)).collect();
+        let mut b = TestRng::from_tape(a.tape().to_vec());
+        let replayed: Vec<u64> = (0..10).map(|_| b.below(1000)).collect();
+        assert_eq!(vals, replayed);
+    }
+
+    #[test]
+    fn exhausted_tape_reads_zero() {
+        let mut r = TestRng::from_tape(vec![u64::MAX]);
+        assert_eq!(r.below(10), 9);
+        assert_eq!(r.below(10), 0, "past-the-end draws are 0");
+        assert!(!r.chance(0.999));
+    }
+
+    #[test]
+    fn zero_draw_is_minimal() {
+        let mut r = TestRng::from_tape(vec![]);
+        assert_eq!(r.range(5, 9), 5);
+        assert_eq!(*r.pick(&[1, 2, 3]), 1);
+    }
+}

@@ -1,8 +1,7 @@
 //! Property tests for the XML layer: write → parse round-trips, and the
 //! postorder numbering invariants every PRIX phase relies on.
 
-use proptest::prelude::*;
-
+use prix_testkit::{check, from_fn, vec_of, Config, Generator};
 use prix_xml::{parse_document, write_document, NodeKind, SymbolTable, XmlTree};
 
 #[derive(Debug, Clone)]
@@ -13,17 +12,20 @@ struct Step {
     ups: u8,
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        (0u8..6, prop::option::of(0u8..4), any::<bool>(), 0u8..3).prop_map(
-            |(label, text, descend, ups)| Step {
-                label,
-                text,
-                descend,
-                ups,
+fn arb_steps() -> impl Generator<Value = Vec<Step>> {
+    vec_of(
+        0,
+        39,
+        from_fn(|rng| Step {
+            label: rng.below(6) as u8,
+            text: if rng.chance(0.5) {
+                Some(rng.below(4) as u8)
+            } else {
+                None
             },
-        ),
-        0..40,
+            descend: rng.chance(0.5),
+            ups: rng.below(3) as u8,
+        }),
     )
 }
 
@@ -60,104 +62,128 @@ fn build(steps: &[Step], syms: &mut SymbolTable) -> XmlTree {
     tree
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
-
-    /// write_document(parse_document(write_document(t))) is stable and
-    /// label/kind/structure are preserved.
-    #[test]
-    fn write_parse_roundtrip(steps in arb_steps()) {
-        let mut syms = SymbolTable::new();
-        let tree = build(&steps, &mut syms);
-        let xml = write_document(&tree, &syms);
-        let mut syms2 = SymbolTable::new();
-        let parsed = parse_document(&xml, &mut syms2).expect("own output parses");
-        prop_assert_eq!(parsed.len(), tree.len());
-        for (a, b) in tree.postorder_iter().zip(parsed.postorder_iter()) {
-            prop_assert_eq!(syms.name(tree.label(a)), syms2.name(parsed.label(b)));
-            prop_assert_eq!(tree.kind(a), parsed.kind(b));
-            prop_assert_eq!(
-                tree.parent(a).map(|p| tree.postorder(p)),
-                parsed.parent(b).map(|p| parsed.postorder(p))
-            );
-        }
-        // Idempotence: a second round-trip produces identical text.
-        let xml2 = write_document(&parsed, &syms2);
-        prop_assert_eq!(xml, xml2);
-    }
-
-    /// Postorder invariants: dense 1..=n, children before parents,
-    /// siblings increasing, root last, subtrees contiguous.
-    #[test]
-    fn postorder_invariants(steps in arb_steps()) {
-        let mut syms = SymbolTable::new();
-        let tree = build(&steps, &mut syms);
-        let n = tree.len() as u32;
-        prop_assert_eq!(tree.postorder(tree.root()), n, "root is numbered n");
-        let mut seen = vec![false; n as usize];
-        for node in tree.nodes() {
-            let p = tree.postorder(node);
-            prop_assert!(p >= 1 && p <= n);
-            prop_assert!(!seen[(p - 1) as usize], "numbers are unique");
-            seen[(p - 1) as usize] = true;
-            if let Some(parent) = tree.parent(node) {
-                prop_assert!(tree.postorder(node) < tree.postorder(parent));
+/// write_document(parse_document(write_document(t))) is stable and
+/// label/kind/structure are preserved.
+#[test]
+fn write_parse_roundtrip() {
+    check(
+        "write_parse_roundtrip",
+        &Config::cases(128),
+        &arb_steps(),
+        |steps| {
+            let mut syms = SymbolTable::new();
+            let tree = build(steps, &mut syms);
+            let xml = write_document(&tree, &syms);
+            let mut syms2 = SymbolTable::new();
+            let parsed = parse_document(&xml, &mut syms2).expect("own output parses");
+            assert_eq!(parsed.len(), tree.len());
+            for (a, b) in tree.postorder_iter().zip(parsed.postorder_iter()) {
+                assert_eq!(syms.name(tree.label(a)), syms2.name(parsed.label(b)));
+                assert_eq!(tree.kind(a), parsed.kind(b));
+                assert_eq!(
+                    tree.parent(a).map(|p| tree.postorder(p)),
+                    parsed.parent(b).map(|p| parsed.postorder(p))
+                );
             }
-            let kids = tree.children(node);
-            for w in kids.windows(2) {
-                prop_assert!(tree.postorder(w[0]) < tree.postorder(w[1]));
-            }
-            // Subtree of `node` is exactly the contiguous range
-            // [p - subtree_size + 1, p].
-            let mut size = 0u32;
-            let mut stack = vec![node];
-            let mut min_post = p;
-            while let Some(v) = stack.pop() {
-                size += 1;
-                min_post = min_post.min(tree.postorder(v));
-                stack.extend_from_slice(tree.children(v));
-            }
-            prop_assert_eq!(min_post, p - size + 1, "subtree is contiguous");
-        }
-    }
+            // Idempotence: a second round-trip produces identical text.
+            let xml2 = write_document(&parsed, &syms2);
+            assert_eq!(xml, xml2);
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+/// Postorder invariants: dense 1..=n, children before parents,
+/// siblings increasing, root last, subtrees contiguous.
+#[test]
+fn postorder_invariants() {
+    check(
+        "postorder_invariants",
+        &Config::cases(128),
+        &arb_steps(),
+        |steps| {
+            let mut syms = SymbolTable::new();
+            let tree = build(steps, &mut syms);
+            let n = tree.len() as u32;
+            assert_eq!(tree.postorder(tree.root()), n, "root is numbered n");
+            let mut seen = vec![false; n as usize];
+            for node in tree.nodes() {
+                let p = tree.postorder(node);
+                assert!(p >= 1 && p <= n);
+                assert!(!seen[(p - 1) as usize], "numbers are unique");
+                seen[(p - 1) as usize] = true;
+                if let Some(parent) = tree.parent(node) {
+                    assert!(tree.postorder(node) < tree.postorder(parent));
+                }
+                let kids = tree.children(node);
+                for w in kids.windows(2) {
+                    assert!(tree.postorder(w[0]) < tree.postorder(w[1]));
+                }
+                // Subtree of `node` is exactly the contiguous range
+                // [p - subtree_size + 1, p].
+                let mut size = 0u32;
+                let mut stack = vec![node];
+                let mut min_post = p;
+                while let Some(v) = stack.pop() {
+                    size += 1;
+                    min_post = min_post.min(tree.postorder(v));
+                    stack.extend_from_slice(tree.children(v));
+                }
+                assert_eq!(min_post, p - size + 1, "subtree is contiguous");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The parser never panics: arbitrary input yields Ok or a clean
-    /// ParseError.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,200}") {
-        let mut syms = SymbolTable::new();
-        let _ = parse_document(&input, &mut syms);
-    }
+/// Arbitrary non-control-heavy text (the old `\PC{0,200}` strategy),
+/// with occasional raw control and multibyte characters thrown in.
+fn arb_fuzz_string() -> impl Generator<Value = String> {
+    from_fn(|rng| {
+        let len = rng.below(201) as usize;
+        (0..len)
+            .map(|_| match rng.below(10) {
+                0..=5 => rng.range(0x20, 0x7E) as u8 as char,
+                6 | 7 => *rng.pick(&['<', '>', '&', ';', '"', '=', '/', '!', '-', '[', ']']),
+                8 => *rng.pick(&['é', 'λ', '中', '🦀', 'ß', 'Ω', '\t', '\n']),
+                _ => char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}'),
+            })
+            .collect()
+    })
+}
 
-    /// Angle-bracket-heavy fuzzing hits the tag state machine harder.
-    #[test]
-    fn parser_never_panics_on_taggy_input(
-        parts in prop::collection::vec(
-            prop_oneof![
-                Just("<".to_string()),
-                Just(">".to_string()),
-                Just("</".to_string()),
-                Just("/>".to_string()),
-                Just("<!--".to_string()),
-                Just("-->".to_string()),
-                Just("<![CDATA[".to_string()),
-                Just("]]>".to_string()),
-                Just("&".to_string()),
-                Just(";".to_string()),
-                Just("=".to_string()),
-                Just("\"".to_string()),
-                Just("a".to_string()),
-                Just(" ".to_string()),
-            ],
-            0..60,
-        )
-    ) {
-        let input: String = parts.concat();
-        let mut syms = SymbolTable::new();
-        let _ = parse_document(&input, &mut syms);
-    }
+/// The parser never panics: arbitrary input yields Ok or a clean
+/// ParseError.
+#[test]
+fn parser_never_panics() {
+    check(
+        "parser_never_panics",
+        &Config::cases(512),
+        &arb_fuzz_string(),
+        |input| {
+            let mut syms = SymbolTable::new();
+            let _ = parse_document(input, &mut syms);
+            Ok(())
+        },
+    );
+}
+
+/// Angle-bracket-heavy fuzzing hits the tag state machine harder.
+#[test]
+fn parser_never_panics_on_taggy_input() {
+    const PARTS: [&str; 14] = [
+        "<", ">", "</", "/>", "<!--", "-->", "<![CDATA[", "]]>", "&", ";", "=", "\"", "a", " ",
+    ];
+    let gen = vec_of(0, 59, from_fn(|rng| *rng.pick(&PARTS)));
+    check(
+        "parser_never_panics_on_taggy_input",
+        &Config::cases(512),
+        &gen,
+        |parts| {
+            let input: String = parts.concat();
+            let mut syms = SymbolTable::new();
+            let _ = parse_document(&input, &mut syms);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable with no network and no crates.io cache:
+# the workspace has zero external dependencies, so a clean checkout
+# must build and test with --offline --locked. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --locked
+cargo test -q --offline --workspace

@@ -26,13 +26,14 @@ fn parallel_queries_agree_with_serial() {
         .map(|(_, q, _)| engine.query(q).unwrap().matches.len())
         .collect();
 
-    // 8 threads x all queries, sharing the engine immutably.
+    // 8 threads x all queries, sharing the engine immutably. A panic in
+    // any spawned thread propagates when the scope joins it.
     let engine_ref = &engine;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..8 {
             let queries = &queries;
             let serial = &serial;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (i, (id, q, expected)) in queries.iter().enumerate() {
                     let out = engine_ref.query(q).unwrap();
                     assert_eq!(out.matches.len(), serial[i], "thread {t} query {id}");
@@ -40,8 +41,7 @@ fn parallel_queries_agree_with_serial() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -62,15 +62,14 @@ fn parallel_queries_under_cache_pressure() {
         .map(|pq| (engine.parse_query(pq.xpath).unwrap(), pq.expected_matches))
         .collect();
     let engine_ref = &engine;
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..4 {
             let queries = &queries;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (q, expected) in queries {
                     assert_eq!(engine_ref.query(q).unwrap().matches.len() as u64, *expected);
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }

@@ -7,6 +7,7 @@
 //! §5.7 branch-arrangement loop.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,6 +19,14 @@ use crate::index::{ExecOpts, IndexError, IndexKind, PrixIndex, QueryStats, Resul
 use crate::query::TwigQuery;
 use crate::trie::LabelingMode;
 use crate::xpath::{parse_xpath, XPathError};
+
+/// Version of the catalog-page layout written by [`PrixEngine::save`].
+/// [`PrixEngine::reopen`] refuses any other version rather than
+/// misreading an unknown layout.
+///
+/// History: v1 ended after the dummy symbol; v2 appended the
+/// arrangement limit.
+const CATALOG_VERSION: u32 = 2;
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -74,6 +83,13 @@ pub struct PrixEngine {
     ep: Option<PrixIndex>,
     dummy: Sym,
     arrangement_limit: usize,
+    /// Record store holding engine-level catalog records (the symbol
+    /// table); kept open across saves so repeated saves append into the
+    /// same data page instead of allocating a fresh one each time.
+    catalog_store: Option<RecordStore>,
+    /// Last symbol-table record written, with its exact serialized
+    /// bytes: an unchanged table is not re-appended on the next save.
+    saved_syms: Option<(RecordId, Vec<u8>)>,
 }
 
 impl PrixEngine {
@@ -137,6 +153,8 @@ impl PrixEngine {
             ep,
             dummy,
             arrangement_limit: cfg.arrangement_limit,
+            catalog_store: None,
+            saved_syms: None,
         })
     }
 
@@ -153,6 +171,12 @@ impl PrixEngine {
     /// The dummy label used for extended sequences.
     pub fn dummy(&self) -> Sym {
         self.dummy
+    }
+
+    /// The cap on unordered branch arrangements (§5.7). Persisted by
+    /// [`PrixEngine::save`] and restored by [`PrixEngine::reopen`].
+    pub fn arrangement_limit(&self) -> usize {
+        self.arrangement_limit
     }
 
     /// The RPIndex, if built.
@@ -218,17 +242,33 @@ impl PrixEngine {
             buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
             buf.extend_from_slice(name.as_bytes());
         }
-        let mut store = RecordStore::open(Arc::clone(&self.pool)).map_err(IndexError::Storage)?;
-        let syms_rec = store.append(&buf).map_err(IndexError::Storage)?;
+        // Reuse the previously written record when the table is
+        // unchanged — saving an unchanged engine N times must not grow
+        // the store by N symbol-table copies.
+        let syms_rec = match &self.saved_syms {
+            Some((id, bytes)) if *bytes == buf => *id,
+            _ => {
+                if self.catalog_store.is_none() {
+                    self.catalog_store = Some(
+                        RecordStore::open(Arc::clone(&self.pool)).map_err(IndexError::Storage)?,
+                    );
+                }
+                let store = self.catalog_store.as_mut().expect("created above");
+                let id = store.append(&buf).map_err(IndexError::Storage)?;
+                self.saved_syms = Some((id, buf));
+                id
+            }
+        };
         // Catalog page.
         self.pool
             .with_page_mut(0, |p: &mut [u8; PAGE_SIZE]| {
                 p[..4].copy_from_slice(b"PRIX");
-                p[4..8].copy_from_slice(&1u32.to_le_bytes()); // version
+                p[4..8].copy_from_slice(&CATALOG_VERSION.to_le_bytes());
                 p[8..16].copy_from_slice(&rp_meta.to_le_bytes());
                 p[16..24].copy_from_slice(&ep_meta.to_le_bytes());
                 p[24..32].copy_from_slice(&syms_rec.raw().to_le_bytes());
                 p[32..36].copy_from_slice(&self.dummy.0.to_le_bytes());
+                p[36..44].copy_from_slice(&(self.arrangement_limit as u64).to_le_bytes());
             })
             .map_err(IndexError::Storage)?;
         self.pool.flush().map_err(IndexError::Storage)
@@ -243,18 +283,26 @@ impl PrixEngine {
     pub fn reopen<P: AsRef<Path>>(path: P, buffer_pages: usize) -> Result<Self> {
         let pager = Pager::open(path).map_err(IndexError::Storage)?;
         let pool = Arc::new(BufferPool::new(pager, buffer_pages));
-        let (rp_meta, ep_meta, syms_rec, dummy) = pool
+        let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit) = pool
             .with_page(0, |p: &[u8; PAGE_SIZE]| {
                 if &p[..4] != b"PRIX" {
                     return Err(IndexError::Unsupported(
                         "file is not a PRIX database (bad magic)".into(),
                     ));
                 }
+                let version = u32::from_le_bytes(p[4..8].try_into().unwrap());
+                if version != CATALOG_VERSION {
+                    return Err(IndexError::Unsupported(format!(
+                        "unsupported PRIX database version {version} (this build reads \
+                         version {CATALOG_VERSION}); refusing to guess at its layout"
+                    )));
+                }
                 Ok((
                     u64::from_le_bytes(p[8..16].try_into().unwrap()),
                     u64::from_le_bytes(p[16..24].try_into().unwrap()),
                     u64::from_le_bytes(p[24..32].try_into().unwrap()),
                     Sym(u32::from_le_bytes(p[32..36].try_into().unwrap())),
+                    u64::from_le_bytes(p[36..44].try_into().unwrap()) as usize,
                 ))
             })
             .map_err(IndexError::Storage)??;
@@ -287,7 +335,9 @@ impl PrixEngine {
             rp,
             ep,
             dummy,
-            arrangement_limit: 720,
+            arrangement_limit,
+            catalog_store: None,
+            saved_syms: Some((RecordId::from_raw(syms_rec), bytes)),
         })
     }
 
@@ -299,6 +349,15 @@ impl PrixEngine {
     pub fn insert_document(&mut self, xml: &str) -> Result<prix_xml::DocId> {
         let tree = prix_xml::parse_document(xml, self.collection.symbols_mut())
             .map_err(|e| IndexError::Unsupported(format!("parse error: {e}")))?;
+        // Validate against *both* indexes before mutating either: if RP
+        // accepted the document but EP then ran out of trie scope, the
+        // two indexes would disagree on document ids forever after.
+        if let Some(rp) = &self.rp {
+            rp.check_insert(&tree)?;
+        }
+        if let Some(ep) = &self.ep {
+            ep.check_insert(&tree)?;
+        }
         let mut id = None;
         if let Some(rp) = &mut self.rp {
             id = Some(rp.insert_document(&tree)?);
@@ -343,6 +402,49 @@ impl PrixEngine {
             io: self.pool.snapshot().since(&io_before),
             elapsed: start.elapsed(),
         })
+    }
+
+    /// Executes a batch of ordered twig queries on up to `threads`
+    /// worker threads, returning one [`QueryOutcome`] per query in
+    /// input order. Workers pull queries from a shared atomic cursor,
+    /// so long and short queries balance across threads; all of them
+    /// read through the same sharded buffer pool.
+    ///
+    /// With `threads <= 1` (or a single query) this degenerates to the
+    /// serial loop. Note that under concurrency each outcome's
+    /// [`QueryOutcome::io`] is a delta of the pool-wide counters and so
+    /// includes pages fetched by overlapping queries; per-query I/O
+    /// attribution is only exact in the serial case.
+    pub fn query_batch(&self, queries: &[TwigQuery], threads: usize) -> Result<Vec<QueryOutcome>> {
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<Result<QueryOutcome>>>> =
+            queries.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let next = &next;
+                let slots = &slots;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let out = self.query(&queries[i]);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every query index was claimed by a worker")
+            })
+            .collect()
     }
 
     /// Executes an unordered twig query by running every distinct branch
@@ -612,6 +714,86 @@ mod tests {
         assert_eq!(nodes_before, nodes_after, "no new RP trie nodes");
         let q = e.parse_query("//a/b/c").unwrap();
         assert_eq!(e.query(&q).unwrap().matches.len(), 2);
+    }
+
+    #[test]
+    fn failed_ep_insert_leaves_indexes_in_lockstep() {
+        // Exact labeling packs trie scopes densely: only existing paths
+        // and fresh root branches are insertable. `<a><c>v</c></a>`
+        // diverges from `<a><b>v</b></a>` at the *root* of the RP trie
+        // (LPS `c a` vs `b a`), which exact labeling accepts — but its
+        // EP sequence (`v c a` vs `v b a`) diverges *below* the packed
+        // level-1 node for `v`, which underflows. The engine must
+        // reject the document *before* touching either index.
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let mut e = PrixEngine::build(c, EngineConfig::default()).unwrap();
+        assert!(
+            e.rp_index().unwrap().check_insert(
+                &prix_xml::parse_document("<a><c>v</c></a>", &mut e.collection.symbols().clone())
+                    .unwrap()
+            )
+            .is_ok(),
+            "RP alone would accept the document (root branch)"
+        );
+        let err = e.insert_document("<a><c>v</c></a>").unwrap_err();
+        assert!(
+            matches!(err, IndexError::Unsupported(_)),
+            "expected scope underflow, got {err}"
+        );
+        let rp_docs = e.rp_index().unwrap().doc_count();
+        let ep_docs = e.ep_index().unwrap().doc_count();
+        assert_eq!(rp_docs, ep_docs, "indexes out of lockstep");
+        assert_eq!(rp_docs, 1, "rejected document must not be half-indexed");
+        assert!(e.collection().len() == 1, "collection unchanged");
+        // The engine still works, and an insert both indexes accept
+        // (identical document: both paths shared) assigns aligned ids.
+        let id = e.insert_document("<a><b>v</b></a>").unwrap();
+        assert_eq!(id, 1);
+        let q = e.parse_query("//a/b").unwrap();
+        assert_eq!(e.query(&q).unwrap().matches.len(), 2);
+        let qv = e.parse_query(r#"//b[text()="v"]"#).unwrap();
+        assert_eq!(e.query(&qv).unwrap().matches.len(), 2);
+    }
+
+    #[test]
+    fn query_batch_matches_serial_and_preserves_order() {
+        let mut e = engine();
+        let xpaths = [
+            "//www[./editor]/url",
+            r#"//inproceedings[./author="Jim Gray"]"#,
+            "//dblp//year",
+            "//www/url",
+        ];
+        let queries: Vec<_> = xpaths.iter().map(|x| e.parse_query(x).unwrap()).collect();
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|q| e.query(q).unwrap().matches)
+            .collect();
+        for threads in [1, 2, 4, 16] {
+            let batch = e.query_batch(&queries, threads).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (i, out) in batch.iter().enumerate() {
+                assert_eq!(out.matches, serial[i], "threads={threads} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_surfaces_errors() {
+        // An RP-only engine cannot answer value queries; the batch must
+        // report the failure rather than swallow it.
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let cfg = EngineConfig {
+            build_ep: false,
+            ..Default::default()
+        };
+        let mut e = PrixEngine::build(c, cfg).unwrap();
+        let good = e.parse_query("//a/b").unwrap();
+        let bad = e.parse_query(r#"//a[./b="v"]"#).unwrap();
+        let queries = vec![good, bad];
+        assert!(e.query_batch(&queries, 2).is_err());
     }
 
     #[test]

@@ -177,6 +177,10 @@ pub struct PrixIndex {
     maxgap: MaxGapTable,
     dummy: Sym,
     build_stats: BuildStats,
+    /// Last metadata record written by [`PrixIndex::save`], with the
+    /// exact bytes it serialized: an unchanged index reuses the record
+    /// instead of appending a fresh copy on every save.
+    saved_meta: Option<(RecordId, Vec<u8>)>,
     /// Labels that occur on childless nodes somewhere in the collection
     /// (values, empty elements). A query leaf with such a label cannot
     /// use the leaf-extended plan soundly (§4.4): its image might be a
@@ -336,8 +340,45 @@ impl PrixIndex {
             maxgap,
             dummy,
             build_stats,
+            saved_meta: None,
             childless,
         })
+    }
+
+    /// Checks that [`PrixIndex::insert_document`] would succeed for
+    /// `tree` without mutating anything: a read-only descent of the
+    /// virtual trie that verifies the parent scope at the first
+    /// divergence point has room for the remaining suffix. (Once a
+    /// fresh child is carved out it receives at least `need` positions,
+    /// so every deeper level fits by induction — the first divergence
+    /// is the only place an insert can fail.)
+    ///
+    /// [`crate::PrixEngine::insert_document`] runs this against *both*
+    /// indexes before inserting into either, so a rejected document
+    /// cannot leave RP and EP with different document counts.
+    pub fn check_insert(&self, tree: &XmlTree) -> Result<()> {
+        let lps: Vec<Sym> = match self.kind {
+            IndexKind::Regular => PruferSeq::regular(tree).lps,
+            IndexKind::Extended => {
+                PruferSeq::regular(&ExtendedTree::build(tree, self.dummy).tree).lps
+            }
+        };
+        let mut cur = self.read_trie_node(0)?;
+        for (i, &sym) in lps.iter().enumerate() {
+            let level = (i + 1) as u32;
+            match self.find_child(&cur, sym, level)? {
+                Some(child) => cur = child,
+                None => {
+                    let available = cur.right.saturating_sub(cur.frontier);
+                    let need = (lps.len() - i) as u64;
+                    if available < need {
+                        return Err(scope_underflow(level, available, need));
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Incrementally indexes one more document — the use case the
@@ -352,6 +393,10 @@ impl PrixIndex {
     /// labeling packs scopes densely, so only already-present paths and
     /// fresh top-level branches can be added to it).
     pub fn insert_document(&mut self, tree: &XmlTree) -> Result<DocId> {
+        // Validate first: a scope underflow discovered mid-descent must
+        // not leave the MaxGap table, childless set, or trie mutated
+        // for a document that was never indexed.
+        self.check_insert(tree)?;
         let doc_id = self.docs.len() as DocId;
         for node in tree.nodes() {
             if tree.is_leaf(node) {
@@ -390,9 +435,7 @@ impl PrixIndex {
                     let available = cur.right.saturating_sub(cur.frontier);
                     let need = (seq.lps.len() - i) as u64;
                     if available < need {
-                        return Err(IndexError::Unsupported(format!(
-                            "virtual-trie scope underflow at level {level}: {available}                              positions left for a suffix of {need}; rebuild with dynamic                              labeling"
-                        )));
+                        return Err(scope_underflow(level, available, need));
                     }
                     let share = (available / 2).max(need).min(available);
                     let child = TrieNodeEntry {
@@ -946,6 +989,14 @@ struct GapRule {
     extra: u64,
 }
 
+/// The error for a virtual-trie scope that cannot fit a new suffix.
+fn scope_underflow(level: u32, available: u64, need: u64) -> IndexError {
+    IndexError::Unsupported(format!(
+        "virtual-trie scope underflow at level {level}: {available} positions left \
+         for a suffix of {need}; rebuild with dynamic labeling"
+    ))
+}
+
 /// Postorder gap between the first and last children per node
 /// (`out[post - 1]`; 0 for nodes with ≤ 1 child) — Definition 5 at
 /// single-node granularity.
@@ -1010,6 +1061,10 @@ impl PrixIndex {
     /// MaxGap table, childless-label set) into the record store and
     /// returns the metadata record's id. Together with a flushed buffer
     /// pool this makes the index reopenable via [`PrixIndex::load`].
+    ///
+    /// Saving an index whose metadata has not changed since the last
+    /// save returns the previous record id instead of appending a
+    /// duplicate, so repeated saves do not leak store space.
     pub fn save(&mut self) -> Result<RecordId> {
         use codec::Writer;
         let mut w = Writer::new();
@@ -1045,7 +1100,14 @@ impl PrixIndex {
         w.u64(self.build_stats.max_path_sharing);
         w.u64(self.build_stats.underflows);
         w.u64(self.build_stats.total_seq_len);
-        Ok(self.store.append(&w.0)?)
+        if let Some((id, bytes)) = &self.saved_meta {
+            if *bytes == w.0 {
+                return Ok(*id);
+            }
+        }
+        let id = self.store.append(&w.0)?;
+        self.saved_meta = Some((id, w.0));
+        Ok(id)
     }
 
     /// Reopens an index previously described by [`PrixIndex::save`].
@@ -1105,6 +1167,7 @@ impl PrixIndex {
             maxgap,
             dummy,
             build_stats,
+            saved_meta: Some((meta, bytes)),
             childless,
         })
     }

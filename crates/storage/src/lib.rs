@@ -5,10 +5,11 @@
 //! cost as *pages read from disk*. This crate rebuilds that substrate:
 //!
 //! * [`Pager`] — a page-granular backing store (file or in-memory),
-//! * [`BufferPool`] — a fixed-capacity LRU cache over a pager that counts
-//!   logical and physical page accesses ([`IoStats`]); clearing the pool
-//!   ([`BufferPool::clear`]) gives the cold-cache runs the paper measures
-//!   with direct I/O,
+//! * [`BufferPool`] — a fixed-capacity *sharded* LRU cache over a pager
+//!   (one lock per shard, so concurrent queries don't serialize on a
+//!   global mutex) that counts logical and physical page accesses
+//!   ([`IoStats`]); clearing the pool ([`BufferPool::clear`]) gives the
+//!   cold-cache runs the paper measures with direct I/O,
 //! * [`BPlusTree`] — a B⁺-tree over byte-string keys (memcmp order) with
 //!   duplicate-key support, point/range scans, and sorted bulk loading,
 //! * [`RecordStore`] — a heap file for variable-length records (NPS

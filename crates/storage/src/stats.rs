@@ -9,6 +9,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, thread-safe I/O counters. One instance is attached to each
 /// [`crate::Pager`] and observed through its [`crate::BufferPool`].
+/// The counters are plain atomics, so they stay exact when the sharded
+/// buffer pool serves page requests from many threads at once — no lock
+/// is held while recording.
 #[derive(Debug, Default)]
 pub struct IoStats {
     logical_reads: AtomicU64,

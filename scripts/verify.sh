@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --locked
 cargo test -q --offline --workspace
+
+# The concurrency suite is timing-sensitive: run it again in release so
+# contention bugs that hide under debug-build pacing still get a shot.
+cargo test --release --test concurrency --offline --locked

@@ -58,6 +58,109 @@ fn reopening_garbage_fails_cleanly() {
 }
 
 #[test]
+fn non_default_arrangement_limit_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("prix-persist-limit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.prix");
+    let mut c = prix::xml::Collection::new();
+    c.add_xml("<a><b/><c/><d/></a>").unwrap();
+    let mut engine = PrixEngine::build(
+        c,
+        EngineConfig {
+            path: Some(path.clone()),
+            arrangement_limit: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(engine.arrangement_limit(), 1);
+    // Three branches under `a` have 6 arrangements: over the limit.
+    let q = engine.parse_query("//a[./b][./c]/d").unwrap();
+    assert!(engine.query_unordered(&q).is_err(), "limit 1 must reject");
+    engine.save().unwrap();
+    drop(engine);
+    let mut reopened = PrixEngine::reopen(&path, 64).unwrap();
+    assert_eq!(
+        reopened.arrangement_limit(),
+        1,
+        "configured limit was silently replaced by the default on reopen"
+    );
+    let q = reopened.parse_query("//a[./b][./c]/d").unwrap();
+    assert!(reopened.query_unordered(&q).is_err(), "limit survives");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn repeated_saves_do_not_grow_the_file() {
+    let dir = std::env::temp_dir().join(format!("prix-persist-grow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.prix");
+    let collection = generate(Dataset::Dblp, 0.02, 7);
+    let mut engine = PrixEngine::build(
+        collection,
+        EngineConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    engine.save().unwrap();
+    let after_first = std::fs::metadata(&path).unwrap().len();
+    for i in 0..8 {
+        engine.save().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(
+            len, after_first,
+            "save #{} of an unchanged engine grew the file ({after_first} -> {len})",
+            i + 2
+        );
+    }
+    // The file still reopens correctly after the repeated saves.
+    drop(engine);
+    let mut reopened = PrixEngine::reopen(&path, 256).unwrap();
+    let q = reopened.parse_query("//inproceedings/author").unwrap();
+    assert!(reopened.query(&q).is_ok());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn doctored_catalog_version_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("prix-persist-ver-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.prix");
+    let mut c = prix::xml::Collection::new();
+    c.add_xml("<a><b/></a>").unwrap();
+    let mut engine = PrixEngine::build(
+        c,
+        EngineConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    engine.save().unwrap();
+    drop(engine);
+    // Doctor the version field (bytes 4..8 of the catalog page) while
+    // leaving the magic intact: a future layout we cannot read.
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(4)).unwrap();
+        f.write_all(&99u32.to_le_bytes()).unwrap();
+    }
+    let err = match PrixEngine::reopen(&path, 64) {
+        Err(e) => e,
+        Ok(_) => panic!("doctored version was accepted"),
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("version 99"),
+        "error must name the unknown version: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn unsaved_new_queries_after_save_still_work_in_original() {
     // Saving is not destructive: the original engine keeps working.
     let dir = std::env::temp_dir().join(format!("prix-persist2-{}", std::process::id()));

@@ -1,0 +1,107 @@
+//! Closed-loop HTTP load generator for the serving layer.
+//!
+//! Starts a real `prix-server` on an ephemeral port over a synthetic
+//! DBLP collection, then measures requests through the full stack
+//! (TCP connect → parse → engine → JSON → response) with N client
+//! threads each issuing a fixed number of requests per sample. The
+//! testkit harness reports median/p95 per sample, so
+//! `sample / (clients * requests)` is the per-request latency and
+//! `(clients * requests) / sample` the requests/sec — future PRs track
+//! these numbers.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use prix_core::{EngineConfig, PrixEngine};
+use prix_datagen::{queries::queries_for, Dataset};
+use prix_server::{Server, ServerConfig, ServerHandle};
+use prix_testkit::bench::{Harness, Opts};
+
+fn request(addr: SocketAddr, raw: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s.write_all(raw.as_bytes()).expect("send");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("recv");
+    assert!(buf.starts_with("HTTP/1.1 200"), "bad response: {buf}");
+    buf
+}
+
+fn get(addr: SocketAddr, target: &str) -> String {
+    request(addr, &format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n"))
+}
+
+/// `clients` threads each run `per_client` GETs of `target`.
+fn closed_loop(addr: SocketAddr, target: &str, clients: usize, per_client: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                for _ in 0..per_client {
+                    std::hint::black_box(get(addr, target));
+                }
+            });
+        }
+    });
+}
+
+fn start_server() -> ServerHandle {
+    let collection = prix_datagen::generate(Dataset::Dblp, 0.02, 42);
+    let engine = PrixEngine::build(collection, EngineConfig::default()).expect("build engine");
+    Server::start(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_depth: 128,
+            ..Default::default()
+        },
+    )
+    .expect("start server")
+}
+
+fn main() {
+    let handle = start_server();
+    let addr = handle.addr();
+    // A value-free structural query (RPIndex) from the Table 3
+    // workload; urlencode the brackets.
+    let q2 = "/query?xp=%2F%2Fwww%5B.%2Feditor%5D%2Furl";
+    let batch_body: String = queries_for(Dataset::Dblp)
+        .iter()
+        .filter(|q| !q.has_values)
+        .map(|q| format!("{}\n", q.xpath))
+        .collect();
+    let batch = format!(
+        "POST /batch HTTP/1.1\r\nHost: prix\r\nContent-Length: {}\r\n\r\n{batch_body}",
+        batch_body.len()
+    );
+
+    let mut h = Harness::from_args("server_throughput");
+    h.set_opts(Opts { warmup: 2, samples: 10 });
+    // Pure HTTP overhead: no engine work.
+    h.bench("healthz_x64_1client", || closed_loop(addr, "/healthz", 1, 64));
+    // Engine-bound query path, serial vs concurrent closed loops.
+    h.bench("query_x64_1client", || closed_loop(addr, q2, 1, 64));
+    h.bench("query_x64_4clients", || closed_loop(addr, q2, 4, 16));
+    h.bench("query_x64_8clients", || closed_loop(addr, q2, 8, 8));
+    // The batch endpoint amortizes HTTP per query.
+    h.bench("batch_structural_x8", || {
+        for _ in 0..8 {
+            std::hint::black_box(request(addr, &batch));
+        }
+    });
+    h.finish();
+
+    // Show that the bench traffic moved the server-side histograms
+    // (the acceptance check for /metrics under load).
+    let metrics = get(addr, "/metrics");
+    for line in metrics.lines().filter(|l| {
+        l.starts_with("prix_http_request_duration_seconds_count")
+            || l.starts_with("prix_bufferpool_hit_ratio")
+            || l.starts_with("prix_http_requests_total")
+    }) {
+        println!("{line}");
+    }
+    handle.shutdown().expect("graceful shutdown");
+}

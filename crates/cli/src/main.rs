@@ -3,6 +3,7 @@
 //! ```text
 //! prix index  <out.prix> <file.xml>...    build a database from XML files
 //! prix query  <db.prix>  "<xpath>"        run a twig query
+//! prix serve  <db.prix>  [--addr H:P]     serve queries over HTTP
 //! prix stats  <db.prix>                   show index statistics
 //! prix gen    <dataset> <dir> [--scale S] [--seed N]
 //!                                         write a synthetic corpus as XML
@@ -11,51 +12,79 @@
 //! Each `<file.xml>` becomes one document of the collection. Queries use
 //! the XPath subset of the paper (Table 3): `/`, `//`, `*` steps,
 //! attribute steps, and `[...]` predicates with optional `="value"`.
+//!
+//! Exit codes: 0 success, 1 runtime failure (bad database, query
+//! error, ...), 2 usage error (unknown subcommand, missing flags) — the
+//! usage text goes to stderr in that case.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use prix_core::{EngineConfig, PrixEngine};
+use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
+
+const USAGE: &str = "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+
+/// A CLI failure: usage errors exit 2 (with the usage text on stderr),
+/// runtime errors exit 1.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
-        Some("--help") | Some("-h") | None => {
-            eprintln!(
-                "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" \
-                 [--unordered]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> \
-                 [--scale S] [--seed N]"
-            );
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+        None => Err(usage_err("no command given")),
+        Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn cmd_index(args: &[String]) -> Result<(), String> {
+fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let (split, args) = match args {
         [flag, rest @ ..] if flag == "--split" => (true, rest),
         _ => (false, args),
     };
     let [out, files @ ..] = args else {
-        return Err("usage: prix index [--split] <out.prix> <file.xml>...".into());
+        return Err(usage_err("index needs <out.prix> and at least one <file.xml>"));
     };
     if files.is_empty() {
-        return Err("no input files".into());
+        return Err(usage_err("index needs at least one <file.xml>"));
     }
     let mut collection = Collection::new();
     for f in files {
@@ -88,11 +117,11 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let (db, xpath, unordered) = match args {
         [db, xpath] => (db, xpath, false),
         [db, xpath, flag] if flag == "--unordered" => (db, xpath, true),
-        _ => return Err("usage: prix query <db.prix> \"<xpath>\" [--unordered]".into()),
+        _ => return Err(usage_err("query needs <db.prix> and \"<xpath>\"")),
     };
     let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
@@ -119,9 +148,77 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let [db, rest @ ..] = args else {
+        return Err(usage_err("serve needs <db.prix>"));
+    };
+    if db.starts_with("--") {
+        return Err(usage_err("serve needs <db.prix> before any flags"));
+    }
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7140".to_string(),
+        ..Default::default()
+    };
+    let mut buffer_pages = 2000usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| usage_err(format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => cfg.addr = val("--addr")?.clone(),
+            "--threads" => {
+                cfg.threads = val("--threads")?
+                    .parse()
+                    .map_err(|_| usage_err("--threads needs an integer"))?
+            }
+            "--queue" => {
+                cfg.queue_depth = val("--queue")?
+                    .parse()
+                    .map_err(|_| usage_err("--queue needs an integer"))?
+            }
+            "--buffer-pages" => {
+                buffer_pages = val("--buffer-pages")?
+                    .parse()
+                    .map_err(|_| usage_err("--buffer-pages needs an integer"))?
+            }
+            "--batch-threads" => {
+                cfg.batch_threads = val("--batch-threads")?
+                    .parse()
+                    .map_err(|_| usage_err("--batch-threads needs an integer"))?
+            }
+            "--max-conns" => {
+                cfg.max_connections = val("--max-conns")?
+                    .parse()
+                    .map_err(|_| usage_err("--max-conns needs an integer"))?
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(
+                    val("--read-timeout-ms")?
+                        .parse()
+                        .map_err(|_| usage_err("--read-timeout-ms needs an integer"))?,
+                )
+            }
+            other => return Err(usage_err(format!("unknown serve flag `{other}`"))),
+        }
+    }
+    let engine = PrixEngine::reopen(db, buffer_pages).map_err(|e| e.to_string())?;
+    let handle = Server::start(engine, cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    // The smoke script parses this line to find the ephemeral port;
+    // keep its shape stable.
+    println!("listening on http://{}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle
+        .wait()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     let [db, xpath] = args else {
-        return Err("usage: prix explain <db.prix> \"<xpath>\"".into());
+        return Err(usage_err("explain needs <db.prix> and \"<xpath>\""));
     };
     let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
@@ -129,12 +226,12 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_add(args: &[String]) -> Result<(), String> {
+fn cmd_add(args: &[String]) -> Result<(), CliError> {
     let [db, files @ ..] = args else {
-        return Err("usage: prix add <db.prix> <file.xml>...".into());
+        return Err(usage_err("add needs <db.prix> and at least one <file.xml>"));
     };
     if files.is_empty() {
-        return Err("no input files".into());
+        return Err(usage_err("add needs at least one <file.xml>"));
     }
     let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     for f in files {
@@ -148,9 +245,9 @@ fn cmd_add(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let [db] = args else {
-        return Err("usage: prix stats <db.prix>".into());
+        return Err(usage_err("stats needs <db.prix>"));
     };
     let engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     print_index_stats(&engine);
@@ -176,21 +273,17 @@ fn print_index_stats(engine: &PrixEngine) {
     }
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     use prix_datagen::Dataset;
     let (dataset, dir, rest) = match args {
         [ds, dir, rest @ ..] => (ds, dir, rest),
-        _ => {
-            return Err(
-                "usage: prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]".into(),
-            )
-        }
+        _ => return Err(usage_err("gen needs <dblp|swissprot|treebank> and <dir>")),
     };
     let dataset = match dataset.as_str() {
         "dblp" => Dataset::Dblp,
         "swissprot" => Dataset::Swissprot,
         "treebank" => Dataset::Treebank,
-        other => return Err(format!("unknown dataset `{other}`")),
+        other => return Err(usage_err(format!("unknown dataset `{other}`"))),
     };
     let mut scale = 0.05f64;
     let mut seed = 42u64;
@@ -201,15 +294,15 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
                 scale = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--scale needs a number")?
+                    .ok_or_else(|| usage_err("--scale needs a number"))?
             }
             "--seed" => {
                 seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs an integer")?
+                    .ok_or_else(|| usage_err("--seed needs an integer"))?
             }
-            other => return Err(format!("unknown flag `{other}`")),
+            other => return Err(usage_err(format!("unknown flag `{other}`"))),
         }
     }
     let collection = prix_datagen::generate(dataset, scale, seed);

@@ -1,0 +1,98 @@
+//! CLI contract smoke tests: usage errors are consistent (usage text
+//! on stderr, exit code 2) across every subcommand, runtime failures
+//! exit 1, and the happy path works end to end.
+
+use std::process::{Command, Output};
+
+fn prix(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prix"))
+        .args(args)
+        .output()
+        .expect("run prix binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let out = prix(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("usage:"), "{args:?} stderr lacks usage: {err}");
+    assert!(err.contains("error:"), "{args:?} stderr lacks error: {err}");
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?} usage error must not write to stdout"
+    );
+}
+
+#[test]
+fn usage_errors_are_consistent_across_subcommands() {
+    // Unknown subcommand and no subcommand at all.
+    assert_usage_error(&["frobnicate"]);
+    assert_usage_error(&[]);
+    // Missing required arguments, every subcommand.
+    assert_usage_error(&["index"]);
+    assert_usage_error(&["index", "out.prix"]); // no input files
+    assert_usage_error(&["query", "db.prix"]); // no xpath
+    assert_usage_error(&["serve"]); // no db
+    assert_usage_error(&["serve", "--addr", "127.0.0.1:0"]); // flag where db belongs
+    assert_usage_error(&["serve", "db.prix", "--threads"]); // flag missing value
+    assert_usage_error(&["serve", "db.prix", "--bogus"]); // unknown flag
+    assert_usage_error(&["stats"]);
+    assert_usage_error(&["explain", "db.prix"]);
+    assert_usage_error(&["add", "db.prix"]); // no input files
+    assert_usage_error(&["gen", "dblp"]); // no dir
+    assert_usage_error(&["gen", "nosuch", "/tmp/x"]); // unknown dataset
+}
+
+#[test]
+fn help_goes_to_stdout_and_exits_zero() {
+    for flag in ["--help", "-h"] {
+        let out = prix(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        for cmd in ["index", "query", "serve", "stats", "explain", "add", "gen"] {
+            assert!(text.contains(cmd), "help lacks `{cmd}`: {text}");
+        }
+        assert!(out.stderr.is_empty(), "{flag} must not write to stderr");
+    }
+}
+
+#[test]
+fn runtime_failures_exit_one() {
+    // A well-formed invocation that fails at runtime (no such file).
+    let out = prix(&["stats", "/nonexistent/definitely-not-a.prix"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(
+        !err.contains("usage:"),
+        "runtime errors must not dump usage: {err}"
+    );
+}
+
+#[test]
+fn index_query_roundtrip_works() {
+    let dir = std::env::temp_dir().join(format!("prix-cli-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, "<dblp><www><editor>E</editor><url>u</url></www></dblp>").unwrap();
+    let db = dir.join("db.prix");
+
+    let out = prix(&["index", db.to_str().unwrap(), xml.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "index: {}", stderr(&out));
+
+    let out = prix(&["query", db.to_str().unwrap(), "//www[./editor]/url"]);
+    assert_eq!(out.status.code(), Some(0), "query: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 match(es)"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

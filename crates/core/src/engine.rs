@@ -410,7 +410,9 @@ impl PrixEngine {
     /// so long and short queries balance across threads; all of them
     /// read through the same sharded buffer pool.
     ///
-    /// With `threads <= 1` (or a single query) this degenerates to the
+    /// `threads` is clamped to `1..=queries.len()`: `threads == 0` is
+    /// treated as 1 (serial), never an empty worker set. With
+    /// `threads <= 1` (or a single query) this degenerates to the
     /// serial loop. Note that under concurrency each outcome's
     /// [`QueryOutcome::io`] is a delta of the pool-wide counters and so
     /// includes pages fetched by overlapping queries; per-query I/O
@@ -647,6 +649,39 @@ mod tests {
     }
 
     #[test]
+    fn explain_output_shape_is_pinned() {
+        // The serving layer's `GET /explain` exposes this text
+        // verbatim; pin the exact shape for one path query and one
+        // twig query so refactors can't silently change the contract.
+        let mut e = engine();
+        let path_q = e.parse_query("/dblp/www/url").unwrap();
+        assert_eq!(
+            e.explain(&path_q).unwrap(),
+            "index: RPIndex\n\
+             plan: RPIndex, leaf-extended query (§4.4 fast path)\n\
+             LPS(Q) = url www dblp\n\
+             NPS(Q) = 2 3 4\n\
+             edges  = / / / /\n\
+             MaxGap rules: 2 of 2 adjacent pairs bounded\n\
+             \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
+             \x20 positions 2->3: distance <= min(2, per-node) + 1\n"
+        );
+        let twig_q = e.parse_query("//www[./editor]/url").unwrap();
+        assert_eq!(
+            e.explain(&twig_q).unwrap(),
+            "index: RPIndex\n\
+             plan: RPIndex, leaf-extended query (§4.4 fast path)\n\
+             LPS(Q) = editor www url www\n\
+             NPS(Q) = 2 5 4 5\n\
+             edges  = / / / / /\n\
+             MaxGap rules: 3 of 3 adjacent pairs bounded\n\
+             \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
+             \x20 positions 2->3: distance <= min(2, per-node) + 0\n\
+             \x20 positions 3->4: distance <= min(0, per-node) + 1\n"
+        );
+    }
+
+    #[test]
     fn incremental_insert_matches_bulk_build() {
         // Build small, insert more, compare against building everything
         // at once.
@@ -777,6 +812,23 @@ mod tests {
                 assert_eq!(out.matches, serial[i], "threads={threads} query {i}");
             }
         }
+    }
+
+    #[test]
+    fn query_batch_zero_threads_clamps_to_serial() {
+        // Regression: `threads == 0` must behave exactly like the
+        // serial path (clamped to 1), not spawn zero workers and
+        // return nothing / hang.
+        let mut e = engine();
+        let xpaths = ["//www[./editor]/url", "//dblp//year"];
+        let queries: Vec<_> = xpaths.iter().map(|x| e.parse_query(x).unwrap()).collect();
+        let batch = e.query_batch(&queries, 0).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, out) in queries.iter().zip(&batch) {
+            assert_eq!(out.matches, e.query(q).unwrap().matches);
+        }
+        // Empty input with zero threads is a no-op, not a panic.
+        assert!(e.query_batch(&[], 0).unwrap().is_empty());
     }
 
     #[test]

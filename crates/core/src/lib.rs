@@ -41,7 +41,7 @@ pub mod scan;
 pub mod trie;
 pub mod xpath;
 
-pub use engine::{EngineConfig, PrixEngine};
+pub use engine::{EngineConfig, PrixEngine, QueryOutcome};
 pub use index::{IndexKind, PrixIndex, QueryStats, TwigMatch};
 pub use query::{TwigBuilder, TwigQuery};
 pub use trie::{LabelingMode, VirtualTrie};

@@ -1,0 +1,167 @@
+//! A tiny JSON writer (the workspace has no serde).
+//!
+//! Write-only: the server never parses JSON, it only emits it. The
+//! builder keeps track of whether a separating comma is due so call
+//! sites read like the document they produce.
+
+/// Escapes `s` into a JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An in-progress JSON document.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    comma_due: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if let Some(due) = self.comma_due.last_mut() {
+            if *due {
+                self.buf.push(',');
+            }
+            *due = true;
+        }
+    }
+
+    /// Opens an object value (or an anonymous object at top level).
+    pub fn obj(&mut self) -> &mut Self {
+        self.sep();
+        self.buf.push('{');
+        self.comma_due.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.comma_due.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array value.
+    pub fn arr(&mut self) -> &mut Self {
+        self.sep();
+        self.buf.push('[');
+        self.comma_due.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.comma_due.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Writes `"key":` inside an object; the next value call provides
+    /// the value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&escape(k));
+        self.buf.push(':');
+        // The value that follows must not emit another comma.
+        if let Some(due) = self.comma_due.last_mut() {
+            *due = false;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn str_val(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&escape(v));
+        self
+    }
+
+    /// Writes an integer value.
+    pub fn num(&mut self, v: u64) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value (finite; NaN/inf become null).
+    pub fn float(&mut self, v: f64) -> &mut Self {
+        self.sep();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool_val(&mut self, v: bool) -> &mut Self {
+        self.sep();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.obj();
+        w.key("count").num(2);
+        w.key("ok").bool_val(true);
+        w.key("ratio").float(0.5);
+        w.key("matches").arr();
+        for doc in [7u64, 9] {
+            w.obj();
+            w.key("doc").num(doc);
+            w.key("embedding").arr().num(1).num(2).end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("xpath").str_val("//a[b=\"v\"]");
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            r#"{"count":2,"ok":true,"ratio":0.5,"matches":[{"doc":7,"embedding":[1,2]},{"doc":9,"embedding":[1,2]}],"xpath":"//a[b=\"v\"]"}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.arr().float(f64::NAN).float(f64::INFINITY).end_arr();
+        assert_eq!(w.finish(), "[null,null]");
+    }
+}

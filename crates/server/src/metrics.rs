@@ -1,0 +1,307 @@
+//! Server metrics: request counters, latency histograms, and the
+//! Prometheus text exposition rendered by `GET /metrics`.
+//!
+//! Everything on the hot path is a plain atomic — a request records
+//! its outcome with two `fetch_add`s and never takes a lock. Only the
+//! per-(endpoint, status) counter table uses a mutex, and that table
+//! is touched once per request and is tiny.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use prix_storage::IoSnapshot;
+
+use crate::json::escape;
+
+/// Fixed latency-histogram bucket upper bounds, in microseconds.
+/// Spanning 100 µs – 2.5 s covers both warm in-memory queries and cold
+/// disk-bound twig joins; the exposition adds the implicit `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000,
+];
+
+/// The endpoints the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /query`
+    Query,
+    /// `POST /batch`
+    Batch,
+    /// `GET /explain`
+    Explain,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /shutdown`
+    Shutdown,
+    /// Anything else (404s, parse failures before routing, ...).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in exposition order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Query,
+        Endpoint::Batch,
+        Endpoint::Explain,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The `endpoint` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Explain => "explain",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|e| *e == self).unwrap()
+    }
+}
+
+/// A fixed-bucket cumulative histogram (Prometheus semantics).
+#[derive(Debug, Default)]
+struct Histogram {
+    /// `counts[i]` = observations <= `LATENCY_BUCKETS_US[i]`; the
+    /// per-bucket counts are *not* cumulative in storage, only in the
+    /// exposition.
+    counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let slot = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// The server's metric registry. One instance lives in the shared
+/// server state; every handler records into it.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `(endpoint, status) -> requests`. Status cardinality is tiny
+    /// (the server emits ~8 distinct codes), so a locked Vec is fine.
+    requests: Mutex<Vec<(usize, u16, u64)>>,
+    latency: [Histogram; Endpoint::ALL.len()],
+    /// Connections rejected with 503 by admission control.
+    rejected: AtomicU64,
+    /// Connections currently being handled (gauge).
+    active: AtomicU64,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let mut table = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = endpoint.index();
+        match table.iter_mut().find(|(e, s, _)| *e == idx && *s == status) {
+            Some((_, _, n)) => *n += 1,
+            None => table.push((idx, status, 1)),
+        }
+        drop(table);
+        self.latency[idx].observe(elapsed);
+    }
+
+    /// Records an admission-control rejection (503 before a worker was
+    /// ever involved).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Marks a connection as being handled; decremented by the guard.
+    pub fn connection_opened(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inverse of [`Metrics::connection_opened`].
+    pub fn connection_closed(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests recorded for `(endpoint, status)` (for tests).
+    pub fn requests_for(&self, endpoint: Endpoint, status: u16) -> u64 {
+        let table = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = endpoint.index();
+        table
+            .iter()
+            .find(|(e, s, _)| *e == idx && *s == status)
+            .map(|(_, _, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Renders the Prometheus text exposition (format 0.0.4).
+    ///
+    /// `io` is the engine buffer pool's lifetime counter snapshot;
+    /// `resident`/`capacity` describe its current occupancy;
+    /// `queue_depth` is the HTTP work queue's current length.
+    pub fn render(&self, io: IoSnapshot, resident: usize, capacity: usize, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP prix_http_requests_total Requests served, by endpoint and status code.\n");
+        out.push_str("# TYPE prix_http_requests_total counter\n");
+        let mut table = {
+            let t = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+            t.clone()
+        };
+        table.sort();
+        for (idx, status, n) in &table {
+            out.push_str(&format!(
+                "prix_http_requests_total{{endpoint={},code=\"{status}\"}} {n}\n",
+                escape(Endpoint::ALL[*idx].label()),
+            ));
+        }
+
+        out.push_str("# HELP prix_http_rejected_total Connections refused with 503 by admission control.\n");
+        out.push_str("# TYPE prix_http_rejected_total counter\n");
+        out.push_str(&format!("prix_http_rejected_total {}\n", self.rejected()));
+
+        out.push_str("# HELP prix_http_connections_active Connections currently being handled.\n");
+        out.push_str("# TYPE prix_http_connections_active gauge\n");
+        out.push_str(&format!(
+            "prix_http_connections_active {}\n",
+            self.active.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP prix_http_queue_depth Connections waiting in the worker queue.\n");
+        out.push_str("# TYPE prix_http_queue_depth gauge\n");
+        out.push_str(&format!("prix_http_queue_depth {queue_depth}\n"));
+
+        out.push_str("# HELP prix_http_request_duration_seconds Request latency, by endpoint.\n");
+        out.push_str("# TYPE prix_http_request_duration_seconds histogram\n");
+        for ep in Endpoint::ALL {
+            let h = &self.latency[ep.index()];
+            if h.total() == 0 {
+                continue;
+            }
+            let label = escape(ep.label());
+            let mut cum = 0u64;
+            for (i, &bound_us) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cum += h.counts[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "prix_http_request_duration_seconds_bucket{{endpoint={label},le=\"{}\"}} {cum}\n",
+                    bound_us as f64 / 1e6
+                ));
+            }
+            cum += h.counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "prix_http_request_duration_seconds_bucket{{endpoint={label},le=\"+Inf\"}} {cum}\n"
+            ));
+            out.push_str(&format!(
+                "prix_http_request_duration_seconds_sum{{endpoint={label}}} {}\n",
+                h.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "prix_http_request_duration_seconds_count{{endpoint={label}}} {cum}\n"
+            ));
+        }
+
+        out.push_str("# HELP prix_bufferpool_logical_reads_total Pages requested from the buffer pool.\n");
+        out.push_str("# TYPE prix_bufferpool_logical_reads_total counter\n");
+        out.push_str(&format!("prix_bufferpool_logical_reads_total {}\n", io.logical_reads));
+        out.push_str("# HELP prix_bufferpool_physical_reads_total Pages read from disk (the paper's Disk IO).\n");
+        out.push_str("# TYPE prix_bufferpool_physical_reads_total counter\n");
+        out.push_str(&format!("prix_bufferpool_physical_reads_total {}\n", io.physical_reads));
+        out.push_str("# HELP prix_bufferpool_physical_writes_total Pages written back to disk.\n");
+        out.push_str("# TYPE prix_bufferpool_physical_writes_total counter\n");
+        out.push_str(&format!("prix_bufferpool_physical_writes_total {}\n", io.physical_writes));
+        out.push_str("# HELP prix_bufferpool_hit_ratio Lifetime buffer-pool hit ratio in [0,1].\n");
+        out.push_str("# TYPE prix_bufferpool_hit_ratio gauge\n");
+        out.push_str(&format!("prix_bufferpool_hit_ratio {}\n", io.hit_ratio()));
+        out.push_str("# HELP prix_bufferpool_resident_pages Pages currently cached.\n");
+        out.push_str("# TYPE prix_bufferpool_resident_pages gauge\n");
+        out.push_str(&format!("prix_bufferpool_resident_pages {resident}\n"));
+        out.push_str("# HELP prix_bufferpool_capacity_pages Configured buffer-pool capacity.\n");
+        out.push_str("# TYPE prix_bufferpool_capacity_pages gauge\n");
+        out.push_str(&format!("prix_bufferpool_capacity_pages {capacity}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_counters() {
+        let m = Metrics::new();
+        m.record(Endpoint::Query, 200, Duration::from_micros(300));
+        m.record(Endpoint::Query, 200, Duration::from_micros(700));
+        m.record(Endpoint::Query, 400, Duration::from_micros(50));
+        m.record_rejected();
+        assert_eq!(m.requests_for(Endpoint::Query, 200), 2);
+        assert_eq!(m.requests_for(Endpoint::Query, 400), 1);
+        assert_eq!(m.requests_for(Endpoint::Batch, 200), 0);
+
+        let text = m.render(IoSnapshot::default(), 3, 16, 0);
+        assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#), "{text}");
+        assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="400"} 1"#), "{text}");
+        assert!(text.contains("prix_http_rejected_total 1"), "{text}");
+        assert!(text.contains("prix_bufferpool_hit_ratio 1"), "{text}");
+        assert!(text.contains("prix_bufferpool_resident_pages 3"), "{text}");
+        assert!(text.contains("prix_bufferpool_capacity_pages 16"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let m = Metrics::new();
+        // 300 µs lands in the 500 µs bucket; 10 s overflows into +Inf.
+        m.record(Endpoint::Query, 200, Duration::from_micros(300));
+        m.record(Endpoint::Query, 200, Duration::from_secs(10));
+        let text = m.render(IoSnapshot::default(), 0, 0, 0);
+        assert!(text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#), "{text}");
+        assert!(text.contains(r#"bucket{endpoint="query",le="0.0005"} 1"#), "{text}");
+        assert!(text.contains(r#"bucket{endpoint="query",le="2.5"} 1"#), "{text}");
+        assert!(text.contains(r#"bucket{endpoint="query",le="+Inf"} 2"#), "{text}");
+        assert!(text.contains(r#"duration_seconds_count{endpoint="query"} 2"#), "{text}");
+        // Endpoints with no traffic emit no histogram series.
+        assert!(!text.contains(r#"bucket{endpoint="batch""#), "{text}");
+    }
+
+    #[test]
+    fn hit_ratio_reflects_io_snapshot() {
+        let m = Metrics::new();
+        let io = IoSnapshot {
+            logical_reads: 10,
+            physical_reads: 2,
+            physical_writes: 0,
+        };
+        let text = m.render(io, 0, 0, 0);
+        assert!(text.contains("prix_bufferpool_hit_ratio 0.8"), "{text}");
+        assert!(text.contains("prix_bufferpool_logical_reads_total 10"), "{text}");
+        assert!(text.contains("prix_bufferpool_physical_reads_total 2"), "{text}");
+    }
+}

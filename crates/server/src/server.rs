@@ -1,0 +1,578 @@
+//! The PRIX HTTP query server.
+//!
+//! One [`Server`] owns a [`PrixEngine`] and serves it over hand-rolled
+//! HTTP/1.1 (`std::net` only — the workspace is hermetic):
+//!
+//! | Endpoint          | Meaning                                        |
+//! |-------------------|------------------------------------------------|
+//! | `GET /query`      | one twig query (`xp=`, `unordered=1`, `limit=`)|
+//! | `POST /batch`     | newline-delimited XPaths via `query_batch`     |
+//! | `GET /explain`    | the optimizer's plan for `xp=` (debug)         |
+//! | `GET /healthz`    | liveness probe                                 |
+//! | `GET /metrics`    | Prometheus text exposition                     |
+//! | `POST /shutdown`  | request graceful shutdown                      |
+//!
+//! **Threading model.** A dedicated accept thread feeds accepted
+//! connections into a bounded [`WorkerPool`] queue; each worker handles
+//! one connection end to end (one request per connection,
+//! `Connection: close`). Admission control is fail-fast: a full queue
+//! or the connection cap turns into an immediate `503` +
+//! `Retry-After`, never an unbounded backlog. Query parsing shares one
+//! mutex-guarded [`SymbolTable`] (parses are microseconds); query
+//! *execution* runs lock-free on the engine, which has been
+//! `&self`-threadsafe since the buffer pool was sharded.
+//!
+//! **Shutdown.** `POST /shutdown` (or [`ServerHandle::shutdown`]) only
+//! *signals*; the thread blocked in [`ServerHandle::wait`] then stops
+//! the accept loop, lets the workers drain every queued and in-flight
+//! request, flushes the engine's buffer pool, and returns.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use prix_core::{parse_xpath, PrixEngine, QueryOutcome};
+use prix_xml::SymbolTable;
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::JsonWriter;
+use crate::metrics::{Endpoint, Metrics};
+use crate::workers::{QueueProbe, WorkerPool};
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; the CLI exposes the interesting ones as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 binds an ephemeral port (the bound
+    /// address is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads handling requests. Clamped to >= 1.
+    pub threads: usize,
+    /// Bounded queue of accepted-but-unserved connections. Clamped to
+    /// >= 1; when full, new connections get `503`.
+    pub queue_depth: usize,
+    /// Cap on connections being handled at once (in a worker or in the
+    /// queue). Beyond it, new connections get `503`.
+    pub max_connections: usize,
+    /// Threads used by `POST /batch` through `query_batch` (the `threads=`
+    /// query parameter can lower it per request).
+    pub batch_threads: usize,
+    /// Socket read timeout (a stalled client gets `408` and is cut).
+    pub read_timeout: Duration,
+    /// Socket write timeout (a non-draining client is cut).
+    pub write_timeout: Duration,
+    /// Default cap on embeddings returned per query (`limit=` overrides,
+    /// `limit=0` means unlimited). The total count is always reported.
+    pub match_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            queue_depth: 64,
+            max_connections: 256,
+            batch_threads: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            match_limit: 1000,
+        }
+    }
+}
+
+/// Level-triggered shutdown latch: request once, observed by the
+/// accept loop and awaited by [`ServerHandle::wait`].
+#[derive(Default)]
+struct ShutdownSignal {
+    requested: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShutdownSignal {
+    fn request(&self) {
+        let mut r = self.requested.lock().unwrap_or_else(|e| e.into_inner());
+        *r = true;
+        self.cv.notify_all();
+    }
+
+    fn is_requested(&self) -> bool {
+        *self.requested.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait(&self) {
+        let mut r = self.requested.lock().unwrap_or_else(|e| e.into_inner());
+        while !*r {
+            r = self.cv.wait(r).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// State shared by the accept loop and every worker.
+struct Shared {
+    engine: PrixEngine,
+    /// Symbol table for parsing queries. Shared (not per-request
+    /// cloned) so label `Sym` ids stay stable across requests.
+    syms: Mutex<SymbolTable>,
+    metrics: Metrics,
+    cfg: ServerConfig,
+    shutdown: ShutdownSignal,
+    /// Connections accepted and not yet finished (queued or in a worker).
+    active_conns: AtomicUsize,
+    queue: QueueProbe,
+}
+
+/// Decrements the accepted-connection count on drop, whatever path the
+/// connection takes (served, rejected, errored).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The serving subsystem. See the module docs for the architecture.
+pub struct Server;
+
+/// A running server: its bound address plus the handles needed to wait
+/// for and perform graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    pool: Arc<WorkerPool>,
+    accept: Option<JoinHandle<()>>,
+    shed: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the accept thread and worker pool, and
+    /// returns immediately. The engine is consumed: the server is its
+    /// sole owner for its lifetime.
+    pub fn start(engine: PrixEngine, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::new(cfg.threads, cfg.queue_depth));
+        let syms = engine.collection().symbols().clone();
+        let shared = Arc::new(Shared {
+            engine,
+            syms: Mutex::new(syms),
+            metrics: Metrics::new(),
+            cfg,
+            shutdown: ShutdownSignal::default(),
+            active_conns: AtomicUsize::new(0),
+            queue: pool.probe(),
+        });
+        // Rejected connections are answered off the accept thread so a
+        // flood of them cannot stall `accept`; the bounded channel is
+        // backpressure on the backpressure — when even the shed thread
+        // is behind, excess connections are dropped outright.
+        let (shed_tx, shed_rx) = mpsc::sync_channel::<TcpStream>(64);
+        let shed = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("prix-http-shed".to_string())
+                .spawn(move || shed_loop(&shed_rx, &shared))?
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("prix-http-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &pool, &shed_tx))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            pool,
+            accept: Some(accept),
+            shed: Some(shed),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metric registry (tests assert against it).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Signals shutdown without tearing down (what `POST /shutdown`
+    /// does internally). A thread in [`ServerHandle::wait`] proceeds.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.request();
+    }
+
+    /// Blocks until shutdown is requested (by `POST /shutdown` or
+    /// [`ServerHandle::request_shutdown`]), then tears down gracefully:
+    /// stops accepting, drains queued and in-flight requests, flushes
+    /// the engine's buffer pool.
+    pub fn wait(mut self) -> io::Result<()> {
+        self.shared.shutdown.wait();
+        self.finish()
+    }
+
+    /// Requests shutdown and tears down gracefully (see
+    /// [`ServerHandle::wait`]).
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.shared.shutdown.request();
+        self.finish()
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        // Wake the accept loop: it checks the shutdown flag after
+        // every accept, so one throwaway connection unblocks it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // The accept thread owned the shed sender; with it gone the
+        // shed thread drains its channel and exits.
+        if let Some(t) = self.shed.take() {
+            let _ = t.join();
+        }
+        self.pool.shutdown();
+        self.shared
+            .engine
+            .pool()
+            .flush()
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e.to_string()))
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+    shed_tx: &mpsc::SyncSender<TcpStream>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.is_requested() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.is_requested() {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        let _ = stream.set_nodelay(true);
+
+        shared.active_conns.fetch_add(1, Ordering::Relaxed);
+        let guard = ConnGuard(Arc::clone(shared));
+        let accepted = shared.active_conns.load(Ordering::Relaxed);
+
+        // Admission control. The queue-fullness check is race-free
+        // because this thread is the only producer: workers only ever
+        // shrink the queue.
+        if accepted > shared.cfg.max_connections
+            || shared.queue.depth() >= pool.queue_capacity()
+        {
+            shared.metrics.record_rejected();
+            // Best-effort 503 off-thread; a full shed channel means the
+            // connection is simply dropped.
+            let _ = shed_tx.try_send(stream);
+            drop(guard);
+            continue;
+        }
+        let job_shared = Arc::clone(shared);
+        let enqueued = pool.try_execute(move || {
+            handle_connection(stream, &job_shared);
+            drop(guard);
+        });
+        // Only possible once shutdown flipped the queue closed;
+        // dropping the job closes the connection, which is fine
+        // mid-shutdown. (The guard inside the job decrements.)
+        if enqueued.is_err() {
+            return;
+        }
+    }
+}
+
+/// Answers admission-control rejections with `503` + `Retry-After`.
+///
+/// Runs on its own thread so the accept loop never does socket I/O.
+/// The write-then-drain order matters: closing a socket with unread
+/// data in its receive buffer sends RST, and Linux then discards the
+/// client's receive buffer — the 503 would vanish. Writing first,
+/// half-closing, and draining until the client's EOF (bounded by the
+/// read timeout) delivers the response reliably.
+fn shed_loop(rx: &mpsc::Receiver<TcpStream>, shared: &Arc<Shared>) {
+    while let Ok(mut stream) = rx.recv() {
+        let start = Instant::now();
+        let resp = Response::new(503)
+            .header("Retry-After", "1")
+            .json(r#"{"error":"server saturated, retry later"}"#);
+        if resp.write_to(&mut stream).is_ok() {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut sink = [0u8; 4096];
+            let mut drained = 0usize;
+            while let Ok(n) = stream.read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+                drained += n;
+                if drained > 64 * 1024 {
+                    break;
+                }
+            }
+        }
+        shared.metrics.record(Endpoint::Other, 503, start.elapsed());
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    match read_request(&mut reader) {
+        Ok(Some(req)) => {
+            let start = Instant::now();
+            let (endpoint, resp) = route(&req, shared);
+            let elapsed = start.elapsed();
+            shared.metrics.record(endpoint, resp.status(), elapsed);
+            let _ = resp.write_to(&mut writer);
+        }
+        Ok(None) => {} // client connected and went away; not a request
+        Err(HttpError::Io(_)) => {} // connection died; nothing to answer
+        Err(e) => {
+            let start = Instant::now();
+            let resp = Response::new(e.status()).json(error_json(&e.detail()));
+            shared.metrics.record(Endpoint::Other, e.status(), start.elapsed());
+            let _ = resp.write_to(&mut writer);
+        }
+    }
+    let _ = writer.flush();
+    // Half-close and drain leftover request bytes (e.g. the body we
+    // refused with 413) before dropping: closing with unread data in
+    // the receive buffer would RST the response away (see shed_loop).
+    let _ = writer.shutdown(std::net::Shutdown::Write);
+    let _ = writer.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while let Ok(n) = reader.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+        drained += n;
+        if drained > 64 * 1024 {
+            break;
+        }
+    }
+}
+
+fn error_json(detail: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.obj().key("error").str_val(detail).end_obj();
+    w.finish()
+}
+
+fn route(req: &Request, shared: &Arc<Shared>) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, Response::new(200).text("ok\n")),
+        ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(shared)),
+        ("GET", "/query") => (Endpoint::Query, handle_query(req, shared)),
+        ("GET", "/explain") => (Endpoint::Explain, handle_explain(req, shared)),
+        ("POST", "/batch") => (Endpoint::Batch, handle_batch(req, shared)),
+        ("POST", "/shutdown") => {
+            shared.shutdown.request();
+            (Endpoint::Shutdown, Response::new(200).text("shutting down\n"))
+        }
+        (_, "/healthz" | "/metrics" | "/query" | "/explain") => (
+            Endpoint::Other,
+            Response::new(405)
+                .header("Allow", "GET")
+                .json(error_json("method not allowed")),
+        ),
+        (_, "/batch" | "/shutdown") => (
+            Endpoint::Other,
+            Response::new(405)
+                .header("Allow", "POST")
+                .json(error_json("method not allowed")),
+        ),
+        (_, path) => (
+            Endpoint::Other,
+            Response::new(404).json(error_json(&format!("no such endpoint: {path}"))),
+        ),
+    }
+}
+
+fn handle_metrics(shared: &Arc<Shared>) -> Response {
+    let pool = shared.engine.pool();
+    let body = shared.metrics.render(
+        pool.snapshot(),
+        pool.resident(),
+        pool.capacity(),
+        shared.queue.depth(),
+    );
+    Response::new(200).body("text/plain; version=0.0.4; charset=utf-8", body.into_bytes())
+}
+
+/// Parses `xp` under the shared symbol-table lock. `Err` is a ready
+/// `400` response.
+fn parse_query_param(req: &Request, shared: &Shared) -> Result<(String, prix_core::TwigQuery), Response> {
+    let xp = match req.param("xp") {
+        Some(x) if !x.is_empty() => x.to_string(),
+        _ => {
+            return Err(Response::new(400).json(error_json(
+                "missing query parameter `xp` (the XPath expression)",
+            )))
+        }
+    };
+    let parsed = {
+        let mut syms = shared.syms.lock().unwrap_or_else(|e| e.into_inner());
+        parse_xpath(&xp, &mut syms)
+    };
+    match parsed {
+        Ok(q) => Ok((xp, q)),
+        Err(e) => Err(Response::new(400).json(error_json(&format!("xpath error: {e}")))),
+    }
+}
+
+fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
+    let (xp, q) = match parse_query_param(req, shared) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let unordered = matches!(req.param("unordered"), Some("1" | "true"));
+    let limit = match req.param("limit").map(str::parse::<usize>) {
+        None => shared.cfg.match_limit,
+        Some(Ok(0)) => usize::MAX,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
+    };
+    let result = if unordered {
+        shared.engine.query_unordered(&q)
+    } else {
+        shared.engine.query(&q)
+    };
+    match result {
+        Ok(out) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            outcome_json(&mut w, &xp, &out, limit, true);
+            w.end_obj();
+            Response::new(200).json(w.finish())
+        }
+        Err(e) => Response::new(400).json(error_json(&format!("query error: {e}"))),
+    }
+}
+
+fn handle_explain(req: &Request, shared: &Arc<Shared>) -> Response {
+    let (_, q) = match parse_query_param(req, shared) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match shared.engine.explain(&q) {
+        Ok(plan) => Response::new(200).text(plan),
+        Err(e) => Response::new(400).json(error_json(&format!("explain error: {e}"))),
+    }
+}
+
+fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::new(400).json(error_json("batch body is not UTF-8")),
+    };
+    let threads = match req.param("threads").map(str::parse::<usize>) {
+        None => shared.cfg.batch_threads,
+        Some(Ok(n)) => n.clamp(1, shared.cfg.batch_threads.max(1)),
+        Some(Err(_)) => return Response::new(400).json(error_json("bad `threads` parameter")),
+    };
+    let lines: Vec<&str> = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut queries = Vec::with_capacity(lines.len());
+    {
+        let mut syms = shared.syms.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, line) in lines.iter().enumerate() {
+            match parse_xpath(line, &mut syms) {
+                Ok(q) => queries.push(q),
+                Err(e) => {
+                    return Response::new(400).json(error_json(&format!(
+                        "xpath error on line {}: {e}",
+                        i + 1
+                    )))
+                }
+            }
+        }
+    }
+    match shared.engine.query_batch(&queries, threads) {
+        Ok(outs) => {
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.key("count").num(outs.len() as u64);
+            w.key("results").arr();
+            for (line, out) in lines.iter().zip(&outs) {
+                w.obj();
+                // Batch responses report counts and costs per query;
+                // embeddings are available one query at a time via
+                // `GET /query`.
+                outcome_json(&mut w, line, out, 0, false);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+            Response::new(200).json(w.finish())
+        }
+        Err(e) => Response::new(400).json(error_json(&format!("batch error: {e}"))),
+    }
+}
+
+/// Writes the shared per-query fields (and optionally the embeddings)
+/// into an already-open JSON object.
+fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, limit: usize, with_matches: bool) {
+    w.key("xpath").str_val(xpath);
+    w.key("index").str_val(&out.index_used.to_string());
+    w.key("count").num(out.matches.len() as u64);
+    w.key("elapsed_us").num(out.elapsed.as_micros().min(u64::MAX as u128) as u64);
+    w.key("io").obj();
+    w.key("logical_reads").num(out.io.logical_reads);
+    w.key("physical_reads").num(out.io.physical_reads);
+    w.key("physical_writes").num(out.io.physical_writes);
+    w.end_obj();
+    w.key("stats").obj();
+    w.key("range_queries").num(out.stats.range_queries);
+    w.key("nodes_scanned").num(out.stats.nodes_scanned);
+    w.key("maxgap_pruned").num(out.stats.maxgap_pruned);
+    w.key("candidates").num(out.stats.candidates);
+    w.key("refined").num(out.stats.refined);
+    w.end_obj();
+    if with_matches {
+        let shown = out.matches.len().min(limit);
+        w.key("truncated").bool_val(shown < out.matches.len());
+        w.key("matches").arr();
+        for m in &out.matches[..shown] {
+            w.obj();
+            w.key("doc").num(m.doc as u64);
+            w.key("embedding").arr();
+            for &p in &m.embedding {
+                w.num(p as u64);
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+    }
+}

@@ -1,0 +1,251 @@
+//! A bounded worker thread pool with a bounded job queue.
+//!
+//! This is the server's backpressure mechanism: [`WorkerPool::try_execute`]
+//! *fails fast* when the queue is full instead of blocking the caller,
+//! so the accept loop can turn saturation into an immediate `503`
+//! rather than an unbounded pile of parked connections.
+//!
+//! Shutdown is graceful by construction: [`WorkerPool::shutdown`] stops
+//! accepting new jobs, lets the workers drain everything already
+//! queued, and joins them.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    /// Signals workers that a job arrived or shutdown began.
+    available: Condvar,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// Returned by [`WorkerPool::try_execute`] when the queue is at
+/// capacity (the caller should shed load) or the pool is shutting
+/// down; the rejected job is handed back.
+pub struct Rejected(pub Job);
+
+impl std::fmt::Debug for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Rejected(<job>)")
+    }
+}
+
+/// A read-only view of the queue for gauges (`/metrics` reports the
+/// current depth without holding a reference to the pool itself).
+#[derive(Clone)]
+pub struct QueueProbe(Arc<Queue>);
+
+impl QueueProbe {
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.0.jobs.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+}
+
+/// A fixed-size pool of worker threads fed by a bounded FIFO queue.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    capacity: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers behind a queue of `queue_depth` slots.
+    /// Both are clamped to at least 1.
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let threads = threads.max(1);
+        let capacity = queue_depth.max(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("prix-http-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn http worker")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            capacity,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Number of worker threads (0 once shut down).
+    pub fn threads(&self) -> usize {
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// A clonable handle that reports queue depth.
+    pub fn probe(&self) -> QueueProbe {
+        QueueProbe(Arc::clone(&self.queue))
+    }
+
+    /// Configured queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (not counting jobs being executed).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+
+    /// Enqueues `job` unless the queue is full or shutdown has begun.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), Rejected> {
+        let job: Job = Box::new(job);
+        let mut state = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutting_down || state.jobs.len() >= self.capacity {
+            return Err(Rejected(job));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.queue.available.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins every worker.
+    /// In-flight and already-queued jobs run to completion. Idempotent;
+    /// must not be called from a worker thread (it would join itself).
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            state.shutting_down = true;
+        }
+        self.queue.available.notify_all();
+        let workers: Vec<_> = {
+            let mut w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            w.drain(..).collect()
+        };
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = queue
+                    .available
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_on_workers() {
+        let pool = WorkerPool::new(4, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            loop {
+                let done = Arc::clone(&done);
+                if pool
+                    .try_execute(move || {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .is_ok()
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let pool = WorkerPool::new(1, 2);
+        // Block the single worker, then fill the 2 queue slots.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap(); // worker is now occupied
+        pool.try_execute(|| {}).unwrap();
+        pool.try_execute(|| {}).unwrap();
+        assert_eq!(pool.queue_depth(), 2);
+        // Queue full: rejection is immediate, not blocking.
+        assert!(pool.try_execute(|| {}).is_err());
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            pool.try_execute(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        // Unblock the worker *after* shutdown begins on another thread:
+        // the queued jobs must still all run.
+        let unblock = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            block_tx.send(()).unwrap();
+        });
+        pool.shutdown();
+        unblock.join().unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_sizes_clamp_to_one() {
+        let pool = WorkerPool::new(0, 0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.queue_capacity(), 1);
+        let (tx, rx) = mpsc::channel();
+        pool.try_execute(move || tx.send(7).unwrap()).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        pool.shutdown();
+    }
+}

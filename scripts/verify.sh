@@ -8,6 +8,49 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --locked
 cargo test -q --offline --workspace
 
-# The concurrency suite is timing-sensitive: run it again in release so
-# contention bugs that hide under debug-build pacing still get a shot.
+# The concurrency and server suites are timing-sensitive: run them
+# again in release so contention bugs that hide under debug-build
+# pacing still get a shot. The server suite binds ephemeral ports
+# (127.0.0.1:0) only, so parallel CI runs don't collide.
 cargo test --release --test concurrency --offline --locked
+cargo test --release --test server --offline --locked
+
+# End-to-end smoke: index a tiny corpus, start `prix serve` on an
+# ephemeral port, hit /healthz and /metrics over plain bash /dev/tcp,
+# then POST /shutdown and require a clean exit 0.
+cargo build --release -p prix-cli --offline --locked
+PRIX=target/release/prix
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+"$PRIX" gen dblp "$SMOKE/corpus" --scale 0.01 >/dev/null
+"$PRIX" index "$SMOKE/db.prix" "$SMOKE"/corpus/*.xml >/dev/null
+
+"$PRIX" serve "$SMOKE/db.prix" --addr 127.0.0.1:0 >"$SMOKE/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# The first line printed is "listening on http://127.0.0.1:PORT".
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|^listening on http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$SMOKE/serve.log")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "serve never reported its port" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
+
+http() { # http <request-target> [method] — one request, prints the response
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf '%s %s HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n' "${2:-GET}" "$1" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+
+HEALTH=$(http /healthz)
+grep -q '200 OK' <<<"$HEALTH" || { echo "healthz failed" >&2; exit 1; }
+METRICS=$(http /metrics)
+grep -q 'prix_http_requests_total' <<<"$METRICS" || { echo "metrics failed" >&2; exit 1; }
+http /shutdown POST >/dev/null
+
+wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
+grep -q 'shutdown complete' "$SMOKE/serve.log" || { echo "no clean shutdown message" >&2; exit 1; }
+echo "serve smoke OK (port $PORT)"

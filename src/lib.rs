@@ -10,6 +10,8 @@
 //! * [`storage`] — paged storage, buffer pool, B+-trees, I/O accounting.
 //! * [`core`] — the PRIX engine (virtual trie indexes, filtering,
 //!   refinement, twig queries).
+//! * [`server`] — the HTTP/1.1 query server (thread pool, backpressure,
+//!   Prometheus metrics).
 //! * [`vist`] — the ViST baseline.
 //! * [`twigstack`] — the PathStack / TwigStack / TwigStackXB baseline.
 //! * [`datagen`] — synthetic DBLP / SWISSPROT / TREEBANK-like datasets
@@ -18,6 +20,7 @@
 pub use prix_core as core;
 pub use prix_datagen as datagen;
 pub use prix_prufer as prufer;
+pub use prix_server as server;
 pub use prix_storage as storage;
 pub use prix_twigstack as twigstack;
 pub use prix_vist as vist;

@@ -1,0 +1,410 @@
+//! Integration tests for the HTTP serving layer: real `TcpStream`s
+//! against a real `Server`, covering correct results, concurrency,
+//! malformed input, backpressure (503 under saturation), and graceful
+//! shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use prix::core::{EngineConfig, PrixEngine};
+use prix::server::{Server, ServerConfig, ServerHandle};
+use prix::xml::Collection;
+
+/// The three-document DBLP-like fixture used across the engine tests:
+/// ordered author/year, swapped year/author, and a www entry.
+fn engine() -> PrixEngine {
+    let mut c = Collection::new();
+    c.add_xml("<dblp><inproceedings><author>Jim Gray</author><year>1990</year></inproceedings></dblp>")
+        .unwrap();
+    c.add_xml("<dblp><inproceedings><year>1990</year><author>Jim Gray</author></inproceedings></dblp>")
+        .unwrap();
+    c.add_xml("<dblp><www><editor>E</editor><url>u</url></www></dblp>")
+        .unwrap();
+    PrixEngine::build(c, EngineConfig::default()).unwrap()
+}
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(engine(), cfg).unwrap()
+}
+
+fn start_default() -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..Default::default()
+    })
+}
+
+/// Sends raw bytes, reads to EOF, returns (status, full response text).
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(raw).unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status: u16 = buf
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {buf:?}"));
+    (status, buf)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let (status, full) = send_raw(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n").as_bytes(),
+    );
+    let body = full
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
+    let (status, full) = send_raw(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: prix\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let body = full
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn healthz_reports_ok() {
+    let h = start_default();
+    let (status, body) = get(h.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn query_returns_correct_json_results() {
+    let h = start_default();
+    // //inproceedings[./author="Jim Gray"] matches docs 0 and 1 (EP).
+    let (status, body) = get(
+        h.addr(),
+        "/query?xp=%2F%2Finproceedings%5B.%2Fauthor%3D%22Jim%20Gray%22%5D",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":2"#), "{body}");
+    assert!(body.contains(r#""index":"EPIndex""#), "{body}");
+    assert!(body.contains(r#""truncated":false"#), "{body}");
+    assert!(body.contains(r#""doc":0"#) && body.contains(r#""doc":1"#), "{body}");
+    assert!(body.contains(r#""embedding":["#), "{body}");
+
+    // Structural query routes to RP and finds the single www entry.
+    let (status, body) = get(h.addr(), "/query?xp=//www[./editor]/url");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":1"#), "{body}");
+    assert!(body.contains(r#""index":"RPIndex""#), "{body}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn query_supports_unordered_and_limit() {
+    let h = start_default();
+    let xp = "xp=%2F%2Finproceedings%5B.%2Fauthor%3D%22Jim+Gray%22%5D%5B.%2Fyear%3D%221990%22%5D";
+    // Ordered: only doc 0 has author before year.
+    let (status, body) = get(h.addr(), &format!("/query?{xp}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":1"#), "{body}");
+    // Unordered: both orderings match.
+    let (status, body) = get(h.addr(), &format!("/query?{xp}&unordered=1"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":2"#), "{body}");
+    // limit=1 truncates the embeddings but still reports the count.
+    let (status, body) = get(h.addr(), &format!("/query?{xp}&unordered=1&limit=1"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":2"#), "{body}");
+    assert!(body.contains(r#""truncated":true"#), "{body}");
+    assert_eq!(body.matches(r#""doc":"#).count(), 1, "{body}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn explain_describes_the_plan_over_http() {
+    let h = start_default();
+    let (status, body) = get(h.addr(), "/explain?xp=//www[./editor]/url");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("RPIndex"), "{body}");
+    assert!(body.contains("MaxGap"), "{body}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_correct_results() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        queue_depth: 64,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    // (target, expected count) pairs hammered from 8 client threads.
+    let cases = [
+        ("/query?xp=//www[./editor]/url", 1u64),
+        ("/query?xp=%2F%2Finproceedings%5B.%2Fauthor%3D%22Jim+Gray%22%5D", 2),
+        ("/query?xp=//dblp//year", 2),
+        ("/query?xp=//www/url", 1),
+    ];
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            s.spawn(move || {
+                for i in 0..10 {
+                    let (target, expect) = cases[(t + i) % cases.len()];
+                    let (status, body) = get(addr, target);
+                    assert_eq!(status, 200, "client {t} iter {i}: {body}");
+                    assert!(
+                        body.contains(&format!(r#""count":{expect}"#)),
+                        "client {t} iter {i}: {body}"
+                    );
+                }
+            });
+        }
+    });
+    let metrics = h.metrics();
+    assert_eq!(metrics.requests_for(prix::server::Endpoint::Query, 200), 80);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn batch_runs_queries_in_order() {
+    let h = start_default();
+    let body = "//www[./editor]/url\n//dblp//year\n\n//www/url\n";
+    let (status, resp) = post(h.addr(), "/batch", body);
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""count":3"#), "{resp}"); // 3 non-empty lines
+    // Results come back in input order.
+    let i1 = resp.find("//www[./editor]/url").unwrap();
+    let i2 = resp.find("//dblp//year").unwrap();
+    let i3 = resp.find("//www/url").unwrap();
+    assert!(i1 < i2 && i2 < i3, "{resp}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn batch_reports_the_bad_line_on_parse_error() {
+    let h = start_default();
+    let (status, resp) = post(h.addr(), "/batch", "//ok\n//[[[broken\n");
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("line 2"), "{resp}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_and_unroutable_requests_get_4xx() {
+    let h = start_default();
+    let addr = h.addr();
+    // Garbage request line.
+    let (status, _) = send_raw(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    // Unsupported protocol version.
+    let (status, _) = send_raw(addr, b"GET / SPDY/3\r\n\r\n");
+    assert_eq!(status, 400);
+    // Missing xp parameter / unparseable xpath.
+    let (status, body) = get(addr, "/query");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("xp"), "{body}");
+    let (status, body) = get(addr, "/query?xp=%2F%2F%5B%5Bbroken");
+    assert_eq!(status, 400, "{body}");
+    // Unknown path.
+    let (status, body) = get(addr, "/nosuch");
+    assert_eq!(status, 404, "{body}");
+    // Wrong method on a known path.
+    let (status, body) = post(addr, "/query?xp=//a", "");
+    assert_eq!(status, 405, "{body}");
+    let (status, body) = get(addr, "/batch");
+    assert_eq!(status, 405, "{body}");
+    // The server is still healthy after all that abuse.
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_headers_get_431() {
+    let h = start_default();
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..40 {
+        raw.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "v".repeat(1024)).as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let (status, _) = send_raw(h.addr(), &raw);
+    assert_eq!(status, 431);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_body_gets_413() {
+    let h = start_default();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Declare a huge body; the server must refuse before reading it.
+    s.write_all(b"POST /batch HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 413"), "{buf}");
+    h.shutdown().unwrap();
+}
+
+/// Opens a connection and sends an incomplete request, pinning a
+/// worker (or a queue slot) until the stream is dropped.
+fn stall(addr: SocketAddr) -> TcpStream {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"GET /query?xp=").unwrap();
+    s
+}
+
+#[test]
+fn saturation_yields_503_with_retry_after() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(5),
+        ..Default::default()
+    });
+    let addr = h.addr();
+    // Occupy the only worker, then the only queue slot.
+    let _a = stall(addr);
+    std::thread::sleep(Duration::from_millis(150)); // a reaches the worker
+    let _b = stall(addr);
+    std::thread::sleep(Duration::from_millis(100)); // b sits in the queue
+    // The next connection must be shed immediately, not parked.
+    let (status, full) = send_raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 503, "{full}");
+    assert!(full.contains("Retry-After"), "{full}");
+    assert!(h.metrics().rejected() >= 1);
+    // Releasing the stalled connections un-saturates the server.
+    drop(_a);
+    drop(_b);
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn connection_cap_sheds_excess_clients() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        queue_depth: 16,
+        max_connections: 2,
+        read_timeout: Duration::from_secs(5),
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let a = stall(addr);
+    std::thread::sleep(Duration::from_millis(100));
+    let b = stall(addr);
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, full) = send_raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 503, "{full}");
+    // Release the stalled connections so shutdown's drain is instant.
+    drop(a);
+    drop(b);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    // An in-flight request: headers started but not finished, so its
+    // worker is mid-read when shutdown begins.
+    let mut inflight = TcpStream::connect(addr).unwrap();
+    inflight
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    inflight
+        .write_all(b"GET /query?xp=//www/url HTTP/1.1\r\nHost: prix\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // reach the worker
+    let shutdown = std::thread::spawn(move || h.shutdown());
+    std::thread::sleep(Duration::from_millis(100)); // shutdown is draining
+    // Complete the request; the drain must serve it fully.
+    inflight.write_all(b"\r\n").unwrap();
+    let mut buf = String::new();
+    inflight.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+    assert!(buf.contains(r#""count":1"#), "{buf}");
+    shutdown.join().unwrap().unwrap();
+    // The listener is gone: new connections are refused (or reset).
+    assert!(TcpStream::connect(addr).is_err() || {
+        // Some kernels accept into the dead listener's backlog; a
+        // request must then go unanswered.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut b = String::new();
+        s.read_to_string(&mut b).is_err() || b.is_empty()
+    });
+}
+
+#[test]
+fn shutdown_endpoint_releases_wait() {
+    let h = start_default();
+    let addr = h.addr();
+    let waiter = std::thread::spawn(move || h.wait());
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, body) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+    waiter.join().unwrap().unwrap();
+}
+
+#[test]
+fn metrics_expose_traffic_and_bufferpool_state() {
+    let h = start_default();
+    let addr = h.addr();
+    for _ in 0..3 {
+        let (status, _) = get(addr, "/query?xp=//www/url");
+        assert_eq!(status, 200);
+    }
+    let (_, _) = get(addr, "/query?xp=%2F%2F%5B%5Bbroken"); // a 400
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 3"#),
+        "{body}"
+    );
+    assert!(
+        body.contains(r#"prix_http_requests_total{endpoint="query",code="400"} 1"#),
+        "{body}"
+    );
+    assert!(
+        body.contains(r#"prix_http_request_duration_seconds_count{endpoint="query"} 4"#),
+        "{body}"
+    );
+    assert!(
+        body.contains(r#"prix_http_request_duration_seconds_bucket{endpoint="query",le="+Inf"} 4"#),
+        "{body}"
+    );
+    assert!(body.contains("prix_bufferpool_hit_ratio "), "{body}");
+    assert!(body.contains("prix_bufferpool_logical_reads_total "), "{body}");
+    assert!(body.contains("prix_http_queue_depth 0"), "{body}");
+    // Traffic moves the histograms: another query bumps the count.
+    let (status, _) = get(addr, "/query?xp=//www/url");
+    assert_eq!(status, 200);
+    let (_, body2) = get(addr, "/metrics");
+    assert!(
+        body2.contains(r#"prix_http_request_duration_seconds_count{endpoint="query"} 5"#),
+        "{body2}"
+    );
+    h.shutdown().unwrap();
+}

@@ -20,10 +20,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
                 engine
                     .query_opts(
                         q,
-                        &ExecOpts {
-                            use_maxgap: true,
-                            ..Default::default()
-                        },
+                        &ExecOpts::new(),
                     )
                     .unwrap()
                     .matches
@@ -35,10 +32,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
                 engine
                     .query_opts(
                         q,
-                        &ExecOpts {
-                            use_maxgap: true,
-                            use_fine_maxgap: false,
-                        },
+                        &ExecOpts::new().without_fine_maxgap(),
                     )
                     .unwrap()
                     .matches
@@ -50,10 +44,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
                 engine
                     .query_opts(
                         q,
-                        &ExecOpts {
-                            use_maxgap: false,
-                            ..Default::default()
-                        },
+                        &ExecOpts::new().without_maxgap(),
                     )
                     .unwrap()
                     .matches

@@ -21,11 +21,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use prix_core::{EngineConfig, PrixEngine};
+use prix_core::{EngineConfig, ExecOpts, PrixEngine};
 use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -118,26 +118,49 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), CliError> {
-    let (db, xpath, unordered) = match args {
-        [db, xpath] => (db, xpath, false),
-        [db, xpath, flag] if flag == "--unordered" => (db, xpath, true),
-        _ => return Err(usage_err("query needs <db.prix> and \"<xpath>\"")),
+    let [db, xpath, rest @ ..] = args else {
+        return Err(usage_err("query needs <db.prix> and \"<xpath>\""));
     };
+    if db.starts_with("--") || xpath.starts_with("--") {
+        return Err(usage_err("query needs <db.prix> and \"<xpath>\" before any flags"));
+    }
+    let mut unordered = false;
+    let mut opts = ExecOpts::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--unordered" => unordered = true,
+            "--limit" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage_err("--limit needs an integer"))?;
+                // --limit 0 means unlimited, matching the server.
+                opts = if n == 0 { opts.without_limit() } else { opts.with_limit(n) };
+            }
+            other => return Err(usage_err(format!("unknown query flag `{other}`"))),
+        }
+    }
     let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
     let out = if unordered {
-        engine.query_unordered(&q).map_err(|e| e.to_string())?
+        engine.query_unordered_opts(&q, &opts).map_err(|e| e.to_string())?
     } else {
-        engine.query(&q).map_err(|e| e.to_string())?
+        engine.query_opts(&q, &opts).map_err(|e| e.to_string())?
     };
     println!(
-        "{} match(es) via {} in {:?} ({} pages read, {} range queries, {} candidates)",
+        "{} match(es){} via {} in {:?} ({} pages read, {} range queries, {} candidates)",
         out.matches.len(),
+        if out.truncated { " (truncated by --limit)" } else { "" },
         out.index_used,
         out.elapsed,
         out.io.physical_reads,
         out.stats.range_queries,
         out.stats.candidates
+    );
+    println!(
+        "stages: filter {:?}, refine {:?}, project {:?}",
+        out.stats.filter_time, out.stats.refine_time, out.stats.project_time
     );
     for m in out.matches.iter().take(50) {
         println!("  doc {} -> nodes {:?}", m.doc, m.embedding);

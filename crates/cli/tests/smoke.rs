@@ -41,6 +41,9 @@ fn usage_errors_are_consistent_across_subcommands() {
     assert_usage_error(&["index"]);
     assert_usage_error(&["index", "out.prix"]); // no input files
     assert_usage_error(&["query", "db.prix"]); // no xpath
+    assert_usage_error(&["query", "db.prix", "//a", "--limit"]); // flag missing value
+    assert_usage_error(&["query", "db.prix", "//a", "--limit", "x"]); // non-integer
+    assert_usage_error(&["query", "db.prix", "//a", "--bogus"]); // unknown flag
     assert_usage_error(&["serve"]); // no db
     assert_usage_error(&["serve", "--addr", "127.0.0.1:0"]); // flag where db belongs
     assert_usage_error(&["serve", "db.prix", "--threads"]); // flag missing value
@@ -84,15 +87,30 @@ fn index_query_roundtrip_works() {
     std::fs::create_dir_all(&dir).unwrap();
     let xml = dir.join("doc.xml");
     std::fs::write(&xml, "<dblp><www><editor>E</editor><url>u</url></www></dblp>").unwrap();
+    let xml2 = dir.join("doc2.xml");
+    std::fs::write(&xml2, "<dblp><www><editor>F</editor><url>v</url></www></dblp>").unwrap();
     let db = dir.join("db.prix");
 
-    let out = prix(&["index", db.to_str().unwrap(), xml.to_str().unwrap()]);
+    let out = prix(&[
+        "index",
+        db.to_str().unwrap(),
+        xml.to_str().unwrap(),
+        xml2.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(0), "index: {}", stderr(&out));
 
     let out = prix(&["query", db.to_str().unwrap(), "//www[./editor]/url"]);
     assert_eq!(out.status.code(), Some(0), "query: {}", stderr(&out));
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("1 match(es)"), "{text}");
+    assert!(text.contains("2 match(es)"), "{text}");
+    assert!(text.contains("stages: filter"), "{text}");
+
+    // --limit pushes the cap into the executor; with more matches than
+    // the cap the output is flagged truncated.
+    let out = prix(&["query", db.to_str().unwrap(), "//www/url", "--limit", "1"]);
+    assert_eq!(out.status.code(), Some(0), "query --limit: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 match(es) (truncated by --limit)"), "{text}");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

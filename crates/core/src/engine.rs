@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use prix_storage::{BufferPool, IoSnapshot, Pager, RecordId, RecordStore, PAGE_SIZE};
+use prix_storage::{BufferPool, IoScope, IoSnapshot, Pager, RecordId, RecordStore, PAGE_SIZE};
 use prix_xml::{Collection, PostNum, Sym, SymbolTable};
 
 use crate::arrange::arrangements;
@@ -67,11 +67,17 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
     /// Which index answered the query.
     pub index_used: IndexKind,
-    /// I/O performed during the query (pages read = the paper's
-    /// "Disk IO" column when the pool started cold).
+    /// I/O performed *by this query* (pages read = the paper's
+    /// "Disk IO" column when the pool started cold). Attributed via a
+    /// per-thread [`IoScope`], so it stays exact even when other
+    /// queries run concurrently on the same buffer pool.
     pub io: IoSnapshot,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// `true` when execution stopped at [`ExecOpts::limit`] without
+    /// proving the result set was drained; more matches *may* exist
+    /// (conservative — no probing for the next match is done).
+    pub truncated: bool,
 }
 
 /// An indexed XML database: the collection, its RP/EP indexes, and a
@@ -389,18 +395,33 @@ impl PrixEngine {
         self.query_opts(q, &ExecOpts::default())
     }
 
-    /// Executes an ordered twig query with options.
+    /// Executes an ordered twig query with options. With
+    /// [`ExecOpts::limit`] set the query runs through the streaming
+    /// executor and stops pulling at the limit — the remaining trie
+    /// range queries and refinements never happen.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let idx = self.pick_index(q)?;
-        let io_before = self.pool.snapshot();
+        let scope = IoScope::begin();
         let start = Instant::now();
-        let (matches, stats) = idx.execute_opts(q, opts)?;
+        let (matches, stats, truncated) = if opts.limit.is_some() {
+            let mut stream = idx.execute_stream(q, opts)?;
+            let mut matches = Vec::new();
+            while let Some(m) = stream.next_match()? {
+                matches.push(m);
+            }
+            let truncated = !stream.exhausted();
+            (matches, stream.stats(), truncated)
+        } else {
+            let (matches, stats) = idx.execute_opts(q, opts)?;
+            (matches, stats, false)
+        };
         Ok(QueryOutcome {
             matches,
             stats,
             index_used: idx.kind(),
-            io: self.pool.snapshot().since(&io_before),
+            io: scope.end(),
             elapsed: start.elapsed(),
+            truncated,
         })
     }
 
@@ -413,14 +434,25 @@ impl PrixEngine {
     /// `threads` is clamped to `1..=queries.len()`: `threads == 0` is
     /// treated as 1 (serial), never an empty worker set. With
     /// `threads <= 1` (or a single query) this degenerates to the
-    /// serial loop. Note that under concurrency each outcome's
-    /// [`QueryOutcome::io`] is a delta of the pool-wide counters and so
-    /// includes pages fetched by overlapping queries; per-query I/O
-    /// attribution is only exact in the serial case.
+    /// serial loop. Each outcome's [`QueryOutcome::io`] is attributed
+    /// through a per-thread [`IoScope`], so it counts exactly the pages
+    /// that query touched — concurrent queries on other workers never
+    /// leak into it.
     pub fn query_batch(&self, queries: &[TwigQuery], threads: usize) -> Result<Vec<QueryOutcome>> {
+        self.query_batch_opts(queries, threads, &ExecOpts::default())
+    }
+
+    /// [`PrixEngine::query_batch`] with per-query execution options
+    /// (each query gets the same `opts`, including any limit).
+    pub fn query_batch_opts(
+        &self,
+        queries: &[TwigQuery],
+        threads: usize,
+        opts: &ExecOpts,
+    ) -> Result<Vec<QueryOutcome>> {
         let threads = threads.max(1).min(queries.len().max(1));
         if threads == 1 {
-            return queries.iter().map(|q| self.query(q)).collect();
+            return queries.iter().map(|q| self.query_opts(q, opts)).collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<std::sync::Mutex<Option<Result<QueryOutcome>>>> =
@@ -434,7 +466,7 @@ impl PrixEngine {
                     if i >= queries.len() {
                         break;
                     }
-                    let out = self.query(&queries[i]);
+                    let out = self.query_opts(&queries[i], opts);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
@@ -452,25 +484,36 @@ impl PrixEngine {
     /// Executes an unordered twig query by running every distinct branch
     /// arrangement (§5.7) and unioning the embeddings.
     pub fn query_unordered(&self, q: &TwigQuery) -> Result<QueryOutcome> {
+        self.query_unordered_opts(q, &ExecOpts::default())
+    }
+
+    /// [`PrixEngine::query_unordered`] with execution options. With
+    /// [`ExecOpts::limit`] set, arrangements interleave through the
+    /// *shared* limit: each arrangement is streamed, distinct
+    /// base-numbered matches count against the one budget, and as soon
+    /// as it is reached the current stream is abandoned mid-trie and
+    /// the remaining arrangements never run at all.
+    pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let arrs = arrangements(q, self.arrangement_limit)
             .map_err(|e| IndexError::Unsupported(e.to_string()))?;
-        let io_before = self.pool.snapshot();
+        let scope = IoScope::begin();
         let start = Instant::now();
         let mut stats = QueryStats::default();
         let mut index_used = IndexKind::Regular;
         let mut seen: std::collections::HashSet<(u32, Vec<PostNum>)> =
             std::collections::HashSet::new();
         let mut matches: Vec<TwigMatch> = Vec::new();
-        for arr in &arrs {
+        let mut truncated = false;
+        // Dedup across arrangements makes a per-stream limit unsound
+        // (k matches from one arrangement may collapse with earlier
+        // ones), so each arrangement streams unlimited and the shared
+        // countdown is enforced on distinct base-numbered matches.
+        let arr_opts = opts.without_limit();
+        'arrs: for arr in &arrs {
             let idx = self.pick_index(&arr.query)?;
             index_used = idx.kind();
-            let (arr_matches, s) = idx.execute(&arr.query)?;
-            stats.range_queries += s.range_queries;
-            stats.nodes_scanned += s.nodes_scanned;
-            stats.maxgap_pruned += s.maxgap_pruned;
-            stats.candidates += s.candidates;
-            stats.refined += s.refined;
-            for m in arr_matches {
+            let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
+            while let Some(m) = stream.next_match()? {
                 // Re-map the arrangement's postorder numbering back to
                 // the base query's.
                 let mut base_emb = vec![0 as PostNum; m.embedding.len()];
@@ -483,8 +526,16 @@ impl PrixEngine {
                         doc: m.doc,
                         embedding: base_emb,
                     });
+                    if opts.limit.map_or(false, |k| matches.len() >= k) {
+                        let s = stream.stats();
+                        add_filter_counters(&mut stats, &s);
+                        truncated = true;
+                        break 'arrs;
+                    }
                 }
             }
+            let s = stream.stats();
+            add_filter_counters(&mut stats, &s);
         }
         matches.sort();
         stats.matches = matches.len() as u64;
@@ -492,10 +543,25 @@ impl PrixEngine {
             matches,
             stats,
             index_used,
-            io: self.pool.snapshot().since(&io_before),
+            io: scope.end(),
             elapsed: start.elapsed(),
+            truncated,
         })
     }
+}
+
+/// Accumulates one arrangement's pipeline stats into the union's
+/// (everything except `matches`, which counts distinct base-numbered
+/// embeddings across all arrangements).
+fn add_filter_counters(total: &mut QueryStats, s: &QueryStats) {
+    total.range_queries += s.range_queries;
+    total.nodes_scanned += s.nodes_scanned;
+    total.maxgap_pruned += s.maxgap_pruned;
+    total.candidates += s.candidates;
+    total.refined += s.refined;
+    total.filter_time += s.filter_time;
+    total.refine_time += s.refine_time;
+    total.project_time += s.project_time;
 }
 
 #[cfg(test)]
@@ -662,6 +728,7 @@ mod tests {
              LPS(Q) = url www dblp\n\
              NPS(Q) = 2 3 4\n\
              edges  = / / / /\n\
+             executor: streaming filter -> refine -> project (limit pushdown)\n\
              MaxGap rules: 2 of 2 adjacent pairs bounded\n\
              \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
              \x20 positions 2->3: distance <= min(2, per-node) + 1\n"
@@ -674,6 +741,7 @@ mod tests {
              LPS(Q) = editor www url www\n\
              NPS(Q) = 2 5 4 5\n\
              edges  = / / / / /\n\
+             executor: streaming filter -> refine -> project (limit pushdown)\n\
              MaxGap rules: 3 of 3 adjacent pairs bounded\n\
              \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
              \x20 positions 2->3: distance <= min(2, per-node) + 0\n\

@@ -18,14 +18,12 @@
 //! refinement phases), producing the set of twig matches with their
 //! embeddings.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::ops::Bound;
 use std::sync::Arc;
+use std::time::Duration;
 
-use prix_prufer::{
-    embedding, refine_match, EdgeKind, ExtendedTree, MaxGapTable, PruferSeq, RefineCtx,
-};
+use prix_prufer::{EdgeKind, ExtendedTree, MaxGapTable, PruferSeq};
 use prix_storage::{BPlusTree, BufferPool, RecordId, RecordStore, StorageError};
 use prix_xml::{Collection, DocId, PostNum, Sym, XmlTree};
 
@@ -109,9 +107,31 @@ pub struct QueryStats {
     pub refined: u64,
     /// Distinct twig matches reported.
     pub matches: u64,
+    /// Wall clock spent in the filtering stage (Algorithm 1: trie range
+    /// queries + MaxGap pruning + docid scans).
+    pub filter_time: Duration,
+    /// Wall clock spent in refinement (per-document record loads +
+    /// Algorithm 2).
+    pub refine_time: Duration,
+    /// Wall clock spent projecting embeddings and deduplicating
+    /// matches.
+    pub project_time: Duration,
 }
 
-/// Execution options (the MaxGap toggles back the §5.4 ablation bench).
+impl QueryStats {
+    /// This stats value with the wall-clock timings zeroed. Counters
+    /// are deterministic per query; timings are not — compare
+    /// `a.counters_only() == b.counters_only()` in tests.
+    pub fn counters_only(mut self) -> QueryStats {
+        self.filter_time = Duration::default();
+        self.refine_time = Duration::default();
+        self.project_time = Duration::default();
+        self
+    }
+}
+
+/// Execution options: the MaxGap toggles back the §5.4 ablation bench,
+/// `limit` drives LIMIT pushdown through the streaming executor.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOpts {
     /// Apply the Theorem 4 pruning during subsequence matching.
@@ -121,6 +141,12 @@ pub struct ExecOpts {
     /// of a symbol in the virtual trie"). Only effective when
     /// `use_maxgap` is set.
     pub use_fine_maxgap: bool,
+    /// Stop after this many distinct matches. `None` = unlimited. With
+    /// a limit the executor stops *pulling* — remaining trie range
+    /// queries, docid scans, and refinements never run — and matches
+    /// arrive in trie-traversal order rather than sorted candidate
+    /// order.
+    pub limit: Option<usize>,
 }
 
 impl Default for ExecOpts {
@@ -128,7 +154,40 @@ impl Default for ExecOpts {
         ExecOpts {
             use_maxgap: true,
             use_fine_maxgap: true,
+            limit: None,
         }
+    }
+}
+
+impl ExecOpts {
+    /// Default options: MaxGap pruning on, no limit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stops after `limit` distinct matches.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Removes any match limit.
+    pub fn without_limit(mut self) -> Self {
+        self.limit = None;
+        self
+    }
+
+    /// Disables Theorem 4 pruning entirely.
+    pub fn without_maxgap(mut self) -> Self {
+        self.use_maxgap = false;
+        self
+    }
+
+    /// Keeps the global per-label MaxGap bound but drops the per-node
+    /// fine gaps (§5.4 ablation).
+    pub fn without_fine_maxgap(mut self) -> Self {
+        self.use_fine_maxgap = false;
+        self
     }
 }
 
@@ -216,12 +275,12 @@ fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
 type DocArtifacts = (PruferSeq, Option<Vec<PostNum>>, Vec<(Sym, PostNum)>, Vec<u32>);
 
 /// Cached per-document data used by refinement.
-struct DocData {
-    nps: Vec<PostNum>,
-    lps: Vec<Sym>,
-    leaves: Vec<(Sym, PostNum)>,
-    orig_map: Option<Vec<PostNum>>,
-    n_orig: u32,
+pub(crate) struct DocData {
+    pub(crate) nps: Vec<PostNum>,
+    pub(crate) lps: Vec<Sym>,
+    pub(crate) leaves: Vec<(Sym, PostNum)>,
+    pub(crate) orig_map: Option<Vec<PostNum>>,
+    pub(crate) n_orig: u32,
 }
 
 impl PrixIndex {
@@ -635,6 +694,7 @@ impl PrixIndex {
             })
             .collect();
         out.push_str(&format!("edges  = {}\n", edge_str.join(" ")));
+        out.push_str("executor: streaming filter -> refine -> project (limit pushdown)\n");
         let rules = self.gap_rules(&plan);
         let bounded = rules.iter().flatten().count();
         out.push_str(&format!(
@@ -657,89 +717,94 @@ impl PrixIndex {
     }
 
     /// Executes an ordered twig query.
+    ///
+    /// Without a limit this preserves the historical contract exactly:
+    /// all candidates are drained from the [`crate::exec::CandidateCursor`],
+    /// sorted by `(doc, positions)` so per-document record loads batch
+    /// up, then refined in that order — results, ordering, and every
+    /// [`QueryStats`] counter are identical to the pre-streaming
+    /// executor. With `opts.limit` set, execution goes through
+    /// [`PrixIndex::execute_stream`] and stops pulling at the limit, so
+    /// matches arrive in trie-traversal order and the filter counters
+    /// reflect only the work actually performed.
     pub fn execute_opts(
         &self,
         q: &TwigQuery,
         opts: &ExecOpts,
     ) -> Result<(Vec<TwigMatch>, QueryStats)> {
+        if opts.limit.is_some() {
+            let mut stream = self.execute_stream(q, opts)?;
+            let mut matches = Vec::new();
+            while let Some(m) = stream.next_match()? {
+                matches.push(m);
+            }
+            return Ok((matches, stream.stats()));
+        }
+
         let plan = self.plan(q)?;
-        let mut stats = QueryStats::default();
         if plan.seq.is_empty() {
             return Err(IndexError::Unsupported(
                 "query has an empty Prüfer sequence (single-node query on RPIndex)".into(),
             ));
         }
 
-        // Phase 1: filtering by subsequence matching (Algorithm 1).
+        // Phase 1: filtering by subsequence matching (Algorithm 1),
+        // fully drained.
         let rules = if opts.use_maxgap {
             self.gap_rules(&plan)
         } else {
             vec![None; plan.seq.len().saturating_sub(1)]
         };
+        let mut cursor =
+            crate::exec::CandidateCursor::new(self, plan.seq.lps.clone(), rules, opts.use_fine_maxgap);
         let mut candidates: Vec<(DocId, Vec<PostNum>)> = Vec::new();
-        self.find_subsequence(
-            &plan.seq.lps,
-            &rules,
-            opts.use_fine_maxgap,
-            0,
-            (0, u64::MAX, u32::MAX),
-            &mut Vec::with_capacity(plan.seq.len()),
-            &mut stats,
-            &mut |doc, pos| candidates.push((doc, pos.to_vec())),
-        )?;
+        while let Some((doc, pos)) = cursor.next()? {
+            candidates.push((doc, pos.to_vec()));
+        }
+        let mut stats = cursor.stats();
         stats.candidates = candidates.len() as u64;
 
         // Phase 2: refinement (Algorithm 2), grouped per document so the
         // NPS / LPS / leaf records are fetched once.
         candidates.sort();
+        let mut stage = crate::exec::RefineStage::new(self);
         let mut matches: Vec<TwigMatch> = Vec::new();
-        let mut seen: std::collections::HashSet<(DocId, Vec<PostNum>)> =
-            std::collections::HashSet::new();
-        let mut cache: HashMap<DocId, DocData> = HashMap::new();
-        for (doc, positions) in candidates {
-            let data = match cache.entry(doc) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(self.load_doc(doc, !plan.skip_leaf)?)
-                }
-            };
-            let ctx = RefineCtx {
-                doc_nps: &data.nps,
-                query_nps: &plan.seq.nps,
-                positions: &positions,
-                edges: &plan.edges,
-                query_leaves: &plan.leaves,
-                doc_leaves: &data.leaves,
-                doc_lps: &data.lps,
-                skip_leaf_check: plan.skip_leaf,
-            };
-            if !refine_match(&ctx) {
-                continue;
-            }
-            stats.refined += 1;
-            let img = embedding(&plan.seq.nps, &positions, &data.nps);
-            let Some(base) = project_embedding(&plan, data, &img) else {
-                continue;
-            };
-            if q.is_absolute() {
-                let root_img = base[base.len() - 1];
-                if root_img != data.n_orig {
-                    continue;
-                }
-            }
-            if seen.insert((doc, base.clone())) {
-                matches.push(TwigMatch {
-                    doc,
-                    embedding: base,
-                });
+        for (doc, positions) in &candidates {
+            if let Some(m) = stage.process(&plan, q.is_absolute(), *doc, positions)? {
+                matches.push(m);
             }
         }
+        stats.refined = stage.refined;
+        stats.refine_time = stage.refine_time;
+        stats.project_time = stage.project_time;
         stats.matches = matches.len() as u64;
         Ok((matches, stats))
     }
 
+    /// Executes an ordered twig query as a pull-based stream: one
+    /// [`crate::exec::MatchStream::next_match`] call pulls exactly as
+    /// much trie traversal and refinement as needed to produce the next
+    /// distinct match. Dropping the stream (or hitting `opts.limit`)
+    /// abandons the remaining trie descent — that is the LIMIT
+    /// pushdown. Matches arrive in trie-traversal (document-filter)
+    /// order.
+    pub fn execute_stream(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<crate::exec::MatchStream<'_>> {
+        let plan = self.plan(q)?;
+        if plan.seq.is_empty() {
+            return Err(IndexError::Unsupported(
+                "query has an empty Prüfer sequence (single-node query on RPIndex)".into(),
+            ));
+        }
+        Ok(crate::exec::MatchStream::new(
+            self,
+            plan,
+            q.is_absolute(),
+            opts,
+        ))
+    }
+
     /// Prepares the sequences / edges / leaves for this index kind.
-    fn plan(&self, q: &TwigQuery) -> Result<QueryPlan> {
+    pub(crate) fn plan(&self, q: &TwigQuery) -> Result<QueryPlan> {
         match self.kind {
             IndexKind::Regular => {
                 if q.needs_extended() {
@@ -812,7 +877,7 @@ impl PrixIndex {
     /// All cases require the participating query edges to be `/` edges —
     /// wildcard edges stretch the data-side distance arbitrarily, so no
     /// bound applies (see DESIGN.md).
-    fn gap_rules(&self, plan: &QueryPlan) -> Vec<Option<GapRule>> {
+    pub(crate) fn gap_rules(&self, plan: &QueryPlan) -> Vec<Option<GapRule>> {
         let len = plan.seq.len();
         let mut rules = vec![None; len.saturating_sub(1)];
         for k in 1..len {
@@ -855,27 +920,19 @@ impl PrixIndex {
         rules
     }
 
-    /// Algorithm 1: `FindSubsequence`, extended with MaxGap pruning
-    /// (global per-label plus, optionally, the §5.4 per-trie-node fine
-    /// gaps carried in `range.2`).
-    #[allow(clippy::too_many_arguments)]
-    fn find_subsequence(
+    /// One Algorithm 1 range query against the Trie-Symbol index of
+    /// `sym`, open-left: descendants of the current trie node have
+    /// `left` in `(ql, qr]`. Returns `(left, right, level, fine_gap)`
+    /// rows in key order. The [`crate::exec::CandidateCursor`] drives
+    /// the trie descent one of these scans at a time.
+    pub(crate) fn scan_tag_range(
         &self,
-        lps: &[Sym],
-        rules: &[Option<GapRule>],
-        use_fine: bool,
-        i: usize,
-        range: (u64, u64, u32),
-        positions: &mut Vec<PostNum>,
-        stats: &mut QueryStats,
-        emit: &mut impl FnMut(DocId, &[PostNum]),
-    ) -> Result<()> {
-        let (ql, qr, prev_fine) = range;
-        stats.range_queries += 1;
-        // Range query on the Trie-Symbol index of lps[i], open-left:
-        // descendants of the current trie node have left in (ql, qr].
-        let lo = tag_key(lps[i], ql);
-        let hi = tag_key(lps[i], qr);
+        sym: Sym,
+        ql: u64,
+        qr: u64,
+    ) -> Result<Vec<(u64, u64, u32, u32)>> {
+        let lo = tag_key(sym, ql);
+        let hi = tag_key(sym, qr);
         let mut hits: Vec<(u64, u64, u32, u32)> = Vec::new();
         self.tag_index
             .scan(Bound::Excluded(&lo), Bound::Included(&hi), |k, v| {
@@ -886,59 +943,32 @@ impl PrixIndex {
                 hits.push((left, right, level, fine));
                 true
             })?;
-        stats.nodes_scanned += hits.len() as u64;
-        for (left, right, level, fine) in hits {
-            // MaxGap pruning (Theorem 4).
-            if i > 0 {
-                if let Some(rule) = rules[i - 1] {
-                    let mg = if use_fine {
-                        rule.global.min(prev_fine as u64)
-                    } else {
-                        rule.global
-                    };
-                    let prev = *positions.last().expect("i > 0 has a previous position");
-                    let dist = (level as u64).saturating_sub(prev as u64);
-                    if dist > mg + rule.extra {
-                        stats.maxgap_pruned += 1;
-                        continue;
-                    }
-                }
-            }
-            positions.push(level);
-            if i + 1 == lps.len() {
-                // Fetch all documents whose LPS ends inside [left, right].
-                let lo_d = left.to_be_bytes();
-                let hi_d = right.to_be_bytes();
-                let mut docs: Vec<DocId> = Vec::new();
-                self.docid_index
-                    .scan(Bound::Included(&lo_d), Bound::Included(&hi_d), |_, v| {
-                        docs.push(u32::from_le_bytes(v.try_into().unwrap()));
-                        true
-                    })?;
-                for doc in docs {
-                    emit(doc, positions);
-                }
-            } else {
-                self.find_subsequence(
-                    lps,
-                    rules,
-                    use_fine,
-                    i + 1,
-                    (left, right, fine),
-                    positions,
-                    stats,
-                    emit,
-                )?;
-            }
-            positions.pop();
-        }
+        Ok(hits)
+    }
+
+    /// Appends every document whose LPS ends on a trie node with `left`
+    /// in `[left, right]` (the Docid-index scan at the last LPS
+    /// position of Algorithm 1).
+    pub(crate) fn scan_docids(
+        &self,
+        left: u64,
+        right: u64,
+        out: &mut std::collections::VecDeque<DocId>,
+    ) -> Result<()> {
+        let lo = left.to_be_bytes();
+        let hi = right.to_be_bytes();
+        self.docid_index
+            .scan(Bound::Included(&lo), Bound::Included(&hi), |_, v| {
+                out.push_back(u32::from_le_bytes(v.try_into().unwrap()));
+                true
+            })?;
         Ok(())
     }
 
     /// Reads a document's refinement data. The LPS and leaf list are
     /// only needed by the leaf-matching phase; extended-query plans skip
     /// it, so those records (and their pages) are never touched.
-    fn load_doc(&self, doc: DocId, need_leaf_data: bool) -> Result<DocData> {
+    pub(crate) fn load_doc(&self, doc: DocId, need_leaf_data: bool) -> Result<DocData> {
         let rec = &self.docs[doc as usize];
         let nps = decode_u32s(&self.store.read(rec.nps)?);
         let (lps, leaves) = if need_leaf_data {
@@ -984,9 +1014,9 @@ struct TrieNodeEntry {
 /// One Theorem 4 pruning rule between adjacent LPS positions: allowed
 /// distance = `min(global, per-node fine gap) + extra`.
 #[derive(Debug, Clone, Copy)]
-struct GapRule {
-    global: u64,
-    extra: u64,
+pub(crate) struct GapRule {
+    pub(crate) global: u64,
+    pub(crate) extra: u64,
 }
 
 /// The error for a virtual-trie scope that cannot fit a new suffix.
@@ -1173,25 +1203,29 @@ impl PrixIndex {
     }
 }
 
-struct QueryPlan {
-    seq: PruferSeq,
-    edges: Vec<EdgeKind>,
-    leaves: Vec<(Sym, PostNum)>,
-    qtree: XmlTree,
+pub(crate) struct QueryPlan {
+    pub(crate) seq: PruferSeq,
+    pub(crate) edges: Vec<EdgeKind>,
+    pub(crate) leaves: Vec<(Sym, PostNum)>,
+    pub(crate) qtree: XmlTree,
     /// For extended-query plans: `ext_of_orig[orig - 1]` = extended
     /// postorder of the original query node.
-    ext_of_orig: Option<Vec<PostNum>>,
-    n_orig_query: u32,
+    pub(crate) ext_of_orig: Option<Vec<PostNum>>,
+    pub(crate) n_orig_query: u32,
     /// Leaf-matching phase can be skipped (every query label already
     /// participated in subsequence matching).
-    skip_leaf: bool,
+    pub(crate) skip_leaf: bool,
 }
 
 /// Projects an embedding in plan numbering (possibly extended, possibly
 /// over the extended document) down to original query and document
 /// postorder numbers. Returns `None` if any original query node lands on
 /// a document dummy (cannot happen for well-formed plans; defensive).
-fn project_embedding(plan: &QueryPlan, data: &DocData, img: &[PostNum]) -> Option<Vec<PostNum>> {
+pub(crate) fn project_embedding(
+    plan: &QueryPlan,
+    data: &DocData,
+    img: &[PostNum],
+) -> Option<Vec<PostNum>> {
     let m = plan.n_orig_query as usize;
     let mut out = Vec::with_capacity(m);
     match (&plan.ext_of_orig, &data.orig_map) {
@@ -1365,23 +1399,9 @@ mod tests {
             &mut syms,
         )
         .unwrap();
-        let (with, s_with) = idx
-            .execute_opts(
-                &q,
-                &ExecOpts {
-                    use_maxgap: true,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+        let (with, s_with) = idx.execute_opts(&q, &ExecOpts::new()).unwrap();
         let (without, s_without) = idx
-            .execute_opts(
-                &q,
-                &ExecOpts {
-                    use_maxgap: false,
-                    ..Default::default()
-                },
-            )
+            .execute_opts(&q, &ExecOpts::new().without_maxgap())
             .unwrap();
         assert_eq!(with, without, "pruning must be lossless (Theorem 4)");
         assert!(s_with.nodes_scanned <= s_without.nodes_scanned);
@@ -1452,23 +1472,9 @@ mod tests {
         let idx = build_index(&mut c, IndexKind::Regular);
         let mut syms = c.symbols().clone();
         let q = crate::xpath::parse_xpath("//a[./b]/c", &mut syms).unwrap();
-        let fine = idx
-            .execute_opts(
-                &q,
-                &ExecOpts {
-                    use_maxgap: true,
-                    use_fine_maxgap: true,
-                },
-            )
-            .unwrap();
+        let fine = idx.execute_opts(&q, &ExecOpts::new()).unwrap();
         let coarse = idx
-            .execute_opts(
-                &q,
-                &ExecOpts {
-                    use_maxgap: true,
-                    use_fine_maxgap: false,
-                },
-            )
+            .execute_opts(&q, &ExecOpts::new().without_fine_maxgap())
             .unwrap();
         assert_eq!(fine.0, coarse.0, "fine pruning must be lossless");
         assert_eq!(fine.0.len(), 1, "only the wide document matches");

@@ -34,6 +34,7 @@
 
 pub mod arrange;
 pub mod engine;
+pub mod exec;
 pub mod index;
 pub mod naive;
 pub mod query;
@@ -42,7 +43,8 @@ pub mod trie;
 pub mod xpath;
 
 pub use engine::{EngineConfig, PrixEngine, QueryOutcome};
-pub use index::{IndexKind, PrixIndex, QueryStats, TwigMatch};
+pub use exec::MatchStream;
+pub use index::{ExecOpts, IndexKind, PrixIndex, QueryStats, TwigMatch};
 pub use query::{TwigBuilder, TwigQuery};
 pub use trie::{LabelingMode, VirtualTrie};
 pub use xpath::{parse_xpath, XPathError};

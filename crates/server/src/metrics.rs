@@ -41,6 +41,37 @@ pub enum Endpoint {
     Other,
 }
 
+/// The pipeline stages of the streaming query executor, as exposed in
+/// the `prix_query_stage_duration_seconds` histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Algorithm 1 subsequence filtering (trie range queries + MaxGap
+    /// pruning + docid scans).
+    Filter,
+    /// Algorithm 2 refinement (per-document record loads + phases).
+    Refine,
+    /// Embedding projection + dedup.
+    Project,
+}
+
+impl Stage {
+    /// All stages, in exposition order.
+    pub const ALL: [Stage; 3] = [Stage::Filter, Stage::Refine, Stage::Project];
+
+    /// The `stage` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Filter => "filter",
+            Stage::Refine => "refine",
+            Stage::Project => "project",
+        }
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).unwrap()
+    }
+}
+
 impl Endpoint {
     /// All endpoints, in exposition order.
     pub const ALL: [Endpoint; 7] = [
@@ -107,6 +138,9 @@ pub struct Metrics {
     /// (the server emits ~8 distinct codes), so a locked Vec is fine.
     requests: Mutex<Vec<(usize, u16, u64)>>,
     latency: [Histogram; Endpoint::ALL.len()],
+    /// Per-stage executor timings (`filter` / `refine` / `project`),
+    /// one observation per executed query.
+    stage: [Histogram; Stage::ALL.len()],
     /// Connections rejected with 503 by admission control.
     rejected: AtomicU64,
     /// Connections currently being handled (gauge).
@@ -129,6 +163,11 @@ impl Metrics {
         }
         drop(table);
         self.latency[idx].observe(elapsed);
+    }
+
+    /// Records one executor stage's wall clock for one query.
+    pub fn record_stage(&self, stage: Stage, elapsed: Duration) {
+        self.stage[stage.index()].observe(elapsed);
     }
 
     /// Records an admission-control rejection (503 before a worker was
@@ -226,6 +265,35 @@ impl Metrics {
             ));
             out.push_str(&format!(
                 "prix_http_request_duration_seconds_count{{endpoint={label}}} {cum}\n"
+            ));
+        }
+
+        out.push_str("# HELP prix_query_stage_duration_seconds Executor stage wall clock per query, by pipeline stage.\n");
+        out.push_str("# TYPE prix_query_stage_duration_seconds histogram\n");
+        for st in Stage::ALL {
+            let h = &self.stage[st.index()];
+            if h.total() == 0 {
+                continue;
+            }
+            let label = escape(st.label());
+            let mut cum = 0u64;
+            for (i, &bound_us) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cum += h.counts[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "prix_query_stage_duration_seconds_bucket{{stage={label},le=\"{}\"}} {cum}\n",
+                    bound_us as f64 / 1e6
+                ));
+            }
+            cum += h.counts[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "prix_query_stage_duration_seconds_bucket{{stage={label},le=\"+Inf\"}} {cum}\n"
+            ));
+            out.push_str(&format!(
+                "prix_query_stage_duration_seconds_sum{{stage={label}}} {}\n",
+                h.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "prix_query_stage_duration_seconds_count{{stage={label}}} {cum}\n"
             ));
         }
 

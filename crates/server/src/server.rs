@@ -34,12 +34,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use prix_core::{parse_xpath, PrixEngine, QueryOutcome};
+use prix_core::{parse_xpath, ExecOpts, PrixEngine, QueryOutcome};
 use prix_xml::SymbolTable;
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::JsonWriter;
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, Stage};
 use crate::workers::{QueueProbe, WorkerPool};
 
 /// Server tuning knobs. `Default` is sized for tests and small
@@ -454,27 +454,39 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
         Err(resp) => return resp,
     };
     let unordered = matches!(req.param("unordered"), Some("1" | "true"));
-    let limit = match req.param("limit").map(str::parse::<usize>) {
-        None => shared.cfg.match_limit,
-        Some(Ok(0)) => usize::MAX,
-        Some(Ok(n)) => n,
+    // The limit is pushed down into the executor: the trie descent
+    // stops once enough distinct matches streamed out. `limit=0` asks
+    // for everything; absent, the server's configured cap applies.
+    let opts = match req.param("limit").map(str::parse::<usize>) {
+        None => ExecOpts::new().with_limit(shared.cfg.match_limit),
+        Some(Ok(0)) => ExecOpts::new(),
+        Some(Ok(n)) => ExecOpts::new().with_limit(n),
         Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
     };
     let result = if unordered {
-        shared.engine.query_unordered(&q)
+        shared.engine.query_unordered_opts(&q, &opts)
     } else {
-        shared.engine.query(&q)
+        shared.engine.query_opts(&q, &opts)
     };
     match result {
         Ok(out) => {
+            record_stage_timings(shared, &out);
             let mut w = JsonWriter::new();
             w.obj();
-            outcome_json(&mut w, &xp, &out, limit, true);
+            outcome_json(&mut w, &xp, &out, true);
             w.end_obj();
             Response::new(200).json(w.finish())
         }
         Err(e) => Response::new(400).json(error_json(&format!("query error: {e}"))),
     }
+}
+
+/// Feeds one outcome's per-stage executor timings into the
+/// `prix_query_stage_duration_seconds` histograms.
+fn record_stage_timings(shared: &Arc<Shared>, out: &QueryOutcome) {
+    shared.metrics.record_stage(Stage::Filter, out.stats.filter_time);
+    shared.metrics.record_stage(Stage::Refine, out.stats.refine_time);
+    shared.metrics.record_stage(Stage::Project, out.stats.project_time);
 }
 
 fn handle_explain(req: &Request, shared: &Arc<Shared>) -> Response {
@@ -498,6 +510,13 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
         Some(Ok(n)) => n.clamp(1, shared.cfg.batch_threads.max(1)),
         Some(Err(_)) => return Response::new(400).json(error_json("bad `threads` parameter")),
     };
+    // Batches default to unlimited; `limit=N` pushes the same
+    // per-query cap into every worker's executor.
+    let opts = match req.param("limit").map(str::parse::<usize>) {
+        None | Some(Ok(0)) => ExecOpts::new(),
+        Some(Ok(n)) => ExecOpts::new().with_limit(n),
+        Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
+    };
     let lines: Vec<&str> = body
         .lines()
         .map(str::trim)
@@ -518,18 +537,19 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
             }
         }
     }
-    match shared.engine.query_batch(&queries, threads) {
+    match shared.engine.query_batch_opts(&queries, threads, &opts) {
         Ok(outs) => {
             let mut w = JsonWriter::new();
             w.obj();
             w.key("count").num(outs.len() as u64);
             w.key("results").arr();
             for (line, out) in lines.iter().zip(&outs) {
+                record_stage_timings(shared, out);
                 w.obj();
                 // Batch responses report counts and costs per query;
                 // embeddings are available one query at a time via
                 // `GET /query`.
-                outcome_json(&mut w, line, out, 0, false);
+                outcome_json(&mut w, line, out, false);
                 w.end_obj();
             }
             w.end_arr();
@@ -541,8 +561,10 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
 }
 
 /// Writes the shared per-query fields (and optionally the embeddings)
-/// into an already-open JSON object.
-fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, limit: usize, with_matches: bool) {
+/// into an already-open JSON object. `count` is the number of matches
+/// actually returned by the executor; `truncated` reports whether the
+/// limit stopped the trie descent before it was drained.
+fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matches: bool) {
     w.key("xpath").str_val(xpath);
     w.key("index").str_val(&out.index_used.to_string());
     w.key("count").num(out.matches.len() as u64);
@@ -558,12 +580,14 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, limit: usiz
     w.key("maxgap_pruned").num(out.stats.maxgap_pruned);
     w.key("candidates").num(out.stats.candidates);
     w.key("refined").num(out.stats.refined);
+    w.key("filter_us").num(out.stats.filter_time.as_micros().min(u64::MAX as u128) as u64);
+    w.key("refine_us").num(out.stats.refine_time.as_micros().min(u64::MAX as u128) as u64);
+    w.key("project_us").num(out.stats.project_time.as_micros().min(u64::MAX as u128) as u64);
     w.end_obj();
+    w.key("truncated").bool_val(out.truncated);
     if with_matches {
-        let shown = out.matches.len().min(limit);
-        w.key("truncated").bool_val(shown < out.matches.len());
         w.key("matches").arr();
-        for m in &out.matches[..shown] {
+        for m in &out.matches {
             w.obj();
             w.key("doc").num(m.doc as u64);
             w.key("embedding").arr();

@@ -639,7 +639,7 @@ impl BPlusTree {
                         return Step::Done;
                     }
                     debug_assert_eq!(k, key);
-                    let matches = val.is_none_or(|v| node::leaf_val(p, i) == v);
+                    let matches = val.map_or(true, |v| node::leaf_val(p, i) == v);
                     if matches {
                         node::remove_slot(p, i);
                         removed += 1;

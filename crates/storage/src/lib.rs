@@ -32,4 +32,4 @@ pub use buffer::BufferPool;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, NIL_PAGE, PAGE_SIZE};
 pub use record::{RecordId, RecordStore};
-pub use stats::{IoSnapshot, IoStats};
+pub use stats::{IoScope, IoSnapshot, IoStats};

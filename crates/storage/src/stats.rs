@@ -5,7 +5,110 @@
 //! is a page fetched from the pager because it was not resident in the
 //! buffer pool.
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+// Per-thread scoped accounting. Each query executes on exactly one
+// thread, so a thread-local tally between `IoScope::begin` and
+// `IoScope::end` attributes page accesses to that query exactly, even
+// while other worker threads hammer the same shared pool counters.
+struct ScopeState {
+    depth: u32,
+    cur: [u64; 3],
+    saved: Vec<[u64; 3]>,
+}
+
+thread_local! {
+    static SCOPE: RefCell<ScopeState> = const {
+        RefCell::new(ScopeState {
+            depth: 0,
+            cur: [0; 3],
+            saved: Vec::new(),
+        })
+    };
+}
+
+#[inline]
+fn scope_record(slot: usize) {
+    SCOPE.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.depth > 0 {
+            s.cur[slot] += 1;
+        }
+    });
+}
+
+/// Scoped, per-thread I/O attribution.
+///
+/// [`IoSnapshot::since`] over the shared pool counters is only exact
+/// when a single query runs at a time: under `query_batch` every worker
+/// bumps the same atomics, so a before/after delta silently includes
+/// other queries' pages. `IoScope` fixes attribution by tallying the
+/// accesses made *by the current thread* between `begin` and `end`.
+///
+/// Scopes nest: an inner scope's accesses are folded back into the
+/// enclosing scope when it ends, so wrapping a sub-operation does not
+/// make its pages disappear from the outer tally. The guard is `!Send`
+/// — a scope must end on the thread that began it.
+#[must_use = "an IoScope tallies nothing unless it is ended"]
+#[derive(Debug)]
+pub struct IoScope {
+    ended: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl IoScope {
+    /// Starts tallying this thread's page accesses.
+    pub fn begin() -> Self {
+        SCOPE.with(|s| {
+            let mut s = s.borrow_mut();
+            let cur = s.cur;
+            s.saved.push(cur);
+            s.cur = [0; 3];
+            s.depth += 1;
+        });
+        IoScope {
+            ended: false,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Ends the scope and returns the accesses made by this thread
+    /// since [`IoScope::begin`]. The tally is folded into the enclosing
+    /// scope, if any.
+    pub fn end(mut self) -> IoSnapshot {
+        self.ended = true;
+        Self::close()
+    }
+
+    fn close() -> IoSnapshot {
+        SCOPE.with(|s| {
+            let mut s = s.borrow_mut();
+            let delta = s.cur;
+            let saved = s.saved.pop().unwrap_or([0; 3]);
+            s.cur = [
+                saved[0] + delta[0],
+                saved[1] + delta[1],
+                saved[2] + delta[2],
+            ];
+            s.depth = s.depth.saturating_sub(1);
+            IoSnapshot {
+                logical_reads: delta[0],
+                physical_reads: delta[1],
+                physical_writes: delta[2],
+            }
+        })
+    }
+}
+
+impl Drop for IoScope {
+    fn drop(&mut self) {
+        if !self.ended {
+            let _ = Self::close();
+        }
+    }
+}
 
 /// Shared, thread-safe I/O counters. One instance is attached to each
 /// [`crate::Pager`] and observed through its [`crate::BufferPool`].
@@ -29,18 +132,21 @@ impl IoStats {
     #[inline]
     pub fn record_logical_read(&self) {
         self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        scope_record(0);
     }
 
     /// Records a page fetched from the backing store.
     #[inline]
     pub fn record_physical_read(&self) {
         self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        scope_record(1);
     }
 
     /// Records a page written back to the backing store.
     #[inline]
     pub fn record_physical_write(&self) {
         self.physical_writes.fetch_add(1, Ordering::Relaxed);
+        scope_record(2);
     }
 
     /// Pages requested from the buffer pool.
@@ -135,6 +241,57 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.logical_reads, 1);
         assert_eq!(d.physical_reads, 1);
+    }
+
+    #[test]
+    fn scope_attributes_only_this_threads_accesses() {
+        let s = IoStats::new();
+        let scope = IoScope::begin();
+        s.record_logical_read();
+        s.record_physical_read();
+        // Another thread's traffic hits the shared counters but must
+        // not leak into this thread's scope.
+        let other = std::thread::spawn(|| {
+            let s2 = IoStats::new();
+            s2.record_logical_read();
+            s2.record_logical_read();
+        });
+        other.join().unwrap();
+        let d = scope.end();
+        assert_eq!(d.logical_reads, 1);
+        assert_eq!(d.physical_reads, 1);
+        assert_eq!(d.physical_writes, 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_fold_into_outer() {
+        let s = IoStats::new();
+        let outer = IoScope::begin();
+        s.record_logical_read();
+        let inner = IoScope::begin();
+        s.record_logical_read();
+        s.record_physical_write();
+        let di = inner.end();
+        assert_eq!(di.logical_reads, 1);
+        assert_eq!(di.physical_writes, 1);
+        s.record_logical_read();
+        let d = outer.end();
+        // Outer sees its own accesses plus the inner scope's.
+        assert_eq!(d.logical_reads, 3);
+        assert_eq!(d.physical_writes, 1);
+    }
+
+    #[test]
+    fn dropped_scope_restores_enclosing_tally() {
+        let s = IoStats::new();
+        let outer = IoScope::begin();
+        {
+            let _inner = IoScope::begin();
+            s.record_logical_read();
+            // dropped without end(): tally still folds into outer
+        }
+        s.record_logical_read();
+        assert_eq!(outer.end().logical_reads, 2);
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl Harness {
     }
 
     fn skip(&self, name: &str) -> bool {
-        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+        self.filter.as_deref().map_or(false, |f| !name.contains(f))
     }
 
     /// Benchmarks `f` with the current default options.

@@ -48,19 +48,13 @@ fn main() {
     let with = engine
         .query_opts(
             &q8,
-            &ExecOpts {
-                use_maxgap: true,
-                ..Default::default()
-            },
+            &ExecOpts::new(),
         )
         .unwrap();
     let without = engine
         .query_opts(
             &q8,
-            &ExecOpts {
-                use_maxgap: false,
-                ..Default::default()
-            },
+            &ExecOpts::new().without_maxgap(),
         )
         .unwrap();
     println!(

@@ -6,14 +6,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --locked
+cargo clippy --all-targets --offline --locked -- -D warnings
 cargo test -q --offline --workspace
 
 # The concurrency and server suites are timing-sensitive: run them
 # again in release so contention bugs that hide under debug-build
 # pacing still get a shot. The server suite binds ephemeral ports
-# (127.0.0.1:0) only, so parallel CI runs don't collide.
+# (127.0.0.1:0) only, so parallel CI runs don't collide. The executor
+# equivalence suite also reruns in release: its stream-vs-historical
+# counter comparisons are exactly the kind of thing optimized codegen
+# could perturb.
 cargo test --release --test concurrency --offline --locked
 cargo test --release --test server --offline --locked
+cargo test --release --test executor_stream --offline --locked
 
 # End-to-end smoke: index a tiny corpus, start `prix serve` on an
 # ephemeral port, hit /healthz and /metrics over plain bash /dev/tcp,

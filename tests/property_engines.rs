@@ -294,19 +294,13 @@ fn prop_maxgap_is_lossless(input: &EngineInput) -> Result<(), String> {
     let with = engine
         .query_opts(
             &q,
-            &ExecOpts {
-                use_maxgap: true,
-                ..Default::default()
-            },
+            &ExecOpts::new(),
         )
         .unwrap();
     let without = engine
         .query_opts(
             &q,
-            &ExecOpts {
-                use_maxgap: false,
-                ..Default::default()
-            },
+            &ExecOpts::new().without_maxgap(),
         )
         .unwrap();
     assert_eq!(matches_as_set(&with.matches), matches_as_set(&without.matches));
@@ -326,6 +320,64 @@ fn maxgap_is_lossless() {
         },
         &gen,
         prop_maxgap_is_lossless,
+    );
+}
+
+/// Limit pushdown is sound: on random trees and twigs, `limit = k`
+/// returns exactly the first `k` matches of the unlimited streaming
+/// order, never does more filtering work, and the streamed match set
+/// equals the historical executor's output.
+fn prop_limit_is_prefix_of_unlimited(input: &EngineInput) -> Result<(), String> {
+    let (doc_scripts, (q_root, q_steps, q_edges)) = input;
+    let collection = build_collection(doc_scripts);
+    let mut syms = collection.symbols().clone();
+    let q = build_query(*q_root, q_steps, q_edges, true, &mut syms);
+    let engine = PrixEngine::build(collection, EngineConfig::default()).unwrap();
+    use prix::core::index::ExecOpts;
+
+    let unlimited = engine.query_opts(&q, &ExecOpts::new()).unwrap();
+    assert!(!unlimited.truncated);
+
+    // The unlimited stream: same match set, trie-arrival order.
+    let mut stream = engine
+        .pick_index(&q)
+        .unwrap()
+        .execute_stream(&q, &ExecOpts::new())
+        .unwrap();
+    let mut streamed = Vec::new();
+    while let Some(m) = stream.next_match().unwrap() {
+        streamed.push(m);
+    }
+    assert_eq!(
+        matches_as_set(&streamed),
+        matches_as_set(&unlimited.matches),
+        "stream vs execute_opts match set"
+    );
+
+    for k in 0..=streamed.len() + 1 {
+        let out = engine.query_opts(&q, &ExecOpts::new().with_limit(k)).unwrap();
+        let expect: Vec<_> = streamed.iter().take(k).cloned().collect();
+        assert_eq!(out.matches, expect, "limit {k} is not a prefix");
+        assert_eq!(out.truncated, k <= streamed.len(), "limit {k} truncated flag");
+        // Never more work than the full run.
+        assert!(out.stats.range_queries <= unlimited.stats.range_queries);
+        assert!(out.stats.nodes_scanned <= unlimited.stats.nodes_scanned);
+        assert!(out.stats.candidates <= unlimited.stats.candidates);
+    }
+    Ok(())
+}
+
+#[test]
+fn limit_is_prefix_of_unlimited() {
+    check(
+        "limit_is_prefix_of_unlimited",
+        &Config {
+            cases: 48,
+            max_shrink_iters: 200,
+            ..Default::default()
+        },
+        &gen_engine_input(),
+        prop_limit_is_prefix_of_unlimited,
     );
 }
 
@@ -598,6 +650,15 @@ fn regression_seed_descendant_queries() {
 #[test]
 fn regression_seed_maxgap_is_lossless() {
     replay(0x5EED_0003, &gen_engine_input(), prop_maxgap_is_lossless);
+}
+
+#[test]
+fn regression_seed_limit_is_prefix_of_unlimited() {
+    replay(
+        0x5EED_0007,
+        &gen_engine_input(),
+        prop_limit_is_prefix_of_unlimited,
+    );
 }
 
 #[test]

@@ -101,6 +101,10 @@ fn query_returns_correct_json_results() {
     assert!(body.contains(r#""truncated":false"#), "{body}");
     assert!(body.contains(r#""doc":0"#) && body.contains(r#""doc":1"#), "{body}");
     assert!(body.contains(r#""embedding":["#), "{body}");
+    // Per-stage executor timings ride along in the stats object.
+    assert!(body.contains(r#""filter_us":"#), "{body}");
+    assert!(body.contains(r#""refine_us":"#), "{body}");
+    assert!(body.contains(r#""project_us":"#), "{body}");
 
     // Structural query routes to RP and finds the single www entry.
     let (status, body) = get(h.addr(), "/query?xp=//www[./editor]/url");
@@ -122,12 +126,18 @@ fn query_supports_unordered_and_limit() {
     let (status, body) = get(h.addr(), &format!("/query?{xp}&unordered=1"));
     assert_eq!(status, 200, "{body}");
     assert!(body.contains(r#""count":2"#), "{body}");
-    // limit=1 truncates the embeddings but still reports the count.
+    // limit=1 is pushed into the executor: the trie descent stops after
+    // the first distinct match, so only one is found at all.
     let (status, body) = get(h.addr(), &format!("/query?{xp}&unordered=1&limit=1"));
     assert_eq!(status, 200, "{body}");
-    assert!(body.contains(r#""count":2"#), "{body}");
+    assert!(body.contains(r#""count":1"#), "{body}");
     assert!(body.contains(r#""truncated":true"#), "{body}");
     assert_eq!(body.matches(r#""doc":"#).count(), 1, "{body}");
+    // limit=0 lifts the server's default cap entirely.
+    let (status, body) = get(h.addr(), &format!("/query?{xp}&unordered=1&limit=0"));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":2"#), "{body}");
+    assert!(body.contains(r#""truncated":false"#), "{body}");
     h.shutdown().unwrap();
 }
 
@@ -184,11 +194,18 @@ fn batch_runs_queries_in_order() {
     let (status, resp) = post(h.addr(), "/batch", body);
     assert_eq!(status, 200, "{resp}");
     assert!(resp.contains(r#""count":3"#), "{resp}"); // 3 non-empty lines
+    assert!(resp.contains(r#""truncated":false"#), "{resp}");
     // Results come back in input order.
     let i1 = resp.find("//www[./editor]/url").unwrap();
     let i2 = resp.find("//dblp//year").unwrap();
     let i3 = resp.find("//www/url").unwrap();
     assert!(i1 < i2 && i2 < i3, "{resp}");
+    // A batch-wide limit is pushed into every worker's executor:
+    // //dblp//year normally finds 2 matches, with limit=1 it stops at 1.
+    let (status, resp) = post(h.addr(), "/batch?limit=1", "//dblp//year\n");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""count":1,"results""#), "{resp}");
+    assert!(resp.contains(r#""truncated":true"#), "{resp}");
     h.shutdown().unwrap();
 }
 
@@ -398,6 +415,16 @@ fn metrics_expose_traffic_and_bufferpool_state() {
     assert!(body.contains("prix_bufferpool_hit_ratio "), "{body}");
     assert!(body.contains("prix_bufferpool_logical_reads_total "), "{body}");
     assert!(body.contains("prix_http_queue_depth 0"), "{body}");
+    // The executor's per-stage histograms: one observation per stage
+    // per successful query (the 400 never reached the executor).
+    for stage in ["filter", "refine", "project"] {
+        assert!(
+            body.contains(&format!(
+                r#"prix_query_stage_duration_seconds_count{{stage="{stage}"}} 3"#
+            )),
+            "{body}"
+        );
+    }
     // Traffic moves the histograms: another query bumps the count.
     let (status, _) = get(addr, "/query?xp=//www/url");
     assert_eq!(status, 200);

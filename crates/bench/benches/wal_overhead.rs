@@ -1,0 +1,132 @@
+//! Durability price tags: what the write-ahead log costs on ingest,
+//! and what recovery costs after a crash.
+//!
+//! Two measurements:
+//!
+//! * `ingest/*` — build + incremental insert + save on a file-backed
+//!   engine, WAL on vs `--no-wal`. The WAL run pays the group-commit
+//!   fsync discipline (5 barriers per save) and one log append per
+//!   committed page; the no-WAL run writes pages directly.
+//! * `recover/k*` — crash recovery at the storage layer with a log
+//!   holding K committed page images (the state right after the commit
+//!   fsync, before any page write landed). Recovery replays all K
+//!   frames; its cost is proportional to the log length and nothing
+//!   else — the bound the recovery state machine promises.
+//!
+//! The JSON rows report replayed frames, WAL bytes, and the recovery
+//! wall clock per K.
+
+use std::time::Instant;
+
+use prix_core::{EngineConfig, LabelingMode, PrixEngine};
+use prix_storage::{recover, MemStore, Pager, RawStore, Wal, PAGE_SIZE};
+use prix_testkit::bench::{Harness, Opts};
+use prix_xml::Collection;
+
+fn docs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("<a><b><x>v{}</x></b><d/></a>", i % 7))
+        .collect()
+}
+
+/// One full ingest: build a base engine in `dir`, insert 32 documents,
+/// save. Returns after the engine (and its pool) shut down cleanly.
+fn ingest(dir: &std::path::Path, wal: bool) {
+    let base = docs(8);
+    let mut c = Collection::new();
+    for d in &base {
+        c.add_xml(d).unwrap();
+    }
+    let mut e = PrixEngine::build(
+        c,
+        EngineConfig {
+            path: Some(dir.join("db.prix")),
+            buffer_pages: 64,
+            labeling: LabelingMode::Dynamic { alpha: 4 },
+            wal,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for d in docs(32) {
+        e.insert_document(&d).unwrap();
+    }
+    e.save().unwrap();
+}
+
+/// A post-crash image pair: a durable pager at epoch 1 plus a WAL whose
+/// commit (K pages, epoch 2) is fsynced but whose page writes never
+/// happened — the worst case recovery must redo in full.
+fn crashed_image(k: usize) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let db = MemStore::new();
+    let sum = MemStore::new();
+    let wal_store = MemStore::new();
+    let pager = Pager::create_durable(Box::new(db.clone()), Box::new(sum.clone())).unwrap();
+    let mut wal = Wal::create(Box::new(wal_store.clone()), pager.epoch(), pager.stats()).unwrap();
+    let mut images = Vec::with_capacity(k);
+    for i in 0..k {
+        let id = pager.allocate().unwrap();
+        let mut page = Box::new([0u8; PAGE_SIZE]);
+        page[0] = i as u8;
+        page[PAGE_SIZE - 1] = (i >> 8) as u8;
+        images.push((id, page));
+    }
+    pager.sync().unwrap();
+    wal.append_commit_batch(&images, pager.epoch() + 1).unwrap();
+    wal.sync().unwrap();
+    (db.snapshot(), sum.snapshot(), wal_store.snapshot())
+}
+
+/// Replays one crashed image; returns (replayed frames, WAL bytes).
+fn recover_once(image: &(Vec<u8>, Vec<u8>, Vec<u8>)) -> (u64, u64) {
+    let db = Box::new(MemStore::from_bytes(image.0.clone()));
+    let sum = Box::new(MemStore::from_bytes(image.1.clone()));
+    let wal: Box<dyn RawStore> = Box::new(MemStore::from_bytes(image.2.clone()));
+    let pager = Pager::open_durable(db, sum).unwrap();
+    let stats = pager.stats();
+    let (_, report) = recover(&pager, wal, stats).unwrap();
+    (report.replayed_frames, report.wal_bytes)
+}
+
+fn main() {
+    let mut h = Harness::from_args("wal_overhead");
+    h.set_opts(Opts { warmup: 1, samples: 10 });
+
+    let tmp = std::env::temp_dir().join(format!("prix-walbench-{}", std::process::id()));
+    for (name, wal) in [("wal", true), ("no_wal", false)] {
+        let dir = tmp.join(name);
+        h.bench(&format!("ingest/{name}"), || {
+            std::fs::create_dir_all(&dir).unwrap();
+            ingest(&dir, wal);
+            std::fs::remove_dir_all(&dir).unwrap();
+        });
+    }
+
+    let ks = [16usize, 64, 256, 1024];
+    let images: Vec<_> = ks.iter().map(|&k| crashed_image(k)).collect();
+    for (&k, image) in ks.iter().zip(&images) {
+        h.bench(&format!("recover/k{k}"), || {
+            std::hint::black_box(recover_once(image));
+        });
+    }
+    h.finish();
+
+    // JSON rows: recovery work is exactly the log contents.
+    let mut rows = Vec::new();
+    let mut wal_bytes = Vec::new();
+    for (&k, image) in ks.iter().zip(&images) {
+        let start = Instant::now();
+        let (frames, bytes) = recover_once(image);
+        let us = start.elapsed().as_micros();
+        assert_eq!(frames, k as u64, "recovery must replay every page frame");
+        wal_bytes.push(bytes);
+        rows.push(format!(
+            r#"  {{"case":"recover_k{k}","frames":{frames},"wal_bytes":{bytes},"recover_us":{us}}}"#
+        ));
+    }
+    println!("[\n{}\n]", rows.join(",\n"));
+    assert!(
+        wal_bytes.windows(2).all(|w| w[0] < w[1]),
+        "WAL length must grow with K: {wal_bytes:?}"
+    );
+}

@@ -5,6 +5,7 @@
 //! prix query  <db.prix>  "<xpath>"        run a twig query
 //! prix serve  <db.prix>  [--addr H:P]     serve queries over HTTP
 //! prix stats  <db.prix>                   show index statistics
+//! prix fsck   <db.prix>                   verify checksums + recovery state
 //! prix gen    <dataset> <dir> [--scale S] [--seed N]
 //!                                         write a synthetic corpus as XML
 //! ```
@@ -25,7 +26,7 @@ use prix_core::{EngineConfig, ExecOpts, PrixEngine};
 use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--split] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N]\n  prix stats <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
@@ -76,10 +78,22 @@ fn main() -> ExitCode {
 }
 
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
-    let (split, args) = match args {
-        [flag, rest @ ..] if flag == "--split" => (true, rest),
-        _ => (false, args),
-    };
+    let mut split = false;
+    let mut wal = true;
+    let mut args = args;
+    loop {
+        match args {
+            [flag, rest @ ..] if flag == "--split" => {
+                split = true;
+                args = rest;
+            }
+            [flag, rest @ ..] if flag == "--no-wal" => {
+                wal = false;
+                args = rest;
+            }
+            _ => break,
+        }
+    }
     let [out, files @ ..] = args else {
         return Err(usage_err("index needs <out.prix> and at least one <file.xml>"));
     };
@@ -104,6 +118,7 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
         collection,
         EngineConfig {
             path: Some(PathBuf::from(out)),
+            wal,
             ..Default::default()
         },
     )
@@ -159,6 +174,10 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         out.stats.candidates
     );
     println!(
+        "io: {} pages read, {} pages written, {} fsyncs",
+        out.io.physical_reads, out.io.physical_writes, out.io.fsyncs
+    );
+    println!(
         "stages: filter {:?}, refine {:?}, project {:?}",
         out.stats.filter_time, out.stats.refine_time, out.stats.project_time
     );
@@ -183,6 +202,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ..Default::default()
     };
     let mut buffer_pages = 2000usize;
+    let mut wal = true;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut val = |flag: &str| -> Result<&String, CliError> {
@@ -190,6 +210,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         };
         match a.as_str() {
             "--addr" => cfg.addr = val("--addr")?.clone(),
+            "--no-wal" => wal = false,
             "--threads" => {
                 cfg.threads = val("--threads")?
                     .parse()
@@ -225,7 +246,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             other => return Err(usage_err(format!("unknown serve flag `{other}`"))),
         }
     }
-    let engine = PrixEngine::reopen(db, buffer_pages).map_err(|e| e.to_string())?;
+    let engine = PrixEngine::reopen_opts(db, buffer_pages, wal).map_err(|e| e.to_string())?;
     let handle = Server::start(engine, cfg).map_err(|e| format!("cannot start server: {e}"))?;
     // The smoke script parses this line to find the ephemeral port;
     // keep its shape stable.
@@ -274,6 +295,30 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     };
     let engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     print_index_stats(&engine);
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
+    let [db] = args else {
+        return Err(usage_err("fsck needs <db.prix>"));
+    };
+    let engine = PrixEngine::reopen(db, 256).map_err(|e| e.to_string())?;
+    match engine.recovery() {
+        Some(rep) if rep.unclean_shutdown => println!(
+            "recovery: unclean shutdown; replayed {} frame(s) to {} page(s) from {} WAL byte(s)",
+            rep.replayed_frames, rep.replayed_pages, rep.wal_bytes
+        ),
+        Some(_) => println!("recovery: clean shutdown, nothing to replay"),
+        None => {
+            return Err(CliError::Runtime(
+                "database has no checksum sidecar (indexed with --no-wal); nothing to verify"
+                    .into(),
+            ))
+        }
+    }
+    let (verified, skipped) = engine.verify_checksums().map_err(|e| e.to_string())?;
+    println!("pages: {verified} verified, {skipped} never written");
+    println!("fsck: clean");
     Ok(())
 }
 

@@ -49,6 +49,8 @@ fn usage_errors_are_consistent_across_subcommands() {
     assert_usage_error(&["serve", "db.prix", "--threads"]); // flag missing value
     assert_usage_error(&["serve", "db.prix", "--bogus"]); // unknown flag
     assert_usage_error(&["stats"]);
+    assert_usage_error(&["fsck"]); // no db
+    assert_usage_error(&["fsck", "a.prix", "b.prix"]); // too many args
     assert_usage_error(&["explain", "db.prix"]);
     assert_usage_error(&["add", "db.prix"]); // no input files
     assert_usage_error(&["gen", "dblp"]); // no dir
@@ -61,7 +63,7 @@ fn help_goes_to_stdout_and_exits_zero() {
         let out = prix(&[flag]);
         assert_eq!(out.status.code(), Some(0), "{flag}");
         let text = String::from_utf8_lossy(&out.stdout);
-        for cmd in ["index", "query", "serve", "stats", "explain", "add", "gen"] {
+        for cmd in ["index", "query", "serve", "stats", "fsck", "explain", "add", "gen"] {
             assert!(text.contains(cmd), "help lacks `{cmd}`: {text}");
         }
         assert!(out.stderr.is_empty(), "{flag} must not write to stderr");
@@ -111,6 +113,44 @@ fn index_query_roundtrip_works() {
     assert_eq!(out.status.code(), Some(0), "query --limit: {}", stderr(&out));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("1 match(es) (truncated by --limit)"), "{text}");
+
+    // The query output surfaces write-path I/O counters.
+    assert!(text.contains("pages written"), "{text}");
+    assert!(text.contains("fsyncs"), "{text}");
+
+    // fsck on a cleanly saved durable database reports clean.
+    let out = prix(&["fsck", db.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "fsck: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovery: clean shutdown"), "{text}");
+    assert!(text.contains("fsck: clean"), "{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn no_wal_index_roundtrip_and_fsck_refusal() {
+    let dir = std::env::temp_dir().join(format!("prix-cli-nowal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("doc.xml");
+    std::fs::write(&xml, "<a><b>v</b></a>").unwrap();
+    let db = dir.join("db.prix");
+
+    let out = prix(&["index", "--no-wal", db.to_str().unwrap(), xml.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "index --no-wal: {}", stderr(&out));
+    assert!(
+        !db.with_file_name("db.prix.sum").exists(),
+        "--no-wal must not create a checksum sidecar"
+    );
+
+    let out = prix(&["query", db.to_str().unwrap(), "//a/b"]);
+    assert_eq!(out.status.code(), Some(0), "query: {}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 match(es)"));
+
+    // fsck has nothing to verify on a legacy database: runtime error.
+    let out = prix(&["fsck", db.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "fsck: {}", stderr(&out));
+    assert!(stderr(&out).contains("no checksum sidecar"), "{}", stderr(&out));
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -11,7 +11,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use prix_storage::{BufferPool, IoScope, IoSnapshot, Pager, RecordId, RecordStore, PAGE_SIZE};
+use prix_storage::{
+    recover, BufferPool, FileStore, IoScope, IoSnapshot, Pager, RawStore, RecordId, RecordStore,
+    RecoveryReport, Wal, PAGE_SIZE,
+};
 use prix_xml::{Collection, PostNum, Sym, SymbolTable};
 
 use crate::arrange::arrangements;
@@ -43,6 +46,14 @@ pub struct EngineConfig {
     pub build_ep: bool,
     /// Cap on unordered branch arrangements.
     pub arrangement_limit: usize,
+    /// Write-ahead logging for file-backed engines: pages evicted
+    /// before a [`PrixEngine::save`] spill to the log instead of the
+    /// database file, and every save is a group commit (WAL fsync
+    /// before any page write), so a crash at any instant leaves either
+    /// the previous save or the new one — never a torn mixture.
+    /// Ignored for in-memory engines. Default `true`; disable to
+    /// measure the logging overhead (`--no-wal`).
+    pub wal: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,8 +65,33 @@ impl Default for EngineConfig {
             build_rp: true,
             build_ep: true,
             arrangement_limit: 720,
+            wal: true,
         }
     }
+}
+
+/// The raw byte stores a durable engine lives on: the page file, its
+/// checksum sidecar, and the write-ahead log. Normally these are the
+/// files `<db>`, `<db>.sum`, and `<db>.wal`, but any [`RawStore`]
+/// works — the crash-recovery harness passes fault-injecting in-memory
+/// stores through [`PrixEngine::build_on`] / [`PrixEngine::reopen_on`].
+pub struct EngineStores {
+    /// The page file.
+    pub db: Box<dyn RawStore>,
+    /// Per-page CRC sidecar (`<db>.sum`). `None` = legacy non-durable
+    /// layout.
+    pub sum: Option<Box<dyn RawStore>>,
+    /// Write-ahead log (`<db>.wal`). Must be `Some` iff `sum` is.
+    pub wal: Option<Box<dyn RawStore>>,
+}
+
+/// `<db>` → `<db>.sum` / `<db>.wal`: sidecar paths are formed by
+/// appending to the full file name, so they sit next to the database
+/// whatever its extension.
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    PathBuf::from(name)
 }
 
 /// Everything a query execution reports.
@@ -96,16 +132,70 @@ pub struct PrixEngine {
     /// Last symbol-table record written, with its exact serialized
     /// bytes: an unchanged table is not re-appended on the next save.
     saved_syms: Option<(RecordId, Vec<u8>)>,
+    /// What crash recovery did when this engine was reopened; `None`
+    /// for freshly built engines and clean reopens of legacy files.
+    recovery: Option<RecoveryReport>,
 }
 
 impl PrixEngine {
-    /// Builds the engine over `collection`.
-    pub fn build(mut collection: Collection, cfg: EngineConfig) -> Result<Self> {
-        let pager = match &cfg.path {
-            Some(p) => Pager::create(p).map_err(IndexError::Storage)?,
-            None => Pager::in_memory(),
+    /// Builds the engine over `collection`. File-backed engines with
+    /// [`EngineConfig::wal`] (the default) get the durable layout:
+    /// `<path>.sum` checksum sidecar and `<path>.wal` write-ahead log
+    /// next to the database file.
+    pub fn build(collection: Collection, cfg: EngineConfig) -> Result<Self> {
+        let pool = match &cfg.path {
+            Some(p) if cfg.wal => {
+                let db = Box::new(FileStore::create(p).map_err(IndexError::Storage)?);
+                let sum = Box::new(
+                    FileStore::create(sibling(p, ".sum")).map_err(IndexError::Storage)?,
+                );
+                let wal = Box::new(
+                    FileStore::create(sibling(p, ".wal")).map_err(IndexError::Storage)?,
+                );
+                Self::durable_pool_create(db, sum, wal, cfg.buffer_pages)?
+            }
+            Some(p) => {
+                BufferPool::new(Pager::create(p).map_err(IndexError::Storage)?, cfg.buffer_pages)
+            }
+            None => BufferPool::new(Pager::in_memory(), cfg.buffer_pages),
         };
-        let pool = Arc::new(BufferPool::new(pager, cfg.buffer_pages));
+        Self::build_over(collection, cfg, pool)
+    }
+
+    /// [`PrixEngine::build`] over caller-supplied stores instead of
+    /// files (ignores [`EngineConfig::path`]). With `sum` + `wal`
+    /// stores the engine is durable exactly as if file-backed.
+    pub fn build_on(collection: Collection, cfg: EngineConfig, stores: EngineStores) -> Result<Self> {
+        let pool = match (stores.sum, stores.wal) {
+            (Some(sum), Some(wal)) => {
+                Self::durable_pool_create(stores.db, sum, wal, cfg.buffer_pages)?
+            }
+            (None, None) => BufferPool::new(
+                Pager::create_on(stores.db).map_err(IndexError::Storage)?,
+                cfg.buffer_pages,
+            ),
+            _ => {
+                return Err(IndexError::Unsupported(
+                    "EngineStores needs both sum and wal stores, or neither".into(),
+                ))
+            }
+        };
+        Self::build_over(collection, cfg, pool)
+    }
+
+    fn durable_pool_create(
+        db: Box<dyn RawStore>,
+        sum: Box<dyn RawStore>,
+        wal: Box<dyn RawStore>,
+        buffer_pages: usize,
+    ) -> Result<BufferPool> {
+        let pager = Pager::create_durable(db, sum).map_err(IndexError::Storage)?;
+        let wal = Wal::create(wal, pager.epoch(), pager.stats()).map_err(IndexError::Storage)?;
+        Ok(BufferPool::with_wal(pager, buffer_pages, wal))
+    }
+
+    fn build_over(mut collection: Collection, cfg: EngineConfig, pool: BufferPool) -> Result<Self> {
+        let pool = Arc::new(pool);
         let dummy = collection.intern("\u{1}prix-dummy");
         // Both indexes read the same immutable collection and write
         // through the internally synchronized buffer pool, so they can
@@ -161,6 +251,7 @@ impl PrixEngine {
             arrangement_limit: cfg.arrangement_limit,
             catalog_store: None,
             saved_syms: None,
+            recovery: None,
         })
     }
 
@@ -287,8 +378,76 @@ impl PrixEngine {
     /// table) — so [`PrixEngine::collection`] of a reopened engine is
     /// empty. Queries, embeddings, and statistics work as before.
     pub fn reopen<P: AsRef<Path>>(path: P, buffer_pages: usize) -> Result<Self> {
-        let pager = Pager::open(path).map_err(IndexError::Storage)?;
-        let pool = Arc::new(BufferPool::new(pager, buffer_pages));
+        Self::reopen_opts(path, buffer_pages, true)
+    }
+
+    /// [`PrixEngine::reopen`] with explicit control over write-ahead
+    /// logging. A database with a `<path>.sum` sidecar is opened in
+    /// durable mode: page checksums are verified on cold reads and any
+    /// crashed commit left in `<path>.wal` is replayed first (see
+    /// [`PrixEngine::recovery`]). With `wal = false` the log is still
+    /// recovered and truncated, but subsequent saves write pages
+    /// directly — checksums stay maintained, crash atomicity is off.
+    /// A legacy database (no sidecar) opens exactly as before.
+    pub fn reopen_opts<P: AsRef<Path>>(path: P, buffer_pages: usize, wal: bool) -> Result<Self> {
+        let path = path.as_ref();
+        let sum_path = sibling(path, ".sum");
+        if !sum_path.exists() {
+            let pager = Pager::open(path).map_err(IndexError::Storage)?;
+            return Self::reopen_over(BufferPool::new(pager, buffer_pages), None);
+        }
+        let db = Box::new(FileStore::open(path).map_err(IndexError::Storage)?);
+        let sum = Box::new(FileStore::open(&sum_path).map_err(IndexError::Storage)?);
+        let wal_path = sibling(path, ".wal");
+        let wal_store: Box<dyn RawStore> = if wal_path.exists() {
+            Box::new(FileStore::open(&wal_path).map_err(IndexError::Storage)?)
+        } else {
+            // Sidecar present but the log is missing (deleted by hand):
+            // nothing to replay; recreate it empty.
+            Box::new(FileStore::create(&wal_path).map_err(IndexError::Storage)?)
+        };
+        Self::reopen_durable(db, sum, wal_store, buffer_pages, wal)
+    }
+
+    /// [`PrixEngine::reopen`] over caller-supplied stores (the crash
+    /// harness hands in the post-crash disk images). Durable iff `sum`
+    /// and `wal` stores are present.
+    pub fn reopen_on(stores: EngineStores, buffer_pages: usize) -> Result<Self> {
+        match (stores.sum, stores.wal) {
+            (Some(sum), Some(wal)) => {
+                Self::reopen_durable(stores.db, sum, wal, buffer_pages, true)
+            }
+            (None, None) => {
+                let pager = Pager::open_on(stores.db).map_err(IndexError::Storage)?;
+                Self::reopen_over(BufferPool::new(pager, buffer_pages), None)
+            }
+            _ => Err(IndexError::Unsupported(
+                "EngineStores needs both sum and wal stores, or neither".into(),
+            )),
+        }
+    }
+
+    fn reopen_durable(
+        db: Box<dyn RawStore>,
+        sum: Box<dyn RawStore>,
+        wal_store: Box<dyn RawStore>,
+        buffer_pages: usize,
+        keep_wal: bool,
+    ) -> Result<Self> {
+        let pager = Pager::open_durable(db, sum).map_err(IndexError::Storage)?;
+        let stats = pager.stats();
+        let (wal, report) = recover(&pager, wal_store, stats).map_err(IndexError::Storage)?;
+        let pool = if keep_wal {
+            BufferPool::with_wal(pager, buffer_pages, wal)
+        } else {
+            drop(wal); // log is already truncated; run without it
+            BufferPool::new(pager, buffer_pages)
+        };
+        Self::reopen_over(pool, Some(report))
+    }
+
+    fn reopen_over(pool: BufferPool, recovery: Option<RecoveryReport>) -> Result<Self> {
+        let pool = Arc::new(pool);
         let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit) = pool
             .with_page(0, |p: &[u8; PAGE_SIZE]| {
                 if &p[..4] != b"PRIX" {
@@ -344,7 +503,27 @@ impl PrixEngine {
             arrangement_limit,
             catalog_store: None,
             saved_syms: Some((RecordId::from_raw(syms_rec), bytes)),
+            recovery,
         })
+    }
+
+    /// What crash recovery did when this engine was reopened: `None`
+    /// for freshly built engines and legacy files, `Some` (possibly a
+    /// clean no-op report) whenever a durable database was reopened.
+    pub fn recovery(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Verifies every page of the backing store against its recorded
+    /// checksum, returning `(verified, skipped)` counts. Durable
+    /// databases only; a legacy file reports `Unsupported`.
+    pub fn verify_checksums(&self) -> Result<(u64, u64)> {
+        if !self.pool.pager().has_checksums() {
+            return Err(IndexError::Unsupported(
+                "database has no checksum sidecar (built without WAL support)".into(),
+            ));
+        }
+        self.pool.pager().verify_checksums().map_err(IndexError::Storage)
     }
 
     /// Parses `xml` and incrementally indexes it into every built
@@ -364,6 +543,15 @@ impl PrixEngine {
         if let Some(ep) = &self.ep {
             ep.check_insert(&tree)?;
         }
+        // A reopened engine's collection starts empty while its indexes
+        // carry every persisted document, so collection ids only track
+        // index ids when they were aligned before this insert (fresh
+        // builds and pure in-memory engines).
+        let was_aligned = self
+            .rp
+            .as_ref()
+            .or(self.ep.as_ref())
+            .map_or(true, |i| i.doc_count() == self.collection.len());
         let mut id = None;
         if let Some(rp) = &mut self.rp {
             id = Some(rp.insert_document(&tree)?);
@@ -377,7 +565,10 @@ impl PrixEngine {
         }
         let coll_id = self.collection.add_tree(tree);
         let id = id.unwrap_or(coll_id);
-        debug_assert_eq!(id, coll_id, "collection and indexes stay aligned");
+        debug_assert!(
+            !was_aligned || id == coll_id,
+            "collection and indexes stay aligned"
+        );
         Ok(id)
     }
 
@@ -914,6 +1105,98 @@ mod tests {
         let bad = e.parse_query(r#"//a[./b="v"]"#).unwrap();
         let queries = vec![good, bad];
         assert!(e.query_batch(&queries, 2).is_err());
+    }
+
+    #[test]
+    fn durable_engine_writes_sidecars_and_reopens_clean() {
+        let dir = std::env::temp_dir().join(format!("prix-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.prix");
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let mut e = PrixEngine::build(
+            c,
+            EngineConfig {
+                path: Some(path.clone()),
+                labeling: LabelingMode::Dynamic { alpha: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.save().unwrap();
+        drop(e);
+        assert!(sibling(&path, ".sum").exists(), "checksum sidecar created");
+        assert!(sibling(&path, ".wal").exists(), "write-ahead log created");
+        let mut r = PrixEngine::reopen(&path, 64).unwrap();
+        let rep = r.recovery().expect("durable reopen reports recovery");
+        assert!(!rep.unclean_shutdown, "clean shutdown: nothing to replay");
+        assert_eq!(rep.replayed_frames, 0);
+        let (verified, _) = r.verify_checksums().unwrap();
+        assert!(verified > 0, "pages have checksums");
+        let q = r.parse_query("//a/b").unwrap();
+        assert_eq!(r.query(&q).unwrap().matches.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn no_wal_engine_is_legacy_and_reports_no_recovery() {
+        let dir = std::env::temp_dir().join(format!("prix-nowal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.prix");
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let mut e = PrixEngine::build(
+            c,
+            EngineConfig {
+                path: Some(path.clone()),
+                wal: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.save().unwrap();
+        drop(e);
+        assert!(!sibling(&path, ".sum").exists(), "no sidecar without WAL");
+        let mut r = PrixEngine::reopen(&path, 64).unwrap();
+        assert!(r.recovery().is_none());
+        assert!(r.verify_checksums().is_err(), "legacy file has no checksums");
+        let q = r.parse_query("//a/b").unwrap();
+        assert_eq!(r.query(&q).unwrap().matches.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_engine_reopens_without_wal_on_request() {
+        // `serve --no-wal` path: durable database, WAL disabled at
+        // reopen. Checksums stay maintained; saves write direct.
+        let dir = std::env::temp_dir().join(format!("prix-nowal-ro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.prix");
+        let mut c = Collection::new();
+        c.add_xml("<a><b>v</b></a>").unwrap();
+        let mut e = PrixEngine::build(
+            c,
+            EngineConfig {
+                path: Some(path.clone()),
+                labeling: LabelingMode::Dynamic { alpha: 1 },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        e.save().unwrap();
+        drop(e);
+        let mut r = PrixEngine::reopen_opts(&path, 64, false).unwrap();
+        assert!(r.recovery().is_some(), "recovery still ran");
+        assert!(!r.pool().is_durable(), "pool runs without a WAL");
+        r.insert_document("<a><b>w</b></a>").unwrap();
+        r.save().unwrap();
+        let (verified, _) = r.verify_checksums().unwrap();
+        assert!(verified > 0);
+        drop(r);
+        let mut again = PrixEngine::reopen(&path, 64).unwrap();
+        let q = again.parse_query("//a/b").unwrap();
+        assert_eq!(again.query(&q).unwrap().matches.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod scan;
 pub mod trie;
 pub mod xpath;
 
-pub use engine::{EngineConfig, PrixEngine, QueryOutcome};
+pub use engine::{EngineConfig, EngineStores, PrixEngine, QueryOutcome};
 pub use exec::MatchStream;
 pub use index::{ExecOpts, IndexKind, PrixIndex, QueryStats, TwigMatch};
 pub use query::{TwigBuilder, TwigQuery};

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use prix_storage::IoSnapshot;
+use prix_storage::{IoSnapshot, RecoveryReport};
 
 use crate::json::escape;
 
@@ -206,8 +206,18 @@ impl Metrics {
     ///
     /// `io` is the engine buffer pool's lifetime counter snapshot;
     /// `resident`/`capacity` describe its current occupancy;
-    /// `queue_depth` is the HTTP work queue's current length.
-    pub fn render(&self, io: IoSnapshot, resident: usize, capacity: usize, queue_depth: usize) -> String {
+    /// `queue_depth` is the HTTP work queue's current length;
+    /// `recovery` is what crash recovery did when the database was
+    /// opened (`None` for legacy databases — the series still render,
+    /// as zeros, so dashboards never see a metric vanish).
+    pub fn render(
+        &self,
+        io: IoSnapshot,
+        resident: usize,
+        capacity: usize,
+        queue_depth: usize,
+        recovery: Option<RecoveryReport>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str("# HELP prix_http_requests_total Requests served, by endpoint and status code.\n");
@@ -306,6 +316,31 @@ impl Metrics {
         out.push_str("# HELP prix_bufferpool_physical_writes_total Pages written back to disk.\n");
         out.push_str("# TYPE prix_bufferpool_physical_writes_total counter\n");
         out.push_str(&format!("prix_bufferpool_physical_writes_total {}\n", io.physical_writes));
+        out.push_str("# HELP prix_bufferpool_fsyncs_total fsync barriers issued (WAL group commits, page-file and sidecar syncs).\n");
+        out.push_str("# TYPE prix_bufferpool_fsyncs_total counter\n");
+        out.push_str(&format!("prix_bufferpool_fsyncs_total {}\n", io.fsyncs));
+        out.push_str("# HELP prix_bufferpool_wal_appends_total Page images appended to the write-ahead log (spills + commits).\n");
+        out.push_str("# TYPE prix_bufferpool_wal_appends_total counter\n");
+        out.push_str(&format!("prix_bufferpool_wal_appends_total {}\n", io.wal_appends));
+        out.push_str("# HELP prix_bufferpool_flush_errors_total Buffer-pool flushes that failed (including during drop).\n");
+        out.push_str("# TYPE prix_bufferpool_flush_errors_total counter\n");
+        out.push_str(&format!("prix_bufferpool_flush_errors_total {}\n", io.flush_errors));
+        let rec = recovery.unwrap_or_default();
+        out.push_str("# HELP prix_recovery_unclean_shutdown 1 if the database was opened after an unclean shutdown.\n");
+        out.push_str("# TYPE prix_recovery_unclean_shutdown gauge\n");
+        out.push_str(&format!(
+            "prix_recovery_unclean_shutdown {}\n",
+            u64::from(rec.unclean_shutdown)
+        ));
+        out.push_str("# HELP prix_recovery_replayed_frames WAL frames replayed when the database was opened.\n");
+        out.push_str("# TYPE prix_recovery_replayed_frames gauge\n");
+        out.push_str(&format!("prix_recovery_replayed_frames {}\n", rec.replayed_frames));
+        out.push_str("# HELP prix_recovery_replayed_pages Distinct pages restored by recovery when the database was opened.\n");
+        out.push_str("# TYPE prix_recovery_replayed_pages gauge\n");
+        out.push_str(&format!("prix_recovery_replayed_pages {}\n", rec.replayed_pages));
+        out.push_str("# HELP prix_recovery_wal_bytes Write-ahead-log bytes scanned by recovery when the database was opened.\n");
+        out.push_str("# TYPE prix_recovery_wal_bytes gauge\n");
+        out.push_str(&format!("prix_recovery_wal_bytes {}\n", rec.wal_bytes));
         out.push_str("# HELP prix_bufferpool_hit_ratio Lifetime buffer-pool hit ratio in [0,1].\n");
         out.push_str("# TYPE prix_bufferpool_hit_ratio gauge\n");
         out.push_str(&format!("prix_bufferpool_hit_ratio {}\n", io.hit_ratio()));
@@ -334,7 +369,7 @@ mod tests {
         assert_eq!(m.requests_for(Endpoint::Query, 400), 1);
         assert_eq!(m.requests_for(Endpoint::Batch, 200), 0);
 
-        let text = m.render(IoSnapshot::default(), 3, 16, 0);
+        let text = m.render(IoSnapshot::default(), 3, 16, 0, None);
         assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#), "{text}");
         assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="400"} 1"#), "{text}");
         assert!(text.contains("prix_http_rejected_total 1"), "{text}");
@@ -349,7 +384,7 @@ mod tests {
         // 300 µs lands in the 500 µs bucket; 10 s overflows into +Inf.
         m.record(Endpoint::Query, 200, Duration::from_micros(300));
         m.record(Endpoint::Query, 200, Duration::from_secs(10));
-        let text = m.render(IoSnapshot::default(), 0, 0, 0);
+        let text = m.render(IoSnapshot::default(), 0, 0, 0, None);
         assert!(text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#), "{text}");
         assert!(text.contains(r#"bucket{endpoint="query",le="0.0005"} 1"#), "{text}");
         assert!(text.contains(r#"bucket{endpoint="query",le="2.5"} 1"#), "{text}");
@@ -365,11 +400,42 @@ mod tests {
         let io = IoSnapshot {
             logical_reads: 10,
             physical_reads: 2,
-            physical_writes: 0,
+            ..IoSnapshot::default()
         };
-        let text = m.render(io, 0, 0, 0);
+        let text = m.render(io, 0, 0, 0, None);
         assert!(text.contains("prix_bufferpool_hit_ratio 0.8"), "{text}");
         assert!(text.contains("prix_bufferpool_logical_reads_total 10"), "{text}");
         assert!(text.contains("prix_bufferpool_physical_reads_total 2"), "{text}");
+    }
+
+    #[test]
+    fn durability_series_render_with_and_without_recovery() {
+        let m = Metrics::new();
+        let io = IoSnapshot {
+            fsyncs: 7,
+            wal_appends: 5,
+            flush_errors: 1,
+            ..IoSnapshot::default()
+        };
+        let rec = RecoveryReport {
+            unclean_shutdown: true,
+            replayed_frames: 12,
+            replayed_pages: 9,
+            wal_bytes: 4096,
+        };
+        let text = m.render(io, 0, 0, 0, Some(rec));
+        assert!(text.contains("prix_bufferpool_fsyncs_total 7"), "{text}");
+        assert!(text.contains("prix_bufferpool_wal_appends_total 5"), "{text}");
+        assert!(text.contains("prix_bufferpool_flush_errors_total 1"), "{text}");
+        assert!(text.contains("prix_recovery_unclean_shutdown 1"), "{text}");
+        assert!(text.contains("prix_recovery_replayed_frames 12"), "{text}");
+        assert!(text.contains("prix_recovery_replayed_pages 9"), "{text}");
+        assert!(text.contains("prix_recovery_wal_bytes 4096"), "{text}");
+        // Legacy databases (no recovery report) still emit every
+        // series, as zeros — dashboards never see them vanish.
+        let text = m.render(IoSnapshot::default(), 0, 0, 0, None);
+        assert!(text.contains("prix_bufferpool_fsyncs_total 0"), "{text}");
+        assert!(text.contains("prix_recovery_unclean_shutdown 0"), "{text}");
+        assert!(text.contains("prix_recovery_replayed_frames 0"), "{text}");
     }
 }

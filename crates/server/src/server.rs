@@ -423,6 +423,7 @@ fn handle_metrics(shared: &Arc<Shared>) -> Response {
         pool.resident(),
         pool.capacity(),
         shared.queue.depth(),
+        shared.engine.recovery(),
     );
     Response::new(200).body("text/plain; version=0.0.4; charset=utf-8", body.into_bytes())
 }
@@ -573,6 +574,7 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matche
     w.key("logical_reads").num(out.io.logical_reads);
     w.key("physical_reads").num(out.io.physical_reads);
     w.key("physical_writes").num(out.io.physical_writes);
+    w.key("fsyncs").num(out.io.fsyncs);
     w.end_obj();
     w.key("stats").obj();
     w.key("range_queries").num(out.stats.range_queries);

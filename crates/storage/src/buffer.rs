@@ -26,13 +26,14 @@
 //! LRU. Only under eviction pressure do the per-shard LRU decisions
 //! diverge from a global LRU — correctness is unaffected either way.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::error::Result;
 use crate::pager::{PageId, Pager, PAGE_SIZE};
 use crate::stats::{IoSnapshot, IoStats};
 use crate::sync::Mutex;
+use crate::wal::Wal;
 
 /// Default pool capacity, matching the paper's 2000-page configuration.
 pub const DEFAULT_CAPACITY: usize = 2000;
@@ -123,11 +124,24 @@ fn default_shards(capacity: usize) -> usize {
 /// All methods take `&self`; the pool is internally synchronized (one
 /// mutex per shard) and is typically wrapped in an [`Arc`] shared by
 /// every index of a database.
+/// WAL attachment of a durable pool: the log plus the spill map
+/// (evicted dirty pages -> their frame offset in the log).
+struct WalState {
+    wal: Wal,
+    spilled: HashMap<PageId, u64>,
+}
+
 pub struct BufferPool {
     pager: Pager,
     stats: Arc<IoStats>,
     shards: Box<[Mutex<Shard>]>,
     capacity: usize,
+    /// Present in durable (WAL) mode. Lock order: a shard lock may be
+    /// held while taking this lock (eviction spill, spill re-read);
+    /// never the reverse — [`BufferPool::commit`] collects under shard
+    /// locks *before* taking it and cleans dirty bits *after* releasing
+    /// it.
+    wal: Option<Mutex<WalState>>,
 }
 
 impl BufferPool {
@@ -167,12 +181,48 @@ impl BufferPool {
             stats,
             shards: shards.into_boxed_slice(),
             capacity,
+            wal: None,
         }
     }
 
     /// Pool with the paper's default 2000-page capacity.
     pub fn with_default_capacity(pager: Pager) -> Self {
         Self::new(pager, DEFAULT_CAPACITY)
+    }
+
+    /// Creates a **durable** pool: dirty pages never reach the pager
+    /// outside [`BufferPool::commit`]. Evicted dirty pages spill into
+    /// `wal` instead of being stolen into the page file (a crash would
+    /// otherwise persist half-applied tree mutations under the old
+    /// catalog), and [`BufferPool::flush`] becomes a commit: WAL
+    /// append + fsync first, pages second, log truncation last.
+    ///
+    /// `pager` must be durable ([`Pager::create_durable`] /
+    /// [`Pager::open_durable`]) so the commit protocol has an epoch to
+    /// advance; `wal` is typically the log [`crate::wal::recover`]
+    /// returned.
+    pub fn with_wal(pager: Pager, capacity: usize, wal: Wal) -> Self {
+        assert!(
+            pager.has_checksums(),
+            "a WAL pool requires a durable pager (epoch + checksums)"
+        );
+        let mut pool = Self::new(pager, capacity);
+        pool.wal = Some(Mutex::new(WalState {
+            wal,
+            spilled: HashMap::new(),
+        }));
+        pool
+    }
+
+    /// `true` when the pool runs the durable commit protocol.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The underlying pager (epoch and checksum access for recovery
+    /// tooling such as `prix fsck`).
+    pub fn pager(&self) -> &Pager {
+        &self.pager
     }
 
     /// Maximum number of resident pages (summed over all shards).
@@ -238,11 +288,121 @@ impl BufferPool {
         Ok(f(&mut shard.frames[idx].data))
     }
 
-    /// Writes all dirty pages back to the pager, one shard at a time.
+    /// Makes all dirty pages durable. In a legacy pool this writes
+    /// them straight to the pager (no sync, no atomicity promise); in a
+    /// durable pool it delegates to [`BufferPool::commit`].
+    ///
+    /// Durable pools require external serialization against writers
+    /// (`with_page_mut`/`allocate_page`) for the commit to be a
+    /// consistent cut — the engine's `save()` takes `&mut self`, which
+    /// provides exactly that. Concurrent *readers* are always fine.
     pub fn flush(&self) -> Result<()> {
+        if self.wal.is_some() {
+            self.commit()
+        } else {
+            for shard in self.shards.iter() {
+                let mut shard = shard.lock();
+                self.flush_shard(&mut shard)?;
+            }
+            Ok(())
+        }
+    }
+
+    /// [`BufferPool::commit`], under the name recovery literature uses
+    /// for "force the dirty set and truncate the log".
+    pub fn checkpoint(&self) -> Result<()> {
+        self.flush()
+    }
+
+    /// Atomically commits the dirty set (durable pools).
+    ///
+    /// Protocol — the WAL-before-page write ordering:
+    ///
+    /// 1. collect every dirty page image (pool frames + WAL spills);
+    /// 2. append all of them plus a commit record to the WAL as one
+    ///    group write, then `fsync` the WAL — from this instant the
+    ///    batch is durable, redoable by [`crate::wal::recover`];
+    /// 3. write the pages (and their sidecar checksums) to the pager
+    ///    and `fsync` both — pages durable, epoch still old;
+    /// 4. advance the epoch and `fsync` the sidecar — only now does the
+    ///    database claim the batch;
+    /// 5. truncate the WAL back to a bare header at the new epoch.
+    ///
+    /// A crash before step 2's fsync loses the whole batch (the old
+    /// epoch's pages were never touched); a crash after it replays the
+    /// whole batch on reopen. Nothing in between is observable. Steps
+    /// 3 and 4 must be separate barriers: inside one shared barrier a
+    /// crash could persist the new epoch over torn pages, and recovery
+    /// would discard the very log that could repair them as stale.
+    pub fn commit(&self) -> Result<()> {
+        let walm = match &self.wal {
+            Some(w) => w,
+            None => return self.flush(),
+        };
+        // Phase A: collect dirty images shard by shard. Writers are
+        // externally serialized (see `flush`), so this is a consistent
+        // cut; readers racing us at worst evict a page we already
+        // copied, which re-spills an identical image — harmless.
+        let mut images: Vec<(PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for f in shard.frames.iter() {
+                if f.dirty {
+                    images.push((f.page_id, f.data.clone()));
+                }
+            }
+        }
+        // Phase B: the durable dance, under the WAL lock (no shard
+        // locks held — see the lock-order note on the `wal` field).
+        {
+            let mut ws = walm.lock();
+            let in_pool: HashSet<PageId> = images.iter().map(|(id, _)| *id).collect();
+            // Dirty pages evicted earlier this epoch live only in the
+            // log; they are part of the write set too.
+            let spill_reads: Vec<(PageId, u64)> = ws
+                .spilled
+                .iter()
+                .filter(|(id, _)| !in_pool.contains(id))
+                .map(|(&id, &off)| (id, off))
+                .collect();
+            for (id, off) in spill_reads {
+                let rec = ws.wal.read_frame(off)?;
+                let mut data = Box::new([0u8; PAGE_SIZE]);
+                data.copy_from_slice(&rec.payload);
+                images.push((id, data));
+            }
+            if images.is_empty() {
+                return Ok(()); // nothing dirty anywhere: no fsyncs
+            }
+            let next_epoch = self.pager.epoch() + 1;
+            ws.wal.append_commit_batch(&images, next_epoch)?;
+            ws.wal.sync()?;
+            // WAL-before-page: every image is durable in the log
+            // before any of them touches the page file.
+            debug_assert!(ws.wal.is_fully_durable());
+            for (id, data) in &images {
+                self.pager.write_page(*id, data)?;
+            }
+            // Page-before-epoch: the pages (and their checksums) must
+            // be durable before the epoch advance becomes durable. In
+            // one shared barrier a crash could persist the new epoch
+            // over torn pages — and recovery would discard the very
+            // log that could repair them as stale.
+            self.pager.sync()?;
+            self.pager.set_epoch(next_epoch)?;
+            self.pager.sync_meta()?;
+            ws.wal.reset(next_epoch)?;
+            ws.spilled.clear();
+        }
+        // Phase C: mark the committed frames clean.
+        let committed: HashSet<PageId> = images.iter().map(|(id, _)| *id).collect();
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
-            self.flush_shard(&mut shard)?;
+            for f in shard.frames.iter_mut() {
+                if f.dirty && committed.contains(&f.page_id) {
+                    f.dirty = false;
+                }
+            }
         }
         Ok(())
     }
@@ -266,9 +426,16 @@ impl BufferPool {
     /// racing a `clear` always see either the cached bytes or the
     /// flushed bytes re-read from the pager — never a torn state.
     pub fn clear(&self) -> Result<()> {
+        // Durable pools commit first (dirty pages may not bypass the
+        // WAL), then drop the now-clean frames.
+        if self.wal.is_some() {
+            self.commit()?;
+        }
         for shard in self.shards.iter() {
             let mut shard = shard.lock();
-            self.flush_shard(&mut shard)?;
+            if self.wal.is_none() {
+                self.flush_shard(&mut shard)?;
+            }
             shard.frames.clear();
             shard.map.clear();
             shard.head = NIL;
@@ -292,12 +459,37 @@ impl BufferPool {
             return Ok(idx);
         }
         let idx = self.take_frame(shard)?;
-        self.pager.read_page(id, &mut shard.frames[idx].data)?;
+        // A dirty page evicted earlier this epoch lives in the WAL,
+        // not the page file; its spilled image stays dirty (it has not
+        // been committed).
+        let mut dirty = false;
+        match self.spilled_frame(id)? {
+            Some(payload) => {
+                self.stats.record_physical_read();
+                shard.frames[idx].data.copy_from_slice(&payload);
+                dirty = true;
+            }
+            None => self.pager.read_page(id, &mut shard.frames[idx].data)?,
+        }
         shard.frames[idx].page_id = id;
-        shard.frames[idx].dirty = false;
+        shard.frames[idx].dirty = dirty;
         shard.map.insert(id, idx);
         shard.push_front(idx);
         Ok(idx)
+    }
+
+    /// Looks up `id` in the WAL spill map and reads its image back, or
+    /// `None` when the page is not spilled (or the pool is legacy).
+    fn spilled_frame(&self, id: PageId) -> Result<Option<Vec<u8>>> {
+        let walm = match &self.wal {
+            Some(w) => w,
+            None => return Ok(None),
+        };
+        let ws = walm.lock();
+        match ws.spilled.get(&id) {
+            Some(&off) => Ok(Some(ws.wal.read_frame(off)?.payload)),
+            None => Ok(None),
+        }
     }
 
     /// Produces a detached frame index: grows the shard if below its
@@ -320,7 +512,18 @@ impl BufferPool {
         let old_id = shard.frames[victim].page_id;
         shard.map.remove(&old_id);
         if shard.frames[victim].dirty {
-            self.pager.write_page(old_id, &shard.frames[victim].data)?;
+            match &self.wal {
+                // Durable pools never steal a dirty page into the page
+                // file mid-epoch: spill its image to the WAL instead
+                // (un-synced — it carries no durability promise, it
+                // just has to be re-readable until the next commit).
+                Some(walm) => {
+                    let mut ws = walm.lock();
+                    let off = ws.wal.append_page(old_id, &shard.frames[victim].data)?;
+                    ws.spilled.insert(old_id, off);
+                }
+                None => self.pager.write_page(old_id, &shard.frames[victim].data)?,
+            }
             shard.frames[victim].dirty = false;
         }
         Ok(victim)
@@ -329,7 +532,14 @@ impl BufferPool {
 
 impl Drop for BufferPool {
     fn drop(&mut self) {
-        let _ = self.flush();
+        // A failed flush here has no caller to report to, but it must
+        // not vanish: pages may not have reached the backing store.
+        // Count it (surfaced as `flush_errors` in /metrics) and say so
+        // on stderr.
+        if let Err(e) = self.flush() {
+            self.stats.record_flush_error();
+            eprintln!("prix-storage: buffer pool flush failed during drop: {e}");
+        }
     }
 }
 
@@ -465,6 +675,80 @@ mod tests {
             assert_eq!(d.physical_reads, 32, "{shards} shards");
             assert_eq!(d.logical_reads, 64, "{shards} shards");
         }
+    }
+
+    fn durable_pool(cap: usize) -> (BufferPool, crate::store::MemStore) {
+        use crate::store::MemStore;
+        let db = MemStore::new();
+        let sum = MemStore::new();
+        let wal_store = MemStore::new();
+        let pager =
+            Pager::create_durable(Box::new(db.clone()), Box::new(sum)).unwrap();
+        let stats = pager.stats();
+        let wal = Wal::create(Box::new(wal_store), pager.epoch(), stats).unwrap();
+        (BufferPool::with_wal(pager, cap, wal), db)
+    }
+
+    #[test]
+    fn durable_pool_spills_evicted_dirty_pages_to_wal() {
+        // Capacity 1 forces an eviction per access; the page file must
+        // stay untouched until commit (no stealing mid-epoch), yet
+        // every page reads back correctly via the WAL spill path.
+        let (pool, db) = durable_pool(1);
+        let a = pool.allocate_page().unwrap();
+        pool.with_page_mut(a, |d| d[0] = 7).unwrap();
+        let b = pool.allocate_page().unwrap(); // evicts a -> WAL spill
+        pool.with_page_mut(b, |d| d[0] = 8).unwrap();
+        let page_a_on_disk = db.snapshot()[a as usize * PAGE_SIZE];
+        assert_eq!(page_a_on_disk, 0, "dirty page must not reach the page file");
+        assert!(pool.snapshot().wal_appends >= 1);
+        assert_eq!(pool.with_page(a, |d| d[0]).unwrap(), 7, "spill re-read");
+        assert_eq!(pool.with_page(b, |d| d[0]).unwrap(), 8);
+        pool.commit().unwrap();
+        assert_eq!(db.snapshot()[a as usize * PAGE_SIZE], 7, "committed");
+        assert_eq!(db.snapshot()[b as usize * PAGE_SIZE], 8);
+        assert_eq!(pool.pager().epoch(), 2);
+    }
+
+    #[test]
+    fn durable_pool_many_pages_under_small_pool() {
+        // The durable twin of `many_pages_under_small_pool`: spilling
+        // must respect the residency budget, and a commit + cold
+        // re-read round-trips every page with checksums verified.
+        let (pool, _db) = durable_pool(3);
+        let ids: Vec<_> = (0..50).map(|_| pool.allocate_page().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.with_page_mut(id, |d| d[0] = i as u8).unwrap();
+        }
+        assert!(pool.resident() <= 3);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pool.with_page(id, |d| d[0]).unwrap(), i as u8);
+        }
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(pool.with_page(id, |d| d[0]).unwrap(), i as u8, "cold");
+        }
+        pool.pager().verify_checksums().unwrap();
+    }
+
+    #[test]
+    fn commit_fsync_budget_and_empty_commit_is_free() {
+        let (pool, _db) = durable_pool(8);
+        let a = pool.allocate_page().unwrap();
+        pool.with_page_mut(a, |d| d[1] = 1).unwrap();
+        let before = pool.snapshot();
+        pool.commit().unwrap();
+        let d = pool.snapshot().since(&before);
+        // WAL group sync + page file + sidecar + epoch advance + WAL
+        // truncation sync.
+        assert_eq!(d.fsyncs, 5, "group commit costs a fixed fsync budget");
+        assert_eq!(d.wal_appends, 1);
+        let before = pool.snapshot();
+        pool.commit().unwrap(); // nothing dirty
+        assert_eq!(pool.snapshot().since(&before).fsyncs, 0);
+        pool.checkpoint().unwrap(); // alias, also clean
+        assert_eq!(pool.snapshot().since(&before).fsyncs, 0);
     }
 
     #[test]

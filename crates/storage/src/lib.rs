@@ -21,15 +21,21 @@
 
 pub mod bptree;
 pub mod buffer;
+pub mod crc;
 pub mod error;
 pub mod pager;
 pub mod record;
 pub mod stats;
+pub mod store;
 pub mod sync;
+pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use buffer::BufferPool;
+pub use crc::crc32;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, NIL_PAGE, PAGE_SIZE};
 pub use record::{RecordId, RecordStore};
 pub use stats::{IoScope, IoSnapshot, IoStats};
+pub use store::{FileStore, MemStore, RawStore};
+pub use wal::{recover, LogRecord, RecoveryReport, Wal};

@@ -1,18 +1,41 @@
 //! Page-granular backing store.
 //!
-//! A [`Pager`] owns a flat array of fixed-size pages, either in a file
-//! (the realistic configuration, matching the paper's on-disk indexes) or
-//! in memory (hermetic tests). Page 0 is reserved at creation so that
-//! [`NIL_PAGE`] (= 0) can serve as a null pointer in page layouts.
+//! A [`Pager`] owns a flat array of fixed-size pages over a
+//! [`RawStore`], either a file (the realistic configuration, matching
+//! the paper's on-disk indexes) or memory (hermetic tests). Page 0 is
+//! reserved at creation so that [`NIL_PAGE`] (= 0) can serve as a null
+//! pointer in page layouts.
+//!
+//! # Durable mode: checksum sidecar + epoch
+//!
+//! A pager opened through [`Pager::create_durable`]/[`Pager::open_durable`]
+//! additionally maintains a **checksum sidecar** (`<db>.sum` on disk):
+//! a 16-byte header (magic + the database **epoch**) followed by one
+//! CRC-32 entry per page. Every page write updates its entry; every
+//! page read verifies it, so a torn sector or bit rot surfaces as
+//! [`StorageError::Corrupt`] instead of a silently wrong answer. The
+//! page file's own layout is byte-identical to legacy mode — page `i`
+//! lives at offset `i * PAGE_SIZE` — so legacy databases stay readable.
+//!
+//! The epoch counts committed write batches. The write-ahead log
+//! ([`crate::wal`]) stamps its frames with the epoch they extend;
+//! comparing the two on open is how recovery tells "crashed before the
+//! commit hit the page file — replay" from "stale log left behind by a
+//! crash after the pages were durable — discard".
+//!
+//! A checksum entry of 0 means "never written, skip verification"
+//! (fresh pages read as zeroes before first write). A real CRC of 0 is
+//! stored as 1, trading a 2⁻³² sliver of detection strength for an
+//! unambiguous sentinel.
 
-use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::error::Result;
-use crate::sync::Mutex;
+use crate::crc::crc32;
+use crate::error::{Result, StorageError};
 use crate::stats::IoStats;
+use crate::store::{FileStore, MemStore, RawStore};
 
 /// Size of every page, matching the paper's 8 K page configuration §6.1.
 pub const PAGE_SIZE: usize = 8192;
@@ -23,9 +46,80 @@ pub type PageId = u64;
 /// Null page pointer (page 0 is reserved and never handed out).
 pub const NIL_PAGE: PageId = 0;
 
-enum Backend {
-    File(File),
-    Memory(Mutex<Vec<Box<[u8; PAGE_SIZE]>>>),
+/// Magic prefix of a checksum sidecar.
+pub const SUM_MAGIC: &[u8; 8] = b"PRIXSUM\0";
+
+/// Sidecar header: magic (8 bytes) + epoch (u64 LE).
+const SUM_HEADER: u64 = 16;
+
+/// Checksum sidecar: per-page CRC entries plus the database epoch.
+struct SumFile {
+    store: Box<dyn RawStore>,
+    epoch: AtomicU64,
+}
+
+/// Maps a page CRC to its stored entry: 0 is reserved for "never
+/// written", so a genuine CRC of 0 is stored as 1.
+fn encode_crc(crc: u32) -> u32 {
+    crc.max(1)
+}
+
+impl SumFile {
+    fn create(store: Box<dyn RawStore>, epoch: u64) -> Result<Self> {
+        store.set_len(0)?;
+        let mut header = [0u8; SUM_HEADER as usize];
+        header[..8].copy_from_slice(SUM_MAGIC);
+        header[8..16].copy_from_slice(&epoch.to_le_bytes());
+        store.write_at(0, &header)?;
+        Ok(SumFile {
+            store,
+            epoch: AtomicU64::new(epoch),
+        })
+    }
+
+    fn open(store: Box<dyn RawStore>) -> Result<Self> {
+        let mut header = [0u8; SUM_HEADER as usize];
+        if store.len()? < SUM_HEADER {
+            return Err(StorageError::Corrupt {
+                page: 0,
+                reason: "checksum sidecar too small for its header".into(),
+            });
+        }
+        store.read_at(0, &mut header)?;
+        if &header[..8] != SUM_MAGIC {
+            return Err(StorageError::Corrupt {
+                page: 0,
+                reason: "checksum sidecar has bad magic".into(),
+            });
+        }
+        let epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        Ok(SumFile {
+            store,
+            epoch: AtomicU64::new(epoch),
+        })
+    }
+
+    /// Stored entry for `page`, or 0 ("unknown") when the sidecar has
+    /// not grown past it yet.
+    fn entry(&self, page: PageId) -> Result<u32> {
+        let off = SUM_HEADER + page * 4;
+        if self.store.len()? < off + 4 {
+            return Ok(0);
+        }
+        let mut buf = [0u8; 4];
+        self.store.read_at(off, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn set_entry(&self, page: PageId, value: u32) -> Result<()> {
+        self.store.write_at(SUM_HEADER + page * 4, &value.to_le_bytes())
+    }
+
+    fn set_epoch(&self, epoch: u64) -> Result<()> {
+        self.store.write_at(8, &epoch.to_le_bytes())?;
+        self.epoch.store(epoch, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// A fixed-page-size backing store with atomic page allocation.
@@ -34,22 +128,26 @@ enum Backend {
 /// layers caching and I/O accounting on top. All methods take `&self` and
 /// are thread-safe.
 pub struct Pager {
-    backend: Backend,
+    store: Box<dyn RawStore>,
+    sum: Option<SumFile>,
     next_page: AtomicU64,
     stats: Arc<IoStats>,
 }
 
 impl Pager {
-    /// Creates (truncating) a file-backed pager at `path`.
+    /// Creates (truncating) a file-backed pager at `path` in legacy
+    /// mode: no checksums, no epoch. Durable databases use
+    /// [`Pager::create_durable`].
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        Self::create_on(Box::new(FileStore::create(path)?))
+    }
+
+    /// Creates a legacy-mode pager over an arbitrary store (truncated).
+    pub fn create_on(store: Box<dyn RawStore>) -> Result<Self> {
+        store.set_len(0)?;
         let pager = Pager {
-            backend: Backend::File(file),
+            store,
+            sum: None,
             next_page: AtomicU64::new(0),
             stats: Arc::new(IoStats::new()),
         };
@@ -57,19 +155,59 @@ impl Pager {
         Ok(pager)
     }
 
-    /// Opens an existing file-backed pager, preserving its pages.
+    /// Opens an existing file-backed pager, preserving its pages
+    /// (legacy mode: reads are not checksum-verified).
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        let len = file.metadata()?.len();
-        let pages = len / PAGE_SIZE as u64;
+        Self::open_on(Box::new(FileStore::open(path)?))
+    }
+
+    /// Opens a legacy-mode pager over an arbitrary store.
+    pub fn open_on(store: Box<dyn RawStore>) -> Result<Self> {
+        let pages = store.len()? / PAGE_SIZE as u64;
         if pages == 0 {
-            return Err(crate::error::StorageError::Corrupt {
+            return Err(StorageError::Corrupt {
                 page: 0,
                 reason: "file too small to be a pager database".into(),
             });
         }
         Ok(Pager {
-            backend: Backend::File(file),
+            store,
+            sum: None,
+            next_page: AtomicU64::new(pages),
+            stats: Arc::new(IoStats::new()),
+        })
+    }
+
+    /// Creates (truncating) a durable pager: `db` holds the pages,
+    /// `sum` the checksum sidecar. The epoch starts at 1.
+    pub fn create_durable(db: Box<dyn RawStore>, sum: Box<dyn RawStore>) -> Result<Self> {
+        db.set_len(0)?;
+        let sum = SumFile::create(sum, 1)?;
+        let pager = Pager {
+            store: db,
+            sum: Some(sum),
+            next_page: AtomicU64::new(0),
+            stats: Arc::new(IoStats::new()),
+        };
+        pager.reserve_meta_page()?;
+        Ok(pager)
+    }
+
+    /// Opens a durable pager over existing `db` + `sum` stores. Cold
+    /// reads verify page checksums from here on. Run
+    /// [`crate::wal::recover`] before trusting the contents.
+    pub fn open_durable(db: Box<dyn RawStore>, sum: Box<dyn RawStore>) -> Result<Self> {
+        let pages = db.len()? / PAGE_SIZE as u64;
+        if pages == 0 {
+            return Err(StorageError::Corrupt {
+                page: 0,
+                reason: "file too small to be a pager database".into(),
+            });
+        }
+        let sum = SumFile::open(sum)?;
+        Ok(Pager {
+            store: db,
+            sum: Some(sum),
             next_page: AtomicU64::new(pages),
             stats: Arc::new(IoStats::new()),
         })
@@ -78,7 +216,8 @@ impl Pager {
     /// Creates an in-memory pager (tests, micro-benches).
     pub fn in_memory() -> Self {
         let pager = Pager {
-            backend: Backend::Memory(Mutex::new(Vec::new())),
+            store: Box::new(MemStore::new()),
+            sum: None,
             next_page: AtomicU64::new(0),
             stats: Arc::new(IoStats::new()),
         };
@@ -99,18 +238,59 @@ impl Pager {
         Arc::clone(&self.stats)
     }
 
+    /// `true` when reads are checksum-verified (durable mode).
+    pub fn has_checksums(&self) -> bool {
+        self.sum.is_some()
+    }
+
+    /// The database epoch (committed batch count). Panics on a legacy
+    /// pager, which has no epoch.
+    pub fn epoch(&self) -> u64 {
+        self.sum
+            .as_ref()
+            .expect("epoch requires a durable pager")
+            .epoch
+            .load(Ordering::Relaxed)
+    }
+
+    /// Advances the database epoch (not durable until [`Pager::sync`]).
+    pub fn set_epoch(&self, epoch: u64) -> Result<()> {
+        self.sum
+            .as_ref()
+            .expect("epoch requires a durable pager")
+            .set_epoch(epoch)
+    }
+
+    /// Durability barrier over the checksum sidecar only. The commit
+    /// protocol uses this for the epoch advance: the epoch may only
+    /// become durable *after* a full [`Pager::sync`] has landed the
+    /// pages, never in the same barrier — a crash inside one shared
+    /// barrier could persist the new epoch over torn pages, and
+    /// recovery would then discard the log that could repair them.
+    pub fn sync_meta(&self) -> Result<()> {
+        if let Some(sum) = &self.sum {
+            sum.store.sync()?;
+            self.stats.record_fsync();
+        }
+        Ok(())
+    }
+
+    /// Durability barrier over the page file and the checksum sidecar.
+    pub fn sync(&self) -> Result<()> {
+        self.store.sync()?;
+        self.stats.record_fsync();
+        if let Some(sum) = &self.sum {
+            sum.store.sync()?;
+            self.stats.record_fsync();
+        }
+        Ok(())
+    }
+
     /// Allocates a fresh zeroed page and returns its id.
     pub fn allocate(&self) -> Result<PageId> {
         let id = self.next_page.fetch_add(1, Ordering::Relaxed);
-        match &self.backend {
-            Backend::File(file) => {
-                // Extend the file eagerly so reads of fresh pages succeed.
-                file.set_len((id + 1) * PAGE_SIZE as u64)?;
-            }
-            Backend::Memory(pages) => {
-                pages.lock().push(Box::new([0u8; PAGE_SIZE]));
-            }
-        }
+        // Extend the store eagerly so reads of fresh pages succeed.
+        self.store.set_len((id + 1) * PAGE_SIZE as u64)?;
         Ok(id)
     }
 
@@ -119,36 +299,78 @@ impl Pager {
         self.next_page.load(Ordering::Relaxed)
     }
 
-    /// Reads page `id` into `buf`. Counts as a physical read.
+    /// Grows the pager to cover page `id` if it does not already
+    /// (recovery replays pages whose length extension a crash lost).
+    pub fn ensure_allocated(&self, id: PageId) -> Result<()> {
+        let mut cur = self.next_page.load(Ordering::Relaxed);
+        while cur <= id {
+            match self.next_page.compare_exchange(
+                cur,
+                id + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        if self.store.len()? < (id + 1) * PAGE_SIZE as u64 {
+            self.store.set_len((id + 1) * PAGE_SIZE as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Reads page `id` into `buf`. Counts as a physical read. In
+    /// durable mode the page is verified against its sidecar checksum;
+    /// a mismatch (torn write, bit rot) is [`StorageError::Corrupt`].
     pub fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         debug_assert!(id < self.num_pages(), "read of unallocated page {id}");
         self.stats.record_physical_read();
-        match &self.backend {
-            Backend::File(file) => {
-                use std::os::unix::fs::FileExt;
-                file.read_exact_at(buf, id * PAGE_SIZE as u64)?;
-            }
-            Backend::Memory(pages) => {
-                buf.copy_from_slice(&pages.lock()[id as usize][..]);
+        self.store.read_at(id * PAGE_SIZE as u64, buf)?;
+        if let Some(sum) = &self.sum {
+            let want = sum.entry(id)?;
+            if want != 0 && want != encode_crc(crc32(buf)) {
+                return Err(StorageError::Corrupt {
+                    page: id,
+                    reason: "checksum mismatch (torn or corrupted page)".into(),
+                });
             }
         }
         Ok(())
     }
 
-    /// Writes `buf` to page `id`. Counts as a physical write.
+    /// Writes `buf` to page `id`. Counts as a physical write. In
+    /// durable mode the sidecar checksum entry is updated in the same
+    /// call. **Not durable** until [`Pager::sync`].
     pub fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
         debug_assert!(id < self.num_pages(), "write of unallocated page {id}");
         self.stats.record_physical_write();
-        match &self.backend {
-            Backend::File(file) => {
-                use std::os::unix::fs::FileExt;
-                file.write_all_at(buf, id * PAGE_SIZE as u64)?;
-            }
-            Backend::Memory(pages) => {
-                pages.lock()[id as usize].copy_from_slice(buf);
-            }
+        self.store.write_at(id * PAGE_SIZE as u64, buf)?;
+        if let Some(sum) = &self.sum {
+            sum.set_entry(id, encode_crc(crc32(buf)))?;
         }
         Ok(())
+    }
+
+    /// Verifies every allocated page against its sidecar checksum
+    /// (`prix fsck`). Returns `(verified, skipped)` — skipped pages
+    /// have no recorded checksum (never written, e.g. freshly
+    /// allocated). Errors on the first mismatch. Panics on a legacy
+    /// pager.
+    pub fn verify_checksums(&self) -> Result<(u64, u64)> {
+        assert!(self.sum.is_some(), "verify_checksums requires a durable pager");
+        let sum = self.sum.as_ref().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        let (mut verified, mut skipped) = (0u64, 0u64);
+        for id in 0..self.num_pages() {
+            if sum.entry(id)? == 0 {
+                skipped += 1;
+                continue;
+            }
+            self.read_page(id, &mut buf)?;
+            verified += 1;
+        }
+        Ok((verified, skipped))
     }
 }
 
@@ -213,5 +435,83 @@ mod tests {
         let s = p.stats().snapshot();
         assert_eq!(s.physical_writes, 1);
         assert_eq!(s.physical_reads, 2);
+    }
+
+    fn durable_mem_pager() -> (Pager, MemStore, MemStore) {
+        let db = MemStore::new();
+        let sum = MemStore::new();
+        let p = Pager::create_durable(Box::new(db.clone()), Box::new(sum.clone())).unwrap();
+        (p, db, sum)
+    }
+
+    #[test]
+    fn durable_pager_roundtrip_and_epoch_persist() {
+        let (p, db, sum) = durable_mem_pager();
+        assert!(p.has_checksums());
+        assert_eq!(p.epoch(), 1);
+        let a = p.allocate().unwrap();
+        let mut page = [7u8; PAGE_SIZE];
+        page[100] = 1;
+        p.write_page(a, &page).unwrap();
+        p.set_epoch(5).unwrap();
+        p.sync().unwrap();
+        drop(p);
+        let p = Pager::open_durable(Box::new(db), Box::new(sum)).unwrap();
+        assert_eq!(p.epoch(), 5);
+        let mut back = [0u8; PAGE_SIZE];
+        p.read_page(a, &mut back).unwrap();
+        assert_eq!(back[100], 1);
+        assert_eq!(p.verify_checksums().unwrap(), (1, 1), "page 0 never written");
+    }
+
+    #[test]
+    fn checksum_catches_torn_page() {
+        let (p, db, sum) = durable_mem_pager();
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[3u8; PAGE_SIZE]).unwrap();
+        drop(p);
+        // Tear one sector of the page behind the pager's back.
+        let mut bytes = db.snapshot();
+        let off = a as usize * PAGE_SIZE + 512;
+        bytes[off..off + 512].fill(0);
+        let p = Pager::open_durable(
+            Box::new(MemStore::from_bytes(bytes)),
+            Box::new(sum),
+        )
+        .unwrap();
+        let mut back = [0u8; PAGE_SIZE];
+        let err = p.read_page(a, &mut back).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt { page, .. } if page == a),
+            "{err}"
+        );
+        assert!(p.verify_checksums().is_err());
+    }
+
+    #[test]
+    fn legacy_pager_skips_verification() {
+        // The same torn write goes unnoticed without the sidecar —
+        // exactly why durable mode exists.
+        let db = MemStore::new();
+        let p = Pager::create_on(Box::new(db.clone())).unwrap();
+        let a = p.allocate().unwrap();
+        p.write_page(a, &[3u8; PAGE_SIZE]).unwrap();
+        drop(p);
+        let mut bytes = db.snapshot();
+        bytes[a as usize * PAGE_SIZE] ^= 0xFF;
+        let p = Pager::open_on(Box::new(MemStore::from_bytes(bytes))).unwrap();
+        let mut back = [0u8; PAGE_SIZE];
+        p.read_page(a, &mut back).unwrap();
+        assert_eq!(back[0], 3 ^ 0xFF);
+    }
+
+    #[test]
+    fn sync_counts_fsyncs() {
+        let (p, _db, _sum) = durable_mem_pager();
+        p.sync().unwrap();
+        assert_eq!(p.stats().fsyncs(), 2, "page file + sidecar");
+        let legacy = Pager::in_memory();
+        legacy.sync().unwrap();
+        assert_eq!(legacy.stats().fsyncs(), 1);
     }
 }

@@ -97,6 +97,7 @@ impl IoScope {
                 logical_reads: delta[0],
                 physical_reads: delta[1],
                 physical_writes: delta[2],
+                ..IoSnapshot::default()
             }
         })
     }
@@ -120,6 +121,9 @@ pub struct IoStats {
     logical_reads: AtomicU64,
     physical_reads: AtomicU64,
     physical_writes: AtomicU64,
+    fsyncs: AtomicU64,
+    wal_appends: AtomicU64,
+    flush_errors: AtomicU64,
 }
 
 impl IoStats {
@@ -164,12 +168,52 @@ impl IoStats {
         self.physical_writes.load(Ordering::Relaxed)
     }
 
+    /// Records one `fsync` of a backing store (database, checksum
+    /// sidecar, or write-ahead log). Durability cost, not query cost:
+    /// fsyncs are not attributed to [`IoScope`]s.
+    #[inline]
+    pub fn record_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one page image appended to the write-ahead log (a
+    /// commit frame or an eviction spill).
+    #[inline]
+    pub fn record_wal_append(&self) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a flush failure that could not be propagated (the
+    /// buffer pool's `Drop` has no caller to return an error to).
+    #[inline]
+    pub fn record_flush_error(&self) {
+        self.flush_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `fsync` calls issued against any backing store.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Page images appended to the write-ahead log.
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// Flush failures swallowed by `Drop` (should stay 0).
+    pub fn flush_errors(&self) -> u64 {
+        self.flush_errors.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             logical_reads: self.logical_reads(),
             physical_reads: self.physical_reads(),
             physical_writes: self.physical_writes(),
+            fsyncs: self.fsyncs(),
+            wal_appends: self.wal_appends(),
+            flush_errors: self.flush_errors(),
         }
     }
 
@@ -178,6 +222,9 @@ impl IoStats {
         self.logical_reads.store(0, Ordering::Relaxed);
         self.physical_reads.store(0, Ordering::Relaxed);
         self.physical_writes.store(0, Ordering::Relaxed);
+        self.fsyncs.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.flush_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -191,6 +238,13 @@ pub struct IoSnapshot {
     pub physical_reads: u64,
     /// Pages written to the backing store.
     pub physical_writes: u64,
+    /// `fsync` calls against any backing store. Always 0 in
+    /// [`IoScope`]-attributed snapshots: queries never sync.
+    pub fsyncs: u64,
+    /// Page images appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Flush failures swallowed by `BufferPool::drop`.
+    pub flush_errors: u64,
 }
 
 impl IoSnapshot {
@@ -200,6 +254,9 @@ impl IoSnapshot {
             logical_reads: self.logical_reads - earlier.logical_reads,
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
+            fsyncs: self.fsyncs - earlier.fsyncs,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            flush_errors: self.flush_errors - earlier.flush_errors,
         }
     }
 
@@ -223,9 +280,17 @@ mod tests {
         s.record_logical_read();
         s.record_physical_read();
         s.record_physical_write();
+        s.record_fsync();
+        s.record_fsync();
+        s.record_fsync();
+        s.record_wal_append();
+        s.record_flush_error();
         assert_eq!(s.logical_reads(), 2);
         assert_eq!(s.physical_reads(), 1);
         assert_eq!(s.physical_writes(), 1);
+        assert_eq!(s.fsyncs(), 3);
+        assert_eq!(s.wal_appends(), 1);
+        assert_eq!(s.flush_errors(), 1);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }
@@ -299,7 +364,7 @@ mod tests {
         let snap = IoSnapshot {
             logical_reads: 10,
             physical_reads: 2,
-            physical_writes: 0,
+            ..IoSnapshot::default()
         };
         assert!((snap.hit_ratio() - 0.8).abs() < 1e-12);
         assert_eq!(IoSnapshot::default().hit_ratio(), 1.0);

@@ -13,6 +13,10 @@
 //! * [`bench`] — a tiny benchmark harness replacing `criterion`:
 //!   warmup + fixed sample count, median/p95/min/max reporting, and
 //!   optional JSON output.
+//! * [`fault`] — a power-loss simulator behind the storage layer's
+//!   `RawStore` trait: seeded kill points, short/torn writes, dropped
+//!   fsyncs, and post-crash disk-image reconstruction for the crash
+//!   recovery harness.
 //!
 //! # Writing a property test
 //!
@@ -45,10 +49,12 @@
 //! pure function of the seed) and re-checks the property.
 
 pub mod bench;
+pub mod fault;
 pub mod gen;
 pub mod rng;
 pub mod runner;
 
+pub use fault::{FaultInjector, FaultKind, FaultStore};
 pub use gen::{
     bools, from_fn, one_of, option_of, u64_in, u8_in, usize_in, vec_of, Generator, Weighted,
 };

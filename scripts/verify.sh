@@ -20,6 +20,11 @@ cargo test --release --test concurrency --offline --locked
 cargo test --release --test server --offline --locked
 cargo test --release --test executor_stream --offline --locked
 
+# The crash-consistency harness reruns in release too: its ~200 seeded
+# kill-point iterations cover far more syscall interleavings per second
+# there, and optimized codegen must not perturb the recovery protocol.
+cargo test --release --test crash_recovery --offline --locked
+
 # End-to-end smoke: index a tiny corpus, start `prix serve` on an
 # ephemeral port, hit /healthz and /metrics over plain bash /dev/tcp,
 # then POST /shutdown and require a clean exit 0.
@@ -59,3 +64,20 @@ http /shutdown POST >/dev/null
 wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
 grep -q 'shutdown complete' "$SMOKE/serve.log" || { echo "no clean shutdown message" >&2; exit 1; }
 echo "serve smoke OK (port $PORT)"
+
+# Crash-safety smoke with a real SIGKILL: start an ingest (`prix add`)
+# into the durable database, kill the process mid-flight, and require
+# that fsck recovers to a clean state and queries still answer. The
+# kill races the ingest — landing before, during, or after the save are
+# all valid outcomes the WAL must absorb.
+for i in 1 2 3; do
+  "$PRIX" add "$SMOKE/db.prix" "$SMOKE"/corpus/*.xml >/dev/null 2>&1 &
+  ADD_PID=$!
+  sleep 0.0$((RANDOM % 10)) || true
+  kill -9 "$ADD_PID" 2>/dev/null || true
+  wait "$ADD_PID" 2>/dev/null || true
+  "$PRIX" fsck "$SMOKE/db.prix" >"$SMOKE/fsck.log" || { echo "fsck failed after SIGKILL #$i" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+  grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean after SIGKILL #$i" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+done
+"$PRIX" query "$SMOKE/db.prix" "//dblp" >/dev/null || { echo "query failed after crash recovery" >&2; exit 1; }
+echo "crash smoke OK (3 SIGKILLs absorbed)"

@@ -148,6 +148,22 @@ fn doctored_catalog_version_is_rejected() {
         f.seek(SeekFrom::Start(4)).unwrap();
         f.write_all(&99u32.to_le_bytes()).unwrap();
     }
+    // With the durable layout the doctored byte is caught one layer
+    // below the catalog parser: the page no longer matches its
+    // recorded checksum.
+    let err = match PrixEngine::reopen(&path, 64) {
+        Err(e) => e,
+        Ok(_) => panic!("doctored page was accepted"),
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("checksum"),
+        "durable reopen must flag the corrupted page: {msg}"
+    );
+    // Strip the sidecars to take the legacy path: now the bytes are
+    // trusted and the catalog parser itself must refuse the version.
+    std::fs::remove_file(dir.join("db.prix.sum")).unwrap();
+    std::fs::remove_file(dir.join("db.prix.wal")).unwrap();
     let err = match PrixEngine::reopen(&path, 64) {
         Err(e) => e,
         Ok(_) => panic!("doctored version was accepted"),

@@ -415,6 +415,15 @@ fn metrics_expose_traffic_and_bufferpool_state() {
     assert!(body.contains("prix_bufferpool_hit_ratio "), "{body}");
     assert!(body.contains("prix_bufferpool_logical_reads_total "), "{body}");
     assert!(body.contains("prix_http_queue_depth 0"), "{body}");
+    // Durability series: exact metric names are a dashboard contract.
+    assert!(body.contains("prix_bufferpool_physical_writes_total "), "{body}");
+    assert!(body.contains("prix_bufferpool_fsyncs_total "), "{body}");
+    assert!(body.contains("prix_bufferpool_wal_appends_total "), "{body}");
+    assert!(body.contains("prix_bufferpool_flush_errors_total 0"), "{body}");
+    assert!(body.contains("prix_recovery_unclean_shutdown "), "{body}");
+    assert!(body.contains("prix_recovery_replayed_frames "), "{body}");
+    assert!(body.contains("prix_recovery_replayed_pages "), "{body}");
+    assert!(body.contains("prix_recovery_wal_bytes "), "{body}");
     // The executor's per-stage histograms: one observation per stage
     // per successful query (the 400 never reached the executor).
     for stage in ["filter", "refine", "project"] {

@@ -9,7 +9,10 @@ use prix_testkit::bench::{Harness, Opts};
 fn bench_dataset(h: &mut Harness, ds: Dataset, scale: f64) {
     let mut wb = Workbench::setup(ds, scale, 42);
     let queries = queries_for(ds);
-    h.set_opts(Opts { warmup: 1, samples: 10 });
+    h.set_opts(Opts {
+        warmup: 1,
+        samples: 10,
+    });
     for pq in queries {
         let name = format!("{}/{}_all_engines", ds.name().to_lowercase(), pq.id);
         h.bench(&name, || {

@@ -18,10 +18,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
         h.bench(&format!("maxgap/{name}_with_maxgap"), || {
             std::hint::black_box(
                 engine
-                    .query_opts(
-                        q,
-                        &ExecOpts::new(),
-                    )
+                    .query_opts(q, &ExecOpts::new())
                     .unwrap()
                     .matches
                     .len(),
@@ -30,10 +27,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
         h.bench(&format!("maxgap/{name}_coarse_maxgap"), || {
             std::hint::black_box(
                 engine
-                    .query_opts(
-                        q,
-                        &ExecOpts::new().without_fine_maxgap(),
-                    )
+                    .query_opts(q, &ExecOpts::new().without_fine_maxgap())
                     .unwrap()
                     .matches
                     .len(),
@@ -42,10 +36,7 @@ fn bench_maxgap_ablation(h: &mut Harness) {
         h.bench(&format!("maxgap/{name}_without_maxgap"), || {
             std::hint::black_box(
                 engine
-                    .query_opts(
-                        q,
-                        &ExecOpts::new().without_maxgap(),
-                    )
+                    .query_opts(q, &ExecOpts::new().without_maxgap())
                     .unwrap()
                     .matches
                     .len(),
@@ -56,7 +47,10 @@ fn bench_maxgap_ablation(h: &mut Harness) {
 
 fn bench_labeling_modes(h: &mut Harness) {
     let collection = generate(Dataset::Dblp, 0.05, 6);
-    h.set_opts(Opts { warmup: 1, samples: 10 });
+    h.set_opts(Opts {
+        warmup: 1,
+        samples: 10,
+    });
     h.bench("labeling/build_exact", || {
         let e = PrixEngine::build(collection.clone(), EngineConfig::default()).unwrap();
         std::hint::black_box(e.rp_index().unwrap().build_stats().trie_nodes);

@@ -1,0 +1,150 @@
+//! Online ingest vs. query latency: the snapshot-isolation tradeoff.
+//!
+//! Two experiments over a [`SharedEngine`]:
+//!
+//! * **Query latency under ingest** — the same structural query sampled
+//!   many times (each sample = one pinned-snapshot query, so the
+//!   report's median/p99 are the query's p50/p99) with zero writers and
+//!   then with one background writer continuously publishing batches.
+//!   Snapshot isolation promises readers never block on the writer;
+//!   the gap between the two distributions is the price actually paid
+//!   (version-chain lookups, epoch pinning, allocator pressure).
+//!
+//! * **Ingest throughput, batched vs one-at-a-time** — 16 documents
+//!   ingested as a single batch (one WAL group commit, one epoch
+//!   publish) vs 16 single-document batches (16 commits, 16 epochs).
+//!   The batch path amortizes the commit barrier exactly like group
+//!   commit amortizes fsync.
+//!
+//! Run with `--json PATH` (or `PRIX_BENCH_JSON=PATH`) for
+//! machine-readable output, like every suite in this directory.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use prix_core::{EngineConfig, LabelingMode, PrixEngine, SharedEngine};
+use prix_testkit::bench::{Harness, Opts};
+use prix_testkit::TestRng;
+use prix_xml::Collection;
+
+/// Small documents over a fixed vocabulary; dynamic labeling with slack
+/// so ingested documents keep fitting the base build's trie scopes.
+fn doc_xml(rng: &mut TestRng) -> String {
+    let mid = *rng.pick(&["b", "c"]);
+    let leaf = *rng.pick(&["x", "y", "z"]);
+    let val = rng.below(6);
+    match rng.below(3) {
+        0 => format!("<a><{mid}><{leaf}>v{val}</{leaf}></{mid}></a>"),
+        1 => format!("<a><{mid}><{leaf}>v{val}</{leaf}></{mid}><d/></a>"),
+        _ => format!("<a><d/><{mid}><{leaf}>v{val}</{leaf}></{mid}></a>"),
+    }
+}
+
+fn build_shared(rng: &mut TestRng, docs: usize) -> SharedEngine {
+    let mut coll = Collection::new();
+    for _ in 0..docs {
+        coll.add_xml(&doc_xml(rng)).expect("base doc");
+    }
+    let engine = PrixEngine::build(
+        coll,
+        EngineConfig {
+            labeling: LabelingMode::Dynamic { alpha: 4 },
+            ..Default::default()
+        },
+    )
+    .expect("build engine");
+    SharedEngine::new(engine)
+}
+
+/// One pinned-snapshot query; the measured unit for the latency runs.
+fn one_query(shared: &SharedEngine, xpath: &str) {
+    let snap = shared.snapshot();
+    let q = snap.parse_query(xpath).expect("parse");
+    let out = snap.query(&q).expect("query");
+    std::hint::black_box(out.matches.len());
+}
+
+fn bench_query_latency(h: &mut Harness, rng: &mut TestRng) {
+    // Enough samples that p99 is a real tail, not the max.
+    let opts = Opts {
+        warmup: 50,
+        samples: 500,
+    };
+    let xpath = "//a/b/y";
+
+    let shared = build_shared(rng, 200);
+    h.bench_with_opts("query_latency_0_writers", opts, || {
+        one_query(&shared, xpath)
+    });
+
+    // Same distribution with one writer publishing batches the whole
+    // time. Readers pin snapshots and must not block on the writer.
+    let shared = Arc::new(build_shared(rng, 200));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ingested = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        let mut wrng = TestRng::from_seed(0xB13C_0001);
+        std::thread::spawn(move || {
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let batch: Vec<String> = (0..4).map(|_| doc_xml(&mut wrng)).collect();
+                shared.ingest(&batch).expect("ingest");
+                batches += 1;
+            }
+            batches
+        })
+    };
+    h.bench_with_opts("query_latency_1_writer", opts, || one_query(&shared, xpath));
+    stop.store(true, Ordering::Release);
+    let batches = ingested.join().expect("writer thread");
+    eprintln!(
+        "  (writer published {batches} batches / {} documents during the run; \
+         final epoch {})",
+        batches * 4,
+        shared.epoch()
+    );
+}
+
+fn bench_ingest_throughput(h: &mut Harness, rng: &mut TestRng) {
+    h.set_opts(Opts {
+        warmup: 2,
+        samples: 12,
+    });
+    let docs: Vec<String> = (0..16).map(|_| doc_xml(rng)).collect();
+
+    // Fresh engine per sample: ingest grows the index, so reusing one
+    // engine would measure ever-larger trees.
+    let mut seed = 0xB13C_0100u64;
+    let mut fresh = move || {
+        seed += 1;
+        build_shared(&mut TestRng::from_seed(seed), 50)
+    };
+
+    {
+        let docs = docs.clone();
+        h.bench_with_setup("ingest_16_docs_one_batch", &mut fresh, move |shared| {
+            let report = shared.ingest(&docs).expect("ingest");
+            std::hint::black_box(report.epoch);
+        });
+    }
+    {
+        let docs = docs.clone();
+        h.bench_with_setup("ingest_16_docs_one_at_a_time", &mut fresh, move |shared| {
+            let mut epoch = 0;
+            for d in &docs {
+                let report = shared.ingest(std::slice::from_ref(d)).expect("ingest");
+                epoch = report.epoch;
+            }
+            std::hint::black_box(epoch);
+        });
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_args("ingest_while_serving");
+    let mut rng = TestRng::from_seed(0xB13C_0000);
+    bench_query_latency(&mut h, &mut rng);
+    bench_ingest_throughput(&mut h, &mut rng);
+    h.finish();
+}

@@ -33,8 +33,7 @@ fn high_fanout_collection(docs: usize) -> Collection {
 }
 
 fn main() {
-    let engine =
-        PrixEngine::build(high_fanout_collection(2000), EngineConfig::default()).unwrap();
+    let engine = PrixEngine::build(high_fanout_collection(2000), EngineConfig::default()).unwrap();
     let mut syms = engine.collection().symbols().clone();
     let q = prix_core::parse_xpath("//a/b", &mut syms).unwrap();
 
@@ -45,7 +44,10 @@ fn main() {
     ];
 
     let mut h = Harness::from_args("limit_pushdown");
-    h.set_opts(Opts { warmup: 2, samples: 20 });
+    h.set_opts(Opts {
+        warmup: 2,
+        samples: 20,
+    });
     for (name, opts) in &cases {
         h.bench(&format!("query/{name}"), || {
             std::hint::black_box(engine.query_opts(&q, opts).unwrap().matches.len());

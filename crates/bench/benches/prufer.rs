@@ -39,9 +39,7 @@ fn bench_reconstruction(h: &mut Harness) {
     });
     h.bench("reconstruction/full_tree", || {
         for (s, leaves) in &seqs {
-            std::hint::black_box(
-                reconstruct::tree_from_sequences(&s.lps, &s.nps, leaves).unwrap(),
-            );
+            std::hint::black_box(reconstruct::tree_from_sequences(&s.lps, &s.nps, leaves).unwrap());
         }
     });
 }

@@ -30,7 +30,10 @@ fn request(addr: SocketAddr, raw: &str) -> String {
 }
 
 fn get(addr: SocketAddr, target: &str) -> String {
-    request(addr, &format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n"))
+    request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n"),
+    )
 }
 
 /// `clients` threads each run `per_client` GETs of `target`.
@@ -78,9 +81,14 @@ fn main() {
     );
 
     let mut h = Harness::from_args("server_throughput");
-    h.set_opts(Opts { warmup: 2, samples: 10 });
+    h.set_opts(Opts {
+        warmup: 2,
+        samples: 10,
+    });
     // Pure HTTP overhead: no engine work.
-    h.bench("healthz_x64_1client", || closed_loop(addr, "/healthz", 1, 64));
+    h.bench("healthz_x64_1client", || {
+        closed_loop(addr, "/healthz", 1, 64)
+    });
     // Engine-bound query path, serial vs concurrent closed loops.
     h.bench("query_x64_1client", || closed_loop(addr, q2, 1, 64));
     h.bench("query_x64_4clients", || closed_loop(addr, q2, 4, 16));

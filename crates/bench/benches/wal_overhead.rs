@@ -90,7 +90,10 @@ fn recover_once(image: &(Vec<u8>, Vec<u8>, Vec<u8>)) -> (u64, u64) {
 
 fn main() {
     let mut h = Harness::from_args("wal_overhead");
-    h.set_opts(Opts { warmup: 1, samples: 10 });
+    h.set_opts(Opts {
+        warmup: 1,
+        samples: 10,
+    });
 
     let tmp = std::env::temp_dir().join(format!("prix-walbench-{}", std::process::id()));
     for (name, wal) in [("wal", true), ("no_wal", false)] {

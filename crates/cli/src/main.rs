@@ -3,7 +3,9 @@
 //! ```text
 //! prix index  <out.prix> <file.xml>...    build a database from XML files
 //! prix query  <db.prix>  "<xpath>"        run a twig query
-//! prix serve  <db.prix>  [--addr H:P]     serve queries over HTTP
+//! prix serve  <db.prix>  [--addr H:P] [--ingest]
+//!                                         serve queries over HTTP; with
+//!                                         --ingest, POST /documents too
 //! prix stats  <db.prix>                   show index statistics
 //! prix fsck   <db.prix>                   verify checksums + recovery state
 //! prix gen    <dataset> <dir> [--scale S] [--seed N]
@@ -22,11 +24,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
-use prix_core::{EngineConfig, ExecOpts, PrixEngine};
+use prix_core::{EngineConfig, ExecOpts, LabelingMode, PrixEngine};
 use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -80,6 +82,7 @@ fn main() -> ExitCode {
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let mut split = false;
     let mut wal = true;
+    let mut labeling = LabelingMode::Exact;
     let mut args = args;
     loop {
         match args {
@@ -91,11 +94,27 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
                 wal = false;
                 args = rest;
             }
+            // Dynamic labeling leaves trie-scope headroom so `prix add`
+            // and `serve --ingest` can accept documents later; exact
+            // labeling (the default) packs scopes tight and rejects
+            // most inserts.
+            [flag, n, rest @ ..] if flag == "--alpha" => {
+                let alpha: usize = n
+                    .parse()
+                    .map_err(|_| usage_err("--alpha needs a positive integer"))?;
+                if alpha == 0 {
+                    return Err(usage_err("--alpha needs a positive integer"));
+                }
+                labeling = LabelingMode::Dynamic { alpha };
+                args = rest;
+            }
             _ => break,
         }
     }
     let [out, files @ ..] = args else {
-        return Err(usage_err("index needs <out.prix> and at least one <file.xml>"));
+        return Err(usage_err(
+            "index needs <out.prix> and at least one <file.xml>",
+        ));
     };
     if files.is_empty() {
         return Err(usage_err("index needs at least one <file.xml>"));
@@ -119,6 +138,7 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
         EngineConfig {
             path: Some(PathBuf::from(out)),
             wal,
+            labeling,
             ..Default::default()
         },
     )
@@ -137,7 +157,9 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         return Err(usage_err("query needs <db.prix> and \"<xpath>\""));
     };
     if db.starts_with("--") || xpath.starts_with("--") {
-        return Err(usage_err("query needs <db.prix> and \"<xpath>\" before any flags"));
+        return Err(usage_err(
+            "query needs <db.prix> and \"<xpath>\" before any flags",
+        ));
     }
     let mut unordered = false;
     let mut opts = ExecOpts::new();
@@ -151,7 +173,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| usage_err("--limit needs an integer"))?;
                 // --limit 0 means unlimited, matching the server.
-                opts = if n == 0 { opts.without_limit() } else { opts.with_limit(n) };
+                opts = if n == 0 {
+                    opts.without_limit()
+                } else {
+                    opts.with_limit(n)
+                };
             }
             other => return Err(usage_err(format!("unknown query flag `{other}`"))),
         }
@@ -159,14 +185,20 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
     let q = engine.parse_query(xpath).map_err(|e| e.to_string())?;
     let out = if unordered {
-        engine.query_unordered_opts(&q, &opts).map_err(|e| e.to_string())?
+        engine
+            .query_unordered_opts(&q, &opts)
+            .map_err(|e| e.to_string())?
     } else {
         engine.query_opts(&q, &opts).map_err(|e| e.to_string())?
     };
     println!(
         "{} match(es){} via {} in {:?} ({} pages read, {} range queries, {} candidates)",
         out.matches.len(),
-        if out.truncated { " (truncated by --limit)" } else { "" },
+        if out.truncated {
+            " (truncated by --limit)"
+        } else {
+            ""
+        },
         out.index_used,
         out.elapsed,
         out.io.physical_reads,
@@ -177,6 +209,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         "io: {} pages read, {} pages written, {} fsyncs",
         out.io.physical_reads, out.io.physical_writes, out.io.fsyncs
     );
+    println!("epoch: {}", engine.epoch());
     println!(
         "stages: filter {:?}, refine {:?}, project {:?}",
         out.stats.filter_time, out.stats.refine_time, out.stats.project_time
@@ -206,10 +239,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut val = |flag: &str| -> Result<&String, CliError> {
-            it.next().ok_or_else(|| usage_err(format!("{flag} needs a value")))
+            it.next()
+                .ok_or_else(|| usage_err(format!("{flag} needs a value")))
         };
         match a.as_str() {
             "--addr" => cfg.addr = val("--addr")?.clone(),
+            "--ingest" => cfg.ingest = true,
             "--no-wal" => wal = false,
             "--threads" => {
                 cfg.threads = val("--threads")?
@@ -253,9 +288,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     println!("listening on http://{}", handle.addr());
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
-    handle
-        .wait()
-        .map_err(|e| format!("shutdown failed: {e}"))?;
+    handle.wait().map_err(|e| format!("shutdown failed: {e}"))?;
     println!("shutdown complete");
     Ok(())
 }
@@ -286,6 +319,7 @@ fn cmd_add(args: &[String]) -> Result<(), CliError> {
         println!("added {f} as doc {id}");
     }
     engine.save().map_err(|e| e.to_string())?;
+    println!("committed at epoch {}", engine.epoch());
     Ok(())
 }
 

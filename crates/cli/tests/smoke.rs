@@ -63,7 +63,9 @@ fn help_goes_to_stdout_and_exits_zero() {
         let out = prix(&[flag]);
         assert_eq!(out.status.code(), Some(0), "{flag}");
         let text = String::from_utf8_lossy(&out.stdout);
-        for cmd in ["index", "query", "serve", "stats", "fsck", "explain", "add", "gen"] {
+        for cmd in [
+            "index", "query", "serve", "stats", "fsck", "explain", "add", "gen",
+        ] {
             assert!(text.contains(cmd), "help lacks `{cmd}`: {text}");
         }
         assert!(out.stderr.is_empty(), "{flag} must not write to stderr");
@@ -88,9 +90,17 @@ fn index_query_roundtrip_works() {
     let dir = std::env::temp_dir().join(format!("prix-cli-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let xml = dir.join("doc.xml");
-    std::fs::write(&xml, "<dblp><www><editor>E</editor><url>u</url></www></dblp>").unwrap();
+    std::fs::write(
+        &xml,
+        "<dblp><www><editor>E</editor><url>u</url></www></dblp>",
+    )
+    .unwrap();
     let xml2 = dir.join("doc2.xml");
-    std::fs::write(&xml2, "<dblp><www><editor>F</editor><url>v</url></www></dblp>").unwrap();
+    std::fs::write(
+        &xml2,
+        "<dblp><www><editor>F</editor><url>v</url></www></dblp>",
+    )
+    .unwrap();
     let db = dir.join("db.prix");
 
     let out = prix(&[
@@ -110,9 +120,17 @@ fn index_query_roundtrip_works() {
     // --limit pushes the cap into the executor; with more matches than
     // the cap the output is flagged truncated.
     let out = prix(&["query", db.to_str().unwrap(), "//www/url", "--limit", "1"]);
-    assert_eq!(out.status.code(), Some(0), "query --limit: {}", stderr(&out));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "query --limit: {}",
+        stderr(&out)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("1 match(es) (truncated by --limit)"), "{text}");
+    assert!(
+        text.contains("1 match(es) (truncated by --limit)"),
+        "{text}"
+    );
 
     // The query output surfaces write-path I/O counters.
     assert!(text.contains("pages written"), "{text}");
@@ -128,6 +146,73 @@ fn index_query_roundtrip_works() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// `index --alpha N` (dynamic labeling) leaves trie-scope headroom, so
+/// a later `prix add` actually accepts the document, reports its commit
+/// epoch, and the next query both sees the document and names a later
+/// epoch.
+#[test]
+fn alpha_index_then_add_advances_the_epoch() {
+    let dir = std::env::temp_dir().join(format!("prix-cli-alpha-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xml = dir.join("doc.xml");
+    std::fs::write(
+        &xml,
+        "<dblp><www><editor>E</editor><url>u</url></www></dblp>",
+    )
+    .unwrap();
+    let more = dir.join("more.xml");
+    std::fs::write(
+        &more,
+        "<dblp><www><editor>F</editor><url>v</url></www></dblp>",
+    )
+    .unwrap();
+    let db = dir.join("db.prix");
+
+    let out = prix(&[
+        "index",
+        "--alpha",
+        "4",
+        db.to_str().unwrap(),
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "index: {}", stderr(&out));
+
+    let epoch_of = |text: &str, key: &str| -> u64 {
+        text.lines()
+            .find_map(|l| l.strip_prefix(key))
+            .unwrap_or_else(|| panic!("no `{key}` line in: {text}"))
+            .trim()
+            .parse()
+            .unwrap()
+    };
+
+    let out = prix(&["query", db.to_str().unwrap(), "//www[./editor]/url"]);
+    assert_eq!(out.status.code(), Some(0), "query: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 match(es)"), "{text}");
+    let before = epoch_of(&text, "epoch:");
+
+    let out = prix(&["add", db.to_str().unwrap(), more.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "add: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let committed = epoch_of(&text, "committed at epoch");
+    assert!(
+        committed > before,
+        "add must commit at a later epoch ({committed} vs {before})"
+    );
+
+    let out = prix(&["query", db.to_str().unwrap(), "//www[./editor]/url"]);
+    assert_eq!(out.status.code(), Some(0), "query: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 match(es)"), "{text}");
+    assert!(
+        epoch_of(&text, "epoch:") >= committed,
+        "query must serve at or past the add's epoch: {text}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn no_wal_index_roundtrip_and_fsck_refusal() {
     let dir = std::env::temp_dir().join(format!("prix-cli-nowal-{}", std::process::id()));
@@ -136,8 +221,18 @@ fn no_wal_index_roundtrip_and_fsck_refusal() {
     std::fs::write(&xml, "<a><b>v</b></a>").unwrap();
     let db = dir.join("db.prix");
 
-    let out = prix(&["index", "--no-wal", db.to_str().unwrap(), xml.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(0), "index --no-wal: {}", stderr(&out));
+    let out = prix(&[
+        "index",
+        "--no-wal",
+        db.to_str().unwrap(),
+        xml.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "index --no-wal: {}",
+        stderr(&out)
+    );
     assert!(
         !db.with_file_name("db.prix.sum").exists(),
         "--no-wal must not create a checksum sidecar"
@@ -150,7 +245,11 @@ fn no_wal_index_roundtrip_and_fsck_refusal() {
     // fsck has nothing to verify on a legacy database: runtime error.
     let out = prix(&["fsck", db.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "fsck: {}", stderr(&out));
-    assert!(stderr(&out).contains("no checksum sidecar"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no checksum sidecar"),
+        "{}",
+        stderr(&out)
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

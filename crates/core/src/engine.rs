@@ -146,17 +146,16 @@ impl PrixEngine {
         let pool = match &cfg.path {
             Some(p) if cfg.wal => {
                 let db = Box::new(FileStore::create(p).map_err(IndexError::Storage)?);
-                let sum = Box::new(
-                    FileStore::create(sibling(p, ".sum")).map_err(IndexError::Storage)?,
-                );
-                let wal = Box::new(
-                    FileStore::create(sibling(p, ".wal")).map_err(IndexError::Storage)?,
-                );
+                let sum =
+                    Box::new(FileStore::create(sibling(p, ".sum")).map_err(IndexError::Storage)?);
+                let wal =
+                    Box::new(FileStore::create(sibling(p, ".wal")).map_err(IndexError::Storage)?);
                 Self::durable_pool_create(db, sum, wal, cfg.buffer_pages)?
             }
-            Some(p) => {
-                BufferPool::new(Pager::create(p).map_err(IndexError::Storage)?, cfg.buffer_pages)
-            }
+            Some(p) => BufferPool::new(
+                Pager::create(p).map_err(IndexError::Storage)?,
+                cfg.buffer_pages,
+            ),
             None => BufferPool::new(Pager::in_memory(), cfg.buffer_pages),
         };
         Self::build_over(collection, cfg, pool)
@@ -165,7 +164,11 @@ impl PrixEngine {
     /// [`PrixEngine::build`] over caller-supplied stores instead of
     /// files (ignores [`EngineConfig::path`]). With `sum` + `wal`
     /// stores the engine is durable exactly as if file-backed.
-    pub fn build_on(collection: Collection, cfg: EngineConfig, stores: EngineStores) -> Result<Self> {
+    pub fn build_on(
+        collection: Collection,
+        cfg: EngineConfig,
+        stores: EngineStores,
+    ) -> Result<Self> {
         let pool = match (stores.sum, stores.wal) {
             (Some(sum), Some(wal)) => {
                 Self::durable_pool_create(stores.db, sum, wal, cfg.buffer_pages)?
@@ -299,19 +302,7 @@ impl PrixEngine {
 
     /// Picks the index for a query (§5.6's optimizer rule).
     pub fn pick_index(&self, q: &TwigQuery) -> Result<&PrixIndex> {
-        if q.needs_extended() {
-            self.ep.as_ref().ok_or_else(|| {
-                IndexError::Unsupported("query requires the EPIndex, which was not built".into())
-            })
-        } else {
-            // Prefer RPIndex for value-free queries (§5.6: "If twig
-            // queries have no values, then indexing Regular-Prüfer
-            // sequences is recommended").
-            self.rp
-                .as_ref()
-                .or(self.ep.as_ref())
-                .ok_or_else(|| IndexError::Unsupported("no index was built".into()))
-        }
+        pick_index_from(self.rp.as_ref(), self.ep.as_ref(), q)
     }
 
     /// Persists the engine so [`PrixEngine::reopen`] can load it from
@@ -414,9 +405,7 @@ impl PrixEngine {
     /// and `wal` stores are present.
     pub fn reopen_on(stores: EngineStores, buffer_pages: usize) -> Result<Self> {
         match (stores.sum, stores.wal) {
-            (Some(sum), Some(wal)) => {
-                Self::reopen_durable(stores.db, sum, wal, buffer_pages, true)
-            }
+            (Some(sum), Some(wal)) => Self::reopen_durable(stores.db, sum, wal, buffer_pages, true),
             (None, None) => {
                 let pager = Pager::open_on(stores.db).map_err(IndexError::Storage)?;
                 Self::reopen_over(BufferPool::new(pager, buffer_pages), None)
@@ -523,7 +512,10 @@ impl PrixEngine {
                 "database has no checksum sidecar (built without WAL support)".into(),
             ));
         }
-        self.pool.pager().verify_checksums().map_err(IndexError::Storage)
+        self.pool
+            .pager()
+            .verify_checksums()
+            .map_err(IndexError::Storage)
     }
 
     /// Parses `xml` and incrementally indexes it into every built
@@ -534,6 +526,12 @@ impl PrixEngine {
     pub fn insert_document(&mut self, xml: &str) -> Result<prix_xml::DocId> {
         let tree = prix_xml::parse_document(xml, self.collection.symbols_mut())
             .map_err(|e| IndexError::Unsupported(format!("parse error: {e}")))?;
+        self.insert_tree(tree)
+    }
+
+    /// [`PrixEngine::insert_document`] for an already-parsed tree
+    /// (which must use this engine's symbol table).
+    pub fn insert_tree(&mut self, tree: prix_xml::XmlTree) -> Result<prix_xml::DocId> {
         // Validate against *both* indexes before mutating either: if RP
         // accepted the document but EP then ran out of trie scope, the
         // two indexes would disagree on document ids forever after.
@@ -591,29 +589,7 @@ impl PrixEngine {
     /// executor and stops pulling at the limit — the remaining trie
     /// range queries and refinements never happen.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        let idx = self.pick_index(q)?;
-        let scope = IoScope::begin();
-        let start = Instant::now();
-        let (matches, stats, truncated) = if opts.limit.is_some() {
-            let mut stream = idx.execute_stream(q, opts)?;
-            let mut matches = Vec::new();
-            while let Some(m) = stream.next_match()? {
-                matches.push(m);
-            }
-            let truncated = !stream.exhausted();
-            (matches, stream.stats(), truncated)
-        } else {
-            let (matches, stats) = idx.execute_opts(q, opts)?;
-            (matches, stats, false)
-        };
-        Ok(QueryOutcome {
-            matches,
-            stats,
-            index_used: idx.kind(),
-            io: scope.end(),
-            elapsed: start.elapsed(),
-            truncated,
-        })
+        run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
     }
 
     /// Executes a batch of ordered twig queries on up to `threads`
@@ -641,35 +617,7 @@ impl PrixEngine {
         threads: usize,
         opts: &ExecOpts,
     ) -> Result<Vec<QueryOutcome>> {
-        let threads = threads.max(1).min(queries.len().max(1));
-        if threads == 1 {
-            return queries.iter().map(|q| self.query_opts(q, opts)).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<Result<QueryOutcome>>>> =
-            queries.iter().map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                let next = &next;
-                let slots = &slots;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let out = self.query_opts(&queries[i], opts);
-                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .expect("every query index was claimed by a worker")
-            })
-            .collect()
+        run_query_batch(queries, threads, |q| self.query_opts(q, opts))
     }
 
     /// Executes an unordered twig query by running every distinct branch
@@ -685,60 +633,264 @@ impl PrixEngine {
     /// as it is reached the current stream is abandoned mid-trie and
     /// the remaining arrangements never run at all.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        let arrs = arrangements(q, self.arrangement_limit)
-            .map_err(|e| IndexError::Unsupported(e.to_string()))?;
-        let scope = IoScope::begin();
-        let start = Instant::now();
-        let mut stats = QueryStats::default();
-        let mut index_used = IndexKind::Regular;
-        let mut seen: std::collections::HashSet<(u32, Vec<PostNum>)> =
-            std::collections::HashSet::new();
-        let mut matches: Vec<TwigMatch> = Vec::new();
-        let mut truncated = false;
-        // Dedup across arrangements makes a per-stream limit unsound
-        // (k matches from one arrangement may collapse with earlier
-        // ones), so each arrangement streams unlimited and the shared
-        // countdown is enforced on distinct base-numbered matches.
-        let arr_opts = opts.without_limit();
-        'arrs: for arr in &arrs {
-            let idx = self.pick_index(&arr.query)?;
-            index_used = idx.kind();
-            let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
-            while let Some(m) = stream.next_match()? {
-                // Re-map the arrangement's postorder numbering back to
-                // the base query's.
-                let mut base_emb = vec![0 as PostNum; m.embedding.len()];
-                for (arr_q, &img) in m.embedding.iter().enumerate() {
-                    let base_q = arr.base_of[arr_q];
-                    base_emb[(base_q - 1) as usize] = img;
+        run_query_unordered(
+            self.rp.as_ref(),
+            self.ep.as_ref(),
+            self.arrangement_limit,
+            q,
+            opts,
+        )
+    }
+
+    /// The commit epoch this engine's durable state is at: the pager's
+    /// token for durable engines (what the next save will supersede),
+    /// the pool's publish counter otherwise.
+    pub fn epoch(&self) -> u64 {
+        self.pool.current_epoch()
+    }
+
+    /// Batch ingest through the snapshot-isolation write path: every
+    /// document is dry-run-validated against *both* indexes (the same
+    /// lockstep rule as [`PrixEngine::insert_document`]), accepted
+    /// documents are inserted and the batch is committed with **one**
+    /// save (one WAL group commit, one epoch advance) instead of a
+    /// commit per document.
+    ///
+    /// Rejected documents (trie scope exhausted, parse errors) are
+    /// reported per-document and never touch either index. Any error
+    /// *after* a document passed validation aborts the whole batch and
+    /// is returned as `Err` — the caller must treat the engine as
+    /// broken (see [`crate::snapshot::SharedEngine`], which rolls the
+    /// pool back and poisons itself).
+    ///
+    /// The caller is responsible for the pool-level ingest protocol
+    /// (`begin_ingest` / `publish_ingest`); this method only parses,
+    /// validates, inserts, and saves.
+    pub fn ingest_batch(&mut self, docs: &[String]) -> Result<IngestOutcome> {
+        let mut accepted: Vec<prix_xml::DocId> = Vec::new();
+        let mut rejected: Vec<(usize, String)> = Vec::new();
+        for (i, xml) in docs.iter().enumerate() {
+            match self.insert_document(xml) {
+                Ok(id) => accepted.push(id),
+                // `insert_document` validates both indexes before
+                // mutating either, so an Unsupported error here means
+                // the document was refused cleanly.
+                Err(IndexError::Unsupported(msg)) => rejected.push((i, msg)),
+                Err(e) => return Err(e),
+            }
+        }
+        if !accepted.is_empty() {
+            self.save()?;
+        }
+        Ok(IngestOutcome { accepted, rejected })
+    }
+
+    /// [`PrixEngine::ingest_batch`] over a *wrapper* document: the
+    /// body's root element is discarded and each of its element
+    /// children becomes one indexed document (the same convention as
+    /// `Collection::add_xml_split` — how a monolithic DBLP-style
+    /// export turns into one sequence per record). A malformed wrapper
+    /// is a clean whole-batch rejection, not an error.
+    pub fn ingest_batch_split(&mut self, wrapper: &str) -> Result<IngestOutcome> {
+        let tree = match prix_xml::parse_document(wrapper, self.collection.symbols_mut()) {
+            Ok(t) => t,
+            Err(e) => {
+                return Ok(IngestOutcome {
+                    accepted: Vec::new(),
+                    rejected: vec![(0, format!("parse error: {e}"))],
+                })
+            }
+        };
+        let subtrees: Vec<prix_xml::XmlTree> = tree
+            .children(tree.root())
+            .iter()
+            .filter(|&&c| tree.kind(c) == prix_xml::NodeKind::Element)
+            .map(|&c| tree.subtree(c))
+            .collect();
+        let mut accepted: Vec<prix_xml::DocId> = Vec::new();
+        let mut rejected: Vec<(usize, String)> = Vec::new();
+        if subtrees.is_empty() {
+            rejected.push((0, "wrapper has no element children to ingest".into()));
+        }
+        for (i, sub) in subtrees.into_iter().enumerate() {
+            match self.insert_tree(sub) {
+                Ok(id) => accepted.push(id),
+                Err(IndexError::Unsupported(msg)) => rejected.push((i, msg)),
+                Err(e) => return Err(e),
+            }
+        }
+        if !accepted.is_empty() {
+            self.save()?;
+        }
+        Ok(IngestOutcome { accepted, rejected })
+    }
+}
+
+/// What [`PrixEngine::ingest_batch`] did, before epoch publication.
+pub struct IngestOutcome {
+    /// Ids assigned to accepted documents, in input order.
+    pub accepted: Vec<prix_xml::DocId>,
+    /// `(input position, reason)` for each cleanly rejected document.
+    pub rejected: Vec<(usize, String)>,
+}
+
+/// §5.6's optimizer rule over whatever index pair a view carries:
+/// value queries need the EPIndex; value-free queries prefer the
+/// RPIndex ("If twig queries have no values, then indexing
+/// Regular-Prüfer sequences is recommended").
+pub(crate) fn pick_index_from<'a>(
+    rp: Option<&'a PrixIndex>,
+    ep: Option<&'a PrixIndex>,
+    q: &TwigQuery,
+) -> Result<&'a PrixIndex> {
+    if q.needs_extended() {
+        ep.ok_or_else(|| {
+            IndexError::Unsupported("query requires the EPIndex, which was not built".into())
+        })
+    } else {
+        rp.or(ep)
+            .ok_or_else(|| IndexError::Unsupported("no index was built".into()))
+    }
+}
+
+/// Shared ordered-query path: the engine runs it over its live
+/// indexes, a snapshot over its frozen clones (inside an epoch-pin
+/// guard). With a limit set the query streams and stops pulling at the
+/// limit — the remaining trie range queries never happen.
+pub(crate) fn run_query_opts(
+    rp: Option<&PrixIndex>,
+    ep: Option<&PrixIndex>,
+    q: &TwigQuery,
+    opts: &ExecOpts,
+) -> Result<QueryOutcome> {
+    let idx = pick_index_from(rp, ep, q)?;
+    let scope = IoScope::begin();
+    let start = Instant::now();
+    let (matches, stats, truncated) = if opts.limit.is_some() {
+        let mut stream = idx.execute_stream(q, opts)?;
+        let mut matches = Vec::new();
+        while let Some(m) = stream.next_match()? {
+            matches.push(m);
+        }
+        let truncated = !stream.exhausted();
+        (matches, stream.stats(), truncated)
+    } else {
+        let (matches, stats) = idx.execute_opts(q, opts)?;
+        (matches, stats, false)
+    };
+    Ok(QueryOutcome {
+        matches,
+        stats,
+        index_used: idx.kind(),
+        io: scope.end(),
+        elapsed: start.elapsed(),
+        truncated,
+    })
+}
+
+/// Shared batch driver: workers pull queries from an atomic cursor and
+/// run `exec_one` (which closes over the engine or snapshot view, and
+/// installs any per-thread pin guard itself).
+pub(crate) fn run_query_batch(
+    queries: &[TwigQuery],
+    threads: usize,
+    exec_one: impl Fn(&TwigQuery) -> Result<QueryOutcome> + Sync,
+) -> Result<Vec<QueryOutcome>> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads == 1 {
+        return queries.iter().map(&exec_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<QueryOutcome>>>> = queries
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let slots = &slots;
+            let exec_one = &exec_one;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
                 }
-                if seen.insert((m.doc, base_emb.clone())) {
-                    matches.push(TwigMatch {
-                        doc: m.doc,
-                        embedding: base_emb,
-                    });
-                    if opts.limit.map_or(false, |k| matches.len() >= k) {
-                        let s = stream.stats();
-                        add_filter_counters(&mut stats, &s);
-                        truncated = true;
-                        break 'arrs;
-                    }
+                let out = exec_one(&queries[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every query index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Shared unordered-query path (§5.7 arrangement loop with the shared
+/// limit and base-numbered dedup).
+pub(crate) fn run_query_unordered(
+    rp: Option<&PrixIndex>,
+    ep: Option<&PrixIndex>,
+    arrangement_limit: usize,
+    q: &TwigQuery,
+    opts: &ExecOpts,
+) -> Result<QueryOutcome> {
+    let arrs =
+        arrangements(q, arrangement_limit).map_err(|e| IndexError::Unsupported(e.to_string()))?;
+    let scope = IoScope::begin();
+    let start = Instant::now();
+    let mut stats = QueryStats::default();
+    let mut index_used = IndexKind::Regular;
+    let mut seen: std::collections::HashSet<(u32, Vec<PostNum>)> = std::collections::HashSet::new();
+    let mut matches: Vec<TwigMatch> = Vec::new();
+    let mut truncated = false;
+    // Dedup across arrangements makes a per-stream limit unsound
+    // (k matches from one arrangement may collapse with earlier
+    // ones), so each arrangement streams unlimited and the shared
+    // countdown is enforced on distinct base-numbered matches.
+    let arr_opts = opts.without_limit();
+    'arrs: for arr in &arrs {
+        let idx = pick_index_from(rp, ep, &arr.query)?;
+        index_used = idx.kind();
+        let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
+        while let Some(m) = stream.next_match()? {
+            // Re-map the arrangement's postorder numbering back to
+            // the base query's.
+            let mut base_emb = vec![0 as PostNum; m.embedding.len()];
+            for (arr_q, &img) in m.embedding.iter().enumerate() {
+                let base_q = arr.base_of[arr_q];
+                base_emb[(base_q - 1) as usize] = img;
+            }
+            if seen.insert((m.doc, base_emb.clone())) {
+                matches.push(TwigMatch {
+                    doc: m.doc,
+                    embedding: base_emb,
+                });
+                if opts.limit.map_or(false, |k| matches.len() >= k) {
+                    let s = stream.stats();
+                    add_filter_counters(&mut stats, &s);
+                    truncated = true;
+                    break 'arrs;
                 }
             }
-            let s = stream.stats();
-            add_filter_counters(&mut stats, &s);
         }
-        matches.sort();
-        stats.matches = matches.len() as u64;
-        Ok(QueryOutcome {
-            matches,
-            stats,
-            index_used,
-            io: scope.end(),
-            elapsed: start.elapsed(),
-            truncated,
-        })
+        let s = stream.stats();
+        add_filter_counters(&mut stats, &s);
     }
+    matches.sort();
+    stats.matches = matches.len() as u64;
+    Ok(QueryOutcome {
+        matches,
+        stats,
+        index_used,
+        io: scope.end(),
+        elapsed: start.elapsed(),
+        truncated,
+    })
 }
 
 /// Accumulates one arrangement's pipeline stats into the union's
@@ -1023,11 +1175,16 @@ mod tests {
         c.add_xml("<a><b>v</b></a>").unwrap();
         let mut e = PrixEngine::build(c, EngineConfig::default()).unwrap();
         assert!(
-            e.rp_index().unwrap().check_insert(
-                &prix_xml::parse_document("<a><c>v</c></a>", &mut e.collection.symbols().clone())
+            e.rp_index()
+                .unwrap()
+                .check_insert(
+                    &prix_xml::parse_document(
+                        "<a><c>v</c></a>",
+                        &mut e.collection.symbols().clone()
+                    )
                     .unwrap()
-            )
-            .is_ok(),
+                )
+                .is_ok(),
             "RP alone would accept the document (root branch)"
         );
         let err = e.insert_document("<a><c>v</c></a>").unwrap_err();
@@ -1159,7 +1316,10 @@ mod tests {
         assert!(!sibling(&path, ".sum").exists(), "no sidecar without WAL");
         let mut r = PrixEngine::reopen(&path, 64).unwrap();
         assert!(r.recovery().is_none());
-        assert!(r.verify_checksums().is_err(), "legacy file has no checksums");
+        assert!(
+            r.verify_checksums().is_err(),
+            "legacy file has no checksums"
+        );
         let q = r.parse_query("//a/b").unwrap();
         assert_eq!(r.query(&q).unwrap().matches.len(), 1);
         std::fs::remove_dir_all(&dir).unwrap();

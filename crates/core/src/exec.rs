@@ -337,7 +337,10 @@ impl<'a> MatchStream<'a> {
                 }
             };
             self.candidates += 1;
-            if let Some(m) = self.stage.process(&self.plan, self.absolute, doc, positions)? {
+            if let Some(m) = self
+                .stage
+                .process(&self.plan, self.absolute, doc, positions)?
+            {
                 self.emitted += 1;
                 if let Some(k) = self.limit {
                     if self.emitted as usize >= k {

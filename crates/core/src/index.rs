@@ -208,6 +208,7 @@ pub struct BuildStats {
     pub total_seq_len: u64,
 }
 
+#[derive(Clone)]
 struct DocRecords {
     nps: RecordId,
     lps: RecordId,
@@ -219,6 +220,13 @@ struct DocRecords {
 }
 
 /// A PRIX index over one collection.
+///
+/// `Clone` snapshots the *handles* (tree roots, record ids, per-doc
+/// table, MaxGap): clones share the underlying pages. The engine's
+/// snapshot publication clones the index once per commit to give
+/// readers a frozen catalog while the writer's copy keeps mutating;
+/// the two stay consistent through the pool's epoch-pinned page views.
+#[derive(Clone)]
 pub struct PrixIndex {
     pool: Arc<BufferPool>,
     kind: IndexKind,
@@ -272,7 +280,12 @@ fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
 /// Per-document artifacts produced while indexing one tree: its
 /// sequences, the ext→orig map (extended kind only), the leaf list, and
 /// the per-position gaps feeding the fine-grained MaxGap.
-type DocArtifacts = (PruferSeq, Option<Vec<PostNum>>, Vec<(Sym, PostNum)>, Vec<u32>);
+type DocArtifacts = (
+    PruferSeq,
+    Option<Vec<PostNum>>,
+    Vec<(Sym, PostNum)>,
+    Vec<u32>,
+);
 
 /// Cached per-document data used by refinement.
 pub(crate) struct DocData {
@@ -755,8 +768,12 @@ impl PrixIndex {
         } else {
             vec![None; plan.seq.len().saturating_sub(1)]
         };
-        let mut cursor =
-            crate::exec::CandidateCursor::new(self, plan.seq.lps.clone(), rules, opts.use_fine_maxgap);
+        let mut cursor = crate::exec::CandidateCursor::new(
+            self,
+            plan.seq.lps.clone(),
+            rules,
+            opts.use_fine_maxgap,
+        );
         let mut candidates: Vec<(DocId, Vec<PostNum>)> = Vec::new();
         while let Some((doc, pos)) = cursor.next()? {
             candidates.push((doc, pos.to_vec()));
@@ -788,7 +805,11 @@ impl PrixIndex {
     /// abandons the remaining trie descent — that is the LIMIT
     /// pushdown. Matches arrive in trie-traversal (document-filter)
     /// order.
-    pub fn execute_stream(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<crate::exec::MatchStream<'_>> {
+    pub fn execute_stream(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+    ) -> Result<crate::exec::MatchStream<'_>> {
         let plan = self.plan(q)?;
         if plan.seq.is_empty() {
             return Err(IndexError::Unsupported(

@@ -39,12 +39,14 @@ pub mod index;
 pub mod naive;
 pub mod query;
 pub mod scan;
+pub mod snapshot;
 pub mod trie;
 pub mod xpath;
 
-pub use engine::{EngineConfig, EngineStores, PrixEngine, QueryOutcome};
+pub use engine::{EngineConfig, EngineStores, IngestOutcome, PrixEngine, QueryOutcome};
 pub use exec::MatchStream;
 pub use index::{ExecOpts, IndexKind, PrixIndex, QueryStats, TwigMatch};
 pub use query::{TwigBuilder, TwigQuery};
+pub use snapshot::{EngineSnapshot, IngestReport, SharedEngine};
 pub use trie::{LabelingMode, VirtualTrie};
 pub use xpath::{parse_xpath, XPathError};

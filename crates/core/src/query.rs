@@ -7,7 +7,7 @@
 //! leaves, exactly as the paper treats values (§2, §5.6).
 
 use prix_prufer::{EdgeKind, ExtendedTree, PruferSeq};
-use prix_xml::{NodeId, NodeKind, PostNum, Sym, SymbolTable, XmlTree};
+use prix_xml::{InternSyms, NodeId, NodeKind, PostNum, Sym, SymbolTable, XmlTree};
 
 /// A twig pattern with per-edge structural constraints.
 #[derive(Debug, Clone)]
@@ -173,18 +173,18 @@ pub struct ExtendedQuery {
 /// assert_eq!(q.tree().len(), 5);
 /// assert!(q.needs_extended());
 /// ```
-pub struct TwigBuilder<'a> {
-    syms: &'a mut SymbolTable,
+pub struct TwigBuilder<'a, S: InternSyms = SymbolTable> {
+    syms: &'a mut S,
     tree: XmlTree,
     edges: Vec<EdgeKind>,
     stack: Vec<NodeId>,
     absolute: bool,
 }
 
-impl<'a> TwigBuilder<'a> {
+impl<'a, S: InternSyms> TwigBuilder<'a, S> {
     /// Starts a twig rooted at `root_tag` (relative: `//root_tag`).
-    pub fn new(syms: &'a mut SymbolTable, root_tag: &str) -> Self {
-        let sym = syms.intern(root_tag);
+    pub fn new(syms: &'a mut S, root_tag: &str) -> Self {
+        let sym = syms.intern_sym(root_tag);
         let tree = XmlTree::with_root(sym, NodeKind::Element);
         TwigBuilder {
             syms,
@@ -205,7 +205,7 @@ impl<'a> TwigBuilder<'a> {
     /// Opens a child element with the given edge constraint and descends
     /// into it.
     pub fn child(&mut self, tag: &str, edge: EdgeKind) -> &mut Self {
-        let sym = self.syms.intern(tag);
+        let sym = self.syms.intern_sym(tag);
         let parent = *self.stack.last().expect("twig stack empty");
         let id = self.tree.add_child(parent, sym, NodeKind::Element);
         self.edges.push(edge);
@@ -215,7 +215,7 @@ impl<'a> TwigBuilder<'a> {
 
     /// Adds a value (text) leaf under the current node with a `/` edge.
     pub fn value(&mut self, text: &str) -> &mut Self {
-        let sym = self.syms.intern(text);
+        let sym = self.syms.intern_sym(text);
         let parent = *self.stack.last().expect("twig stack empty");
         self.tree.add_child(parent, sym, NodeKind::Text);
         self.edges.push(EdgeKind::Child);

@@ -1,0 +1,435 @@
+//! Snapshot-isolated online ingest: versioned catalogs over the engine.
+//!
+//! The paper treats the index as a build-once artifact with §5.2.1's
+//! dynamic labeling for incremental inserts; this module makes those
+//! inserts safe *while serving*. The scheme is epoch-based multi-
+//! versioning at two levels:
+//!
+//! * **Catalog level** — [`EngineSnapshot`] freezes everything a query
+//!   needs (symbol table, RP/EP index handles, the optimizer's
+//!   arrangement limit) at one published epoch. Snapshots are immutable
+//!   and cheap to share (`Arc`); queries against one snapshot are
+//!   bit-identical no matter what the writer does concurrently.
+//! * **Page level** — each snapshot holds a [`prix_storage::EpochPin`].
+//!   While pinned, the buffer pool serves any page the writer has since
+//!   dirtied from its captured pre-image (see
+//!   `BufferPool::begin_ingest`), so the frozen index handles read the
+//!   exact bytes of their epoch.
+//!
+//! [`SharedEngine`] is the concurrency wrapper: a single-writer
+//! [`SharedEngine::ingest`] path that batches documents through one
+//! save (one WAL group commit), and a wait-free-for-readers
+//! [`SharedEngine::snapshot`] that hands out the current epoch's view.
+//! Publication is atomic — the two-barrier WAL commit inside
+//! `PrixEngine::save` *is* the durability point, and swapping the
+//! current snapshot afterwards is the visibility point. A crash between
+//! the two recovers to exactly the new epoch (the commit landed); a
+//! crash before the commit barrier recovers to exactly the old one.
+//!
+//! Query parsing against a snapshot never mutates the frozen symbol
+//! table: unknown labels are parked in a [`ScratchSyms`] overlay past
+//! the table's end, where they match nothing (no tag range in any
+//! index), which is exactly the right answer for a label the pinned
+//! epoch has never seen.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prix_storage::EpochPin;
+use prix_xml::{DocId, ScratchSyms, SymbolTable};
+
+use crate::engine::{
+    pick_index_from, run_query_batch, run_query_opts, run_query_unordered, PrixEngine, QueryOutcome,
+};
+use crate::index::{ExecOpts, IndexError, PrixIndex, Result};
+use crate::query::TwigQuery;
+use crate::xpath::{parse_xpath, XPathError};
+
+/// An immutable, epoch-pinned view of a [`PrixEngine`].
+///
+/// Everything reachable from a snapshot reads as of its
+/// [`EngineSnapshot::epoch`]: the index handles are clones sharing the
+/// buffer pool, and every query method installs the snapshot's epoch
+/// pin for the duration of the call so the pool serves pre-images of
+/// any page a concurrent ingest has rewritten.
+pub struct EngineSnapshot {
+    epoch: u64,
+    syms: Arc<SymbolTable>,
+    rp: Option<PrixIndex>,
+    ep: Option<PrixIndex>,
+    arrangement_limit: usize,
+    pin: EpochPin,
+}
+
+impl EngineSnapshot {
+    fn capture(engine: &PrixEngine) -> Self {
+        let pin = engine.pool().pin_epoch();
+        EngineSnapshot {
+            epoch: pin.epoch(),
+            syms: Arc::new(engine.collection().symbols().clone()),
+            rp: engine.rp_index().cloned(),
+            ep: engine.ep_index().cloned(),
+            arrangement_limit: engine.arrangement_limit(),
+            pin,
+        }
+    }
+
+    /// The published epoch this view is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen symbol table (safe to share across threads).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// Parses an XPath against the frozen symbol table without
+    /// mutating it. Labels unknown at this epoch resolve to scratch
+    /// symbols that match nothing.
+    pub fn parse_query(&self, xpath: &str) -> std::result::Result<TwigQuery, XPathError> {
+        let mut scratch = ScratchSyms::new(&self.syms);
+        parse_xpath(xpath, &mut scratch)
+    }
+
+    /// Executes an ordered twig query against this epoch's view.
+    pub fn query(&self, q: &TwigQuery) -> Result<QueryOutcome> {
+        self.query_opts(q, &ExecOpts::default())
+    }
+
+    /// [`EngineSnapshot::query`] with execution options.
+    pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
+        let _pin = self.pin.guard();
+        run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
+    }
+
+    /// Executes a batch across `threads` workers; every worker reads
+    /// this snapshot's epoch (the pin is installed per query, so it is
+    /// in effect on each worker thread).
+    pub fn query_batch(&self, queries: &[TwigQuery], threads: usize) -> Result<Vec<QueryOutcome>> {
+        self.query_batch_opts(queries, threads, &ExecOpts::default())
+    }
+
+    /// [`EngineSnapshot::query_batch`] with execution options.
+    pub fn query_batch_opts(
+        &self,
+        queries: &[TwigQuery],
+        threads: usize,
+        opts: &ExecOpts,
+    ) -> Result<Vec<QueryOutcome>> {
+        run_query_batch(queries, threads, |q| {
+            let _pin = self.pin.guard();
+            run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
+        })
+    }
+
+    /// Executes an unordered twig query (§5.7 arrangements) against
+    /// this epoch's view.
+    pub fn query_unordered(&self, q: &TwigQuery) -> Result<QueryOutcome> {
+        self.query_unordered_opts(q, &ExecOpts::default())
+    }
+
+    /// [`EngineSnapshot::query_unordered`] with execution options.
+    pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
+        let _pin = self.pin.guard();
+        run_query_unordered(
+            self.rp.as_ref(),
+            self.ep.as_ref(),
+            self.arrangement_limit,
+            q,
+            opts,
+        )
+    }
+
+    /// Describes the plan for an XPath at this epoch. Parses against a
+    /// private copy of the symbol table (explain needs names for every
+    /// query label, including ones this epoch has never seen).
+    pub fn explain(&self, xpath: &str) -> Result<String> {
+        let mut syms = (*self.syms).clone();
+        let q = parse_xpath(xpath, &mut syms)
+            .map_err(|e| IndexError::Unsupported(format!("parse error: {e}")))?;
+        let _pin = self.pin.guard();
+        let idx = pick_index_from(self.rp.as_ref(), self.ep.as_ref(), &q)?;
+        let mut out = format!("index: {}\n", idx.kind());
+        out.push_str(&idx.explain(&q, &syms)?);
+        Ok(out)
+    }
+}
+
+/// What one [`SharedEngine::ingest`] call did.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Ids assigned to accepted documents, in input order.
+    pub accepted: Vec<DocId>,
+    /// `(input position, reason)` for documents rejected cleanly
+    /// (parse errors, trie scope exhausted). Rejection never touches
+    /// either index.
+    pub rejected: Vec<(usize, String)>,
+    /// The epoch readers see the accepted documents at. Unchanged from
+    /// the previous epoch when nothing was accepted.
+    pub epoch: u64,
+}
+
+/// A [`PrixEngine`] shared between one writer and any number of
+/// snapshot readers.
+///
+/// Readers call [`SharedEngine::snapshot`] (a mutex-protected `Arc`
+/// clone — no page I/O, no symbol-table lock) and run queries against
+/// the returned view for as long as they like; the view never changes
+/// underneath them. The writer calls [`SharedEngine::ingest`], which
+/// serializes on an internal lock, validates and inserts a batch,
+/// commits it durably with one save, and atomically publishes a new
+/// snapshot.
+pub struct SharedEngine {
+    writer: Mutex<PrixEngine>,
+    current: Mutex<Arc<EngineSnapshot>>,
+    poisoned: AtomicBool,
+    /// Copies taken at construction so metrics and shutdown never
+    /// block on the writer lock.
+    pool: Arc<prix_storage::BufferPool>,
+    recovery: Option<prix_storage::RecoveryReport>,
+}
+
+impl SharedEngine {
+    /// Wraps an engine, publishing its current state as epoch-pinned
+    /// snapshot number one.
+    pub fn new(engine: PrixEngine) -> Self {
+        let current = Arc::new(EngineSnapshot::capture(&engine));
+        let pool = Arc::clone(engine.pool());
+        let recovery = engine.recovery();
+        SharedEngine {
+            writer: Mutex::new(engine),
+            current: Mutex::new(current),
+            poisoned: AtomicBool::new(false),
+            pool,
+            recovery,
+        }
+    }
+
+    /// The engine's buffer pool (metrics, shutdown flush). Does not
+    /// take the writer lock.
+    pub fn pool(&self) -> &Arc<prix_storage::BufferPool> {
+        &self.pool
+    }
+
+    /// What crash recovery did when the wrapped engine was opened.
+    pub fn recovery(&self) -> Option<prix_storage::RecoveryReport> {
+        self.recovery
+    }
+
+    /// The current published snapshot. Holding the returned `Arc` pins
+    /// its epoch: the buffer pool retains pre-images of every page a
+    /// later ingest rewrites until the snapshot is dropped.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Whether a failed ingest has poisoned the writer. Reads keep
+    /// serving the last published snapshot; further ingests are
+    /// refused.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Ingests a batch of XML documents and publishes a new epoch.
+    ///
+    /// Blocks until the writer lock is available; see
+    /// [`SharedEngine::try_ingest`] for the non-blocking variant
+    /// serving layers use for admission control.
+    pub fn ingest(&self, docs: &[String]) -> Result<IngestReport> {
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.ingest_locked(guard, |e| e.ingest_batch(docs))
+    }
+
+    /// [`SharedEngine::ingest`] over a wrapper document whose root's
+    /// element children each become one indexed document (see
+    /// `PrixEngine::ingest_batch_split`).
+    pub fn ingest_split(&self, wrapper: &str) -> Result<IngestReport> {
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.ingest_locked(guard, |e| e.ingest_batch_split(wrapper))
+    }
+
+    /// [`SharedEngine::ingest`] that fails fast with `None` when
+    /// another ingest holds the writer lock, so servers can shed load
+    /// (HTTP 503) instead of queueing unboundedly.
+    pub fn try_ingest(&self, docs: &[String]) -> Option<Result<IngestReport>> {
+        self.try_writer()
+            .map(|guard| self.ingest_locked(guard, |e| e.ingest_batch(docs)))
+    }
+
+    /// Non-blocking [`SharedEngine::ingest_split`].
+    pub fn try_ingest_split(&self, wrapper: &str) -> Option<Result<IngestReport>> {
+        self.try_writer()
+            .map(|guard| self.ingest_locked(guard, |e| e.ingest_batch_split(wrapper)))
+    }
+
+    fn try_writer(&self) -> Option<std::sync::MutexGuard<'_, PrixEngine>> {
+        match self.writer.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+        }
+    }
+
+    fn ingest_locked(
+        &self,
+        mut engine: std::sync::MutexGuard<'_, PrixEngine>,
+        run: impl FnOnce(&mut PrixEngine) -> Result<crate::engine::IngestOutcome>,
+    ) -> Result<IngestReport> {
+        if self.is_poisoned() {
+            return Err(IndexError::Unsupported(
+                "engine poisoned by an earlier failed ingest; reopen the database".into(),
+            ));
+        }
+        engine.pool().begin_ingest();
+        match run(&mut engine) {
+            Ok(outcome) if outcome.accepted.is_empty() => {
+                // Nothing validated, nothing written: rejections are
+                // read-only, so this abort has no pre-images to
+                // restore.
+                engine.pool().abort_ingest().map_err(IndexError::Storage)?;
+                Ok(IngestReport {
+                    accepted: outcome.accepted,
+                    rejected: outcome.rejected,
+                    epoch: engine.pool().published_epoch(),
+                })
+            }
+            Ok(outcome) => {
+                // The save inside `ingest_batch` was the durability
+                // point; publishing moves the epoch and swapping the
+                // snapshot makes it visible. The new snapshot's pin at
+                // the new epoch replaces the old one's role of keeping
+                // in-flight pre-images alive.
+                let epoch = engine.pool().publish_ingest();
+                let snap = Arc::new(EngineSnapshot::capture(&engine));
+                debug_assert_eq!(snap.epoch(), epoch);
+                *self.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+                Ok(IngestReport {
+                    accepted: outcome.accepted,
+                    rejected: outcome.rejected,
+                    epoch,
+                })
+            }
+            Err(e) => {
+                // A document passed validation but failed mid-insert:
+                // the in-memory index state is no longer trustworthy.
+                // Roll the pool back to the published epoch and refuse
+                // further writes; readers keep the last good snapshot.
+                self.poisoned.store(true, Ordering::Release);
+                let _ = engine.pool().abort_ingest();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use prix_xml::Collection;
+
+    fn docs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn shared() -> SharedEngine {
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b>hello</b><c/></a>").unwrap();
+        let engine = PrixEngine::build(coll, EngineConfig::default()).unwrap();
+        SharedEngine::new(engine)
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_ingest() {
+        let shared = shared();
+        let before = shared.snapshot();
+        let q = before.parse_query("/a/b").unwrap();
+        let first = before.query(&q).unwrap();
+        assert_eq!(first.matches.len(), 1);
+
+        let report = shared
+            .ingest(&docs(&["<a><b>world</b></a>", "<a><c/></a>"]))
+            .unwrap();
+        assert_eq!(report.accepted.len(), 2);
+        assert!(report.rejected.is_empty());
+        assert!(report.epoch > before.epoch());
+
+        // The old snapshot still sees exactly one match...
+        let again = before.query(&q).unwrap();
+        assert_eq!(again.matches, first.matches);
+
+        // ...while a fresh snapshot sees the new document too.
+        let after = shared.snapshot();
+        assert_eq!(after.epoch(), report.epoch);
+        let q2 = after.parse_query("/a/b").unwrap();
+        assert_eq!(after.query(&q2).unwrap().matches.len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_parses_and_matches_nothing() {
+        let shared = shared();
+        let snap = shared.snapshot();
+        let q = snap.parse_query("/a/never_seen_label").unwrap();
+        let out = snap.query(&q).unwrap();
+        assert!(out.matches.is_empty());
+        // Parsing against the snapshot never grew the frozen table.
+        assert!(snap.symbols().lookup("never_seen_label").is_none());
+    }
+
+    #[test]
+    fn rejected_documents_leave_epoch_unchanged() {
+        let shared = shared();
+        let before = shared.epoch();
+        let report = shared.ingest(&docs(&["<a><b>ok"])).unwrap();
+        assert!(report.accepted.is_empty());
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.epoch, before);
+        assert_eq!(shared.epoch(), before);
+        // The writer is healthy: a good batch still lands.
+        let ok = shared.ingest(&docs(&["<a><b>x</b></a>"])).unwrap();
+        assert_eq!(ok.accepted.len(), 1);
+        assert!(ok.epoch > before);
+    }
+
+    #[test]
+    fn mixed_batch_accepts_good_rejects_bad() {
+        let shared = shared();
+        let report = shared
+            .ingest(&docs(&["<a><b>x</b></a>", "<broken", "<a><c/></a>"]))
+            .unwrap();
+        assert_eq!(report.accepted.len(), 2);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, 1);
+        let snap = shared.snapshot();
+        let q = snap.parse_query("//a").unwrap();
+        assert_eq!(snap.query(&q).unwrap().matches.len(), 3);
+    }
+
+    #[test]
+    fn explain_works_on_snapshot_with_unknown_labels() {
+        let shared = shared();
+        let snap = shared.snapshot();
+        let text = snap.explain("/a/unknown_here").unwrap();
+        assert!(text.starts_with("index: "));
+        assert!(text.contains("unknown_here"));
+    }
+
+    #[test]
+    fn try_ingest_fails_fast_while_writer_busy() {
+        let shared = std::sync::Arc::new(shared());
+        // Hold the writer lock from another thread, then confirm
+        // try_ingest sheds instead of blocking.
+        let guard = shared.writer.lock().unwrap();
+        let s2 = std::sync::Arc::clone(&shared);
+        let handle = std::thread::spawn(move || s2.try_ingest(&docs(&["<a/>"])).is_none());
+        assert!(handle.join().unwrap());
+        drop(guard);
+        assert!(shared.try_ingest(&docs(&["<a/>"])).unwrap().is_ok());
+    }
+}

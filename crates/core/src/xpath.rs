@@ -13,7 +13,7 @@
 use std::fmt;
 
 use prix_prufer::EdgeKind;
-use prix_xml::SymbolTable;
+use prix_xml::InternSyms;
 
 use crate::query::{TwigBuilder, TwigQuery};
 
@@ -36,6 +36,12 @@ impl std::error::Error for XPathError {}
 
 /// Parses an XPath expression into a [`TwigQuery`].
 ///
+/// Accepts any [`InternSyms`] resolver: a `&mut SymbolTable` for owning
+/// callers (document ingest, tests), or a [`prix_xml::ScratchSyms`]
+/// overlay when parsing against a shared read-only snapshot — labels
+/// unknown to the snapshot resolve to scratch symbols that match
+/// nothing, without mutating the table other readers share.
+///
 /// ```
 /// use prix_xml::SymbolTable;
 /// use prix_core::parse_xpath;
@@ -43,7 +49,7 @@ impl std::error::Error for XPathError {}
 /// let q = parse_xpath(r#"//Entry[./Org="Piroplasmida"][.//Author]//from"#, &mut syms).unwrap();
 /// assert_eq!(q.display(&syms), r#"Entry(Org("Piroplasmida"),~Author,~from)"#);
 /// ```
-pub fn parse_xpath(input: &str, syms: &mut SymbolTable) -> Result<TwigQuery, XPathError> {
+pub fn parse_xpath<S: InternSyms>(input: &str, syms: &mut S) -> Result<TwigQuery, XPathError> {
     let mut p = Lexer {
         input: input.as_bytes(),
         pos: 0,
@@ -208,7 +214,10 @@ impl<'a> Lexer<'a> {
 
 /// Parses one predicate body (after `[`): `.` (sep step)* (`=` string)?
 /// or `text() = string`.
-fn parse_predicate(p: &mut Lexer<'_>, b: &mut TwigBuilder<'_>) -> Result<(), XPathError> {
+fn parse_predicate<S: InternSyms>(
+    p: &mut Lexer<'_>,
+    b: &mut TwigBuilder<'_, S>,
+) -> Result<(), XPathError> {
     if p.eat("text()") {
         skip_ws(p);
         p.expect("=")?;
@@ -258,6 +267,7 @@ fn skip_ws(p: &mut Lexer<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prix_xml::{ScratchSyms, SymbolTable};
 
     fn show(xpath: &str) -> String {
         let mut syms = SymbolTable::new();
@@ -380,5 +390,26 @@ mod tests {
         let q = parse_xpath("book", &mut syms).unwrap();
         assert!(!q.is_absolute());
         assert_eq!(q.tree().len(), 1);
+    }
+
+    #[test]
+    fn scratch_parse_matches_owned_parse_and_never_mutates() {
+        let mut syms = SymbolTable::new();
+        for n in ["inproceedings", "author", "Jim Gray", "year", "1990"] {
+            syms.intern(n);
+        }
+        let frozen = syms.clone();
+        let xp = r#"//inproceedings[./author="Jim Gray"][./year="1990"]"#;
+        let owned = parse_xpath(xp, &mut syms.clone()).unwrap();
+        let mut scratch = ScratchSyms::new(&frozen);
+        let ro = parse_xpath(xp, &mut scratch).unwrap();
+        assert_eq!(scratch.unknown(), 0);
+        assert_eq!(ro.display(&frozen), owned.display(&syms));
+        // Unknown labels parse fine and land past the frozen table.
+        let mut scratch = ScratchSyms::new(&frozen);
+        let ghost = parse_xpath("//inproceedings/ghost", &mut scratch).unwrap();
+        assert_eq!(scratch.unknown(), 1);
+        assert_eq!(frozen.len(), 5, "shared table untouched");
+        assert_eq!(ghost.tree().len(), 2);
     }
 }

@@ -369,7 +369,9 @@ mod tests {
 
     #[test]
     fn plus_decodes_to_space_in_params() {
-        let req = parse(b"GET /query?xp=a+b HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        let req = parse(b"GET /query?xp=a+b HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
         assert_eq!(req.param("xp"), Some("a b"));
     }
 
@@ -384,7 +386,9 @@ mod tests {
 
     #[test]
     fn bare_lf_line_endings_are_accepted() {
-        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
         assert_eq!(req.path, "/healthz");
     }
 
@@ -428,7 +432,10 @@ mod tests {
 
     #[test]
     fn oversized_body_is_413() {
-        let raw = format!("POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let raw = format!(
+            "POST /batch HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
         assert_eq!(parse(raw.as_bytes()).unwrap_err().status(), 413);
     }
 

@@ -29,6 +29,8 @@ pub enum Endpoint {
     Query,
     /// `POST /batch`
     Batch,
+    /// `POST /documents`
+    Documents,
     /// `GET /explain`
     Explain,
     /// `GET /healthz`
@@ -74,9 +76,10 @@ impl Stage {
 
 impl Endpoint {
     /// All endpoints, in exposition order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Query,
         Endpoint::Batch,
+        Endpoint::Documents,
         Endpoint::Explain,
         Endpoint::Healthz,
         Endpoint::Metrics,
@@ -89,6 +92,7 @@ impl Endpoint {
         match self {
             Endpoint::Query => "query",
             Endpoint::Batch => "batch",
+            Endpoint::Documents => "documents",
             Endpoint::Explain => "explain",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -145,6 +149,14 @@ pub struct Metrics {
     rejected: AtomicU64,
     /// Connections currently being handled (gauge).
     active: AtomicU64,
+    /// Documents accepted and published by `POST /documents`.
+    ingest_documents: AtomicU64,
+    /// Ingest batches processed (each `POST /documents` that reached
+    /// the writer, whether or not anything was accepted).
+    ingest_batches: AtomicU64,
+    /// Documents refused: per-document validation rejections plus one
+    /// per request shed with 503 while the writer was busy.
+    ingest_rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -181,6 +193,36 @@ impl Metrics {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Records one ingest batch that reached the writer: `accepted`
+    /// documents published, `rejected` documents refused by
+    /// validation.
+    pub fn record_ingest(&self, accepted: u64, rejected: u64) {
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.ingest_documents.fetch_add(accepted, Ordering::Relaxed);
+        self.ingest_rejected.fetch_add(rejected, Ordering::Relaxed);
+    }
+
+    /// Records an ingest request shed with 503 because the writer was
+    /// busy (counts once into the rejected series, not as a batch).
+    pub fn record_ingest_shed(&self) {
+        self.ingest_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Documents accepted so far (for tests).
+    pub fn ingest_documents(&self) -> u64 {
+        self.ingest_documents.load(Ordering::Relaxed)
+    }
+
+    /// Ingest batches processed so far (for tests).
+    pub fn ingest_batches(&self) -> u64 {
+        self.ingest_batches.load(Ordering::Relaxed)
+    }
+
+    /// Documents/requests refused so far (for tests).
+    pub fn ingest_rejected(&self) -> u64 {
+        self.ingest_rejected.load(Ordering::Relaxed)
+    }
+
     /// Marks a connection as being handled; decremented by the guard.
     pub fn connection_opened(&self) {
         self.active.fetch_add(1, Ordering::Relaxed);
@@ -209,7 +251,8 @@ impl Metrics {
     /// `queue_depth` is the HTTP work queue's current length;
     /// `recovery` is what crash recovery did when the database was
     /// opened (`None` for legacy databases — the series still render,
-    /// as zeros, so dashboards never see a metric vanish).
+    /// as zeros, so dashboards never see a metric vanish); `epoch` is
+    /// the currently published snapshot epoch.
     pub fn render(
         &self,
         io: IoSnapshot,
@@ -217,10 +260,13 @@ impl Metrics {
         capacity: usize,
         queue_depth: usize,
         recovery: Option<RecoveryReport>,
+        epoch: u64,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
-        out.push_str("# HELP prix_http_requests_total Requests served, by endpoint and status code.\n");
+        out.push_str(
+            "# HELP prix_http_requests_total Requests served, by endpoint and status code.\n",
+        );
         out.push_str("# TYPE prix_http_requests_total counter\n");
         let mut table = {
             let t = self.requests.lock().unwrap_or_else(|e| e.into_inner());
@@ -234,7 +280,9 @@ impl Metrics {
             ));
         }
 
-        out.push_str("# HELP prix_http_rejected_total Connections refused with 503 by admission control.\n");
+        out.push_str(
+            "# HELP prix_http_rejected_total Connections refused with 503 by admission control.\n",
+        );
         out.push_str("# TYPE prix_http_rejected_total counter\n");
         out.push_str(&format!("prix_http_rejected_total {}\n", self.rejected()));
 
@@ -307,24 +355,64 @@ impl Metrics {
             ));
         }
 
-        out.push_str("# HELP prix_bufferpool_logical_reads_total Pages requested from the buffer pool.\n");
+        out.push_str("# HELP prix_engine_epoch The currently published snapshot epoch (advances once per ingest batch).\n");
+        out.push_str("# TYPE prix_engine_epoch gauge\n");
+        out.push_str(&format!("prix_engine_epoch {epoch}\n"));
+
+        out.push_str("# HELP prix_ingest_documents_total Documents accepted and published by POST /documents.\n");
+        out.push_str("# TYPE prix_ingest_documents_total counter\n");
+        out.push_str(&format!(
+            "prix_ingest_documents_total {}\n",
+            self.ingest_documents()
+        ));
+        out.push_str("# HELP prix_ingest_batches_total Ingest batches processed by the writer.\n");
+        out.push_str("# TYPE prix_ingest_batches_total counter\n");
+        out.push_str(&format!(
+            "prix_ingest_batches_total {}\n",
+            self.ingest_batches()
+        ));
+        out.push_str("# HELP prix_ingest_rejected_total Documents refused by validation plus ingest requests shed while the writer was busy.\n");
+        out.push_str("# TYPE prix_ingest_rejected_total counter\n");
+        out.push_str(&format!(
+            "prix_ingest_rejected_total {}\n",
+            self.ingest_rejected()
+        ));
+
+        out.push_str(
+            "# HELP prix_bufferpool_logical_reads_total Pages requested from the buffer pool.\n",
+        );
         out.push_str("# TYPE prix_bufferpool_logical_reads_total counter\n");
-        out.push_str(&format!("prix_bufferpool_logical_reads_total {}\n", io.logical_reads));
+        out.push_str(&format!(
+            "prix_bufferpool_logical_reads_total {}\n",
+            io.logical_reads
+        ));
         out.push_str("# HELP prix_bufferpool_physical_reads_total Pages read from disk (the paper's Disk IO).\n");
         out.push_str("# TYPE prix_bufferpool_physical_reads_total counter\n");
-        out.push_str(&format!("prix_bufferpool_physical_reads_total {}\n", io.physical_reads));
+        out.push_str(&format!(
+            "prix_bufferpool_physical_reads_total {}\n",
+            io.physical_reads
+        ));
         out.push_str("# HELP prix_bufferpool_physical_writes_total Pages written back to disk.\n");
         out.push_str("# TYPE prix_bufferpool_physical_writes_total counter\n");
-        out.push_str(&format!("prix_bufferpool_physical_writes_total {}\n", io.physical_writes));
+        out.push_str(&format!(
+            "prix_bufferpool_physical_writes_total {}\n",
+            io.physical_writes
+        ));
         out.push_str("# HELP prix_bufferpool_fsyncs_total fsync barriers issued (WAL group commits, page-file and sidecar syncs).\n");
         out.push_str("# TYPE prix_bufferpool_fsyncs_total counter\n");
         out.push_str(&format!("prix_bufferpool_fsyncs_total {}\n", io.fsyncs));
         out.push_str("# HELP prix_bufferpool_wal_appends_total Page images appended to the write-ahead log (spills + commits).\n");
         out.push_str("# TYPE prix_bufferpool_wal_appends_total counter\n");
-        out.push_str(&format!("prix_bufferpool_wal_appends_total {}\n", io.wal_appends));
+        out.push_str(&format!(
+            "prix_bufferpool_wal_appends_total {}\n",
+            io.wal_appends
+        ));
         out.push_str("# HELP prix_bufferpool_flush_errors_total Buffer-pool flushes that failed (including during drop).\n");
         out.push_str("# TYPE prix_bufferpool_flush_errors_total counter\n");
-        out.push_str(&format!("prix_bufferpool_flush_errors_total {}\n", io.flush_errors));
+        out.push_str(&format!(
+            "prix_bufferpool_flush_errors_total {}\n",
+            io.flush_errors
+        ));
         let rec = recovery.unwrap_or_default();
         out.push_str("# HELP prix_recovery_unclean_shutdown 1 if the database was opened after an unclean shutdown.\n");
         out.push_str("# TYPE prix_recovery_unclean_shutdown gauge\n");
@@ -334,10 +422,16 @@ impl Metrics {
         ));
         out.push_str("# HELP prix_recovery_replayed_frames WAL frames replayed when the database was opened.\n");
         out.push_str("# TYPE prix_recovery_replayed_frames gauge\n");
-        out.push_str(&format!("prix_recovery_replayed_frames {}\n", rec.replayed_frames));
+        out.push_str(&format!(
+            "prix_recovery_replayed_frames {}\n",
+            rec.replayed_frames
+        ));
         out.push_str("# HELP prix_recovery_replayed_pages Distinct pages restored by recovery when the database was opened.\n");
         out.push_str("# TYPE prix_recovery_replayed_pages gauge\n");
-        out.push_str(&format!("prix_recovery_replayed_pages {}\n", rec.replayed_pages));
+        out.push_str(&format!(
+            "prix_recovery_replayed_pages {}\n",
+            rec.replayed_pages
+        ));
         out.push_str("# HELP prix_recovery_wal_bytes Write-ahead-log bytes scanned by recovery when the database was opened.\n");
         out.push_str("# TYPE prix_recovery_wal_bytes gauge\n");
         out.push_str(&format!("prix_recovery_wal_bytes {}\n", rec.wal_bytes));
@@ -369,9 +463,15 @@ mod tests {
         assert_eq!(m.requests_for(Endpoint::Query, 400), 1);
         assert_eq!(m.requests_for(Endpoint::Batch, 200), 0);
 
-        let text = m.render(IoSnapshot::default(), 3, 16, 0, None);
-        assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#), "{text}");
-        assert!(text.contains(r#"prix_http_requests_total{endpoint="query",code="400"} 1"#), "{text}");
+        let text = m.render(IoSnapshot::default(), 3, 16, 0, None, 0);
+        assert!(
+            text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"prix_http_requests_total{endpoint="query",code="400"} 1"#),
+            "{text}"
+        );
         assert!(text.contains("prix_http_rejected_total 1"), "{text}");
         assert!(text.contains("prix_bufferpool_hit_ratio 1"), "{text}");
         assert!(text.contains("prix_bufferpool_resident_pages 3"), "{text}");
@@ -384,14 +484,45 @@ mod tests {
         // 300 µs lands in the 500 µs bucket; 10 s overflows into +Inf.
         m.record(Endpoint::Query, 200, Duration::from_micros(300));
         m.record(Endpoint::Query, 200, Duration::from_secs(10));
-        let text = m.render(IoSnapshot::default(), 0, 0, 0, None);
-        assert!(text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#), "{text}");
-        assert!(text.contains(r#"bucket{endpoint="query",le="0.0005"} 1"#), "{text}");
-        assert!(text.contains(r#"bucket{endpoint="query",le="2.5"} 1"#), "{text}");
-        assert!(text.contains(r#"bucket{endpoint="query",le="+Inf"} 2"#), "{text}");
-        assert!(text.contains(r#"duration_seconds_count{endpoint="query"} 2"#), "{text}");
+        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 0);
+        assert!(
+            text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"bucket{endpoint="query",le="0.0005"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"bucket{endpoint="query",le="2.5"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"bucket{endpoint="query",le="+Inf"} 2"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"duration_seconds_count{endpoint="query"} 2"#),
+            "{text}"
+        );
         // Endpoints with no traffic emit no histogram series.
         assert!(!text.contains(r#"bucket{endpoint="batch""#), "{text}");
+    }
+
+    #[test]
+    fn ingest_series_render_with_pinned_names() {
+        let m = Metrics::new();
+        m.record_ingest(3, 1);
+        m.record_ingest(0, 2);
+        m.record_ingest_shed();
+        assert_eq!(m.ingest_documents(), 3);
+        assert_eq!(m.ingest_batches(), 2);
+        assert_eq!(m.ingest_rejected(), 4);
+        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 17);
+        assert!(text.contains("prix_engine_epoch 17"), "{text}");
+        assert!(text.contains("prix_ingest_documents_total 3"), "{text}");
+        assert!(text.contains("prix_ingest_batches_total 2"), "{text}");
+        assert!(text.contains("prix_ingest_rejected_total 4"), "{text}");
     }
 
     #[test]
@@ -402,10 +533,16 @@ mod tests {
             physical_reads: 2,
             ..IoSnapshot::default()
         };
-        let text = m.render(io, 0, 0, 0, None);
+        let text = m.render(io, 0, 0, 0, None, 0);
         assert!(text.contains("prix_bufferpool_hit_ratio 0.8"), "{text}");
-        assert!(text.contains("prix_bufferpool_logical_reads_total 10"), "{text}");
-        assert!(text.contains("prix_bufferpool_physical_reads_total 2"), "{text}");
+        assert!(
+            text.contains("prix_bufferpool_logical_reads_total 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("prix_bufferpool_physical_reads_total 2"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -423,17 +560,23 @@ mod tests {
             replayed_pages: 9,
             wal_bytes: 4096,
         };
-        let text = m.render(io, 0, 0, 0, Some(rec));
+        let text = m.render(io, 0, 0, 0, Some(rec), 0);
         assert!(text.contains("prix_bufferpool_fsyncs_total 7"), "{text}");
-        assert!(text.contains("prix_bufferpool_wal_appends_total 5"), "{text}");
-        assert!(text.contains("prix_bufferpool_flush_errors_total 1"), "{text}");
+        assert!(
+            text.contains("prix_bufferpool_wal_appends_total 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("prix_bufferpool_flush_errors_total 1"),
+            "{text}"
+        );
         assert!(text.contains("prix_recovery_unclean_shutdown 1"), "{text}");
         assert!(text.contains("prix_recovery_replayed_frames 12"), "{text}");
         assert!(text.contains("prix_recovery_replayed_pages 9"), "{text}");
         assert!(text.contains("prix_recovery_wal_bytes 4096"), "{text}");
         // Legacy databases (no recovery report) still emit every
         // series, as zeros — dashboards never see them vanish.
-        let text = m.render(IoSnapshot::default(), 0, 0, 0, None);
+        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 0);
         assert!(text.contains("prix_bufferpool_fsyncs_total 0"), "{text}");
         assert!(text.contains("prix_recovery_unclean_shutdown 0"), "{text}");
         assert!(text.contains("prix_recovery_replayed_frames 0"), "{text}");

@@ -7,6 +7,7 @@
 //! |-------------------|------------------------------------------------|
 //! | `GET /query`      | one twig query (`xp=`, `unordered=1`, `limit=`)|
 //! | `POST /batch`     | newline-delimited XPaths via `query_batch`     |
+//! | `POST /documents` | online ingest (requires `ServerConfig::ingest`)|
 //! | `GET /explain`    | the optimizer's plan for `xp=` (debug)         |
 //! | `GET /healthz`    | liveness probe                                 |
 //! | `GET /metrics`    | Prometheus text exposition                     |
@@ -17,10 +18,17 @@
 //! one connection end to end (one request per connection,
 //! `Connection: close`). Admission control is fail-fast: a full queue
 //! or the connection cap turns into an immediate `503` +
-//! `Retry-After`, never an unbounded backlog. Query parsing shares one
-//! mutex-guarded [`SymbolTable`] (parses are microseconds); query
-//! *execution* runs lock-free on the engine, which has been
-//! `&self`-threadsafe since the buffer pool was sharded.
+//! `Retry-After`, never an unbounded backlog.
+//!
+//! **Snapshot isolation.** The engine lives in a [`SharedEngine`]:
+//! every request takes the current [`EngineSnapshot`] (an `Arc` clone)
+//! and parses *and* executes against that frozen, epoch-pinned view —
+//! no symbol-table lock, no torn reads while an ingest is in flight.
+//! `POST /documents` goes through the shared writer: it validates the
+//! batch, commits it with one WAL group commit, and atomically
+//! publishes the next epoch; a second concurrent ingest is shed with
+//! `503` instead of queueing. Responses report the `epoch` they
+//! executed at so clients can reason about staleness.
 //!
 //! **Shutdown.** `POST /shutdown` (or [`ServerHandle::shutdown`]) only
 //! *signals*; the thread blocked in [`ServerHandle::wait`] then stops
@@ -34,8 +42,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use prix_core::{parse_xpath, ExecOpts, PrixEngine, QueryOutcome};
-use prix_xml::SymbolTable;
+use prix_core::{EngineSnapshot, ExecOpts, PrixEngine, QueryOutcome, SharedEngine};
 
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::JsonWriter;
@@ -67,6 +74,9 @@ pub struct ServerConfig {
     /// Default cap on embeddings returned per query (`limit=` overrides,
     /// `limit=0` means unlimited). The total count is always reported.
     pub match_limit: usize,
+    /// Whether `POST /documents` is enabled. Off by default: a serving
+    /// replica should not silently accept writes.
+    pub ingest: bool,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +93,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             match_limit: 1000,
+            ingest: false,
         }
     }
 }
@@ -116,10 +127,9 @@ impl ShutdownSignal {
 
 /// State shared by the accept loop and every worker.
 struct Shared {
-    engine: PrixEngine,
-    /// Symbol table for parsing queries. Shared (not per-request
-    /// cloned) so label `Sym` ids stay stable across requests.
-    syms: Mutex<SymbolTable>,
+    /// Snapshot-isolated engine: readers take the published snapshot,
+    /// `POST /documents` goes through the single writer.
+    engine: SharedEngine,
     metrics: Metrics,
     cfg: ServerConfig,
     shutdown: ShutdownSignal,
@@ -159,10 +169,8 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let pool = Arc::new(WorkerPool::new(cfg.threads, cfg.queue_depth));
-        let syms = engine.collection().symbols().clone();
         let shared = Arc::new(Shared {
-            engine,
-            syms: Mutex::new(syms),
+            engine: SharedEngine::new(engine),
             metrics: Metrics::new(),
             cfg,
             shutdown: ShutdownSignal::default(),
@@ -281,9 +289,7 @@ fn accept_loop(
         // Admission control. The queue-fullness check is race-free
         // because this thread is the only producer: workers only ever
         // shrink the queue.
-        if accepted > shared.cfg.max_connections
-            || shared.queue.depth() >= pool.queue_capacity()
-        {
+        if accepted > shared.cfg.max_connections || shared.queue.depth() >= pool.queue_capacity() {
             shared.metrics.record_rejected();
             // Best-effort 503 off-thread; a full shed channel means the
             // connection is simply dropped.
@@ -352,12 +358,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             shared.metrics.record(endpoint, resp.status(), elapsed);
             let _ = resp.write_to(&mut writer);
         }
-        Ok(None) => {} // client connected and went away; not a request
+        Ok(None) => {}              // client connected and went away; not a request
         Err(HttpError::Io(_)) => {} // connection died; nothing to answer
         Err(e) => {
             let start = Instant::now();
             let resp = Response::new(e.status()).json(error_json(&e.detail()));
-            shared.metrics.record(Endpoint::Other, e.status(), start.elapsed());
+            shared
+                .metrics
+                .record(Endpoint::Other, e.status(), start.elapsed());
             let _ = resp.write_to(&mut writer);
         }
     }
@@ -393,9 +401,13 @@ fn route(req: &Request, shared: &Arc<Shared>) -> (Endpoint, Response) {
         ("GET", "/query") => (Endpoint::Query, handle_query(req, shared)),
         ("GET", "/explain") => (Endpoint::Explain, handle_explain(req, shared)),
         ("POST", "/batch") => (Endpoint::Batch, handle_batch(req, shared)),
+        ("POST", "/documents") => (Endpoint::Documents, handle_documents(req, shared)),
         ("POST", "/shutdown") => {
             shared.shutdown.request();
-            (Endpoint::Shutdown, Response::new(200).text("shutting down\n"))
+            (
+                Endpoint::Shutdown,
+                Response::new(200).text("shutting down\n"),
+            )
         }
         (_, "/healthz" | "/metrics" | "/query" | "/explain") => (
             Endpoint::Other,
@@ -403,7 +415,7 @@ fn route(req: &Request, shared: &Arc<Shared>) -> (Endpoint, Response) {
                 .header("Allow", "GET")
                 .json(error_json("method not allowed")),
         ),
-        (_, "/batch" | "/shutdown") => (
+        (_, "/batch" | "/shutdown" | "/documents") => (
             Endpoint::Other,
             Response::new(405)
                 .header("Allow", "POST")
@@ -424,13 +436,21 @@ fn handle_metrics(shared: &Arc<Shared>) -> Response {
         pool.capacity(),
         shared.queue.depth(),
         shared.engine.recovery(),
+        shared.engine.epoch(),
     );
-    Response::new(200).body("text/plain; version=0.0.4; charset=utf-8", body.into_bytes())
+    Response::new(200).body(
+        "text/plain; version=0.0.4; charset=utf-8",
+        body.into_bytes(),
+    )
 }
 
-/// Parses `xp` under the shared symbol-table lock. `Err` is a ready
-/// `400` response.
-fn parse_query_param(req: &Request, shared: &Shared) -> Result<(String, prix_core::TwigQuery), Response> {
+/// Parses `xp` against a snapshot's frozen symbol table (lock-free;
+/// labels the snapshot has never seen simply match nothing). `Err` is
+/// a ready `400` response.
+fn parse_query_param(
+    req: &Request,
+    snap: &EngineSnapshot,
+) -> Result<(String, prix_core::TwigQuery), Response> {
     let xp = match req.param("xp") {
         Some(x) if !x.is_empty() => x.to_string(),
         _ => {
@@ -439,18 +459,15 @@ fn parse_query_param(req: &Request, shared: &Shared) -> Result<(String, prix_cor
             )))
         }
     };
-    let parsed = {
-        let mut syms = shared.syms.lock().unwrap_or_else(|e| e.into_inner());
-        parse_xpath(&xp, &mut syms)
-    };
-    match parsed {
+    match snap.parse_query(&xp) {
         Ok(q) => Ok((xp, q)),
         Err(e) => Err(Response::new(400).json(error_json(&format!("xpath error: {e}")))),
     }
 }
 
 fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
-    let (xp, q) = match parse_query_param(req, shared) {
+    let snap = shared.engine.snapshot();
+    let (xp, q) = match parse_query_param(req, &snap) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
@@ -465,15 +482,16 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
         Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
     };
     let result = if unordered {
-        shared.engine.query_unordered_opts(&q, &opts)
+        snap.query_unordered_opts(&q, &opts)
     } else {
-        shared.engine.query_opts(&q, &opts)
+        snap.query_opts(&q, &opts)
     };
     match result {
         Ok(out) => {
             record_stage_timings(shared, &out);
             let mut w = JsonWriter::new();
             w.obj();
+            w.key("epoch").num(snap.epoch());
             outcome_json(&mut w, &xp, &out, true);
             w.end_obj();
             Response::new(200).json(w.finish())
@@ -485,17 +503,27 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
 /// Feeds one outcome's per-stage executor timings into the
 /// `prix_query_stage_duration_seconds` histograms.
 fn record_stage_timings(shared: &Arc<Shared>, out: &QueryOutcome) {
-    shared.metrics.record_stage(Stage::Filter, out.stats.filter_time);
-    shared.metrics.record_stage(Stage::Refine, out.stats.refine_time);
-    shared.metrics.record_stage(Stage::Project, out.stats.project_time);
+    shared
+        .metrics
+        .record_stage(Stage::Filter, out.stats.filter_time);
+    shared
+        .metrics
+        .record_stage(Stage::Refine, out.stats.refine_time);
+    shared
+        .metrics
+        .record_stage(Stage::Project, out.stats.project_time);
 }
 
 fn handle_explain(req: &Request, shared: &Arc<Shared>) -> Response {
-    let (_, q) = match parse_query_param(req, shared) {
-        Ok(v) => v,
-        Err(resp) => return resp,
+    let xp = match req.param("xp") {
+        Some(x) if !x.is_empty() => x,
+        _ => {
+            return Response::new(400).json(error_json(
+                "missing query parameter `xp` (the XPath expression)",
+            ))
+        }
     };
-    match shared.engine.explain(&q) {
+    match shared.engine.snapshot().explain(xp) {
         Ok(plan) => Response::new(200).text(plan),
         Err(e) => Response::new(400).json(error_json(&format!("explain error: {e}"))),
     }
@@ -523,25 +551,22 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
         .map(str::trim)
         .filter(|l| !l.is_empty())
         .collect();
+    let snap = shared.engine.snapshot();
     let mut queries = Vec::with_capacity(lines.len());
-    {
-        let mut syms = shared.syms.lock().unwrap_or_else(|e| e.into_inner());
-        for (i, line) in lines.iter().enumerate() {
-            match parse_xpath(line, &mut syms) {
-                Ok(q) => queries.push(q),
-                Err(e) => {
-                    return Response::new(400).json(error_json(&format!(
-                        "xpath error on line {}: {e}",
-                        i + 1
-                    )))
-                }
+    for (i, line) in lines.iter().enumerate() {
+        match snap.parse_query(line) {
+            Ok(q) => queries.push(q),
+            Err(e) => {
+                return Response::new(400)
+                    .json(error_json(&format!("xpath error on line {}: {e}", i + 1)))
             }
         }
     }
-    match shared.engine.query_batch_opts(&queries, threads, &opts) {
+    match snap.query_batch_opts(&queries, threads, &opts) {
         Ok(outs) => {
             let mut w = JsonWriter::new();
             w.obj();
+            w.key("epoch").num(snap.epoch());
             w.key("count").num(outs.len() as u64);
             w.key("results").arr();
             for (line, out) in lines.iter().zip(&outs) {
@@ -561,6 +586,73 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// `POST /documents`: snapshot-isolated online ingest.
+///
+/// The body is one XML document, or — with `?split=1` — a wrapper
+/// whose root's element children each become one document (the
+/// batched form; one WAL group commit for the whole body). Disabled
+/// servers answer `403`; a body arriving while another ingest holds
+/// the writer is shed with `503` + `Retry-After` instead of queueing.
+/// The response reports the published `epoch`, the accepted document
+/// ids, and per-document rejections (which leave the epoch alone when
+/// nothing was accepted).
+fn handle_documents(req: &Request, shared: &Arc<Shared>) -> Response {
+    if !shared.cfg.ingest {
+        return Response::new(403).json(error_json(
+            "ingest is disabled; start the server with --ingest",
+        ));
+    }
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        Ok(_) => return Response::new(400).json(error_json("empty request body")),
+        Err(_) => return Response::new(400).json(error_json("document body is not UTF-8")),
+    };
+    let split = matches!(req.param("split"), Some("1" | "true"));
+    let result = if split {
+        shared.engine.try_ingest_split(body)
+    } else {
+        shared.engine.try_ingest(&[body.to_string()])
+    };
+    match result {
+        None => {
+            shared.metrics.record_ingest_shed();
+            Response::new(503)
+                .header("Retry-After", "1")
+                .json(error_json("another ingest is in progress, retry later"))
+        }
+        Some(Err(e)) => Response::new(500).json(error_json(&format!("ingest error: {e}"))),
+        Some(Ok(report)) => {
+            shared
+                .metrics
+                .record_ingest(report.accepted.len() as u64, report.rejected.len() as u64);
+            let status = if report.accepted.is_empty() && !report.rejected.is_empty() {
+                400
+            } else {
+                200
+            };
+            let mut w = JsonWriter::new();
+            w.obj();
+            w.key("epoch").num(report.epoch);
+            w.key("accepted").num(report.accepted.len() as u64);
+            w.key("ids").arr();
+            for id in &report.accepted {
+                w.num(*id as u64);
+            }
+            w.end_arr();
+            w.key("rejected").arr();
+            for (i, reason) in &report.rejected {
+                w.obj();
+                w.key("index").num(*i as u64);
+                w.key("error").str_val(reason);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+            Response::new(status).json(w.finish())
+        }
+    }
+}
+
 /// Writes the shared per-query fields (and optionally the embeddings)
 /// into an already-open JSON object. `count` is the number of matches
 /// actually returned by the executor; `truncated` reports whether the
@@ -569,7 +661,8 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matche
     w.key("xpath").str_val(xpath);
     w.key("index").str_val(&out.index_used.to_string());
     w.key("count").num(out.matches.len() as u64);
-    w.key("elapsed_us").num(out.elapsed.as_micros().min(u64::MAX as u128) as u64);
+    w.key("elapsed_us")
+        .num(out.elapsed.as_micros().min(u64::MAX as u128) as u64);
     w.key("io").obj();
     w.key("logical_reads").num(out.io.logical_reads);
     w.key("physical_reads").num(out.io.physical_reads);
@@ -582,9 +675,12 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matche
     w.key("maxgap_pruned").num(out.stats.maxgap_pruned);
     w.key("candidates").num(out.stats.candidates);
     w.key("refined").num(out.stats.refined);
-    w.key("filter_us").num(out.stats.filter_time.as_micros().min(u64::MAX as u128) as u64);
-    w.key("refine_us").num(out.stats.refine_time.as_micros().min(u64::MAX as u128) as u64);
-    w.key("project_us").num(out.stats.project_time.as_micros().min(u64::MAX as u128) as u64);
+    w.key("filter_us")
+        .num(out.stats.filter_time.as_micros().min(u64::MAX as u128) as u64);
+    w.key("refine_us")
+        .num(out.stats.refine_time.as_micros().min(u64::MAX as u128) as u64);
+    w.key("project_us")
+        .num(out.stats.project_time.as_micros().min(u64::MAX as u128) as u64);
     w.end_obj();
     w.key("truncated").bool_val(out.truncated);
     if with_matches {

@@ -45,7 +45,12 @@ pub struct QueueProbe(Arc<Queue>);
 impl QueueProbe {
     /// Jobs currently waiting.
     pub fn depth(&self) -> usize {
-        self.0.jobs.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+        self.0
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
     }
 }
 
@@ -102,7 +107,12 @@ impl WorkerPool {
 
     /// Jobs currently waiting (not counting jobs being executed).
     pub fn queue_depth(&self) -> usize {
-        self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+        self.queue
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
     }
 
     /// Enqueues `job` unless the queue is full or shutdown has begun.

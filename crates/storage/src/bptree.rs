@@ -320,6 +320,12 @@ mod node {
 }
 
 /// A B⁺-tree handle. Reads take `&self`; mutations take `&mut self`.
+///
+/// `Clone` duplicates the *handle* (pool reference + root id), not the
+/// tree: clones share pages. A clone is a read-only view for snapshot
+/// readers — inserting through one clone while another reads is only
+/// sound under the pool's epoch-pin protocol.
+#[derive(Clone)]
 pub struct BPlusTree {
     pool: Arc<BufferPool>,
     root: PageId,

@@ -26,7 +26,9 @@
 //! LRU. Only under eviction pressure do the per-shard LRU decisions
 //! diverge from a global LRU — correctness is unaffected either way.
 
-use std::collections::{HashMap, HashSet};
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::Result;
@@ -131,6 +133,85 @@ struct WalState {
     spilled: HashMap<PageId, u64>,
 }
 
+/// A retained pre-image of one page: the bytes the page held when some
+/// still-pinned epoch was published, kept alive until no pin at or
+/// below `valid_through` remains.
+struct Version {
+    /// Highest pinned epoch this image serves: a reader pinned at
+    /// `p <= valid_through` reads this image (or an older chain entry).
+    valid_through: u64,
+    image: Box<[u8; PAGE_SIZE]>,
+}
+
+/// Epoch bookkeeping for snapshot isolation: active pins and per-page
+/// pre-image chains. One mutex guards both so pin registration can
+/// never race chain pruning. Lock order: a shard lock may be held while
+/// taking this lock; never the reverse.
+#[derive(Default)]
+struct VersionState {
+    /// Active pin count per pinned epoch.
+    pins: BTreeMap<u64, usize>,
+    /// Pre-image chains, ascending by `valid_through` (at most one
+    /// entry per page per published epoch).
+    chains: HashMap<PageId, Vec<Version>>,
+    /// Pages allocated during the in-flight ingest: invisible to every
+    /// pinned snapshot (no pre-existing root can reach them), so they
+    /// need no pre-image.
+    new_pages: HashSet<PageId>,
+}
+
+thread_local! {
+    /// The epoch the current thread's reads are pinned to, set by
+    /// [`PinGuard`] for the duration of a snapshot query. `None` (the
+    /// default everywhere, including the ingest writer) reads the live
+    /// frames.
+    static PINNED_EPOCH: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII registration of one reader pinned at a published epoch.
+///
+/// Holding the pin keeps every pre-image chain entry with
+/// `valid_through >= epoch` alive; dropping it releases the epoch and
+/// prunes chains nobody can read anymore. The pin itself does not
+/// redirect reads — wrap the reading code in [`EpochPin::guard`] on
+/// each thread that executes a pinned query.
+pub struct EpochPin {
+    pool: Arc<BufferPool>,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// The published epoch this pin holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Routes this thread's page reads to the pinned epoch until the
+    /// guard drops. Nestable; the previous pin (if any) is restored.
+    pub fn guard(&self) -> PinGuard {
+        let prev = PINNED_EPOCH.with(|c| c.replace(Some(self.epoch)));
+        PinGuard { prev }
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.pool.release_pin(self.epoch);
+    }
+}
+
+/// Thread-local scope during which page reads resolve against a pinned
+/// epoch (see [`EpochPin::guard`]).
+pub struct PinGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        PINNED_EPOCH.with(|c| c.set(self.prev));
+    }
+}
+
 pub struct BufferPool {
     pager: Pager,
     stats: Arc<IoStats>,
@@ -142,6 +223,22 @@ pub struct BufferPool {
     /// locks *before* taking it and cleans dirty bits *after* releasing
     /// it.
     wal: Option<Mutex<WalState>>,
+    /// Latest epoch visible to new snapshots. Durable pools initialize
+    /// it from the pager's commit token and re-sync it on
+    /// [`BufferPool::publish_ingest`]; in-memory pools count publishes.
+    /// It deliberately lags the pager epoch between the commit barrier
+    /// and publish, so readers never pin state whose catalog they have
+    /// not been handed yet.
+    published: AtomicU64,
+    /// Pins + pre-image chains (see [`VersionState`] for lock order).
+    vstate: Mutex<VersionState>,
+    /// Number of chain entries; gates the pinned-read lookup so the
+    /// unversioned hot path costs one atomic load.
+    versioned: AtomicUsize,
+    /// Set between [`BufferPool::begin_ingest`] and publish/abort:
+    /// `with_page_mut` captures a pre-image before the first
+    /// modification of each pre-existing page.
+    ingest_active: AtomicBool,
 }
 
 impl BufferPool {
@@ -176,12 +273,21 @@ impl BufferPool {
         let shards: Vec<Mutex<Shard>> = (0..shards)
             .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
             .collect();
+        let published = AtomicU64::new(if pager.has_checksums() {
+            pager.epoch()
+        } else {
+            0
+        });
         BufferPool {
             pager,
             stats,
             shards: shards.into_boxed_slice(),
             capacity,
             wal: None,
+            published,
+            vstate: Mutex::new(VersionState::default()),
+            versioned: AtomicUsize::new(0),
+            ingest_active: AtomicBool::new(false),
         }
     }
 
@@ -253,9 +359,165 @@ impl BufferPool {
         self.stats.snapshot()
     }
 
+    /// The latest *published* epoch: what a new snapshot pins. Lags the
+    /// pager's commit token between a commit barrier and
+    /// [`BufferPool::publish_ingest`].
+    pub fn published_epoch(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// The engine-visible commit epoch: the pager's durable token when
+    /// there is one, else the in-memory publish counter. What `prix
+    /// add`-style offline writers report after a save.
+    pub fn current_epoch(&self) -> u64 {
+        if self.pager.has_checksums() {
+            self.pager.epoch()
+        } else {
+            self.published.load(Ordering::Acquire)
+        }
+    }
+
+    /// Pins the currently published epoch for a new reader. Registration
+    /// shares the chain lock, so a concurrent publish either sees this
+    /// pin (and retains its pre-images) or has not yet bumped
+    /// `published` (and the pin lands on the new epoch).
+    pub fn pin_epoch(self: &Arc<Self>) -> EpochPin {
+        let mut vs = self.vstate.lock();
+        let epoch = self.published.load(Ordering::Acquire);
+        *vs.pins.entry(epoch).or_insert(0) += 1;
+        drop(vs);
+        EpochPin {
+            pool: Arc::clone(self),
+            epoch,
+        }
+    }
+
+    fn release_pin(&self, epoch: u64) {
+        let mut vs = self.vstate.lock();
+        if let Some(n) = vs.pins.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                vs.pins.remove(&epoch);
+            }
+        }
+        self.prune_locked(&mut vs);
+    }
+
+    /// Drops every chain entry no active pin can read. With an ingest
+    /// in flight, the current round's captures (`valid_through ==
+    /// published`) are always retained: `abort_ingest` needs them even
+    /// if no reader does.
+    fn prune_locked(&self, vs: &mut VersionState) {
+        let min_pin = vs.pins.keys().next().copied();
+        let floor = if self.ingest_active.load(Ordering::Acquire) {
+            Some(self.published.load(Ordering::Acquire))
+        } else {
+            None
+        };
+        let mut dropped = 0usize;
+        vs.chains.retain(|_, chain| {
+            chain.retain(|v| {
+                let keep = min_pin.map_or(false, |m| v.valid_through >= m)
+                    || floor.map_or(false, |f| v.valid_through >= f);
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            });
+            !chain.is_empty()
+        });
+        if dropped > 0 {
+            self.versioned.fetch_sub(dropped, Ordering::Release);
+        }
+    }
+
+    /// Enters ingest mode: until [`BufferPool::publish_ingest`] or
+    /// [`BufferPool::abort_ingest`], the first write to each
+    /// pre-existing page captures its pre-image for pinned readers.
+    ///
+    /// Single-writer protocol: the caller must serialize ingests
+    /// externally (the engine's shared wrapper holds its writer lock
+    /// across begin → publish).
+    pub fn begin_ingest(&self) {
+        let already = self.ingest_active.swap(true, Ordering::AcqRel);
+        assert!(!already, "nested ingest: the writer must be serialized");
+    }
+
+    /// Publishes the committed ingest: re-syncs the published epoch to
+    /// the pager's token (in-memory pools count up), leaves ingest
+    /// mode, and prunes pre-images nobody pins. Call after the dirty
+    /// set is durable (`flush`/`commit`); returns the new epoch.
+    pub fn publish_ingest(&self) -> u64 {
+        let mut vs = self.vstate.lock();
+        let next = if self.pager.has_checksums() {
+            self.pager.epoch()
+        } else {
+            self.published.load(Ordering::Acquire) + 1
+        };
+        self.published.store(next, Ordering::Release);
+        self.ingest_active.store(false, Ordering::Release);
+        vs.new_pages.clear();
+        self.prune_locked(&mut vs);
+        next
+    }
+
+    /// Rolls the in-flight ingest back: every page captured this round
+    /// is restored to its pre-image (and its WAL spill forgotten), the
+    /// published epoch stays put, and ingest mode ends. Pages allocated
+    /// during the round leak until the next vacuum — they are
+    /// unreferenced, never committed into a catalog.
+    pub fn abort_ingest(&self) -> Result<()> {
+        let published = self.published.load(Ordering::Acquire);
+        let pages: Vec<PageId> = {
+            let vs = self.vstate.lock();
+            vs.chains
+                .iter()
+                .filter(|(_, c)| c.last().map_or(false, |v| v.valid_through == published))
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in pages {
+            let mut shard = self.shard_of(id).lock();
+            let idx = self.fetch(&mut shard, id)?;
+            let mut vs = self.vstate.lock();
+            let restored = match vs.chains.get_mut(&id) {
+                Some(chain) if chain.last().map_or(false, |v| v.valid_through == published) => {
+                    let v = chain.pop().expect("checked non-empty");
+                    shard.frames[idx].data.copy_from_slice(&v.image[..]);
+                    // Keep the frame dirty unless it was clean *and*
+                    // nothing of this round reached the backing store:
+                    // a legacy pool may have stolen the junk image into
+                    // the page file, so force a write-back of the
+                    // restored bytes.
+                    shard.frames[idx].dirty = true;
+                    if chain.is_empty() {
+                        vs.chains.remove(&id);
+                    }
+                    true
+                }
+                _ => false,
+            };
+            drop(vs);
+            if restored {
+                self.versioned.fetch_sub(1, Ordering::Release);
+                if let Some(walm) = &self.wal {
+                    walm.lock().spilled.remove(&id);
+                }
+            }
+        }
+        let mut vs = self.vstate.lock();
+        vs.new_pages.clear();
+        self.ingest_active.store(false, Ordering::Release);
+        self.prune_locked(&mut vs);
+        Ok(())
+    }
+
     /// Allocates a fresh zeroed page, resident and dirty.
     pub fn allocate_page(&self) -> Result<PageId> {
         let id = self.pager.allocate()?;
+        if self.ingest_active.load(Ordering::Acquire) {
+            self.vstate.lock().new_pages.insert(id);
+        }
         let mut shard = self.shard_of(id).lock();
         let idx = self.take_frame(&mut shard)?;
         shard.frames[idx].page_id = id;
@@ -269,14 +531,32 @@ impl BufferPool {
     /// Runs `f` over an immutable view of page `id`.
     ///
     /// `f` runs under the page's shard lock; accesses to pages on other
-    /// shards proceed concurrently.
+    /// shards proceed concurrently. A thread inside a [`PinGuard`]
+    /// scope reads the pre-image retained for its pinned epoch when the
+    /// page has been modified by a later ingest.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
         let mut shard = self.shard_of(id).lock();
+        if self.versioned.load(Ordering::Acquire) > 0 {
+            if let Some(p) = PINNED_EPOCH.with(|c| c.get()) {
+                let vs = self.vstate.lock();
+                if let Some(chain) = vs.chains.get(&id) {
+                    if let Some(v) = chain.iter().find(|v| v.valid_through >= p) {
+                        self.stats.record_logical_read();
+                        return Ok(f(&v.image));
+                    }
+                }
+            }
+        }
         let idx = self.fetch(&mut shard, id)?;
         Ok(f(&shard.frames[idx].data))
     }
 
     /// Runs `f` over a mutable view of page `id`, marking it dirty.
+    ///
+    /// During an ingest (between [`BufferPool::begin_ingest`] and
+    /// publish/abort) the first modification of each pre-existing page
+    /// captures its pre-image, so readers pinned at the still-published
+    /// epoch keep seeing the bytes they pinned.
     pub fn with_page_mut<R>(
         &self,
         id: PageId,
@@ -284,6 +564,20 @@ impl BufferPool {
     ) -> Result<R> {
         let mut shard = self.shard_of(id).lock();
         let idx = self.fetch(&mut shard, id)?;
+        if self.ingest_active.load(Ordering::Acquire) {
+            let mut vs = self.vstate.lock();
+            let published = self.published.load(Ordering::Relaxed);
+            if !vs.new_pages.contains(&id) {
+                let chain = vs.chains.entry(id).or_default();
+                if chain.last().map_or(true, |v| v.valid_through != published) {
+                    chain.push(Version {
+                        valid_through: published,
+                        image: shard.frames[idx].data.clone(),
+                    });
+                    self.versioned.fetch_add(1, Ordering::Release);
+                }
+            }
+        }
         shard.frames[idx].dirty = true;
         Ok(f(&mut shard.frames[idx].data))
     }
@@ -682,8 +976,7 @@ mod tests {
         let db = MemStore::new();
         let sum = MemStore::new();
         let wal_store = MemStore::new();
-        let pager =
-            Pager::create_durable(Box::new(db.clone()), Box::new(sum)).unwrap();
+        let pager = Pager::create_durable(Box::new(db.clone()), Box::new(sum)).unwrap();
         let stats = pager.stats();
         let wal = Wal::create(Box::new(wal_store), pager.epoch(), stats).unwrap();
         (BufferPool::with_wal(pager, cap, wal), db)
@@ -749,6 +1042,128 @@ mod tests {
         assert_eq!(pool.snapshot().since(&before).fsyncs, 0);
         pool.checkpoint().unwrap(); // alias, also clean
         assert_eq!(pool.snapshot().since(&before).fsyncs, 0);
+    }
+
+    #[test]
+    fn pinned_reader_sees_pre_ingest_image() {
+        let pool = Arc::new(mem_pool(4));
+        let p = pool.allocate_page().unwrap();
+        pool.with_page_mut(p, |d| d[0] = 1).unwrap();
+        let pin = pool.pin_epoch();
+        assert_eq!(pin.epoch(), 0);
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 2).unwrap();
+        // Unpinned (writer-side) reads see the in-flight bytes...
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 2);
+        // ...pinned reads keep the pre-image, before and after publish.
+        {
+            let _g = pin.guard();
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 1);
+        }
+        assert_eq!(pool.publish_ingest(), 1);
+        assert_eq!(pool.published_epoch(), 1);
+        {
+            let _g = pin.guard();
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 1);
+        }
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 2);
+        // Dropping the pin prunes the chain; fresh pins read live bytes.
+        drop(pin);
+        assert_eq!(pool.versioned.load(Ordering::Acquire), 0);
+        let pin2 = pool.pin_epoch();
+        assert_eq!(pin2.epoch(), 1);
+        let _g = pin2.guard();
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn version_chain_serves_multiple_pinned_epochs() {
+        let pool = Arc::new(mem_pool(4));
+        let p = pool.allocate_page().unwrap();
+        pool.with_page_mut(p, |d| d[0] = 10).unwrap();
+        let pin0 = pool.pin_epoch();
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 11).unwrap();
+        pool.publish_ingest();
+        let pin1 = pool.pin_epoch();
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 12).unwrap();
+        pool.publish_ingest();
+        {
+            let _g = pin0.guard();
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 10, "epoch 0 view");
+        }
+        {
+            let _g = pin1.guard();
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 11, "epoch 1 view");
+        }
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 12, "live view");
+        // Releasing the oldest pin prunes only its entry.
+        drop(pin0);
+        assert_eq!(pool.versioned.load(Ordering::Acquire), 1);
+        drop(pin1);
+        assert_eq!(pool.versioned.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn pinned_view_survives_eviction_pressure() {
+        // Capacity 1: every access evicts. Pre-images live outside the
+        // frame budget, so pinned reads stay correct under churn.
+        let pool = Arc::new(BufferPool::with_shards(Pager::in_memory(), 1, 1));
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        pool.with_page_mut(a, |d| d[0] = 1).unwrap();
+        pool.with_page_mut(b, |d| d[0] = 2).unwrap();
+        let pin = pool.pin_epoch();
+        pool.begin_ingest();
+        pool.with_page_mut(a, |d| d[0] = 101).unwrap();
+        pool.with_page_mut(b, |d| d[0] = 102).unwrap();
+        pool.publish_ingest();
+        let _g = pin.guard();
+        for _ in 0..3 {
+            assert_eq!(pool.with_page(a, |d| d[0]).unwrap(), 1);
+            assert_eq!(pool.with_page(b, |d| d[0]).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn abort_ingest_restores_pre_images() {
+        let pool = Arc::new(mem_pool(4));
+        let p = pool.allocate_page().unwrap();
+        pool.with_page_mut(p, |d| d[0] = 5).unwrap();
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 99).unwrap();
+        let junk = pool.allocate_page().unwrap();
+        pool.with_page_mut(junk, |d| d[0] = 77).unwrap();
+        pool.abort_ingest().unwrap();
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 5, "rolled back");
+        assert_eq!(pool.published_epoch(), 0, "no publish happened");
+        // A later ingest starts from the restored state.
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 6).unwrap();
+        assert_eq!(pool.publish_ingest(), 1);
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 6);
+    }
+
+    #[test]
+    fn durable_publish_tracks_pager_epoch() {
+        let (pool, _db) = durable_pool(8);
+        let pool = Arc::new(pool);
+        assert_eq!(pool.published_epoch(), pool.pager().epoch());
+        let p = pool.allocate_page().unwrap();
+        pool.with_page_mut(p, |d| d[0] = 3).unwrap();
+        let pin = pool.pin_epoch();
+        pool.begin_ingest();
+        pool.with_page_mut(p, |d| d[0] = 4).unwrap();
+        pool.commit().unwrap();
+        // Between the commit barrier and publish, the published epoch
+        // lags the pager token — readers keep the old pin target.
+        assert_eq!(pool.pager().epoch(), pool.published_epoch() + 1);
+        let published = pool.publish_ingest();
+        assert_eq!(published, pool.pager().epoch());
+        let _g = pin.guard();
+        assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 3, "pinned view");
+        assert_eq!(pool.current_epoch(), published);
     }
 
     #[test]

@@ -24,7 +24,11 @@ const TABLE: [u32; 256] = {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         t[i] = c;
@@ -57,7 +61,10 @@ mod tests {
         // Standard CRC-32 check values (zlib, Ethernet, PNG).
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -68,7 +75,10 @@ mod tests {
         // Splitting anywhere gives the same digest.
         let data = b"0123456789abcdef";
         for split in 0..=data.len() {
-            assert_eq!(crc32_update(crc32(&data[..split]), &data[split..]), crc32(data));
+            assert_eq!(
+                crc32_update(crc32(&data[..split]), &data[split..]),
+                crc32(data)
+            );
         }
     }
 

@@ -31,7 +31,7 @@ pub mod sync;
 pub mod wal;
 
 pub use bptree::BPlusTree;
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, EpochPin, PinGuard};
 pub use crc::crc32;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, NIL_PAGE, PAGE_SIZE};

@@ -112,7 +112,8 @@ impl SumFile {
     }
 
     fn set_entry(&self, page: PageId, value: u32) -> Result<()> {
-        self.store.write_at(SUM_HEADER + page * 4, &value.to_le_bytes())
+        self.store
+            .write_at(SUM_HEADER + page * 4, &value.to_le_bytes())
     }
 
     fn set_epoch(&self, epoch: u64) -> Result<()> {
@@ -304,12 +305,10 @@ impl Pager {
     pub fn ensure_allocated(&self, id: PageId) -> Result<()> {
         let mut cur = self.next_page.load(Ordering::Relaxed);
         while cur <= id {
-            match self.next_page.compare_exchange(
-                cur,
-                id + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .next_page
+                .compare_exchange(cur, id + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(now) => cur = now,
             }
@@ -358,7 +357,10 @@ impl Pager {
     /// allocated). Errors on the first mismatch. Panics on a legacy
     /// pager.
     pub fn verify_checksums(&self) -> Result<(u64, u64)> {
-        assert!(self.sum.is_some(), "verify_checksums requires a durable pager");
+        assert!(
+            self.sum.is_some(),
+            "verify_checksums requires a durable pager"
+        );
         let sum = self.sum.as_ref().unwrap();
         let mut buf = [0u8; PAGE_SIZE];
         let (mut verified, mut skipped) = (0u64, 0u64);
@@ -461,7 +463,11 @@ mod tests {
         let mut back = [0u8; PAGE_SIZE];
         p.read_page(a, &mut back).unwrap();
         assert_eq!(back[100], 1);
-        assert_eq!(p.verify_checksums().unwrap(), (1, 1), "page 0 never written");
+        assert_eq!(
+            p.verify_checksums().unwrap(),
+            (1, 1),
+            "page 0 never written"
+        );
     }
 
     #[test]
@@ -474,11 +480,7 @@ mod tests {
         let mut bytes = db.snapshot();
         let off = a as usize * PAGE_SIZE + 512;
         bytes[off..off + 512].fill(0);
-        let p = Pager::open_durable(
-            Box::new(MemStore::from_bytes(bytes)),
-            Box::new(sum),
-        )
-        .unwrap();
+        let p = Pager::open_durable(Box::new(MemStore::from_bytes(bytes)), Box::new(sum)).unwrap();
         let mut back = [0u8; PAGE_SIZE];
         let err = p.read_page(a, &mut back).unwrap_err();
         assert!(

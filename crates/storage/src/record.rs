@@ -62,6 +62,13 @@ const OVF_CAP: usize = PAGE_SIZE - OVF_HDR;
 pub const OVERFLOW_THRESHOLD: usize = PAGE_SIZE / 2;
 
 /// An append-only heap of byte records over a shared [`BufferPool`].
+///
+/// `Clone` duplicates the handle, sharing pages: existing records stay
+/// readable by id through either handle. Appending through more than
+/// one clone of the same store corrupts the shared fill page — treat
+/// clones as read-only snapshot views (the engine's single-writer
+/// ingest is the only appender).
+#[derive(Clone)]
 pub struct RecordStore {
     pool: Arc<BufferPool>,
     /// Data page currently being filled.

@@ -197,7 +197,12 @@ impl Wal {
             self.next_lsn += 1;
             self.stats.record_wal_append();
         }
-        encode_frame(&mut buf, self.next_lsn, COMMIT_PAGE, &epoch_after.to_le_bytes());
+        encode_frame(
+            &mut buf,
+            self.next_lsn,
+            COMMIT_PAGE,
+            &epoch_after.to_le_bytes(),
+        );
         self.next_lsn += 1;
         self.store.write_at(self.end, &buf)?;
         self.end += buf.len() as u64;
@@ -429,12 +434,7 @@ mod tests {
 
     fn mem_wal(epoch: u64) -> (Wal, MemStore) {
         let store = MemStore::new();
-        let wal = Wal::create(
-            Box::new(store.clone()),
-            epoch,
-            Arc::new(IoStats::new()),
-        )
-        .unwrap();
+        let wal = Wal::create(Box::new(store.clone()), epoch, Arc::new(IoStats::new())).unwrap();
         (wal, store)
     }
 
@@ -510,11 +510,9 @@ mod tests {
         drop(wal);
         drop(pager);
 
-        let pager =
-            Pager::open_durable(Box::new(db), Box::new(sum)).unwrap();
+        let pager = Pager::open_durable(Box::new(db), Box::new(sum)).unwrap();
         assert_eq!(pager.epoch(), 1);
-        let (wal, report) =
-            recover(&pager, Box::new(wal_store), stats).unwrap();
+        let (wal, report) = recover(&pager, Box::new(wal_store), stats).unwrap();
         assert!(report.unclean_shutdown);
         assert_eq!(report.replayed_frames, 3, "spill + 2 commit images");
         assert_eq!(report.replayed_pages, 2);
@@ -585,12 +583,8 @@ mod tests {
             let (pager, _db, _sum) = durable_pager();
             let stats = pager.stats();
             let nonempty = !bytes.is_empty();
-            let (wal, report) = recover(
-                &pager,
-                Box::new(MemStore::from_bytes(bytes)),
-                stats,
-            )
-            .unwrap();
+            let (wal, report) =
+                recover(&pager, Box::new(MemStore::from_bytes(bytes)), stats).unwrap();
             assert_eq!(report.unclean_shutdown, nonempty);
             assert_eq!(report.replayed_frames, 0);
             assert!(wal.is_empty());

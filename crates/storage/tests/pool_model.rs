@@ -64,9 +64,7 @@ fn run_workload(w: &Workload) -> Result<(), String> {
         w.capacity,
         w.shards,
     ));
-    let ids: Vec<_> = (0..PAGES)
-        .map(|_| pool.allocate_page().unwrap())
-        .collect();
+    let ids: Vec<_> = (0..PAGES).map(|_| pool.allocate_page().unwrap()).collect();
     // Freshly allocated pages are zero-filled.
     let mut model: HashMap<usize, u8> = (0..PAGES).map(|p| (p, 0)).collect();
 

@@ -60,6 +60,9 @@ pub struct Report {
     pub median: Duration,
     /// 95th-percentile sample (nearest-rank).
     pub p95: Duration,
+    /// 99th-percentile sample (nearest-rank) — distinguishable from
+    /// p95 only at high sample counts (latency-distribution benches).
+    pub p99: Duration,
     /// Fastest sample.
     pub min: Duration,
     /// Slowest sample.
@@ -195,6 +198,7 @@ impl Harness {
             samples: n as u32,
             median: samples[n / 2],
             p95: samples[(n * 95 / 100).min(n - 1)],
+            p99: samples[(n * 99 / 100).min(n - 1)],
             min: samples[0],
             max: samples[n - 1],
         };
@@ -251,11 +255,12 @@ pub fn reports_to_json(reports: &[Report]) -> String {
         .iter()
         .map(|r| {
             format!(
-                r#"  {{"name":"{}","samples":{},"median_ns":{},"p95_ns":{},"min_ns":{},"max_ns":{}}}"#,
+                r#"  {{"name":"{}","samples":{},"median_ns":{},"p95_ns":{},"p99_ns":{},"min_ns":{},"max_ns":{}}}"#,
                 r.name.replace('\\', "\\\\").replace('"', "\\\""),
                 r.samples,
                 r.median.as_nanos(),
                 r.p95.as_nanos(),
+                r.p99.as_nanos(),
                 r.min.as_nanos(),
                 r.max.as_nanos()
             )
@@ -270,18 +275,30 @@ mod tests {
 
     #[test]
     fn median_and_p95_come_from_sorted_samples() {
-        let mut h = Harness::new("t", Opts { warmup: 0, samples: 20 });
+        let mut h = Harness::new(
+            "t",
+            Opts {
+                warmup: 0,
+                samples: 20,
+            },
+        );
         let mut calls = 0u32;
         h.bench("count_calls", || calls += 1);
         assert_eq!(calls, 20);
         let r = &h.reports()[0];
         assert_eq!(r.name, "t/count_calls");
-        assert!(r.min <= r.median && r.median <= r.p95 && r.p95 <= r.max);
+        assert!(r.min <= r.median && r.median <= r.p95 && r.p95 <= r.p99 && r.p99 <= r.max);
     }
 
     #[test]
     fn setup_runs_outside_the_timer() {
-        let mut h = Harness::new("t", Opts { warmup: 1, samples: 3 });
+        let mut h = Harness::new(
+            "t",
+            Opts {
+                warmup: 1,
+                samples: 3,
+            },
+        );
         h.bench_with_setup(
             "sleepy_setup",
             || std::thread::sleep(Duration::from_millis(5)),
@@ -297,10 +314,23 @@ mod tests {
 
     #[test]
     fn json_has_all_fields() {
-        let mut h = Harness::new("t", Opts { warmup: 0, samples: 2 });
+        let mut h = Harness::new(
+            "t",
+            Opts {
+                warmup: 0,
+                samples: 2,
+            },
+        );
         h.bench("x", || {});
         let json = reports_to_json(h.reports());
-        for key in ["\"name\"", "median_ns", "p95_ns", "min_ns", "max_ns"] {
+        for key in [
+            "\"name\"",
+            "median_ns",
+            "p95_ns",
+            "p99_ns",
+            "min_ns",
+            "max_ns",
+        ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
     }

@@ -240,7 +240,8 @@ impl FaultStore {
             return s.current.clone();
         }
         let (kind, crash_seed) = self.injector.crash_params();
-        let mut rng = TestRng::from_seed(crash_seed ^ self.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            TestRng::from_seed(crash_seed ^ self.salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut image = s.durable.clone();
         for (i, op) in s.pending.iter().enumerate() {
             let in_flight = s.crashing == Some(i);

@@ -53,10 +53,7 @@ pub fn bools() -> impl Generator<Value = bool> {
 
 /// `Some(inner)` with probability `p_some`, else `None`. Shrinks toward
 /// `None` (a zero draw fails the chance).
-pub fn option_of<G: Generator>(
-    p_some: f64,
-    inner: G,
-) -> impl Generator<Value = Option<G::Value>> {
+pub fn option_of<G: Generator>(p_some: f64, inner: G) -> impl Generator<Value = Option<G::Value>> {
     from_fn(move |rng| {
         if rng.chance(p_some) {
             Some(inner.generate(rng))
@@ -147,7 +144,10 @@ mod tests {
     #[test]
     fn zero_tape_yields_minimal_values() {
         let mut rng = TestRng::from_tape(vec![]);
-        assert_eq!(vec_of(0, 7, u8_in(2, 9)).generate(&mut rng), Vec::<u8>::new());
+        assert_eq!(
+            vec_of(0, 7, u8_in(2, 9)).generate(&mut rng),
+            Vec::<u8>::new()
+        );
         assert_eq!(option_of(0.9, bools()).generate(&mut rng), None);
     }
 

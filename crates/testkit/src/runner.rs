@@ -127,18 +127,17 @@ where
         Err(e) => e,
     };
     let tape = rng.tape().to_vec();
-    let (shrunk_tape, shrunk_err) =
-        shrink_tape(tape, cfg.max_shrink_iters, |candidate| {
-            let mut rng = TestRng::from_tape(candidate.to_vec());
-            let value = match catch_unwind(AssertUnwindSafe(|| gen.generate(&mut rng))) {
-                Ok(v) => v,
-                Err(_) => return None, // generator rejects this tape
-            };
-            run_prop(prop, &value)
-                .err()
-                .map(|e| (rng.tape().to_vec(), e))
-        })
-        .unwrap_or((rng.tape().to_vec(), original_err.clone()));
+    let (shrunk_tape, shrunk_err) = shrink_tape(tape, cfg.max_shrink_iters, |candidate| {
+        let mut rng = TestRng::from_tape(candidate.to_vec());
+        let value = match catch_unwind(AssertUnwindSafe(|| gen.generate(&mut rng))) {
+            Ok(v) => v,
+            Err(_) => return None, // generator rejects this tape
+        };
+        run_prop(prop, &value)
+            .err()
+            .map(|e| (rng.tape().to_vec(), e))
+    })
+    .unwrap_or((rng.tape().to_vec(), original_err.clone()));
     let shrunk_value = gen.generate(&mut TestRng::from_tape(shrunk_tape));
     panic!(
         "property '{name}' failed (case {case}, seed {case_seed:#018X})\n\
@@ -182,27 +181,26 @@ fn shrink_tape(
     let mut best: Option<(Vec<u64>, String)> = None;
     let mut current = tape;
     let mut spent = 0u32;
-    let mut try_candidate =
-        |candidate: Vec<u64>,
-         current: &mut Vec<u64>,
-         best: &mut Option<(Vec<u64>, String)>,
-         spent: &mut u32|
-         -> bool {
-            if *spent >= budget || !smaller(&candidate, current) {
-                return false;
+    let mut try_candidate = |candidate: Vec<u64>,
+                             current: &mut Vec<u64>,
+                             best: &mut Option<(Vec<u64>, String)>,
+                             spent: &mut u32|
+     -> bool {
+        if *spent >= budget || !smaller(&candidate, current) {
+            return false;
+        }
+        *spent += 1;
+        if let Some((effective, err)) = eval(&candidate) {
+            // Canonicalize to what generation actually consumed, but
+            // only accept if that is still a strict improvement.
+            if smaller(&effective, current) {
+                *current = effective.clone();
+                *best = Some((effective, err));
+                return true;
             }
-            *spent += 1;
-            if let Some((effective, err)) = eval(&candidate) {
-                // Canonicalize to what generation actually consumed, but
-                // only accept if that is still a strict improvement.
-                if smaller(&effective, current) {
-                    *current = effective.clone();
-                    *best = Some((effective, err));
-                    return true;
-                }
-            }
-            false
-        };
+        }
+        false
+    };
     loop {
         let mut improved = false;
         // Pass 1: delete chunks (shrinks vectors and drops whole steps).

@@ -35,6 +35,6 @@ pub use collection::{Collection, DocId};
 pub use parser::{parse_document, ParseError, Parser};
 pub use sax::{parse_sax, split_records, RecordSplitter, SaxHandler};
 pub use stats::CollectionStats;
-pub use sym::{Sym, SymbolTable};
+pub use sym::{InternSyms, ScratchSyms, Sym, SymbolTable};
 pub use tree::{NodeId, NodeKind, PostNum, XmlTree};
 pub use writer::write_document;

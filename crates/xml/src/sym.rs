@@ -89,6 +89,70 @@ impl SymbolTable {
     }
 }
 
+/// Anything that can resolve a label to a [`Sym`], interning on miss.
+///
+/// Query parsing needs symbols for every label in an XPath string, but
+/// a *reader* must not mutate the shared table it resolves against —
+/// snapshot isolation hands many threads the same immutable
+/// [`SymbolTable`]. The two implementations split the use cases:
+/// `SymbolTable` itself (document ingest, owning callers) interns for
+/// real; [`ScratchSyms`] resolves against a frozen table and parks
+/// unknown labels in a private overlay.
+pub trait InternSyms {
+    /// Resolves `name`, interning it if unseen. Idempotent.
+    fn intern_sym(&mut self, name: &str) -> Sym;
+}
+
+impl InternSyms for SymbolTable {
+    fn intern_sym(&mut self, name: &str) -> Sym {
+        self.intern(name)
+    }
+}
+
+/// A read-only view of a [`SymbolTable`] with a private overlay for
+/// unknown labels.
+///
+/// Labels present in the base table resolve to their real symbols;
+/// unknown labels get fresh symbols past the end of the base table.
+/// Such a symbol occurs in **no** indexed document — every per-label
+/// structure treats it as absent (empty tag-index range, MaxGap 0) —
+/// so a query mentioning it simply matches nothing, which is exactly
+/// the answer the snapshot it was parsed against must give.
+pub struct ScratchSyms<'a> {
+    base: &'a SymbolTable,
+    extra: Vec<String>,
+}
+
+impl<'a> ScratchSyms<'a> {
+    /// A scratch resolver over `base`.
+    pub fn new(base: &'a SymbolTable) -> Self {
+        ScratchSyms {
+            base,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Number of labels that missed the base table.
+    pub fn unknown(&self) -> usize {
+        self.extra.len()
+    }
+}
+
+impl InternSyms for ScratchSyms<'_> {
+    fn intern_sym(&mut self, name: &str) -> Sym {
+        if let Some(s) = self.base.lookup(name) {
+            return s;
+        }
+        let base_len = self.base.len();
+        if let Some(i) = self.extra.iter().position(|n| n == name) {
+            return Sym((base_len + i) as u32);
+        }
+        let s = Sym(u32::try_from(base_len + self.extra.len()).expect("symbol table overflow"));
+        self.extra.push(name.to_owned());
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +193,22 @@ mod tests {
         t.intern("c");
         let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn scratch_syms_resolve_known_and_park_unknown() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let mut scratch = ScratchSyms::new(&t);
+        assert_eq!(scratch.intern_sym("a"), a);
+        assert_eq!(scratch.intern_sym("b"), b);
+        let ghost = scratch.intern_sym("ghost");
+        assert_eq!(ghost, Sym(2), "first unknown lands past the base");
+        assert_eq!(scratch.intern_sym("ghost"), ghost, "idempotent");
+        assert_eq!(scratch.intern_sym("wight"), Sym(3));
+        assert_eq!(scratch.unknown(), 2);
+        assert_eq!(t.len(), 2, "the base table never grows");
     }
 
     #[test]

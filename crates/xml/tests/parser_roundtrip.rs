@@ -172,7 +172,20 @@ fn parser_never_panics() {
 #[test]
 fn parser_never_panics_on_taggy_input() {
     const PARTS: [&str; 14] = [
-        "<", ">", "</", "/>", "<!--", "-->", "<![CDATA[", "]]>", "&", ";", "=", "\"", "a", " ",
+        "<",
+        ">",
+        "</",
+        "/>",
+        "<!--",
+        "-->",
+        "<![CDATA[",
+        "]]>",
+        "&",
+        ";",
+        "=",
+        "\"",
+        "a",
+        " ",
     ];
     let gen = vec_of(0, 59, from_fn(|rng| *rng.pick(&PARTS)));
     check(

@@ -7,6 +7,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --locked
 cargo clippy --all-targets --offline --locked -- -D warnings
+cargo fmt --all -- --check
 cargo test -q --offline --workspace
 
 # The concurrency and server suites are timing-sensitive: run them
@@ -20,10 +21,15 @@ cargo test --release --test concurrency --offline --locked
 cargo test --release --test server --offline --locked
 cargo test --release --test executor_stream --offline --locked
 
-# The crash-consistency harness reruns in release too: its ~200 seeded
-# kill-point iterations cover far more syscall interleavings per second
-# there, and optimized codegen must not perturb the recovery protocol.
+# The crash-consistency harness reruns in release too: its ~330 seeded
+# kill-point iterations (including kills inside the online-ingest
+# publish path) cover far more syscall interleavings per second there,
+# and optimized codegen must not perturb the recovery protocol. The
+# snapshot-isolation property suite reruns for the same reason: reader
+# threads race a publishing writer, and the races only get tight under
+# optimized codegen.
 cargo test --release --test crash_recovery --offline --locked
+cargo test --release --test snapshot_isolation --offline --locked
 
 # End-to-end smoke: index a tiny corpus, start `prix serve` on an
 # ephemeral port, hit /healthz and /metrics over plain bash /dev/tcp,
@@ -34,7 +40,9 @@ SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
 
 "$PRIX" gen dblp "$SMOKE/corpus" --scale 0.01 >/dev/null
-"$PRIX" index "$SMOKE/db.prix" "$SMOKE"/corpus/*.xml >/dev/null
+# --alpha 4: dynamic labeling, so the later `prix add` and live-ingest
+# smokes have trie-scope headroom to actually accept documents.
+"$PRIX" index --alpha 4 "$SMOKE/db.prix" "$SMOKE"/corpus/*.xml >/dev/null
 
 "$PRIX" serve "$SMOKE/db.prix" --addr 127.0.0.1:0 >"$SMOKE/serve.log" 2>&1 &
 SERVE_PID=$!
@@ -48,9 +56,14 @@ for _ in $(seq 1 100); do
 done
 [ -n "$PORT" ] || { echo "serve never reported its port" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
 
-http() { # http <request-target> [method] — one request, prints the response
+http() { # http <request-target> [method] [body] — one request, prints the response
   exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-  printf '%s %s HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n' "${2:-GET}" "$1" >&3
+  if [ $# -ge 3 ]; then
+    printf '%s %s HTTP/1.1\r\nHost: prix\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' \
+      "$2" "$1" "${#3}" "$3" >&3
+  else
+    printf '%s %s HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n' "${2:-GET}" "$1" >&3
+  fi
   cat <&3
   exec 3>&- 3<&-
 }
@@ -81,3 +94,36 @@ for i in 1 2 3; do
 done
 "$PRIX" query "$SMOKE/db.prix" "//dblp" >/dev/null || { echo "query failed after crash recovery" >&2; exit 1; }
 echo "crash smoke OK (3 SIGKILLs absorbed)"
+
+# Live-ingest smoke: restart the server with --ingest, POST one
+# document over /dev/tcp, and require the very next query to count it —
+# the POST returns only after its epoch is published, so sequential
+# read-your-writes must hold. Then a clean shutdown and fsck: the
+# ingested document must be durable, not just visible.
+"$PRIX" serve "$SMOKE/db.prix" --addr 127.0.0.1:0 --ingest >"$SMOKE/ingest.log" 2>&1 &
+SERVE_PID=$!
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|^listening on http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$SMOKE/ingest.log")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "ingest serve never reported its port" >&2; cat "$SMOKE/ingest.log" >&2; exit 1; }
+
+Q='/query?xp=%2F%2Fwww%2Furl&limit=0' # //www/url, default cap lifted
+count_of() { sed -n 's/.*"count":\([0-9]*\).*/\1/p' <<<"$1"; }
+BEFORE=$(count_of "$(http "$Q")")
+[ -n "$BEFORE" ] || { echo "live-ingest: query before POST returned no count" >&2; exit 1; }
+DOC='<www><key>smoke/ingest</key><editor>Verify Smoke</editor><url>http://example.org/smoke</url></www>'
+RESP=$(http /documents POST "$DOC")
+grep -q '200 OK' <<<"$RESP" || { echo "live-ingest: POST /documents failed" >&2; echo "$RESP" >&2; exit 1; }
+grep -q '"epoch"' <<<"$RESP" || { echo "live-ingest: POST response carries no epoch" >&2; echo "$RESP" >&2; exit 1; }
+AFTER=$(count_of "$(http "$Q")")
+[ "$AFTER" = "$((BEFORE + 1))" ] || { echo "live-ingest: //www/url count $BEFORE -> $AFTER, expected +1" >&2; exit 1; }
+http /shutdown POST >/dev/null
+
+wait "$SERVE_PID" || { echo "ingest serve exited non-zero" >&2; cat "$SMOKE/ingest.log" >&2; exit 1; }
+grep -q 'shutdown complete' "$SMOKE/ingest.log" || { echo "no clean shutdown after ingest" >&2; exit 1; }
+"$PRIX" fsck "$SMOKE/db.prix" >"$SMOKE/fsck.log" || { echo "fsck failed after live ingest" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean after live ingest" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+echo "live-ingest smoke OK (count $BEFORE -> $AFTER on port $PORT)"

@@ -193,13 +193,204 @@ fn crash_iteration(seed: u64, kind: FaultKind) -> Result<(), String> {
     .map_err(|e| format!("reference build: {e}"))?;
     for xp in QUERIES {
         let qa = after.parse_query(xp).map_err(|e| format!("{xp}: {e}"))?;
-        let qr = reference.parse_query(xp).map_err(|e| format!("{xp}: {e}"))?;
+        let qr = reference
+            .parse_query(xp)
+            .map_err(|e| format!("{xp}: {e}"))?;
         let ma = after.query(&qa).map_err(|e| format!("{xp}: {e}"))?.matches;
-        let mr = reference.query(&qr).map_err(|e| format!("{xp}: {e}"))?.matches;
+        let mr = reference
+            .query(&qr)
+            .map_err(|e| format!("{xp}: {e}"))?
+            .matches;
         if ma != mr {
             return Err(format!(
                 "{xp}: recovered engine found {} match(es), reference {} \
                  ({n} docs survived)",
+                ma.len(),
+                mr.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Kill-during-publish: the online ingest path. A [`SharedEngine`]
+/// ingests batches through the single-writer protocol (dry-run insert,
+/// WAL group commit inside `save`, epoch publish) while the injector
+/// counts down to a kill. The recovered database must sit at **exactly
+/// one epoch boundary** — the state after some fully-published batch —
+/// never a torn mix of two batches.
+///
+/// Acceptance of each document is deterministic for a given `(config,
+/// history)`, so a clean in-memory model replays the batches first and
+/// records the cumulative document list at every epoch boundary; the
+/// crashed run must recover to one of those lists, bit-identically.
+fn ingest_crash_iteration(seed: u64, kind: FaultKind) -> Result<(), String> {
+    use prix::core::SharedEngine;
+
+    let mut rng = TestRng::from_seed(seed);
+    let inj = FaultInjector::unarmed();
+    let db = FaultStore::new(&inj, 1);
+    let sum = FaultStore::new(&inj, 2);
+    let wal = FaultStore::new(&inj, 3);
+
+    // Known-good base, saved before the injector is armed.
+    let mut base_docs: Vec<String> = Vec::new();
+    let mut base = Collection::new();
+    for _ in 0..3 {
+        let d = doc_xml(&mut rng);
+        base.add_xml(&d).map_err(|e| format!("base doc: {e}"))?;
+        base_docs.push(d);
+    }
+    let cfg = EngineConfig {
+        buffer_pages: BUFFER_PAGES,
+        labeling: labeling(),
+        ..Default::default()
+    };
+    let mut engine = PrixEngine::build_on(base, cfg, stores_of(&db, &sum, &wal))
+        .map_err(|e| format!("base build: {e}"))?;
+    engine.save().map_err(|e| format!("base save: {e}"))?;
+
+    let batches: Vec<Vec<String>> = (0..rng.range(2, 5))
+        .map(|_| (0..rng.range(1, 4)).map(|_| doc_xml(&mut rng)).collect())
+        .collect();
+
+    // Model run: replay the batches on a clean in-memory engine to
+    // learn which documents each batch accepts. `states[k]` is the
+    // cumulative accepted document list after batch k; `states[0]` is
+    // the base. These are the only legal recovery targets.
+    let mut model = {
+        let mut coll = Collection::new();
+        for d in &base_docs {
+            coll.add_xml(d).map_err(|e| format!("model doc: {e}"))?;
+        }
+        PrixEngine::build(
+            coll,
+            EngineConfig {
+                labeling: labeling(),
+                ..Default::default()
+            },
+        )
+        .map_err(|e| format!("model build: {e}"))?
+    };
+    let mut states: Vec<Vec<String>> = vec![base_docs.clone()];
+    for batch in &batches {
+        let mut cumulative = states.last().unwrap().clone();
+        for d in batch {
+            if model.insert_document(d).is_ok() {
+                cumulative.push(d.clone());
+            }
+        }
+        states.push(cumulative);
+    }
+
+    // Arm the kill point and drive the batches through the shared
+    // (snapshot-publishing) ingest path until the lights go out.
+    let kill_after = match kind {
+        FaultKind::DroppedFsync => rng.below(30),
+        _ => rng.below(300),
+    };
+    inj.arm(kind, kill_after, rng.next_u64());
+    let shared = SharedEngine::new(engine);
+    let mut last_acked = 0usize; // index into `states`
+    let mut crashed_in_batch: Option<usize> = None;
+    for (k, batch) in batches.iter().enumerate() {
+        match shared.ingest(batch) {
+            Ok(report) => {
+                last_acked = k + 1;
+                // The published snapshot must already serve the batch.
+                let snap = shared.snapshot();
+                if snap.epoch() != report.epoch {
+                    return Err(format!(
+                        "published snapshot at epoch {} but ingest reported {}",
+                        snap.epoch(),
+                        report.epoch
+                    ));
+                }
+            }
+            Err(_) if inj.crashed() => {
+                crashed_in_batch = Some(k + 1);
+                break;
+            }
+            Err(e) => return Err(format!("ingest failed without a crash: {e}")),
+        }
+    }
+    drop(shared); // post-crash the drop-flush fails; counted, not fatal
+
+    // Reconstruct the platter and reopen through recovery.
+    let after = PrixEngine::reopen_on(
+        EngineStores {
+            db: Box::new(MemStore::from_bytes(db.durable_bytes())),
+            sum: Some(Box::new(MemStore::from_bytes(sum.durable_bytes()))),
+            wal: Some(Box::new(MemStore::from_bytes(wal.durable_bytes()))),
+        },
+        64,
+    )
+    .map_err(|e| format!("reopen after crash: {e}"))?;
+    let mut after = after;
+    after
+        .recovery()
+        .ok_or("durable reopen must produce a recovery report")?;
+    after
+        .verify_checksums()
+        .map_err(|e| format!("checksum verification after recovery: {e}"))?;
+
+    // Exactly one epoch: the recovered document count must equal the
+    // last acked boundary, or — only if the crash interrupted a batch —
+    // that batch's boundary (its WAL commit may have landed before the
+    // error surfaced). Nothing in between, nothing beyond.
+    let n = after.rp_index().ok_or("rp index missing")?.doc_count();
+    let mut acceptable = vec![states[last_acked].len()];
+    if let Some(k) = crashed_in_batch {
+        acceptable.push(states[k].len());
+    }
+    let state = acceptable
+        .iter()
+        .position(|&c| c == n)
+        .map(|i| {
+            if i == 0 {
+                last_acked
+            } else {
+                crashed_in_batch.unwrap()
+            }
+        })
+        .ok_or_else(|| {
+            format!(
+                "recovered {n} docs; acceptable epoch boundaries hold \
+                 {acceptable:?} (acked batch {last_acked}, crashed in \
+                 {crashed_in_batch:?})"
+            )
+        })?;
+
+    // Bit-identical query results against a fresh engine over exactly
+    // that boundary's document list.
+    let mut reference_coll = Collection::new();
+    for d in &states[state] {
+        reference_coll
+            .add_xml(d)
+            .map_err(|e| format!("reference doc: {e}"))?;
+    }
+    let mut reference = PrixEngine::build(
+        reference_coll,
+        EngineConfig {
+            labeling: labeling(),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("reference build: {e}"))?;
+    for xp in QUERIES {
+        let qa = after.parse_query(xp).map_err(|e| format!("{xp}: {e}"))?;
+        let qr = reference
+            .parse_query(xp)
+            .map_err(|e| format!("{xp}: {e}"))?;
+        let ma = after.query(&qa).map_err(|e| format!("{xp}: {e}"))?.matches;
+        let mr = reference
+            .query(&qr)
+            .map_err(|e| format!("{xp}: {e}"))?
+            .matches;
+        if ma != mr {
+            return Err(format!(
+                "{xp}: recovered engine found {} match(es), the epoch-{state} \
+                 reference {} — the recovered state mixes epochs",
                 ma.len(),
                 mr.len()
             ));
@@ -245,6 +436,40 @@ fn crash_replay_dropped_fsync_seed_5eed0003() {
     crash_iteration(0x5EED_0003, FaultKind::DroppedFsync).unwrap();
 }
 
+/// Randomized kill points inside the online-ingest publish path.
+#[test]
+fn randomized_ingest_crashes_recover_to_one_epoch() {
+    let mut failures = Vec::new();
+    for seed in 0..40u64 {
+        for kind in FaultKind::ALL {
+            if let Err(e) = ingest_crash_iteration(seed, kind) {
+                failures.push(format!("seed {seed:#x} kind {kind:?}: {e}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} ingest crash iteration(s) recovered to a torn epoch:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ingest_crash_replay_short_write_seed_5eed0004() {
+    ingest_crash_iteration(0x5EED_0004, FaultKind::ShortWrite).unwrap();
+}
+
+#[test]
+fn ingest_crash_replay_torn_sector_seed_5eed0005() {
+    ingest_crash_iteration(0x5EED_0005, FaultKind::TornSector).unwrap();
+}
+
+#[test]
+fn ingest_crash_replay_dropped_fsync_seed_5eed0006() {
+    ingest_crash_iteration(0x5EED_0006, FaultKind::DroppedFsync).unwrap();
+}
+
 /// Regression for the silently-discarded drop-flush error: a pool whose
 /// final flush fails during `Drop` must count the failure in IoStats
 /// (and log it) instead of swallowing it.
@@ -260,11 +485,7 @@ fn drop_flush_error_is_counted_not_swallowed() {
     assert_eq!(stats.flush_errors(), 0);
     inj.arm(FaultKind::ShortWrite, 0, 1); // the next write dies
     drop(pool);
-    assert_eq!(
-        stats.flush_errors(),
-        1,
-        "drop must record the failed flush"
-    );
+    assert_eq!(stats.flush_errors(), 1, "drop must record the failed flush");
 }
 
 /// Bit rot after a clean shutdown: recovery has nothing to replay, but

@@ -110,7 +110,8 @@ fn repeated_saves_do_not_grow_the_file() {
         engine.save().unwrap();
         let len = std::fs::metadata(&path).unwrap().len();
         assert_eq!(
-            len, after_first,
+            len,
+            after_first,
             "save #{} of an unchanged engine grew the file ({after_first} -> {len})",
             i + 2
         );

@@ -190,7 +190,11 @@ fn prop_all_engines_equal_oracle(input: &EngineInput) -> Result<(), String> {
     )
     .unwrap();
     let out_dyn = engine_dyn.query(&q).unwrap();
-    assert_eq!(matches_as_set(&out_dyn.matches), expected, "dynamic labeling");
+    assert_eq!(
+        matches_as_set(&out_dyn.matches),
+        expected,
+        "dynamic labeling"
+    );
 
     // TwigStack.
     let pool = Arc::new(BufferPool::new(Pager::in_memory(), 128));
@@ -205,7 +209,11 @@ fn prop_all_engines_equal_oracle(input: &EngineInput) -> Result<(), String> {
     let vist_pool = Arc::new(BufferPool::new(Pager::in_memory(), 128));
     let vist = VistIndex::build(vist_pool, &collection).unwrap();
     let vo = vist.execute(&q, &collection).unwrap();
-    assert_eq!(vo.verified_matches as usize, expected.len(), "ViST verified");
+    assert_eq!(
+        vo.verified_matches as usize,
+        expected.len(),
+        "ViST verified"
+    );
     for (doc, _) in &expected {
         assert!(vo.candidate_docs.contains(doc), "ViST false dismissal");
     }
@@ -265,7 +273,11 @@ fn prop_descendant_queries(input: &EngineInput) -> Result<(), String> {
     let ts = TwigJoin::new(&streams)
         .execute(&q, Algorithm::TwigStack)
         .unwrap();
-    assert_eq!(ts.stats.matches as usize, oracle.len(), "TwigStack vs oracle");
+    assert_eq!(
+        ts.stats.matches as usize,
+        oracle.len(),
+        "TwigStack vs oracle"
+    );
     Ok(())
 }
 
@@ -291,19 +303,14 @@ fn prop_maxgap_is_lossless(input: &EngineInput) -> Result<(), String> {
     let q = build_query(*q_root, q_steps, q_edges, true, &mut syms);
     let engine = PrixEngine::build(collection, EngineConfig::default()).unwrap();
     use prix::core::index::ExecOpts;
-    let with = engine
-        .query_opts(
-            &q,
-            &ExecOpts::new(),
-        )
-        .unwrap();
+    let with = engine.query_opts(&q, &ExecOpts::new()).unwrap();
     let without = engine
-        .query_opts(
-            &q,
-            &ExecOpts::new().without_maxgap(),
-        )
+        .query_opts(&q, &ExecOpts::new().without_maxgap())
         .unwrap();
-    assert_eq!(matches_as_set(&with.matches), matches_as_set(&without.matches));
+    assert_eq!(
+        matches_as_set(&with.matches),
+        matches_as_set(&without.matches)
+    );
     assert!(with.stats.nodes_scanned <= without.stats.nodes_scanned);
     Ok(())
 }
@@ -355,10 +362,16 @@ fn prop_limit_is_prefix_of_unlimited(input: &EngineInput) -> Result<(), String> 
     );
 
     for k in 0..=streamed.len() + 1 {
-        let out = engine.query_opts(&q, &ExecOpts::new().with_limit(k)).unwrap();
+        let out = engine
+            .query_opts(&q, &ExecOpts::new().with_limit(k))
+            .unwrap();
         let expect: Vec<_> = streamed.iter().take(k).cloned().collect();
         assert_eq!(out.matches, expect, "limit {k} is not a prefix");
-        assert_eq!(out.truncated, k <= streamed.len(), "limit {k} truncated flag");
+        assert_eq!(
+            out.truncated,
+            k <= streamed.len(),
+            "limit {k} truncated flag"
+        );
         // Never more work than the full run.
         assert!(out.stats.range_queries <= unlimited.stats.range_queries);
         assert!(out.stats.nodes_scanned <= unlimited.stats.nodes_scanned);
@@ -534,8 +547,7 @@ fn prop_prufer_roundtrip(input: &TreeInput) -> Result<(), String> {
     assert_eq!(&direct, &classical, "Lemma 1");
 
     let rebuilt =
-        prix::prufer::reconstruct::tree_from_sequences(&seq.lps, &seq.nps, &tree.leaves())
-            .unwrap();
+        prix::prufer::reconstruct::tree_from_sequences(&seq.lps, &seq.nps, &tree.leaves()).unwrap();
     assert_eq!(rebuilt.len(), tree.len());
     for num in 1..=tree.len() as PostNum {
         assert_eq!(rebuilt.label_at(num), tree.label_at(num));
@@ -639,7 +651,11 @@ fn regression_incremental_c02ec589_two_added_siblings() {
 
 #[test]
 fn regression_seed_all_engines_equal_oracle() {
-    replay(0x5EED_0001, &gen_engine_input(), prop_all_engines_equal_oracle);
+    replay(
+        0x5EED_0001,
+        &gen_engine_input(),
+        prop_all_engines_equal_oracle,
+    );
 }
 
 #[test]
@@ -682,5 +698,9 @@ fn regression_seed_incremental_equals_bulk() {
 #[test]
 fn regression_seed_prufer_roundtrip_and_theorem1() {
     replay(0x5EED_0006, &gen_tree_input(30), prop_prufer_roundtrip);
-    replay(0x5EED_0006, &gen_tree_input(20), prop_subtree_lps_is_subsequence);
+    replay(
+        0x5EED_0006,
+        &gen_tree_input(20),
+        prop_subtree_lps_is_subsequence,
+    );
 }

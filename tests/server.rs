@@ -15,10 +15,14 @@ use prix::xml::Collection;
 /// ordered author/year, swapped year/author, and a www entry.
 fn engine() -> PrixEngine {
     let mut c = Collection::new();
-    c.add_xml("<dblp><inproceedings><author>Jim Gray</author><year>1990</year></inproceedings></dblp>")
-        .unwrap();
-    c.add_xml("<dblp><inproceedings><year>1990</year><author>Jim Gray</author></inproceedings></dblp>")
-        .unwrap();
+    c.add_xml(
+        "<dblp><inproceedings><author>Jim Gray</author><year>1990</year></inproceedings></dblp>",
+    )
+    .unwrap();
+    c.add_xml(
+        "<dblp><inproceedings><year>1990</year><author>Jim Gray</author></inproceedings></dblp>",
+    )
+    .unwrap();
     c.add_xml("<dblp><www><editor>E</editor><url>u</url></www></dblp>")
         .unwrap();
     PrixEngine::build(c, EngineConfig::default()).unwrap()
@@ -99,7 +103,10 @@ fn query_returns_correct_json_results() {
     assert!(body.contains(r#""count":2"#), "{body}");
     assert!(body.contains(r#""index":"EPIndex""#), "{body}");
     assert!(body.contains(r#""truncated":false"#), "{body}");
-    assert!(body.contains(r#""doc":0"#) && body.contains(r#""doc":1"#), "{body}");
+    assert!(
+        body.contains(r#""doc":0"#) && body.contains(r#""doc":1"#),
+        "{body}"
+    );
     assert!(body.contains(r#""embedding":["#), "{body}");
     // Per-stage executor timings ride along in the stats object.
     assert!(body.contains(r#""filter_us":"#), "{body}");
@@ -163,7 +170,10 @@ fn concurrent_clients_get_correct_results() {
     // (target, expected count) pairs hammered from 8 client threads.
     let cases = [
         ("/query?xp=//www[./editor]/url", 1u64),
-        ("/query?xp=%2F%2Finproceedings%5B.%2Fauthor%3D%22Jim+Gray%22%5D", 2),
+        (
+            "/query?xp=%2F%2Finproceedings%5B.%2Fauthor%3D%22Jim+Gray%22%5D",
+            2,
+        ),
         ("/query?xp=//dblp//year", 2),
         ("/query?xp=//www/url", 1),
     ];
@@ -298,7 +308,7 @@ fn saturation_yields_503_with_retry_after() {
     std::thread::sleep(Duration::from_millis(150)); // a reaches the worker
     let _b = stall(addr);
     std::thread::sleep(Duration::from_millis(100)); // b sits in the queue
-    // The next connection must be shed immediately, not parked.
+                                                    // The next connection must be shed immediately, not parked.
     let (status, full) = send_raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
     assert_eq!(status, 503, "{full}");
     assert!(full.contains("Retry-After"), "{full}");
@@ -355,7 +365,7 @@ fn graceful_shutdown_drains_in_flight_requests() {
     std::thread::sleep(Duration::from_millis(100)); // reach the worker
     let shutdown = std::thread::spawn(move || h.shutdown());
     std::thread::sleep(Duration::from_millis(100)); // shutdown is draining
-    // Complete the request; the drain must serve it fully.
+                                                    // Complete the request; the drain must serve it fully.
     inflight.write_all(b"\r\n").unwrap();
     let mut buf = String::new();
     inflight.read_to_string(&mut buf).unwrap();
@@ -363,15 +373,18 @@ fn graceful_shutdown_drains_in_flight_requests() {
     assert!(buf.contains(r#""count":1"#), "{buf}");
     shutdown.join().unwrap().unwrap();
     // The listener is gone: new connections are refused (or reset).
-    assert!(TcpStream::connect(addr).is_err() || {
-        // Some kernels accept into the dead listener's backlog; a
-        // request must then go unanswered.
-        let mut s = TcpStream::connect(addr).unwrap();
-        s.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
-        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
-        let mut b = String::new();
-        s.read_to_string(&mut b).is_err() || b.is_empty()
-    });
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some kernels accept into the dead listener's backlog; a
+            // request must then go unanswered.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut b = String::new();
+            s.read_to_string(&mut b).is_err() || b.is_empty()
+        }
+    );
 }
 
 #[test]
@@ -413,13 +426,25 @@ fn metrics_expose_traffic_and_bufferpool_state() {
         "{body}"
     );
     assert!(body.contains("prix_bufferpool_hit_ratio "), "{body}");
-    assert!(body.contains("prix_bufferpool_logical_reads_total "), "{body}");
+    assert!(
+        body.contains("prix_bufferpool_logical_reads_total "),
+        "{body}"
+    );
     assert!(body.contains("prix_http_queue_depth 0"), "{body}");
     // Durability series: exact metric names are a dashboard contract.
-    assert!(body.contains("prix_bufferpool_physical_writes_total "), "{body}");
+    assert!(
+        body.contains("prix_bufferpool_physical_writes_total "),
+        "{body}"
+    );
     assert!(body.contains("prix_bufferpool_fsyncs_total "), "{body}");
-    assert!(body.contains("prix_bufferpool_wal_appends_total "), "{body}");
-    assert!(body.contains("prix_bufferpool_flush_errors_total 0"), "{body}");
+    assert!(
+        body.contains("prix_bufferpool_wal_appends_total "),
+        "{body}"
+    );
+    assert!(
+        body.contains("prix_bufferpool_flush_errors_total 0"),
+        "{body}"
+    );
     assert!(body.contains("prix_recovery_unclean_shutdown "), "{body}");
     assert!(body.contains("prix_recovery_replayed_frames "), "{body}");
     assert!(body.contains("prix_recovery_replayed_pages "), "{body}");
@@ -442,5 +467,181 @@ fn metrics_expose_traffic_and_bufferpool_state() {
         body2.contains(r#"prix_http_request_duration_seconds_count{endpoint="query"} 5"#),
         "{body2}"
     );
+    h.shutdown().unwrap();
+}
+
+/// Pulls the top-level `"epoch":N` value out of a JSON response body.
+fn epoch_of(body: &str) -> u64 {
+    let rest = &body[body.find(r#""epoch":"#).expect("no epoch field") + 8..];
+    rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+}
+
+#[test]
+fn documents_endpoint_is_forbidden_unless_enabled() {
+    let h = start_default(); // ingest defaults to off
+    let (status, body) = post(
+        h.addr(),
+        "/documents",
+        "<dblp><www><url>x</url></www></dblp>",
+    );
+    assert_eq!(status, 403, "{body}");
+    assert!(body.contains("--ingest"), "{body}");
+    // Wrong method still yields 405, not 403.
+    let (status, _) = get(h.addr(), "/documents");
+    assert_eq!(status, 405);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn documents_ingest_publishes_a_new_epoch() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let (status, before) = get(addr, "/query?xp=//www/url");
+    assert_eq!(status, 200, "{before}");
+    assert!(before.contains(r#""count":1"#), "{before}");
+    let e0 = epoch_of(&before);
+
+    let (status, resp) = post(
+        addr,
+        "/documents",
+        "<dblp><www><editor>N</editor><url>v</url></www></dblp>",
+    );
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""accepted":1"#), "{resp}");
+    assert!(resp.contains(r#""rejected":[]"#), "{resp}");
+    let e1 = epoch_of(&resp);
+    assert!(e1 > e0, "epoch must advance: {e0} -> {e1}");
+
+    // A fresh query sees the new document at the new epoch.
+    let (status, after) = get(addr, "/query?xp=//www/url");
+    assert_eq!(status, 200, "{after}");
+    assert!(after.contains(r#""count":2"#), "{after}");
+    assert_eq!(epoch_of(&after), e1);
+
+    // Batched form: the wrapper's children become two documents in one
+    // commit, so the epoch advances exactly once.
+    let (status, resp) = post(
+        addr,
+        "/documents?split=1",
+        "<batch><dblp><www><url>a</url></www></dblp><dblp><www><url>b</url></www></dblp></batch>",
+    );
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""accepted":2"#), "{resp}");
+    assert_eq!(epoch_of(&resp), e1 + 1);
+
+    let (status, after) = get(addr, "/query?xp=//www/url");
+    assert_eq!(status, 200, "{after}");
+    assert!(after.contains(r#""count":4"#), "{after}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn documents_rejects_malformed_xml_without_moving_the_epoch() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let (_, before) = get(addr, "/query?xp=//www/url");
+    let e0 = epoch_of(&before);
+    let (status, resp) = post(addr, "/documents", "<dblp><broken");
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains(r#""accepted":0"#), "{resp}");
+    assert!(resp.contains("parse error"), "{resp}");
+    assert_eq!(epoch_of(&resp), e0);
+    let (_, after) = get(addr, "/query?xp=//www/url");
+    assert_eq!(epoch_of(&after), e0);
+    assert!(after.contains(r#""count":1"#), "{after}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn batch_responses_carry_the_epoch() {
+    let h = start_default();
+    let (status, resp) = post(h.addr(), "/batch", "//www/url\n");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""epoch":"#), "{resp}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn ingest_metrics_expose_epoch_and_counters() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let (status, resp) = post(addr, "/documents", "<dblp><www><url>m</url></www></dblp>");
+    assert_eq!(status, 200, "{resp}");
+    let e = epoch_of(&resp);
+    let (_, resp) = post(addr, "/documents", "<nope");
+    assert!(resp.contains("parse error"), "{resp}");
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    // Exact metric names are a dashboard contract.
+    assert!(body.contains(&format!("prix_engine_epoch {e}")), "{body}");
+    assert!(body.contains("prix_ingest_documents_total 1"), "{body}");
+    assert!(body.contains("prix_ingest_batches_total 2"), "{body}");
+    assert!(body.contains("prix_ingest_rejected_total 1"), "{body}");
+    assert!(
+        body.contains(r#"prix_http_requests_total{endpoint="documents",code="200"} 1"#),
+        "{body}"
+    );
+    assert!(
+        body.contains(r#"prix_http_requests_total{endpoint="documents",code="400"} 1"#),
+        "{body}"
+    );
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn queries_stay_consistent_while_ingest_runs() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        threads: 4,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    // Writer thread publishes 5 batches while reader threads hammer the
+    // same query. Every response must be internally consistent: the
+    // count is between the initial 1 and final 6, never torn, and
+    // epochs never run backwards within one reader.
+    std::thread::scope(|s| {
+        let writer = s.spawn(move || {
+            for i in 0..5 {
+                let doc = format!("<dblp><www><url>gen{i}</url></www></dblp>");
+                let (status, resp) = post(addr, "/documents", &doc);
+                assert_eq!(status, 200, "{resp}");
+            }
+        });
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut last_epoch = 0u64;
+                for _ in 0..20 {
+                    let (status, body) = get(addr, "/query?xp=//www/url");
+                    assert_eq!(status, 200, "{body}");
+                    let e = epoch_of(&body);
+                    assert!(e >= last_epoch, "epoch went backwards: {body}");
+                    last_epoch = e;
+                    let count: u64 = {
+                        let rest = &body[body.find(r#""count":"#).unwrap() + 8..];
+                        rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+                    };
+                    assert!((1..=6).contains(&count), "torn count: {body}");
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    // Settled: the final snapshot sees all six documents.
+    let (_, body) = get(addr, "/query?xp=//www/url");
+    assert!(body.contains(r#""count":6"#), "{body}");
     h.shutdown().unwrap();
 }

@@ -8,10 +8,23 @@
 //! `sample / (clients * requests)` is the per-request latency and
 //! `(clients * requests) / sample` the requests/sec — future PRs track
 //! these numbers.
+//!
+//! Two client modes exercise the connection lifecycle:
+//!
+//! * **close-per-request** — one TCP connect per request with
+//!   `Connection: close`, the pre-keep-alive behaviour;
+//! * **keep-alive** — one persistent connection per client thread,
+//!   responses framed by `Content-Length`.
+//!
+//! After the harness runs, the bench asserts the two acceptance
+//! properties directly: keep-alive beats close-per-request by ≥ 5× at
+//! 8 clients, and a repeated-query run is served from the result cache
+//! (hit ratio > 0.9, bit-identical bodies) until an ingest advances
+//! the epoch and invalidates it.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use prix_core::{EngineConfig, PrixEngine};
 use prix_datagen::{queries::queries_for, Dataset};
@@ -32,17 +45,109 @@ fn request(addr: SocketAddr, raw: &str) -> String {
 fn get(addr: SocketAddr, target: &str) -> String {
     request(
         addr,
-        &format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n"),
+        &format!("GET {target} HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n"),
     )
 }
 
-/// `clients` threads each run `per_client` GETs of `target`.
+/// One persistent connection speaking keep-alive: requests go out
+/// without `Connection: close`, responses come back framed by
+/// `Content-Length` so the socket can be reused immediately.
+struct KeepAliveConn {
+    r: BufReader<TcpStream>,
+}
+
+impl KeepAliveConn {
+    fn connect(addr: SocketAddr) -> Self {
+        let s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.set_nodelay(true).unwrap();
+        KeepAliveConn {
+            r: BufReader::new(s),
+        }
+    }
+
+    /// Sends one GET and reads one framed response body.
+    fn get(&mut self, target: &str) -> String {
+        self.send(target, 1);
+        self.read_one()
+    }
+
+    /// Writes `n` back-to-back GETs without waiting for responses
+    /// (bounded pipelining — the server answers them in order).
+    fn send(&mut self, target: &str, n: usize) {
+        let one = format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n");
+        self.r
+            .get_ref()
+            .write_all(one.repeat(n).as_bytes())
+            .expect("send");
+    }
+
+    /// Reads one framed response off the socket.
+    fn read_one(&mut self) -> String {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self.r.read_line(&mut line).expect("read header");
+            assert!(n > 0, "server closed mid-response: {head:?}");
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        assert!(head.starts_with("HTTP/1.1 200"), "bad response: {head}");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                if k.eq_ignore_ascii_case("content-length") {
+                    v.trim().parse().ok()
+                } else {
+                    None
+                }
+            })
+            .expect("no Content-Length");
+        let mut body = vec![0u8; content_length];
+        self.r.read_exact(&mut body).expect("read body");
+        String::from_utf8(body).expect("utf-8 body")
+    }
+}
+
+/// `clients` threads each run `per_client` GETs of `target`, one
+/// fresh connection per request (`Connection: close`).
 fn closed_loop(addr: SocketAddr, target: &str, clients: usize, per_client: usize) {
     std::thread::scope(|s| {
         for _ in 0..clients {
             s.spawn(move || {
                 for _ in 0..per_client {
                     std::hint::black_box(get(addr, target));
+                }
+            });
+        }
+    });
+}
+
+/// `clients` threads each run `per_client` GETs of `target` down one
+/// persistent keep-alive connection, pipelined `depth` requests at a
+/// time (`depth = 1` is plain request/response keep-alive).
+fn keep_alive_loop(
+    addr: SocketAddr,
+    target: &str,
+    clients: usize,
+    per_client: usize,
+    depth: usize,
+) {
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            s.spawn(move || {
+                let mut conn = KeepAliveConn::connect(addr);
+                let mut left = per_client;
+                while left > 0 {
+                    let burst = depth.min(left);
+                    conn.send(target, burst);
+                    for _ in 0..burst {
+                        std::hint::black_box(conn.read_one());
+                    }
+                    left -= burst;
                 }
             });
         }
@@ -58,10 +163,24 @@ fn start_server() -> ServerHandle {
             addr: "127.0.0.1:0".to_string(),
             threads: 4,
             queue_depth: 128,
+            // The epoch-advance acceptance check ingests one document.
+            ingest: true,
+            // Keep a chatty bench client on one connection throughout.
+            max_requests_per_conn: 1_000_000,
             ..Default::default()
         },
     )
     .expect("start server")
+}
+
+/// Pulls `prix_cache_hit_ratio{cache="result"}` out of a /metrics body.
+fn result_hit_ratio(metrics: &str) -> f64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(r#"prix_cache_hit_ratio{cache="result"}"#))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("no result-cache hit-ratio gauge")
 }
 
 fn main() {
@@ -76,7 +195,7 @@ fn main() {
         .map(|q| format!("{}\n", q.xpath))
         .collect();
     let batch = format!(
-        "POST /batch HTTP/1.1\r\nHost: prix\r\nContent-Length: {}\r\n\r\n{batch_body}",
+        "POST /batch HTTP/1.1\r\nHost: prix\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{batch_body}",
         batch_body.len()
     );
 
@@ -93,6 +212,17 @@ fn main() {
     h.bench("query_x64_1client", || closed_loop(addr, q2, 1, 64));
     h.bench("query_x64_4clients", || closed_loop(addr, q2, 4, 16));
     h.bench("query_x64_8clients", || closed_loop(addr, q2, 8, 8));
+    // The same loads on persistent connections: no connect per request,
+    // plus a pipelined variant (16 requests in flight per client).
+    h.bench("query_keepalive_x64_1client", || {
+        keep_alive_loop(addr, q2, 1, 64, 1)
+    });
+    h.bench("query_keepalive_x64_8clients", || {
+        keep_alive_loop(addr, q2, 8, 8, 1)
+    });
+    h.bench("query_pipelined16_x64_8clients", || {
+        keep_alive_loop(addr, q2, 8, 8, 16)
+    });
     // The batch endpoint amortizes HTTP per query.
     h.bench("batch_structural_x8", || {
         for _ in 0..8 {
@@ -101,6 +231,53 @@ fn main() {
     });
     h.finish();
 
+    // Acceptance: at 8 clients, keep-alive (with bounded pipelining,
+    // 16 requests in flight per client) must deliver >= 5x the
+    // requests/sec of close-per-request. Measured outside the harness
+    // so the ratio is over one long run, not per-sample medians.
+    let per_client = 200;
+    let t = Instant::now();
+    closed_loop(addr, q2, 8, per_client);
+    let close_elapsed = t.elapsed();
+    let t = Instant::now();
+    keep_alive_loop(addr, q2, 8, per_client, 16);
+    let ka_elapsed = t.elapsed();
+    let speedup = close_elapsed.as_secs_f64() / ka_elapsed.as_secs_f64();
+    println!(
+        "keepalive_speedup_8clients {speedup:.2}x (close {:.1}ms, keep-alive {:.1}ms for {} reqs)",
+        close_elapsed.as_secs_f64() * 1e3,
+        ka_elapsed.as_secs_f64() * 1e3,
+        8 * per_client,
+    );
+    assert!(
+        speedup >= 5.0,
+        "keep-alive must be >= 5x close-per-request at 8 clients, got {speedup:.2}x"
+    );
+
+    // Acceptance: the repeated-query traffic above was served from the
+    // result cache — high hit ratio and bit-identical bodies — until an
+    // ingest publishes a new epoch, which must invalidate it.
+    let mut conn = KeepAliveConn::connect(addr);
+    let first = conn.get(q2);
+    for _ in 0..31 {
+        assert_eq!(conn.get(q2), first, "cache hit must be bit-identical");
+    }
+    let ratio = result_hit_ratio(&get(addr, "/metrics"));
+    println!("result_cache_hit_ratio {ratio:.4}");
+    assert!(ratio > 0.9, "expected hit ratio > 0.9, got {ratio}");
+    let doc = "<dblp><www><editor>bench</editor><url>invalidate</url></www></dblp>";
+    let ingest = request(
+        addr,
+        &format!(
+            "POST /documents HTTP/1.1\r\nHost: prix\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{doc}",
+            doc.len()
+        ),
+    );
+    assert!(ingest.contains(r#""accepted":1"#), "{ingest}");
+    let after = conn.get(q2);
+    assert_ne!(after, first, "epoch advance must invalidate the cache");
+    println!("epoch_invalidation ok");
+
     // Show that the bench traffic moved the server-side histograms
     // (the acceptance check for /metrics under load).
     let metrics = get(addr, "/metrics");
@@ -108,6 +285,7 @@ fn main() {
         l.starts_with("prix_http_request_duration_seconds_count")
             || l.starts_with("prix_bufferpool_hit_ratio")
             || l.starts_with("prix_http_requests_total")
+            || l.starts_with("prix_cache_")
     }) {
         println!("{line}");
     }

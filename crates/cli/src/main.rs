@@ -28,7 +28,7 @@ use prix_core::{EngineConfig, ExecOpts, LabelingMode, PrixEngine};
 use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--result-cache-entries N] [--idle-timeout-ms N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -277,6 +277,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                         .parse()
                         .map_err(|_| usage_err("--read-timeout-ms needs an integer"))?,
                 )
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(
+                    val("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|_| usage_err("--idle-timeout-ms needs an integer"))?,
+                )
+            }
+            "--result-cache-entries" => {
+                cfg.result_cache_entries = val("--result-cache-entries")?
+                    .parse()
+                    .map_err(|_| usage_err("--result-cache-entries needs an integer"))?
             }
             other => return Err(usage_err(format!("unknown serve flag `{other}`"))),
         }

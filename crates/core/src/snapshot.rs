@@ -170,6 +170,9 @@ pub struct IngestReport {
     pub epoch: u64,
 }
 
+/// A callback invoked with the new epoch after each successful publish.
+type PublishHook = Box<dyn Fn(u64) + Send + Sync>;
+
 /// A [`PrixEngine`] shared between one writer and any number of
 /// snapshot readers.
 ///
@@ -188,6 +191,9 @@ pub struct SharedEngine {
     /// block on the writer lock.
     pool: Arc<prix_storage::BufferPool>,
     recovery: Option<prix_storage::RecoveryReport>,
+    /// Called with the new epoch right after each publish becomes
+    /// visible (serving layers hang cache invalidation off this).
+    on_publish: Mutex<Option<PublishHook>>,
 }
 
 impl SharedEngine {
@@ -203,7 +209,17 @@ impl SharedEngine {
             poisoned: AtomicBool::new(false),
             pool,
             recovery,
+            on_publish: Mutex::new(None),
         }
+    }
+
+    /// Registers a callback invoked with the new epoch *after* every
+    /// successful publish — the snapshot swap has already happened, so
+    /// anything the callback invalidates can be repopulated from the
+    /// new epoch immediately. One callback at a time; registering
+    /// replaces the previous one.
+    pub fn set_on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self.on_publish.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(hook));
     }
 
     /// The engine's buffer pool (metrics, shutdown flush). Does not
@@ -309,6 +325,14 @@ impl SharedEngine {
                 let snap = Arc::new(EngineSnapshot::capture(&engine));
                 debug_assert_eq!(snap.epoch(), epoch);
                 *self.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+                if let Some(hook) = self
+                    .on_publish
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                {
+                    hook(epoch);
+                }
                 Ok(IngestReport {
                     accepted: outcome.accepted,
                     rejected: outcome.rejected,
@@ -418,6 +442,21 @@ mod tests {
         let text = snap.explain("/a/unknown_here").unwrap();
         assert!(text.starts_with("index: "));
         assert!(text.contains("unknown_here"));
+    }
+
+    #[test]
+    fn publish_hook_fires_with_the_new_epoch_only_on_success() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let shared = shared();
+        let seen = std::sync::Arc::new(AtomicU64::new(0));
+        let seen2 = std::sync::Arc::clone(&seen);
+        shared.set_on_publish(move |e| seen2.store(e, Ordering::SeqCst));
+        // A fully rejected batch publishes nothing: the hook stays quiet.
+        shared.ingest(&docs(&["<broken"])).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 0);
+        // A successful publish reports exactly the new epoch.
+        let report = shared.ingest(&docs(&["<a><b>x</b></a>"])).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), report.epoch);
     }
 
     #[test]

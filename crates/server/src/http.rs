@@ -3,7 +3,9 @@
 //! Hand-rolled on `std::io` because the workspace is hermetic (no
 //! external crates). Supports exactly what [`crate::Server`] needs:
 //! request line + headers + optional `Content-Length` body, a query
-//! string with percent-decoding, and `Connection: close` responses.
+//! string with percent-decoding (path and form variants — `+` is a
+//! space only in query strings), and responses that either keep the
+//! connection alive or close it ([`Response::write_to_conn`]).
 //! Everything a malicious or broken client can send maps to a typed
 //! [`HttpError`] so the server can answer with the right status code
 //! instead of panicking or hanging.
@@ -81,9 +83,24 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Minor HTTP version: `1` for HTTP/1.1, `0` for HTTP/1.0.
+    pub minor_version: u8,
 }
 
 impl Request {
+    /// Whether the client asked (or defaulted) to keep the connection
+    /// open after this request: HTTP/1.1 keeps alive unless the
+    /// `Connection` header lists `close`; HTTP/1.0 closes unless it
+    /// lists `keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let tokens =
+            |v: &str, wanted: &str| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(wanted));
+        match self.header("connection") {
+            Some(v) if self.minor_version == 0 => tokens(v, "keep-alive"),
+            Some(v) => !tokens(v, "close"),
+            None => self.minor_version == 1,
+        }
+    }
     /// First value of query parameter `name`, if present.
     pub fn param(&self, name: &str) -> Option<&str> {
         self.params
@@ -142,16 +159,27 @@ fn read_line(r: &mut impl BufRead, limit: usize) -> Result<Option<String>, HttpE
     }
 }
 
-/// Percent-decodes a URL component; `+` becomes a space (form
-/// encoding, which is what `curl --data-urlencode` and browsers send
-/// in query strings).
-pub fn percent_decode(s: &str) -> Result<String, HttpError> {
+/// Percent-decodes a *query-string* component; `+` becomes a space
+/// (form encoding, which is what `curl --data-urlencode` and browsers
+/// send in query strings).
+pub fn percent_decode_form(s: &str) -> Result<String, HttpError> {
+    percent_decode_impl(s, true)
+}
+
+/// Percent-decodes a *path* component. Per RFC 3986 `+` is an ordinary
+/// character outside query strings, so `/a+b` stays `/a+b` — only
+/// `%XX` escapes are rewritten.
+pub fn percent_decode_path(s: &str) -> Result<String, HttpError> {
+    percent_decode_impl(s, false)
+}
+
+fn percent_decode_impl(s: &str, plus_is_space: bool) -> Result<String, HttpError> {
     let bytes = s.as_bytes();
     let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -180,7 +208,7 @@ fn parse_query_string(qs: &str) -> Result<Vec<(String, String)>, HttpError> {
     let mut params = Vec::new();
     for pair in qs.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
-        params.push((percent_decode(k)?, percent_decode(v)?));
+        params.push((percent_decode_form(k)?, percent_decode_form(v)?));
     }
     Ok(params)
 }
@@ -204,16 +232,20 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
             )))
         }
     };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(HttpError::BadRequest(format!(
-            "unsupported protocol `{version}`"
-        )));
-    }
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported protocol `{version}`"
+            )))
+        }
+    };
     if !method.bytes().all(|b| b.is_ascii_uppercase()) {
         return Err(HttpError::BadRequest(format!("bad method `{method}`")));
     }
     let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
-    let path = percent_decode(raw_path)?;
+    let path = percent_decode_path(raw_path)?;
     let params = parse_query_string(raw_query)?;
 
     let mut headers: Vec<(String, String)> = Vec::new();
@@ -240,7 +272,18 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
         ));
     }
     let mut body = Vec::new();
-    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+    // Collect *every* Content-Length header. Taking the first and
+    // ignoring the rest would let two differing values desynchronize
+    // request framing on a kept-alive connection (request smuggling),
+    // so repeated Content-Length is rejected outright — even when the
+    // copies agree, a proxy in front of us may not be as strict.
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    if let Some((_, v)) = lengths.next() {
+        if lengths.next().is_some() {
+            return Err(HttpError::BadRequest(
+                "repeated Content-Length header".into(),
+            ));
+        }
         let len: usize = v
             .parse()
             .map_err(|_| HttpError::BadRequest(format!("bad Content-Length `{v}`")))?;
@@ -256,6 +299,7 @@ pub fn read_request(r: &mut impl BufRead) -> Result<Option<Request>, HttpError> 
         params,
         headers,
         body,
+        minor_version,
     }))
 }
 
@@ -271,6 +315,7 @@ pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
@@ -322,14 +367,29 @@ impl Response {
         self.body("text/plain; charset=utf-8", body.into().into_bytes())
     }
 
-    /// Serializes the response (always `Connection: close`; the server
-    /// handles one request per connection).
+    /// Serializes the response with `Connection: close` (the shed path
+    /// and one-shot replies). Kept-alive responses go through
+    /// [`Response::write_to_conn`].
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        self.write_to_conn(w, false, false)
+    }
+
+    /// Serializes the response. `keep_alive` selects the `Connection`
+    /// header; `head_only` answers a `HEAD` request — the status line,
+    /// headers, and the `Content-Length` the body *would* have, but no
+    /// body bytes (what load-balancer health checks expect).
+    pub fn write_to_conn(
+        &self,
+        w: &mut impl Write,
+        keep_alive: bool,
+        head_only: bool,
+    ) -> io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -339,7 +399,9 @@ impl Response {
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        if !head_only {
+            w.write_all(&self.body)?;
+        }
         w.flush()
     }
 }
@@ -373,6 +435,52 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(req.param("xp"), Some("a b"));
+    }
+
+    #[test]
+    fn plus_in_path_is_not_a_space() {
+        // RFC 3986: `+` is only form-encoded space in query strings; a
+        // path containing `+` must survive verbatim.
+        let req = parse(b"GET /a+b/c%20d?k=x+y HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/a+b/c d");
+        assert_eq!(req.param("k"), Some("x y"));
+    }
+
+    #[test]
+    fn repeated_content_length_is_rejected() {
+        // Two differing values: the classic request-smuggling vector.
+        let raw = b"POST /batch HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        let err = parse(raw).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.detail().contains("Content-Length"), "{err}");
+        // Even agreeing duplicates are refused: a lenient proxy ahead
+        // of us may have folded or reordered them differently.
+        let raw = b"POST /batch HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(parse(raw).unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.minor_version, 1);
+        assert!(req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Upgrade\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.minor_version, 0);
+        assert!(!req.wants_keep_alive());
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_keep_alive());
     }
 
     #[test]
@@ -453,10 +561,13 @@ mod tests {
 
     #[test]
     fn percent_decode_roundtrips() {
-        assert_eq!(percent_decode("a%2Fb%20c+d").unwrap(), "a/b c d");
-        assert_eq!(percent_decode("plain").unwrap(), "plain");
-        assert!(percent_decode("%2").is_err());
-        assert!(percent_decode("%zz").is_err());
+        assert_eq!(percent_decode_form("a%2Fb%20c+d").unwrap(), "a/b c d");
+        assert_eq!(percent_decode_form("plain").unwrap(), "plain");
+        assert!(percent_decode_form("%2").is_err());
+        assert!(percent_decode_form("%zz").is_err());
+        // The path variant decodes escapes but leaves `+` alone.
+        assert_eq!(percent_decode_path("a%2Fb%20c+d").unwrap(), "a/b c+d");
+        assert!(percent_decode_path("%zz").is_err());
     }
 
     #[test]
@@ -473,5 +584,21 @@ mod tests {
         assert!(s.contains("Connection: close\r\n"), "{s}");
         assert!(s.contains("Retry-After: 1\r\n"), "{s}");
         assert!(s.ends_with("\r\n\r\nok\n"), "{s}");
+    }
+
+    #[test]
+    fn keep_alive_and_head_only_wire_formats() {
+        let resp = Response::new(200).text("ok\n");
+        let mut buf = Vec::new();
+        resp.write_to_conn(&mut buf, true, false).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nok\n"), "{s}");
+        // HEAD: full headers, true Content-Length, zero body bytes.
+        let mut buf = Vec::new();
+        resp.write_to_conn(&mut buf, true, true).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Content-Length: 3\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\n"), "{s}");
     }
 }

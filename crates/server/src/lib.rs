@@ -6,8 +6,9 @@
 //! which needs a long-lived server. This crate provides it without
 //! adding a single external dependency: an HTTP parser ([`http`]), a
 //! bounded worker pool with fail-fast admission control ([`workers`]),
-//! Prometheus-style metrics ([`metrics`]), a JSON writer ([`json`]),
-//! and the server itself ([`server`]).
+//! epoch-keyed plan and result caches ([`cache`]), Prometheus-style
+//! metrics ([`metrics`]), a JSON writer ([`json`]), and the server
+//! itself ([`server`]).
 //!
 //! ```no_run
 //! use prix_core::{EngineConfig, PrixEngine};
@@ -19,12 +20,14 @@
 //! handle.wait().unwrap(); // until POST /shutdown
 //! ```
 
+pub mod cache;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod workers;
 
+pub use cache::{CacheSnapshot, PlanCache, ResultCache, ResultKey};
 pub use http::{Request, Response};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_US};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use prix_storage::{IoSnapshot, RecoveryReport};
 
+use crate::cache::CacheSnapshot;
 use crate::json::escape;
 
 /// Fixed latency-histogram bucket upper bounds, in microseconds.
@@ -252,7 +253,9 @@ impl Metrics {
     /// `recovery` is what crash recovery did when the database was
     /// opened (`None` for legacy databases — the series still render,
     /// as zeros, so dashboards never see a metric vanish); `epoch` is
-    /// the currently published snapshot epoch.
+    /// the currently published snapshot epoch; `plan_cache` /
+    /// `result_cache` are the query caches' counter snapshots.
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         io: IoSnapshot,
@@ -261,6 +264,8 @@ impl Metrics {
         queue_depth: usize,
         recovery: Option<RecoveryReport>,
         epoch: u64,
+        plan_cache: CacheSnapshot,
+        result_cache: CacheSnapshot,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -378,6 +383,53 @@ impl Metrics {
             self.ingest_rejected()
         ));
 
+        // The query caches. Exact names are a dashboard contract:
+        // prix_cache_{hits,misses,evictions}_total{cache=...} plus the
+        // derived hit-ratio and occupancy gauges.
+        let caches = [("plan", plan_cache), ("result", result_cache)];
+        out.push_str(
+            "# HELP prix_cache_hits_total Cache lookups answered from the cache, by cache.\n",
+        );
+        out.push_str("# TYPE prix_cache_hits_total counter\n");
+        for (name, c) in &caches {
+            out.push_str(&format!(
+                "prix_cache_hits_total{{cache=\"{name}\"}} {}\n",
+                c.hits
+            ));
+        }
+        out.push_str("# HELP prix_cache_misses_total Cache lookups that fell through to a live evaluation, by cache.\n");
+        out.push_str("# TYPE prix_cache_misses_total counter\n");
+        for (name, c) in &caches {
+            out.push_str(&format!(
+                "prix_cache_misses_total{{cache=\"{name}\"}} {}\n",
+                c.misses
+            ));
+        }
+        out.push_str("# HELP prix_cache_evictions_total Entries removed by LRU pressure or epoch purges, by cache.\n");
+        out.push_str("# TYPE prix_cache_evictions_total counter\n");
+        for (name, c) in &caches {
+            out.push_str(&format!(
+                "prix_cache_evictions_total{{cache=\"{name}\"}} {}\n",
+                c.evictions
+            ));
+        }
+        out.push_str("# HELP prix_cache_hit_ratio Lifetime cache hit ratio in [0,1], by cache.\n");
+        out.push_str("# TYPE prix_cache_hit_ratio gauge\n");
+        for (name, c) in &caches {
+            out.push_str(&format!(
+                "prix_cache_hit_ratio{{cache=\"{name}\"}} {}\n",
+                c.hit_ratio()
+            ));
+        }
+        out.push_str("# HELP prix_cache_entries Entries currently resident, by cache.\n");
+        out.push_str("# TYPE prix_cache_entries gauge\n");
+        for (name, c) in &caches {
+            out.push_str(&format!(
+                "prix_cache_entries{{cache=\"{name}\"}} {}\n",
+                c.entries
+            ));
+        }
+
         out.push_str(
             "# HELP prix_bufferpool_logical_reads_total Pages requested from the buffer pool.\n",
         );
@@ -463,7 +515,16 @@ mod tests {
         assert_eq!(m.requests_for(Endpoint::Query, 400), 1);
         assert_eq!(m.requests_for(Endpoint::Batch, 200), 0);
 
-        let text = m.render(IoSnapshot::default(), 3, 16, 0, None, 0);
+        let text = m.render(
+            IoSnapshot::default(),
+            3,
+            16,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(
             text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#),
             "{text}"
@@ -484,7 +545,16 @@ mod tests {
         // 300 µs lands in the 500 µs bucket; 10 s overflows into +Inf.
         m.record(Endpoint::Query, 200, Duration::from_micros(300));
         m.record(Endpoint::Query, 200, Duration::from_secs(10));
-        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 0);
+        let text = m.render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(
             text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#),
             "{text}"
@@ -518,7 +588,16 @@ mod tests {
         assert_eq!(m.ingest_documents(), 3);
         assert_eq!(m.ingest_batches(), 2);
         assert_eq!(m.ingest_rejected(), 4);
-        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 17);
+        let text = m.render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            17,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(text.contains("prix_engine_epoch 17"), "{text}");
         assert!(text.contains("prix_ingest_documents_total 3"), "{text}");
         assert!(text.contains("prix_ingest_batches_total 2"), "{text}");
@@ -533,7 +612,16 @@ mod tests {
             physical_reads: 2,
             ..IoSnapshot::default()
         };
-        let text = m.render(io, 0, 0, 0, None, 0);
+        let text = m.render(
+            io,
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(text.contains("prix_bufferpool_hit_ratio 0.8"), "{text}");
         assert!(
             text.contains("prix_bufferpool_logical_reads_total 10"),
@@ -560,7 +648,16 @@ mod tests {
             replayed_pages: 9,
             wal_bytes: 4096,
         };
-        let text = m.render(io, 0, 0, 0, Some(rec), 0);
+        let text = m.render(
+            io,
+            0,
+            0,
+            0,
+            Some(rec),
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(text.contains("prix_bufferpool_fsyncs_total 7"), "{text}");
         assert!(
             text.contains("prix_bufferpool_wal_appends_total 5"),
@@ -576,7 +673,16 @@ mod tests {
         assert!(text.contains("prix_recovery_wal_bytes 4096"), "{text}");
         // Legacy databases (no recovery report) still emit every
         // series, as zeros — dashboards never see them vanish.
-        let text = m.render(IoSnapshot::default(), 0, 0, 0, None, 0);
+        let text = m.render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+        );
         assert!(text.contains("prix_bufferpool_fsyncs_total 0"), "{text}");
         assert!(text.contains("prix_recovery_unclean_shutdown 0"), "{text}");
         assert!(text.contains("prix_recovery_replayed_frames 0"), "{text}");

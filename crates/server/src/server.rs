@@ -15,10 +15,19 @@
 //!
 //! **Threading model.** A dedicated accept thread feeds accepted
 //! connections into a bounded [`WorkerPool`] queue; each worker handles
-//! one connection end to end (one request per connection,
-//! `Connection: close`). Admission control is fail-fast: a full queue
-//! or the connection cap turns into an immediate `503` +
-//! `Retry-After`, never an unbounded backlog.
+//! one connection end to end, looping over requests (HTTP/1.1
+//! keep-alive with pipelining) until the client closes, asks for
+//! `Connection: close`, idles past [`ServerConfig::idle_timeout`], or
+//! hits [`ServerConfig::max_requests_per_conn`]. Admission control is
+//! fail-fast: a full queue or the connection cap turns into an
+//! immediate `503` + `Retry-After`, never an unbounded backlog.
+//!
+//! **Caching.** Two epoch-keyed caches (see [`crate::cache`]) sit in
+//! front of the executor: a plan cache (XPath → parsed twig,
+//! invalidated only by symbol-table growth) and a sharded LRU result
+//! cache keyed by `(query, options, epoch)` whose entries are purged
+//! the moment an ingest publishes a new epoch — cached responses are
+//! bit-identical to live evaluation and can never be stale.
 //!
 //! **Snapshot isolation.** The engine lives in a [`SharedEngine`]:
 //! every request takes the current [`EngineSnapshot`] (an `Arc` clone)
@@ -35,15 +44,16 @@
 //! the accept loop, lets the workers drain every queued and in-flight
 //! request, flushes the engine's buffer pool, and returns.
 
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use prix_core::{EngineSnapshot, ExecOpts, PrixEngine, QueryOutcome, SharedEngine};
+use prix_core::{EngineSnapshot, ExecOpts, PrixEngine, QueryOutcome, SharedEngine, TwigQuery};
 
+use crate::cache::{PlanCache, ResultCache, ResultKey};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::JsonWriter;
 use crate::metrics::{Endpoint, Metrics, Stage};
@@ -77,6 +87,20 @@ pub struct ServerConfig {
     /// Whether `POST /documents` is enabled. Off by default: a serving
     /// replica should not silently accept writes.
     pub ingest: bool,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the worker closes it and moves on. Bounds how long a
+    /// quiet client can pin a worker.
+    pub idle_timeout: Duration,
+    /// Requests served down one connection before the server forces
+    /// `Connection: close`. Bounds pipelining and guarantees even a
+    /// maximally chatty client periodically releases its worker.
+    pub max_requests_per_conn: usize,
+    /// Entries in the epoch-keyed result cache shared by `/query` and
+    /// `/batch`. 0 disables result caching.
+    pub result_cache_entries: usize,
+    /// Entries in the plan cache (XPath string → parsed twig,
+    /// invalidated only by symbol-table growth).
+    pub plan_cache_entries: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +118,10 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             match_limit: 1000,
             ingest: false,
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            result_cache_entries: 4096,
+            plan_cache_entries: 1024,
         }
     }
 }
@@ -136,6 +164,11 @@ struct Shared {
     /// Connections accepted and not yet finished (queued or in a worker).
     active_conns: AtomicUsize,
     queue: QueueProbe,
+    /// XPath string → parsed twig, invalidated by symbol-table growth.
+    plan_cache: PlanCache,
+    /// `(query, opts, epoch)` → serialized 200 body; entries from
+    /// superseded epochs are purged by the engine's publish hook.
+    result_cache: Arc<ResultCache>,
 }
 
 /// Decrements the accepted-connection count on drop, whatever path the
@@ -169,9 +202,18 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let pool = Arc::new(WorkerPool::new(cfg.threads, cfg.queue_depth));
+        let result_cache = Arc::new(ResultCache::new(cfg.result_cache_entries));
+        let engine = SharedEngine::new(engine);
+        // Every publish orphans all older-epoch results; purge them the
+        // moment the new snapshot is visible so capacity is never
+        // squatted by entries no key will ever match again.
+        let hook_cache = Arc::clone(&result_cache);
+        engine.set_on_publish(move |epoch| hook_cache.purge_older_than(epoch));
         let shared = Arc::new(Shared {
-            engine: SharedEngine::new(engine),
+            engine,
             metrics: Metrics::new(),
+            plan_cache: PlanCache::new(cfg.plan_cache_entries),
+            result_cache,
             cfg,
             shutdown: ShutdownSignal::default(),
             active_conns: AtomicUsize::new(0),
@@ -344,29 +386,78 @@ fn shed_loop(rx: &mpsc::Receiver<TcpStream>, shared: &Arc<Shared>) {
     }
 }
 
+/// Serves one connection end to end: a keep-alive loop reading
+/// requests off one socket until the client closes, asks for close,
+/// errors, idles past [`ServerConfig::idle_timeout`], or hits the
+/// per-connection request cap. Responses go back in request order, so
+/// pipelined clients (several requests in flight on one socket) just
+/// work — the loop reads the next request from the `BufReader`'s
+/// buffered bytes without waiting for the previous response to be
+/// acknowledged.
 fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
     let mut writer = stream;
-    match read_request(&mut reader) {
-        Ok(Some(req)) => {
-            let start = Instant::now();
-            let (endpoint, resp) = route(&req, shared);
-            let elapsed = start.elapsed();
-            shared.metrics.record(endpoint, resp.status(), elapsed);
-            let _ = resp.write_to(&mut writer);
+    let mut served = 0usize;
+    loop {
+        // Wait for the next request's first byte under the idle
+        // timeout (for the first request the accept loop's read
+        // timeout is still in force — a fresh connection gets the
+        // same grace it always did). An idle expiry between requests
+        // is a normal keep-alive close, not an error.
+        if served > 0 {
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(shared.cfg.idle_timeout));
+            match reader.fill_buf() {
+                Ok([]) => break, // clean EOF between requests
+                Ok(_) => {}      // next request has started
+                Err(_) => break, // idle timeout or dead socket
+            }
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(shared.cfg.read_timeout));
         }
-        Ok(None) => {}              // client connected and went away; not a request
-        Err(HttpError::Io(_)) => {} // connection died; nothing to answer
-        Err(e) => {
-            let start = Instant::now();
-            let resp = Response::new(e.status()).json(error_json(&e.detail()));
-            shared
-                .metrics
-                .record(Endpoint::Other, e.status(), start.elapsed());
-            let _ = resp.write_to(&mut writer);
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                served += 1;
+                let head_only = req.method == "HEAD";
+                let start = Instant::now();
+                let (endpoint, resp) = route(&req, shared);
+                let elapsed = start.elapsed();
+                shared.metrics.record(endpoint, resp.status(), elapsed);
+                // The server closes when the client asks to, when the
+                // per-connection cap is reached, and during shutdown —
+                // checked *after* routing so `POST /shutdown` closes
+                // its own connection instead of idling a worker.
+                let keep_alive = req.wants_keep_alive()
+                    && served < shared.cfg.max_requests_per_conn
+                    && !shared.shutdown.is_requested();
+                if resp
+                    .write_to_conn(&mut writer, keep_alive, head_only)
+                    .is_err()
+                    || !keep_alive
+                {
+                    break;
+                }
+            }
+            Ok(None) => break,              // client went away between requests
+            Err(HttpError::Io(_)) => break, // connection died; nothing to answer
+            Err(e) => {
+                // A request we could not fully parse leaves the stream
+                // in an unknown state (where does the next request
+                // start?), so after answering, the connection must
+                // close — keeping it alive would be a desync vector.
+                let start = Instant::now();
+                let resp = Response::new(e.status()).json(error_json(&e.detail()));
+                shared
+                    .metrics
+                    .record(Endpoint::Other, e.status(), start.elapsed());
+                let _ = resp.write_to(&mut writer);
+                break;
+            }
         }
     }
     let _ = writer.flush();
@@ -395,7 +486,15 @@ fn error_json(detail: &str) -> String {
 }
 
 fn route(req: &Request, shared: &Arc<Shared>) -> (Endpoint, Response) {
-    match (req.method.as_str(), req.path.as_str()) {
+    // HEAD is GET without the body: it routes identically and the
+    // connection loop suppresses the body bytes (but not the true
+    // Content-Length) when writing.
+    let method = if req.method == "HEAD" {
+        "GET"
+    } else {
+        req.method.as_str()
+    };
+    match (method, req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, Response::new(200).text("ok\n")),
         ("GET", "/metrics") => (Endpoint::Metrics, handle_metrics(shared)),
         ("GET", "/query") => (Endpoint::Query, handle_query(req, shared)),
@@ -437,6 +536,8 @@ fn handle_metrics(shared: &Arc<Shared>) -> Response {
         shared.queue.depth(),
         shared.engine.recovery(),
         shared.engine.epoch(),
+        shared.plan_cache.snapshot(),
+        shared.result_cache.snapshot(),
     );
     Response::new(200).body(
         "text/plain; version=0.0.4; charset=utf-8",
@@ -444,22 +545,42 @@ fn handle_metrics(shared: &Arc<Shared>) -> Response {
     )
 }
 
-/// Parses `xp` against a snapshot's frozen symbol table (lock-free;
-/// labels the snapshot has never seen simply match nothing). `Err` is
-/// a ready `400` response.
+/// Parses `xpath` against a snapshot's frozen symbol table, going
+/// through the plan cache. The symbol table is append-only, so a plan
+/// parsed at the same table length is identical to a fresh parse (see
+/// [`PlanCache`]); parse errors are never cached — they are cheap and
+/// would only pin garbage.
+fn parse_plan(xpath: &str, snap: &EngineSnapshot, shared: &Shared) -> Result<TwigQuery, String> {
+    let syms_len = snap.symbols().len();
+    if let Some(q) = shared.plan_cache.get(xpath, syms_len) {
+        return Ok(q);
+    }
+    match snap.parse_query(xpath) {
+        Ok(q) => {
+            shared.plan_cache.insert(xpath, syms_len, q.clone());
+            Ok(q)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Extracts and parses `xp` (lock-free against the snapshot's frozen
+/// symbol table; labels the snapshot has never seen simply match
+/// nothing). `Err` is a ready `400` response.
 fn parse_query_param(
     req: &Request,
     snap: &EngineSnapshot,
-) -> Result<(String, prix_core::TwigQuery), Response> {
+    shared: &Shared,
+) -> Result<(String, TwigQuery), Response> {
     let xp = match req.param("xp") {
-        Some(x) if !x.is_empty() => x.to_string(),
+        Some(x) if !x.is_empty() => x.trim().to_string(),
         _ => {
             return Err(Response::new(400).json(error_json(
                 "missing query parameter `xp` (the XPath expression)",
             )))
         }
     };
-    match snap.parse_query(&xp) {
+    match parse_plan(&xp, snap, shared) {
         Ok(q) => Ok((xp, q)),
         Err(e) => Err(Response::new(400).json(error_json(&format!("xpath error: {e}")))),
     }
@@ -467,7 +588,7 @@ fn parse_query_param(
 
 fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
     let snap = shared.engine.snapshot();
-    let (xp, q) = match parse_query_param(req, &snap) {
+    let (xp, q) = match parse_query_param(req, &snap, shared) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
@@ -481,6 +602,19 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
         Some(Ok(n)) => ExecOpts::new().with_limit(n),
         Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
     };
+    // The answer is a pure function of this key (the epoch pins the
+    // snapshot), so a hit returns the exact bytes the first evaluation
+    // produced — bit-identical to recomputing, including the epoch
+    // reported inside the body.
+    let key = ResultKey {
+        query: xp.clone(),
+        unordered,
+        limit: opts.limit.map_or(u64::MAX, |n| n as u64),
+        epoch: snap.epoch(),
+    };
+    if let Some(body) = shared.result_cache.get(&key) {
+        return Response::new(200).json(String::from(&*body));
+    }
     let result = if unordered {
         snap.query_unordered_opts(&q, &opts)
     } else {
@@ -494,7 +628,9 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
             w.key("epoch").num(snap.epoch());
             outcome_json(&mut w, &xp, &out, true);
             w.end_obj();
-            Response::new(200).json(w.finish())
+            let body = w.finish();
+            shared.result_cache.insert(key, Arc::from(body.as_str()));
+            Response::new(200).json(body)
         }
         Err(e) => Response::new(400).json(error_json(&format!("query error: {e}"))),
     }
@@ -552,9 +688,21 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
         .filter(|l| !l.is_empty())
         .collect();
     let snap = shared.engine.snapshot();
+    // The normalized line list (trimmed, blanks dropped) is the batch's
+    // cache identity: two bodies that normalize alike ask the same
+    // questions in the same order.
+    let key = ResultKey {
+        query: lines.join("\n"),
+        unordered: false,
+        limit: opts.limit.map_or(u64::MAX, |n| n as u64),
+        epoch: snap.epoch(),
+    };
+    if let Some(cached) = shared.result_cache.get(&key) {
+        return Response::new(200).json(String::from(&*cached));
+    }
     let mut queries = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
-        match snap.parse_query(line) {
+        match parse_plan(line, &snap, shared) {
             Ok(q) => queries.push(q),
             Err(e) => {
                 return Response::new(400)
@@ -580,7 +728,9 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
             }
             w.end_arr();
             w.end_obj();
-            Response::new(200).json(w.finish())
+            let body = w.finish();
+            shared.result_cache.insert(key, Arc::from(body.as_str()));
+            Response::new(200).json(body)
         }
         Err(e) => Response::new(400).json(error_json(&format!("batch error: {e}"))),
     }

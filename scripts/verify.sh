@@ -20,6 +20,10 @@ cargo test -q --offline --workspace
 cargo test --release --test concurrency --offline --locked
 cargo test --release --test server --offline --locked
 cargo test --release --test executor_stream --offline --locked
+# The server crate's unit suites (HTTP parser, LRU/plan/result caches)
+# reruns in release: cache sharding and the keep-alive wire formats are
+# exactly where optimized codegen could perturb behaviour.
+cargo test --release -p prix-server --offline --locked
 
 # The crash-consistency harness reruns in release too: its ~330 seeded
 # kill-point iterations (including kills inside the online-ingest
@@ -72,6 +76,19 @@ HEALTH=$(http /healthz)
 grep -q '200 OK' <<<"$HEALTH" || { echo "healthz failed" >&2; exit 1; }
 METRICS=$(http /metrics)
 grep -q 'prix_http_requests_total' <<<"$METRICS" || { echo "metrics failed" >&2; exit 1; }
+grep -q 'prix_cache_hit_ratio' <<<"$METRICS" || { echo "cache metrics missing" >&2; exit 1; }
+
+# Keep-alive smoke: two requests down ONE socket. The first response
+# must not close the connection; the second (Connection: close) ends
+# it. Both must be 200s.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'GET /healthz HTTP/1.1\r\nHost: prix\r\n\r\nGET /healthz HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n' >&3
+KEEPALIVE=$(cat <&3)
+exec 3>&- 3<&-
+[ "$(grep -c '200 OK' <<<"$KEEPALIVE")" = 2 ] || { echo "keep-alive smoke: expected two 200s on one socket" >&2; echo "$KEEPALIVE" >&2; exit 1; }
+grep -qi 'connection: keep-alive' <<<"$KEEPALIVE" || { echo "keep-alive smoke: first response closed the connection" >&2; exit 1; }
+echo "keep-alive smoke OK (two 200s, one socket)"
+
 http /shutdown POST >/dev/null
 
 wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }

@@ -3,7 +3,7 @@
 //! malformed input, backpressure (503 under saturation), and graceful
 //! shutdown.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -54,10 +54,13 @@ fn send_raw(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
     (status, buf)
 }
 
+// The one-shot helpers ask for `Connection: close` so reading to EOF
+// terminates promptly; keep-alive behaviour is exercised explicitly by
+// the pipelining tests below.
 fn get(addr: SocketAddr, target: &str) -> (u16, String) {
     let (status, full) = send_raw(
         addr,
-        format!("GET {target} HTTP/1.1\r\nHost: prix\r\n\r\n").as_bytes(),
+        format!("GET {target} HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n").as_bytes(),
     );
     let body = full
         .split_once("\r\n\r\n")
@@ -70,7 +73,7 @@ fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
     let (status, full) = send_raw(
         addr,
         format!(
-            "POST {target} HTTP/1.1\r\nHost: prix\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {target} HTTP/1.1\r\nHost: prix\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -80,6 +83,36 @@ fn post(addr: SocketAddr, target: &str, body: &str) -> (u16, String) {
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     (status, body)
+}
+
+/// Reads exactly one framed response off a kept-alive connection:
+/// status line + headers, then `Content-Length` body bytes.
+fn read_response(r: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = r.read_line(&mut line).unwrap();
+        assert!(n > 0, "connection closed mid-response: {head:?}");
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            if k.eq_ignore_ascii_case("content-length") {
+                v.trim().parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or(0);
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).unwrap();
+    (status, head, String::from_utf8(body).unwrap())
 }
 
 #[test]
@@ -402,8 +435,10 @@ fn shutdown_endpoint_releases_wait() {
 fn metrics_expose_traffic_and_bufferpool_state() {
     let h = start_default();
     let addr = h.addr();
-    for _ in 0..3 {
-        let (status, _) = get(addr, "/query?xp=//www/url");
+    // Distinct limits make distinct cache keys: all three queries run
+    // the executor live (a cached hit would skip the stage timings).
+    for limit in 1..=3 {
+        let (status, _) = get(addr, &format!("/query?xp=//www/url&limit={limit}"));
         assert_eq!(status, 200);
     }
     let (_, _) = get(addr, "/query?xp=%2F%2F%5B%5Bbroken"); // a 400
@@ -643,5 +678,252 @@ fn queries_stay_consistent_while_ingest_runs() {
     // Settled: the final snapshot sees all six documents.
     let (_, body) = get(addr, "/query?xp=//www/url");
     assert!(body.contains(r#""count":6"#), "{body}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_requests_get_in_order_responses() {
+    let h = start_default();
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Four requests down one socket before reading anything. The third
+    // is a routable-but-bad request (missing xp): it must answer 400
+    // and keep the connection alive, because the framing was fine.
+    let mut raw = Vec::new();
+    raw.extend_from_slice(b"GET /query?xp=//www/url HTTP/1.1\r\nHost: prix\r\n\r\n");
+    raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: prix\r\n\r\n");
+    raw.extend_from_slice(b"GET /query HTTP/1.1\r\nHost: prix\r\n\r\n");
+    raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n");
+    s.write_all(&raw).unwrap();
+    let mut r = BufReader::new(s);
+
+    let (status, head, body) = read_response(&mut r);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""count":1"#), "{body}");
+    assert!(
+        head.to_lowercase().contains("connection: keep-alive"),
+        "{head}"
+    );
+    let (status, _, body) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    let (status, _, body) = read_response(&mut r);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("xp"), "{body}");
+    let (status, head, body) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    assert!(head.to_lowercase().contains("connection: close"), "{head}");
+    // The server honoured Connection: close — EOF follows.
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "bytes after final response: {rest:?}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn http10_closes_unless_keep_alive_is_requested() {
+    let h = start_default();
+    // HTTP/1.0 without a Connection header: one response, then EOF.
+    let (status, full) = send_raw(h.addr(), b"GET /healthz HTTP/1.0\r\nHost: prix\r\n\r\n");
+    assert_eq!(status, 200, "{full}");
+    assert!(full.to_lowercase().contains("connection: close"), "{full}");
+    // HTTP/1.0 with an explicit opt-in stays open for a second request.
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let mut r = BufReader::new(s);
+    let (status, head, _) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_lowercase().contains("connection: keep-alive"),
+        "{head}"
+    );
+    r.get_ref()
+        .write_all(b"GET /healthz HTTP/1.0\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, _, body) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn request_cap_forces_connection_close() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_requests_per_conn: 2,
+        ..Default::default()
+    });
+    let mut s = TcpStream::connect(h.addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    // Three pipelined requests against a cap of two: the second
+    // response closes the connection, the third is never answered.
+    for _ in 0..3 {
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: prix\r\n\r\n")
+            .unwrap();
+    }
+    let mut r = BufReader::new(s);
+    let (status, head, _) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert!(
+        head.to_lowercase().contains("connection: keep-alive"),
+        "{head}"
+    );
+    let (status, head, _) = read_response(&mut r);
+    assert_eq!(status, 200);
+    assert!(head.to_lowercase().contains("connection: close"), "{head}");
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "third request was answered: {rest:?}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn head_returns_headers_and_length_without_body() {
+    let h = start_default();
+    for target in ["/healthz", "/metrics"] {
+        let (status, full) = send_raw(
+            h.addr(),
+            format!("HEAD {target} HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n").as_bytes(),
+        );
+        assert_eq!(status, 200, "{full}");
+        let (head, body) = full.split_once("\r\n\r\n").unwrap();
+        assert!(body.is_empty(), "HEAD {target} returned a body: {body:?}");
+        // The advertised length is the body's true length, not 0.
+        let advertised: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().unwrap())
+            })
+            .expect("no Content-Length");
+        assert!(advertised > 0, "HEAD {target}: {head}");
+    }
+    // /healthz is static, so HEAD's length must equal GET's exactly.
+    let (_, full) = send_raw(
+        h.addr(),
+        b"HEAD /healthz HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n",
+    );
+    assert!(full.to_lowercase().contains("content-length: 3"), "{full}");
+    // HEAD on a POST-only endpoint is 405, like GET.
+    let (status, full) = send_raw(
+        h.addr(),
+        b"HEAD /batch HTTP/1.1\r\nHost: prix\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 405, "{full}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn repeated_content_length_is_rejected_over_the_wire() {
+    let h = start_default();
+    // Two conflicting Content-Lengths is a request-smuggling probe:
+    // reject outright, never pick one.
+    let (status, full) = send_raw(
+        h.addr(),
+        b"POST /batch HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n//a\nGET /x\r\n",
+    );
+    assert_eq!(status, 400, "{full}");
+    assert!(full.contains("Content-Length"), "{full}");
+    // Even two *agreeing* copies are rejected.
+    let (status, _) = send_raw(
+        h.addr(),
+        b"POST /batch HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n//a\n",
+    );
+    assert_eq!(status, 400);
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn plus_in_path_is_not_decoded_as_space() {
+    let h = start_default();
+    // `+` is literal in a path (RFC 3986); only query-string *values*
+    // use the form encoding. The 404 echo proves the path survived.
+    let (status, body) = get(h.addr(), "/a+b");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("/a+b"), "{body}");
+    // ...while `+` in a query value still decodes to a space (pinned
+    // by query_supports_unordered_and_limit above, which sends
+    // `Jim+Gray`).
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn cached_results_are_bit_identical_and_invalidated_by_ingest() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    let target = "/query?xp=//www/url";
+
+    let (status, first) = get(addr, target);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains(r#""count":1"#), "{first}");
+    let e0 = epoch_of(&first);
+    // A repeat is served from the result cache: byte-for-byte identical,
+    // including elapsed_us — it IS the first evaluation's body.
+    let (status, second) = get(addr, target);
+    assert_eq!(status, 200);
+    assert_eq!(first, second, "cache hit must be bit-identical");
+    let (_, metrics) = get(addr, "/metrics");
+    let hits_line = metrics
+        .lines()
+        .find(|l| l.starts_with(r#"prix_cache_hits_total{cache="result"}"#))
+        .expect("no result-cache hits series");
+    let hits: u64 = hits_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(hits >= 1, "{metrics}");
+
+    // Ingest publishes a new epoch; the same query must see the new
+    // document immediately — a stale cached answer would still say 1.
+    let (status, resp) = post(addr, "/documents", "<dblp><www><url>new</url></www></dblp>");
+    assert_eq!(status, 200, "{resp}");
+    let (status, third) = get(addr, target);
+    assert_eq!(status, 200, "{third}");
+    assert!(third.contains(r#""count":2"#), "stale cache: {third}");
+    assert!(epoch_of(&third) > e0, "{third}");
+    // And the new epoch's result is itself cached.
+    let (_, fourth) = get(addr, target);
+    assert_eq!(third, fourth);
+    // The publish hook purged the superseded epoch's entries eagerly.
+    let (_, metrics) = get(addr, "/metrics");
+    let evict_line = metrics
+        .lines()
+        .find(|l| l.starts_with(r#"prix_cache_evictions_total{cache="result"}"#))
+        .expect("no result-cache evictions series");
+    let evictions: u64 = evict_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(evictions >= 1, "{metrics}");
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn disabled_result_cache_still_serves_fresh_results() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        result_cache_entries: 0,
+        ..Default::default()
+    });
+    let addr = h.addr();
+    for _ in 0..2 {
+        let (status, body) = get(addr, "/query?xp=//www/url");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(r#""count":1"#), "{body}");
+    }
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains(r#"prix_cache_hits_total{cache="result"} 0"#),
+        "{metrics}"
+    );
+    // The plan cache is independent: the repeat hit it.
+    let plan_line = metrics
+        .lines()
+        .find(|l| l.starts_with(r#"prix_cache_hits_total{cache="plan"}"#))
+        .unwrap();
+    let plan_hits: u64 = plan_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(plan_hits >= 1, "{metrics}");
     h.shutdown().unwrap();
 }

@@ -28,7 +28,7 @@ use prix_core::{EngineConfig, ExecOpts, LabelingMode, PrixEngine};
 use prix_server::{Server, ServerConfig};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--result-cache-entries N] [--idle-timeout-ms N] [--no-wal]\n  prix stats <db.prix>\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--bulk] [--run-mem-mb N] [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--result-cache-entries N] [--idle-timeout-ms N] [--compact-after N] [--no-wal]\n  prix stats <db.prix>\n  prix segments <db.prix> [--verify]\n  prix compact <db.prix> [--run-mem-mb N]\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -54,6 +54,8 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("segments") => cmd_segments(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
@@ -82,6 +84,8 @@ fn main() -> ExitCode {
 fn cmd_index(args: &[String]) -> Result<(), CliError> {
     let mut split = false;
     let mut wal = true;
+    let mut bulk = false;
+    let mut run_mem_bytes = prix_core::DEFAULT_RUN_MEM_BYTES;
     let mut labeling = LabelingMode::Exact;
     let mut args = args;
     loop {
@@ -92,6 +96,20 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
             }
             [flag, rest @ ..] if flag == "--no-wal" => {
                 wal = false;
+                args = rest;
+            }
+            [flag, rest @ ..] if flag == "--bulk" => {
+                bulk = true;
+                args = rest;
+            }
+            [flag, n, rest @ ..] if flag == "--run-mem-mb" => {
+                let mb: usize = n
+                    .parse()
+                    .map_err(|_| usage_err("--run-mem-mb needs a positive integer"))?;
+                if mb == 0 {
+                    return Err(usage_err("--run-mem-mb needs a positive integer"));
+                }
+                run_mem_bytes = mb << 20;
                 args = rest;
             }
             // Dynamic labeling leaves trie-scope headroom so `prix add`
@@ -119,6 +137,46 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
     if files.is_empty() {
         return Err(usage_err("index needs at least one <file.xml>"));
     }
+    let cfg = EngineConfig {
+        path: Some(PathBuf::from(out)),
+        wal,
+        labeling,
+        ..Default::default()
+    };
+    if bulk {
+        // Streaming path: each document goes straight through the
+        // external-merge-sort segment builder; the collection is never
+        // materialized in memory.
+        let mut builder =
+            prix_core::BulkBuilder::new_mem(cfg, run_mem_bytes).map_err(|e| e.to_string())?;
+        for f in files {
+            let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
+            if split {
+                builder
+                    .add_xml_split(&text)
+                    .map_err(|e| format!("{f}: {e}"))?;
+            } else {
+                builder.add_xml(&text).map_err(|e| format!("{f}: {e}"))?;
+            }
+        }
+        let docs = builder.doc_count();
+        let engine = builder.finish().map_err(|e| e.to_string())?;
+        println!(
+            "bulk-indexed {} documents into {out} (generation {})",
+            docs,
+            engine.generation()
+        );
+        for s in engine.segment_manifest() {
+            println!(
+                "  segment {}: kind {}, docs {}..{}",
+                s.suffix,
+                seg_kind_name(s.kind),
+                s.doc_base,
+                s.doc_base + s.n_docs
+            );
+        }
+        return Ok(());
+    }
     let mut collection = Collection::new();
     for f in files {
         let text = std::fs::read_to_string(f).map_err(|e| format!("cannot read {f}: {e}"))?;
@@ -133,16 +191,7 @@ fn cmd_index(args: &[String]) -> Result<(), CliError> {
         }
     }
     let stats = collection.stats();
-    let mut engine = PrixEngine::build(
-        collection,
-        EngineConfig {
-            path: Some(PathBuf::from(out)),
-            wal,
-            labeling,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let mut engine = PrixEngine::build(collection, cfg).map_err(|e| e.to_string())?;
     engine.save().map_err(|e| e.to_string())?;
     println!(
         "indexed {} documents ({} elements, {} values) into {out}",
@@ -290,6 +339,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                     .parse()
                     .map_err(|_| usage_err("--result-cache-entries needs an integer"))?
             }
+            "--compact-after" => {
+                let n: usize = val("--compact-after")?
+                    .parse()
+                    .map_err(|_| usage_err("--compact-after needs a positive integer"))?;
+                if n == 0 {
+                    return Err(usage_err("--compact-after needs a positive integer"));
+                }
+                cfg.compact_after = Some(n);
+            }
             other => return Err(usage_err(format!("unknown serve flag `{other}`"))),
         }
     }
@@ -344,10 +402,103 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn seg_kind_name(kind: u8) -> &'static str {
+    match kind {
+        prix_core::SEG_KIND_RP => "rp",
+        prix_core::SEG_KIND_EP => "ep",
+        _ => "?",
+    }
+}
+
+fn cmd_segments(args: &[String]) -> Result<(), CliError> {
+    let (db, verify) = match args {
+        [db] => (db, false),
+        [db, flag] if flag == "--verify" => (db, true),
+        _ => return Err(usage_err("segments needs <db.prix> [--verify]")),
+    };
+    let engine = PrixEngine::reopen(db, 256).map_err(|e| e.to_string())?;
+    println!(
+        "generation {}: {} segment(s), {} segment doc(s), {} mutable doc(s)",
+        engine.generation(),
+        engine.segment_manifest().len(),
+        engine.segment_docs(),
+        engine.mutable_docs()
+    );
+    for s in engine.segment_manifest() {
+        println!(
+            "  segment {}: kind {}, docs {}..{}",
+            s.suffix,
+            seg_kind_name(s.kind),
+            s.doc_base,
+            s.doc_base + s.n_docs
+        );
+    }
+    if verify {
+        for (suffix, check) in engine.verify_segments().map_err(|e| e.to_string())? {
+            println!(
+                "  verified {suffix}: {} blocks, {} tag entries, {} doc entries, {} records ok",
+                check.blocks, check.tag_entries, check.doc_entries, check.records
+            );
+        }
+        println!("segments: clean");
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
+    let mut run_mem_bytes = prix_core::DEFAULT_RUN_MEM_BYTES;
+    let (db, rest) = match args {
+        [db, rest @ ..] => (db, rest),
+        _ => return Err(usage_err("compact needs <db.prix>")),
+    };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--run-mem-mb" => {
+                let mb: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| usage_err("--run-mem-mb needs a positive integer"))?;
+                if mb == 0 {
+                    return Err(usage_err("--run-mem-mb needs a positive integer"));
+                }
+                run_mem_bytes = mb << 20;
+            }
+            other => return Err(usage_err(format!("unknown compact flag `{other}`"))),
+        }
+    }
+    let mut engine = PrixEngine::reopen(db, 2000).map_err(|e| e.to_string())?;
+    let before = engine.mutable_docs();
+    if !engine
+        .compact_with(run_mem_bytes)
+        .map_err(|e| e.to_string())?
+    {
+        println!("nothing to compact (no mutable documents)");
+        return Ok(());
+    }
+    println!(
+        "compacted {} document(s) into generation {}",
+        before,
+        engine.generation()
+    );
+    for s in engine.segment_manifest() {
+        println!(
+            "  segment {}: kind {}, docs {}..{}",
+            s.suffix,
+            seg_kind_name(s.kind),
+            s.doc_base,
+            s.doc_base + s.n_docs
+        );
+    }
+    Ok(())
+}
+
 fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
     let [db] = args else {
         return Err(usage_err("fsck needs <db.prix>"));
     };
+    // A manifest that references a missing or corrupt segment file makes
+    // this reopen fail — fsck refuses such databases outright.
     let engine = PrixEngine::reopen(db, 256).map_err(|e| e.to_string())?;
     match engine.recovery() {
         Some(rep) if rep.unclean_shutdown => println!(
@@ -364,6 +515,14 @@ fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
     }
     let (verified, skipped) = engine.verify_checksums().map_err(|e| e.to_string())?;
     println!("pages: {verified} verified, {skipped} never written");
+    if engine.generation() > 0 {
+        for (suffix, check) in engine.verify_segments().map_err(|e| e.to_string())? {
+            println!(
+                "segment {suffix}: {} blocks, {} tag entries, {} doc entries, {} records ok",
+                check.blocks, check.tag_entries, check.doc_entries, check.records
+            );
+        }
+    }
     println!("fsck: clean");
     Ok(())
 }

@@ -12,8 +12,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use prix_storage::{
-    recover, BufferPool, FileStore, IoScope, IoSnapshot, Pager, RawStore, RecordId, RecordStore,
-    RecoveryReport, Wal, PAGE_SIZE,
+    recover, BufferPool, FileSegEnv, FileStore, IoScope, IoSnapshot, IoStats, Manifest,
+    ManifestSegment, MemSegEnv, Pager, RawStore, RecordId, RecordStore, RecoveryReport,
+    SegmentCheck, SegmentEnv, SegmentReader, Wal, PAGE_SIZE, SEG_KIND_EP, SEG_KIND_RP,
 };
 use prix_xml::{Collection, PostNum, Sym, SymbolTable};
 
@@ -94,6 +95,48 @@ fn sibling(path: &Path, suffix: &str) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// One immutable segment tier: the RP/EP segment pair covering global
+/// document ids `[doc_base, doc_base + n_docs)`. Queries descend every
+/// tier and the mutable delta; tiers never change after publication, so
+/// snapshots clone them for free (the indexes inside are segment-backed
+/// and internally shared).
+#[derive(Clone)]
+pub(crate) struct SegTier {
+    pub(crate) rp: Option<PrixIndex>,
+    pub(crate) ep: Option<PrixIndex>,
+    pub(crate) doc_base: u32,
+    pub(crate) n_docs: u32,
+}
+
+/// One tier's index pair as seen by the shared query paths: the same
+/// `(rp, ep)` shape [`pick_index_from`] routes over.
+pub(crate) type TierRefs<'a> = (Option<&'a PrixIndex>, Option<&'a PrixIndex>);
+
+/// Builds the tier list a query descends: segments in ascending
+/// `doc_base` order, then the mutable delta. The mutable tier joins
+/// only when it has documents (or when there is nothing else): an
+/// empty delta would re-run every trie descent for zero candidates,
+/// and — worse — flip the conservative truncation flag for limited
+/// queries. Omitting it keeps a freshly bulk-built or just-compacted
+/// engine bit-identical to a single-tier engine over the same
+/// documents, which is the property the `bulk_equals_incremental`
+/// suite pins.
+pub(crate) fn collect_tiers<'a>(
+    segments: &'a [SegTier],
+    rp: Option<&'a PrixIndex>,
+    ep: Option<&'a PrixIndex>,
+) -> Vec<TierRefs<'a>> {
+    let mut tiers: Vec<TierRefs<'a>> = segments
+        .iter()
+        .map(|t| (t.rp.as_ref(), t.ep.as_ref()))
+        .collect();
+    let mutable_docs = rp.or(ep).map_or(0, |i| i.doc_count());
+    if tiers.is_empty() || mutable_docs > 0 {
+        tiers.push((rp, ep));
+    }
+    tiers
+}
+
 /// Everything a query execution reports.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -135,6 +178,30 @@ pub struct PrixEngine {
     /// What crash recovery did when this engine was reopened; `None`
     /// for freshly built engines and clean reopens of legacy files.
     recovery: Option<RecoveryReport>,
+    /// Immutable segment tiers in ascending `doc_base` order (empty for
+    /// a never-segmented engine).
+    segments: Vec<SegTier>,
+    /// The manifest rows behind `segments`, kept verbatim for
+    /// compaction (which appends to them) and `prix segments`.
+    manifest_segments: Vec<ManifestSegment>,
+    /// Where segment/manifest/mutable-generation files live. File
+    /// engines resolve suffixes against the database path; in-memory
+    /// and harness engines use an in-memory map.
+    seg_env: Arc<dyn SegmentEnv>,
+    /// Segment-block I/O counters. One instance for the engine's whole
+    /// life: compaction swaps buffer pools (and their page counters)
+    /// but `/metrics` totals must not reset.
+    seg_stats: Arc<IoStats>,
+    /// Manifest generation; 0 = no manifest has ever been written.
+    generation: u64,
+    /// File-name suffix of the live mutable generation (`""` = the
+    /// base database file; compaction moves to `".g{N}"`).
+    mutable_suffix: String,
+    /// Pool capacity in pages; compaction builds the replacement
+    /// mutable generation with the same capacity.
+    buffer_pages: usize,
+    /// Labeling mode for fresh mutable generations.
+    labeling: LabelingMode,
 }
 
 impl PrixEngine {
@@ -199,6 +266,10 @@ impl PrixEngine {
 
     fn build_over(mut collection: Collection, cfg: EngineConfig, pool: BufferPool) -> Result<Self> {
         let pool = Arc::new(pool);
+        let seg_env: Arc<dyn SegmentEnv> = match &cfg.path {
+            Some(p) => Arc::new(FileSegEnv::new(p.clone())),
+            None => Arc::new(MemSegEnv::new()),
+        };
         let dummy = collection.intern("\u{1}prix-dummy");
         // Both indexes read the same immutable collection and write
         // through the internally synchronized buffer pool, so they can
@@ -255,6 +326,14 @@ impl PrixEngine {
             catalog_store: None,
             saved_syms: None,
             recovery: None,
+            segments: Vec::new(),
+            manifest_segments: Vec::new(),
+            seg_env,
+            seg_stats: Arc::new(IoStats::new()),
+            generation: 0,
+            mutable_suffix: String::new(),
+            buffer_pages: cfg.buffer_pages,
+            labeling: cfg.labeling,
         })
     }
 
@@ -300,9 +379,14 @@ impl PrixEngine {
         self.pool.clear().map_err(IndexError::Storage)
     }
 
-    /// Picks the index for a query (§5.6's optimizer rule).
+    /// Picks the index for a query (§5.6's optimizer rule). On a
+    /// tiered engine this reports the choice for the *first* tier —
+    /// every tier routes the same way, but only a tier with documents
+    /// has meaningful MaxGap values for [`PrixEngine::explain`].
     pub fn pick_index(&self, q: &TwigQuery) -> Result<&PrixIndex> {
-        pick_index_from(self.rp.as_ref(), self.ep.as_ref(), q)
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        pick_index_from(rp, ep, q)
     }
 
     /// Persists the engine so [`PrixEngine::reopen`] can load it from
@@ -381,23 +465,47 @@ impl PrixEngine {
     /// directly — checksums stay maintained, crash atomicity is off.
     /// A legacy database (no sidecar) opens exactly as before.
     pub fn reopen_opts<P: AsRef<Path>>(path: P, buffer_pages: usize, wal: bool) -> Result<Self> {
-        let path = path.as_ref();
-        let sum_path = sibling(path, ".sum");
-        if !sum_path.exists() {
-            let pager = Pager::open(path).map_err(IndexError::Storage)?;
-            return Self::reopen_over(BufferPool::new(pager, buffer_pages), None);
-        }
-        let db = Box::new(FileStore::open(path).map_err(IndexError::Storage)?);
-        let sum = Box::new(FileStore::open(&sum_path).map_err(IndexError::Storage)?);
-        let wal_path = sibling(path, ".wal");
-        let wal_store: Box<dyn RawStore> = if wal_path.exists() {
-            Box::new(FileStore::open(&wal_path).map_err(IndexError::Storage)?)
+        let env: Arc<dyn SegmentEnv> = Arc::new(FileSegEnv::new(path.as_ref().to_path_buf()));
+        Self::reopen_env(env, buffer_pages, wal)
+    }
+
+    /// [`PrixEngine::reopen_opts`] over a segment environment. The
+    /// manifest (suffix `".seg"`) is consulted *first*: it names the
+    /// live mutable generation and every immutable segment. Without a
+    /// manifest the base store opens exactly as a legacy single-file
+    /// database. The crash harness hands fault-injecting environments
+    /// in here.
+    pub fn reopen_env(env: Arc<dyn SegmentEnv>, buffer_pages: usize, wal: bool) -> Result<Self> {
+        let manifest = if env.exists(".seg")? {
+            Manifest::read_from(&*env.open(".seg")?)?
         } else {
-            // Sidecar present but the log is missing (deleted by hand):
-            // nothing to replay; recreate it empty.
-            Box::new(FileStore::create(&wal_path).map_err(IndexError::Storage)?)
+            None
         };
-        Self::reopen_durable(db, sum, wal_store, buffer_pages, wal)
+        let msuffix = manifest
+            .as_ref()
+            .map_or_else(String::new, |m| m.mutable_suffix.clone());
+        let sum_suffix = format!("{msuffix}.sum");
+        let mut eng = if !env.exists(&sum_suffix)? {
+            let pager = Pager::open_on(env.open(&msuffix)?).map_err(IndexError::Storage)?;
+            Self::reopen_over(BufferPool::new(pager, buffer_pages), None)?
+        } else {
+            let db = env.open(&msuffix)?;
+            let sum = env.open(&sum_suffix)?;
+            let wal_suffix = format!("{msuffix}.wal");
+            let wal_store: Box<dyn RawStore> = if env.exists(&wal_suffix)? {
+                env.open(&wal_suffix)?
+            } else {
+                // Sidecar present but the log is missing (deleted by
+                // hand): nothing to replay; recreate it empty.
+                env.create(&wal_suffix)?
+            };
+            Self::reopen_durable(db, sum, wal_store, buffer_pages, wal)?
+        };
+        eng.seg_env = env;
+        if let Some(m) = &manifest {
+            eng.attach_manifest(m)?;
+        }
+        Ok(eng)
     }
 
     /// [`PrixEngine::reopen`] over caller-supplied stores (the crash
@@ -437,6 +545,7 @@ impl PrixEngine {
 
     fn reopen_over(pool: BufferPool, recovery: Option<RecoveryReport>) -> Result<Self> {
         let pool = Arc::new(pool);
+        let buffer_pages = pool.capacity();
         let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit) = pool
             .with_page(0, |p: &[u8; PAGE_SIZE]| {
                 if &p[..4] != b"PRIX" {
@@ -493,6 +602,16 @@ impl PrixEngine {
             catalog_store: None,
             saved_syms: Some((RecordId::from_raw(syms_rec), bytes)),
             recovery,
+            segments: Vec::new(),
+            manifest_segments: Vec::new(),
+            // Placeholder; [`PrixEngine::reopen_env`] installs the real
+            // environment right after this returns.
+            seg_env: Arc::new(MemSegEnv::new()),
+            seg_stats: Arc::new(IoStats::new()),
+            generation: 0,
+            mutable_suffix: String::new(),
+            buffer_pages,
+            labeling: LabelingMode::Exact,
         })
     }
 
@@ -516,6 +635,333 @@ impl PrixEngine {
             .pager()
             .verify_checksums()
             .map_err(IndexError::Storage)
+    }
+
+    /// Opens every segment the manifest lists and installs them as this
+    /// engine's immutable tiers, re-basing the mutable indexes to start
+    /// where the segments end. A manifest that names a missing file, a
+    /// header that disagrees with its manifest row, or a
+    /// non-contiguous tier layout is a hard error — serving a database
+    /// with silently absent documents would be worse than refusing.
+    fn attach_manifest(&mut self, m: &Manifest) -> Result<()> {
+        let mut tiers: std::collections::BTreeMap<u32, SegTier> = std::collections::BTreeMap::new();
+        for s in &m.segments {
+            if !self.seg_env.exists(&s.suffix)? {
+                return Err(IndexError::Unsupported(format!(
+                    "manifest generation {} references missing segment file '{}'",
+                    m.generation, s.suffix
+                )));
+            }
+            let reader = Arc::new(
+                SegmentReader::open(self.seg_env.open(&s.suffix)?, Arc::clone(&self.seg_stats))
+                    .map_err(IndexError::Storage)?,
+            );
+            if reader.kind() != s.kind
+                || reader.doc_base() != s.doc_base
+                || reader.n_docs() != s.n_docs
+            {
+                return Err(IndexError::Unsupported(format!(
+                    "segment '{}' header disagrees with its manifest row",
+                    s.suffix
+                )));
+            }
+            let idx = PrixIndex::from_segment(reader)?;
+            let tier = tiers.entry(s.doc_base).or_insert_with(|| SegTier {
+                rp: None,
+                ep: None,
+                doc_base: s.doc_base,
+                n_docs: s.n_docs,
+            });
+            let slot = if s.kind == SEG_KIND_RP {
+                &mut tier.rp
+            } else {
+                &mut tier.ep
+            };
+            if tier.n_docs != s.n_docs || slot.is_some() {
+                return Err(IndexError::Unsupported(format!(
+                    "manifest generation {} lists conflicting segments at doc base {}",
+                    m.generation, s.doc_base
+                )));
+            }
+            *slot = Some(idx);
+        }
+        let tiers: Vec<SegTier> = tiers.into_values().collect();
+        let mut next = 0u32;
+        for t in &tiers {
+            if t.doc_base != next {
+                return Err(IndexError::Unsupported(
+                    "segment tiers are not contiguous".into(),
+                ));
+            }
+            next += t.n_docs;
+        }
+        self.segments = tiers;
+        self.manifest_segments = m.segments.clone();
+        self.generation = m.generation;
+        self.mutable_suffix = m.mutable_suffix.clone();
+        if let Some(rp) = &mut self.rp {
+            rp.set_doc_base(next);
+        }
+        if let Some(ep) = &mut self.ep {
+            ep.set_doc_base(next);
+        }
+        Ok(())
+    }
+
+    /// Writes `m` into the manifest store (suffix `".seg"`), creating
+    /// it on first use. The write itself is atomic at the slot level
+    /// (two alternating CRC-framed slots; a torn write leaves the
+    /// previous generation valid), so this call is the commit point of
+    /// every bulk build and compaction.
+    fn write_manifest(&self, m: &Manifest) -> Result<()> {
+        let store = if self.seg_env.exists(".seg")? {
+            self.seg_env.open(".seg")?
+        } else {
+            self.seg_env.create(".seg")?
+        };
+        m.write_to(&*store).map_err(IndexError::Storage)?;
+        Ok(())
+    }
+
+    /// Builds a mutable-generation engine whose stores live in `env` at
+    /// `suffix` (durable layout iff `cfg.wal`). Used by bulk builds and
+    /// compaction, which address files through a [`SegmentEnv`] rather
+    /// than paths.
+    fn build_mutable_env(
+        collection: Collection,
+        cfg: &EngineConfig,
+        env: &Arc<dyn SegmentEnv>,
+        suffix: &str,
+    ) -> Result<Self> {
+        let stores = if cfg.wal {
+            EngineStores {
+                db: env.create(suffix)?,
+                sum: Some(env.create(&format!("{suffix}.sum"))?),
+                wal: Some(env.create(&format!("{suffix}.wal"))?),
+            }
+        } else {
+            EngineStores {
+                db: env.create(suffix)?,
+                sum: None,
+                wal: None,
+            }
+        };
+        let mut sub = cfg.clone();
+        sub.path = None;
+        let mut eng = Self::build_on(collection, sub, stores)?;
+        eng.seg_env = Arc::clone(env);
+        Ok(eng)
+    }
+
+    /// Assembles the engine a finished bulk build publishes: an empty
+    /// mutable generation plus the just-written segments, committed by
+    /// one manifest write. Crash-ordering contract (the bulk crash
+    /// suite pins it): segments are fully written and synced *before*
+    /// this runs, the mutable generation is created and saved next, and
+    /// the manifest write is last — a crash anywhere earlier leaves the
+    /// previous manifest (or no database at all) in charge.
+    pub(crate) fn from_bulk(
+        cfg: EngineConfig,
+        env: Arc<dyn SegmentEnv>,
+        syms: SymbolTable,
+        generation: u64,
+        mutable_suffix: String,
+        segments: Vec<ManifestSegment>,
+    ) -> Result<Self> {
+        let mut collection = Collection::new();
+        *collection.symbols_mut() = syms;
+        let mut eng = Self::build_mutable_env(collection, &cfg, &env, &mutable_suffix)?;
+        eng.save()?;
+        let manifest = Manifest {
+            generation,
+            mutable_suffix,
+            segments,
+        };
+        eng.write_manifest(&manifest)?;
+        eng.attach_manifest(&manifest)?;
+        Ok(eng)
+    }
+
+    /// Folds the mutable delta into a new immutable segment per index
+    /// kind and swaps in a fresh, empty mutable generation. Returns
+    /// `false` (and does nothing) when the delta is empty.
+    ///
+    /// Publish protocol, in order: (1) build and sync the new segment
+    /// files under the next generation's names — the live tree is
+    /// untouched; (2) create and save the next mutable generation in
+    /// *new* files, its epoch clock re-seeded past the old pool's so
+    /// epoch-keyed caches and snapshots stay monotone; (3) write the
+    /// manifest — the single commit point; (4) swap the in-memory state
+    /// and unlink the old mutable generation's files. Readers pinned on
+    /// the old pool keep reading through their open handles (the files
+    /// are unlinked, never truncated), so a snapshot taken before a
+    /// compaction answers bit-identically after it.
+    pub fn compact(&mut self) -> Result<bool> {
+        self.compact_with(crate::segbuild::DEFAULT_RUN_MEM_BYTES)
+    }
+
+    /// [`PrixEngine::compact`] with an explicit sort-run budget.
+    pub fn compact_with(&mut self, run_mem_bytes: usize) -> Result<bool> {
+        let live = match self.rp.as_ref().or(self.ep.as_ref()) {
+            Some(i) => i,
+            None => return Ok(false),
+        };
+        let n = live.doc_count() as u32;
+        let doc_base = live.doc_base();
+        if n == 0 {
+            return Ok(false);
+        }
+        let generation = self.generation + 1;
+        // (1) The delta's documents replay from their stored refinement
+        // records through the same encoder the bulk path uses, so the
+        // segment bytes come out identical to a bulk build's.
+        let mut manifest_segments = self.manifest_segments.clone();
+        for (idx, kname, seg_kind) in [
+            (self.rp.as_ref(), "rp", SEG_KIND_RP),
+            (self.ep.as_ref(), "ep", SEG_KIND_EP),
+        ] {
+            let idx = match idx {
+                Some(i) => i,
+                None => continue,
+            };
+            let suffix = format!(".g{generation}.{kname}.seg");
+            let mut b = crate::segbuild::SegIndexBuilder::new(
+                &self.seg_env,
+                &suffix,
+                idx.kind(),
+                idx.dummy_sym(),
+                doc_base,
+                run_mem_bytes,
+            )?;
+            for local in 0..n {
+                b.add_doc_data(&idx.load_doc(doc_base + local, true)?)?;
+            }
+            b.finish(idx.maxgap(), idx.childless_set())?;
+            manifest_segments.push(ManifestSegment {
+                kind: seg_kind,
+                suffix,
+                doc_base,
+                n_docs: n,
+            });
+        }
+        // (2) The replacement mutable generation: empty, same symbol
+        // table, same configuration, fresh files.
+        let mut collection = Collection::new();
+        *collection.symbols_mut() = self.collection.symbols().clone();
+        let cfg = EngineConfig {
+            buffer_pages: self.buffer_pages,
+            labeling: self.labeling,
+            path: None,
+            build_rp: self.rp.is_some(),
+            build_ep: self.ep.is_some(),
+            arrangement_limit: self.arrangement_limit,
+            wal: self.pool.is_durable(),
+        };
+        let new_suffix = format!(".g{generation}");
+        let mut fresh = Self::build_mutable_env(collection, &cfg, &self.seg_env, &new_suffix)?;
+        debug_assert_eq!(fresh.dummy, self.dummy, "dummy symbol survives compaction");
+        fresh.save()?;
+        let epoch = self.pool.published_epoch().max(self.pool.current_epoch()) + 1;
+        fresh.pool.reseed_epoch(epoch)?;
+        // (3) Commit.
+        let manifest = Manifest {
+            generation,
+            mutable_suffix: new_suffix,
+            segments: manifest_segments,
+        };
+        self.write_manifest(&manifest)?;
+        // (4) Publish in memory and retire the old generation's files.
+        let old_suffix = std::mem::take(&mut self.mutable_suffix);
+        self.collection = fresh.collection;
+        self.pool = fresh.pool;
+        self.rp = fresh.rp;
+        self.ep = fresh.ep;
+        self.catalog_store = fresh.catalog_store;
+        self.saved_syms = fresh.saved_syms;
+        self.recovery = None;
+        self.attach_manifest(&manifest)?;
+        for side in ["", ".sum", ".wal"] {
+            let _ = self.seg_env.remove(&format!("{old_suffix}{side}"));
+        }
+        Ok(true)
+    }
+
+    /// The segment environment (bulk builds retire superseded
+    /// generations through it).
+    pub(crate) fn seg_env(&self) -> &Arc<dyn SegmentEnv> {
+        &self.seg_env
+    }
+
+    /// The immutable tiers, for snapshot capture.
+    pub(crate) fn seg_tiers(&self) -> &[SegTier] {
+        &self.segments
+    }
+
+    /// Manifest generation of this database; 0 when no bulk build or
+    /// compaction has ever produced segments.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The manifest rows describing every live segment file
+    /// (`prix segments`).
+    pub fn segment_manifest(&self) -> &[ManifestSegment] {
+        &self.manifest_segments
+    }
+
+    /// Documents living in immutable segments.
+    pub fn segment_docs(&self) -> u64 {
+        self.segments.iter().map(|t| u64::from(t.n_docs)).sum()
+    }
+
+    /// Documents living in the mutable delta (what the next
+    /// [`PrixEngine::compact`] would fold).
+    pub fn mutable_docs(&self) -> usize {
+        self.rp
+            .as_ref()
+            .or(self.ep.as_ref())
+            .map_or(self.collection.len(), |i| i.doc_count())
+    }
+
+    /// Lifetime segment-block I/O counters (survive compaction pool
+    /// swaps; `/metrics` reads them).
+    pub fn seg_io(&self) -> &Arc<IoStats> {
+        &self.seg_stats
+    }
+
+    /// Verifies every live segment file: header magic and geometry,
+    /// per-block checksums, and the sorted-order invariant of the
+    /// Trie-Symbol entries. Returns one report per manifest row.
+    pub fn verify_segments(&self) -> Result<Vec<(String, SegmentCheck)>> {
+        let mut out = Vec::new();
+        for s in &self.manifest_segments {
+            let tier = self
+                .segments
+                .iter()
+                .find(|t| t.doc_base == s.doc_base)
+                .ok_or_else(|| {
+                    IndexError::Unsupported("manifest row without a loaded tier".into())
+                })?;
+            let idx = if s.kind == SEG_KIND_RP {
+                tier.rp.as_ref()
+            } else {
+                tier.ep.as_ref()
+            };
+            let reader = idx.and_then(|i| i.segment()).ok_or_else(|| {
+                IndexError::Unsupported("manifest row without a loaded tier".into())
+            })?;
+            out.push((
+                s.suffix.clone(),
+                reader.verify().map_err(IndexError::Storage)?,
+            ));
+        }
+        Ok(out)
+    }
+
+    /// The tier list queries descend (segments first, mutable delta
+    /// last; see [`collect_tiers`]).
+    fn tiers(&self) -> Vec<TierRefs<'_>> {
+        collect_tiers(&self.segments, self.rp.as_ref(), self.ep.as_ref())
     }
 
     /// Parses `xml` and incrementally indexes it into every built
@@ -542,14 +988,13 @@ impl PrixEngine {
             ep.check_insert(&tree)?;
         }
         // A reopened engine's collection starts empty while its indexes
-        // carry every persisted document, so collection ids only track
-        // index ids when they were aligned before this insert (fresh
-        // builds and pure in-memory engines).
-        let was_aligned = self
-            .rp
-            .as_ref()
-            .or(self.ep.as_ref())
-            .map_or(true, |i| i.doc_count() == self.collection.len());
+        // carry every persisted document, and a tiered engine's mutable
+        // indexes start above the segments, so collection ids only
+        // track index ids when they were aligned before this insert
+        // (fresh builds and pure in-memory engines).
+        let was_aligned = self.rp.as_ref().or(self.ep.as_ref()).map_or(true, |i| {
+            i.doc_base() as usize + i.doc_count() == self.collection.len()
+        });
         let mut id = None;
         if let Some(rp) = &mut self.rp {
             id = Some(rp.insert_document(&tree)?);
@@ -589,7 +1034,7 @@ impl PrixEngine {
     /// executor and stops pulling at the limit — the remaining trie
     /// range queries and refinements never happen.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
+        run_query_opts(&self.tiers(), q, opts)
     }
 
     /// Executes a batch of ordered twig queries on up to `threads`
@@ -633,13 +1078,7 @@ impl PrixEngine {
     /// as it is reached the current stream is abandoned mid-trie and
     /// the remaining arrangements never run at all.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        run_query_unordered(
-            self.rp.as_ref(),
-            self.ep.as_ref(),
-            self.arrangement_limit,
-            q,
-            opts,
-        )
+        run_query_unordered(&self.tiers(), self.arrangement_limit, q, opts)
     }
 
     /// The commit epoch this engine's durable state is at: the pager's
@@ -753,35 +1192,64 @@ pub(crate) fn pick_index_from<'a>(
     }
 }
 
-/// Shared ordered-query path: the engine runs it over its live
-/// indexes, a snapshot over its frozen clones (inside an epoch-pin
-/// guard). With a limit set the query streams and stops pulling at the
-/// limit — the remaining trie range queries never happen.
+/// Shared ordered-query path: the engine runs it over its live tiers,
+/// a snapshot over its frozen clones (inside an epoch-pin guard).
+/// Tiers ascend by document base and matches come out per-tier in
+/// order, so concatenation preserves the global document order the
+/// single-tier executor produced. With a limit set each tier streams
+/// against the *remaining* budget and stops pulling once it is spent —
+/// later tiers (and the rest of the current one) never run their trie
+/// range queries at all.
 pub(crate) fn run_query_opts(
-    rp: Option<&PrixIndex>,
-    ep: Option<&PrixIndex>,
+    tiers: &[TierRefs<'_>],
     q: &TwigQuery,
     opts: &ExecOpts,
 ) -> Result<QueryOutcome> {
-    let idx = pick_index_from(rp, ep, q)?;
     let scope = IoScope::begin();
     let start = Instant::now();
-    let (matches, stats, truncated) = if opts.limit.is_some() {
-        let mut stream = idx.execute_stream(q, opts)?;
-        let mut matches = Vec::new();
-        while let Some(m) = stream.next_match()? {
-            matches.push(m);
+    let mut matches: Vec<TwigMatch> = Vec::new();
+    let mut stats = QueryStats::default();
+    let mut index_used = IndexKind::Regular;
+    let mut truncated = false;
+    if let Some(k) = opts.limit {
+        let mut remaining = k;
+        for (i, &(rp, ep)) in tiers.iter().enumerate() {
+            if i > 0 && remaining == 0 {
+                // Budget exhausted with tiers left unexplored: more
+                // matches may exist (the same conservative flag a
+                // mid-stream stop reports).
+                truncated = true;
+                break;
+            }
+            let idx = pick_index_from(rp, ep, q)?;
+            index_used = idx.kind();
+            let tier_opts = opts.with_limit(remaining);
+            let mut stream = idx.execute_stream(q, &tier_opts)?;
+            while let Some(m) = stream.next_match()? {
+                matches.push(m);
+                remaining -= 1;
+            }
+            let exhausted = stream.exhausted();
+            add_filter_counters(&mut stats, &stream.stats());
+            if !exhausted {
+                truncated = true;
+                break;
+            }
         }
-        let truncated = !stream.exhausted();
-        (matches, stream.stats(), truncated)
     } else {
-        let (matches, stats) = idx.execute_opts(q, opts)?;
-        (matches, stats, false)
-    };
+        for &(rp, ep) in tiers {
+            let idx = pick_index_from(rp, ep, q)?;
+            index_used = idx.kind();
+            let (m, s) = idx.execute_opts(q, opts)?;
+            matches.extend(m);
+            add_filter_counters(&mut stats, &s);
+        }
+    }
+    stats.matches = matches.len() as u64;
     Ok(QueryOutcome {
         matches,
         stats,
-        index_used: idx.kind(),
+        index_used,
         io: scope.end(),
         elapsed: start.elapsed(),
         truncated,
@@ -833,8 +1301,7 @@ pub(crate) fn run_query_batch(
 /// Shared unordered-query path (§5.7 arrangement loop with the shared
 /// limit and base-numbered dedup).
 pub(crate) fn run_query_unordered(
-    rp: Option<&PrixIndex>,
-    ep: Option<&PrixIndex>,
+    tiers: &[TierRefs<'_>],
     arrangement_limit: usize,
     q: &TwigQuery,
     opts: &ExecOpts,
@@ -851,35 +1318,39 @@ pub(crate) fn run_query_unordered(
     // Dedup across arrangements makes a per-stream limit unsound
     // (k matches from one arrangement may collapse with earlier
     // ones), so each arrangement streams unlimited and the shared
-    // countdown is enforced on distinct base-numbered matches.
+    // countdown is enforced on distinct base-numbered matches. Tiers
+    // nest inside the arrangement loop; the final sort re-establishes
+    // global order either way.
     let arr_opts = opts.without_limit();
     'arrs: for arr in &arrs {
-        let idx = pick_index_from(rp, ep, &arr.query)?;
-        index_used = idx.kind();
-        let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
-        while let Some(m) = stream.next_match()? {
-            // Re-map the arrangement's postorder numbering back to
-            // the base query's.
-            let mut base_emb = vec![0 as PostNum; m.embedding.len()];
-            for (arr_q, &img) in m.embedding.iter().enumerate() {
-                let base_q = arr.base_of[arr_q];
-                base_emb[(base_q - 1) as usize] = img;
-            }
-            if seen.insert((m.doc, base_emb.clone())) {
-                matches.push(TwigMatch {
-                    doc: m.doc,
-                    embedding: base_emb,
-                });
-                if opts.limit.map_or(false, |k| matches.len() >= k) {
-                    let s = stream.stats();
-                    add_filter_counters(&mut stats, &s);
-                    truncated = true;
-                    break 'arrs;
+        for &(rp, ep) in tiers {
+            let idx = pick_index_from(rp, ep, &arr.query)?;
+            index_used = idx.kind();
+            let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
+            while let Some(m) = stream.next_match()? {
+                // Re-map the arrangement's postorder numbering back to
+                // the base query's.
+                let mut base_emb = vec![0 as PostNum; m.embedding.len()];
+                for (arr_q, &img) in m.embedding.iter().enumerate() {
+                    let base_q = arr.base_of[arr_q];
+                    base_emb[(base_q - 1) as usize] = img;
+                }
+                if seen.insert((m.doc, base_emb.clone())) {
+                    matches.push(TwigMatch {
+                        doc: m.doc,
+                        embedding: base_emb,
+                    });
+                    if opts.limit.map_or(false, |k| matches.len() >= k) {
+                        let s = stream.stats();
+                        add_filter_counters(&mut stats, &s);
+                        truncated = true;
+                        break 'arrs;
+                    }
                 }
             }
+            let s = stream.stats();
+            add_filter_counters(&mut stats, &s);
         }
-        let s = stream.stats();
-        add_filter_counters(&mut stats, &s);
     }
     matches.sort();
     stats.matches = matches.len() as u64;

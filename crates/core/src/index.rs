@@ -24,7 +24,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use prix_prufer::{EdgeKind, ExtendedTree, MaxGapTable, PruferSeq};
-use prix_storage::{BPlusTree, BufferPool, RecordId, RecordStore, StorageError};
+use prix_storage::{
+    BPlusTree, BufferPool, RecordId, RecordStore, SegmentReader, StorageError, SEG_KIND_RP,
+};
 use prix_xml::{Collection, DocId, PostNum, Sym, XmlTree};
 
 use crate::query::TwigQuery;
@@ -219,17 +221,49 @@ struct DocRecords {
     n_orig: u32,
 }
 
-/// A PRIX index over one collection.
+/// A PRIX index over one collection *tier*.
 ///
 /// `Clone` snapshots the *handles* (tree roots, record ids, per-doc
 /// table, MaxGap): clones share the underlying pages. The engine's
 /// snapshot publication clones the index once per commit to give
 /// readers a frozen catalog while the writer's copy keeps mutating;
 /// the two stay consistent through the pool's epoch-pinned page views.
+///
+/// Two backings exist behind one query interface: the **mutable tier**
+/// (B⁺-trees and a record store through the buffer pool, the only tier
+/// that accepts inserts) and **immutable segments** (the bulk-built
+/// implicit-tree files of `prix_storage::segment`, read through their
+/// own block cache). The executor is backing-agnostic — it only sees
+/// [`PrixIndex::scan_tag_range`] / [`PrixIndex::scan_docids`] /
+/// [`PrixIndex::load_doc`].
 #[derive(Clone)]
 pub struct PrixIndex {
-    pool: Arc<BufferPool>,
     kind: IndexKind,
+    maxgap: MaxGapTable,
+    dummy: Sym,
+    build_stats: BuildStats,
+    /// First global document id of this tier: ids stored in the backing
+    /// are tier-local, [`PrixIndex::scan_docids`] adds the base and
+    /// [`PrixIndex::load_doc`] subtracts it.
+    doc_base: DocId,
+    /// Labels that occur on childless nodes somewhere in the collection
+    /// (values, empty elements). A query leaf with such a label cannot
+    /// use the leaf-extended plan soundly (§4.4): its image might be a
+    /// childless node, which a dummy-extended query would miss.
+    childless: std::collections::HashSet<Sym>,
+    backing: Backing,
+}
+
+/// Where a [`PrixIndex`] reads its trie nodes, doc ends, and records.
+#[derive(Clone)]
+enum Backing {
+    Tree(TreeBacking),
+    Seg(Arc<SegmentReader>),
+}
+
+/// The mutable tier: everything lives in buffer-pool pages.
+#[derive(Clone)]
+struct TreeBacking {
     /// Trie-Symbol index: key = sym(4, BE) ++ left(8, BE),
     /// value = right(8, LE) ++ level(4, LE) ++ fine_gap(4, LE).
     tag_index: BPlusTree,
@@ -241,18 +275,10 @@ pub struct PrixIndex {
     trie_nodes: BPlusTree,
     docs: Vec<DocRecords>,
     store: RecordStore,
-    maxgap: MaxGapTable,
-    dummy: Sym,
-    build_stats: BuildStats,
     /// Last metadata record written by [`PrixIndex::save`], with the
     /// exact bytes it serialized: an unchanged index reuses the record
     /// instead of appending a fresh copy on every save.
     saved_meta: Option<(RecordId, Vec<u8>)>,
-    /// Labels that occur on childless nodes somewhere in the collection
-    /// (values, empty elements). A query leaf with such a label cannot
-    /// use the leaf-extended plan soundly (§4.4): its image might be a
-    /// childless node, which a dummy-extended query would miss.
-    childless: std::collections::HashSet<Sym>,
 }
 
 fn tag_key(sym: Sym, left: u64) -> [u8; 12] {
@@ -402,19 +428,40 @@ impl PrixIndex {
         let trie_nodes = BPlusTree::bulk_load(Arc::clone(&pool), node_entries, 0.8)?;
 
         Ok(PrixIndex {
-            pool,
             kind,
-            tag_index,
-            docid_index,
-            trie_nodes,
-            docs,
-            store,
             maxgap,
             dummy,
             build_stats,
-            saved_meta: None,
+            doc_base: 0,
             childless,
+            backing: Backing::Tree(TreeBacking {
+                tag_index,
+                docid_index,
+                trie_nodes,
+                docs,
+                store,
+                saved_meta: None,
+            }),
         })
+    }
+
+    /// The mutable-tier backing, or `Unsupported` for a segment tier.
+    fn tree(&self) -> Result<&TreeBacking> {
+        match &self.backing {
+            Backing::Tree(t) => Ok(t),
+            Backing::Seg(_) => Err(IndexError::Unsupported(
+                "operation needs the mutable index tier; this is an immutable segment".into(),
+            )),
+        }
+    }
+
+    fn tree_mut(&mut self) -> Result<&mut TreeBacking> {
+        match &mut self.backing {
+            Backing::Tree(t) => Ok(t),
+            Backing::Seg(_) => Err(IndexError::Unsupported(
+                "operation needs the mutable index tier; this is an immutable segment".into(),
+            )),
+        }
     }
 
     /// Checks that [`PrixIndex::insert_document`] would succeed for
@@ -469,7 +516,7 @@ impl PrixIndex {
         // not leave the MaxGap table, childless set, or trie mutated
         // for a document that was never indexed.
         self.check_insert(tree)?;
-        let doc_id = self.docs.len() as DocId;
+        let local = self.tree()?.docs.len() as u32;
         for node in tree.nodes() {
             if tree.is_leaf(node) {
                 self.childless.insert(tree.label(node));
@@ -523,7 +570,9 @@ impl PrixIndex {
                     val.extend_from_slice(&child.right.to_le_bytes());
                     val.extend_from_slice(&child.level.to_le_bytes());
                     val.extend_from_slice(&child.fine_gap.to_le_bytes());
-                    self.tag_index.insert(&tag_key(sym, child.left), &val)?;
+                    self.tree_mut()?
+                        .tag_index
+                        .insert(&tag_key(sym, child.left), &val)?;
                     // Node-table entries: the child, and the parent's
                     // advanced frontier.
                     self.write_trie_node(&child, true)?;
@@ -535,20 +584,19 @@ impl PrixIndex {
             }
         }
         // Document endpoint + per-document records.
-        self.docid_index
-            .insert(&cur.left.to_be_bytes(), &doc_id.to_le_bytes())?;
-        let nps_rec = self.store.append(&encode_u32s(seq.nps.iter().copied()))?;
-        let lps_rec = self
-            .store
-            .append(&encode_u32s(seq.lps.iter().map(|s| s.0)))?;
-        let leaves_rec = self.store.append(&encode_u32s(
+        let t = self.tree_mut()?;
+        t.docid_index
+            .insert(&cur.left.to_be_bytes(), &local.to_le_bytes())?;
+        let nps_rec = t.store.append(&encode_u32s(seq.nps.iter().copied()))?;
+        let lps_rec = t.store.append(&encode_u32s(seq.lps.iter().map(|s| s.0)))?;
+        let leaves_rec = t.store.append(&encode_u32s(
             leaves_tree.iter().flat_map(|&(s, p)| [s.0, p]),
         ))?;
         let orig_rec = match &orig_map {
-            Some(m) => Some(self.store.append(&encode_u32s(m.iter().copied()))?),
+            Some(m) => Some(t.store.append(&encode_u32s(m.iter().copied()))?),
             None => None,
         };
-        self.docs.push(DocRecords {
+        t.docs.push(DocRecords {
             nps: nps_rec,
             lps: lps_rec,
             leaves: leaves_rec,
@@ -557,11 +605,12 @@ impl PrixIndex {
         });
         self.build_stats.sequences += 1;
         self.build_stats.total_seq_len += seq.len() as u64;
-        Ok(doc_id)
+        Ok(self.doc_base + local)
     }
 
     fn read_trie_node(&self, left: u64) -> Result<TrieNodeEntry> {
         let v = self
+            .tree()?
             .trie_nodes
             .get(&left.to_be_bytes())?
             .ok_or_else(|| IndexError::Unsupported(format!("trie node {left} missing")))?;
@@ -576,15 +625,16 @@ impl PrixIndex {
     }
 
     fn write_trie_node(&mut self, n: &TrieNodeEntry, fresh: bool) -> Result<()> {
+        let t = self.tree_mut()?;
         if !fresh {
-            self.trie_nodes.delete(&n.left.to_be_bytes(), None)?;
+            t.trie_nodes.delete(&n.left.to_be_bytes(), None)?;
         }
         let mut v = Vec::with_capacity(24);
         v.extend_from_slice(&n.right.to_le_bytes());
         v.extend_from_slice(&n.frontier.to_le_bytes());
         v.extend_from_slice(&n.level.to_le_bytes());
         v.extend_from_slice(&n.sym.0.to_le_bytes());
-        self.trie_nodes.insert(&n.left.to_be_bytes(), &v)?;
+        t.trie_nodes.insert(&n.left.to_be_bytes(), &v)?;
         Ok(())
     }
 
@@ -599,7 +649,8 @@ impl PrixIndex {
         let lo = tag_key(sym, cur.left);
         let hi = tag_key(sym, cur.right);
         let mut found = None;
-        self.tag_index
+        self.tree()?
+            .tag_index
             .scan(Bound::Excluded(&lo), Bound::Included(&hi), |k, v| {
                 let l = u32::from_le_bytes(v[8..12].try_into().unwrap());
                 if l != level {
@@ -635,23 +686,19 @@ impl PrixIndex {
         fine: u32,
     ) -> Result<()> {
         let key = tag_key(sym, left);
-        self.tag_index.delete(&key, None)?;
+        let t = self.tree_mut()?;
+        t.tag_index.delete(&key, None)?;
         let mut val = Vec::with_capacity(16);
         val.extend_from_slice(&right.to_le_bytes());
         val.extend_from_slice(&level.to_le_bytes());
         val.extend_from_slice(&fine.to_le_bytes());
-        self.tag_index.insert(&key, &val)?;
+        t.tag_index.insert(&key, &val)?;
         Ok(())
     }
 
     /// This index's sequence flavor.
     pub fn kind(&self) -> IndexKind {
         self.kind
-    }
-
-    /// The buffer pool the index reads through.
-    pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
     }
 
     /// Build-time statistics (trie sharing, underflows, ...).
@@ -664,9 +711,41 @@ impl PrixIndex {
         &self.maxgap
     }
 
-    /// Number of indexed documents.
+    /// Number of documents indexed *in this tier*.
     pub fn doc_count(&self) -> usize {
-        self.docs.len()
+        match &self.backing {
+            Backing::Tree(t) => t.docs.len(),
+            Backing::Seg(r) => r.n_docs() as usize,
+        }
+    }
+
+    /// First global document id of this tier.
+    pub fn doc_base(&self) -> DocId {
+        self.doc_base
+    }
+
+    /// Re-bases this tier's document ids (engine tiering: the mutable
+    /// tier starts where the segments end).
+    pub(crate) fn set_doc_base(&mut self, base: DocId) {
+        self.doc_base = base;
+    }
+
+    /// The dummy label used for extended sequences.
+    pub(crate) fn dummy_sym(&self) -> Sym {
+        self.dummy
+    }
+
+    /// The childless-label set (§4.4 leaf-extended-plan gate).
+    pub(crate) fn childless_set(&self) -> &std::collections::HashSet<Sym> {
+        &self.childless
+    }
+
+    /// The segment reader behind a segment-backed tier, if any.
+    pub(crate) fn segment(&self) -> Option<&Arc<SegmentReader>> {
+        match &self.backing {
+            Backing::Seg(r) => Some(r),
+            Backing::Tree(_) => None,
+        }
     }
 
     /// Executes an ordered twig query with default options.
@@ -952,19 +1031,24 @@ impl PrixIndex {
         ql: u64,
         qr: u64,
     ) -> Result<Vec<(u64, u64, u32, u32)>> {
-        let lo = tag_key(sym, ql);
-        let hi = tag_key(sym, qr);
-        let mut hits: Vec<(u64, u64, u32, u32)> = Vec::new();
-        self.tag_index
-            .scan(Bound::Excluded(&lo), Bound::Included(&hi), |k, v| {
-                let left = u64::from_be_bytes(k[4..12].try_into().unwrap());
-                let right = u64::from_le_bytes(v[..8].try_into().unwrap());
-                let level = u32::from_le_bytes(v[8..12].try_into().unwrap());
-                let fine = u32::from_le_bytes(v[12..16].try_into().unwrap());
-                hits.push((left, right, level, fine));
-                true
-            })?;
-        Ok(hits)
+        match &self.backing {
+            Backing::Tree(t) => {
+                let lo = tag_key(sym, ql);
+                let hi = tag_key(sym, qr);
+                let mut hits: Vec<(u64, u64, u32, u32)> = Vec::new();
+                t.tag_index
+                    .scan(Bound::Excluded(&lo), Bound::Included(&hi), |k, v| {
+                        let left = u64::from_be_bytes(k[4..12].try_into().unwrap());
+                        let right = u64::from_le_bytes(v[..8].try_into().unwrap());
+                        let level = u32::from_le_bytes(v[8..12].try_into().unwrap());
+                        let fine = u32::from_le_bytes(v[12..16].try_into().unwrap());
+                        hits.push((left, right, level, fine));
+                        true
+                    })?;
+                Ok(hits)
+            }
+            Backing::Seg(r) => Ok(r.scan_tag_range(sym.0, ql, qr)?),
+        }
     }
 
     /// Appends every document whose LPS ends on a trie node with `left`
@@ -976,13 +1060,21 @@ impl PrixIndex {
         right: u64,
         out: &mut std::collections::VecDeque<DocId>,
     ) -> Result<()> {
-        let lo = left.to_be_bytes();
-        let hi = right.to_be_bytes();
-        self.docid_index
-            .scan(Bound::Included(&lo), Bound::Included(&hi), |_, v| {
-                out.push_back(u32::from_le_bytes(v.try_into().unwrap()));
-                true
-            })?;
+        let base = self.doc_base;
+        match &self.backing {
+            Backing::Tree(t) => {
+                let lo = left.to_be_bytes();
+                let hi = right.to_be_bytes();
+                t.docid_index
+                    .scan(Bound::Included(&lo), Bound::Included(&hi), |_, v| {
+                        out.push_back(base + u32::from_le_bytes(v.try_into().unwrap()));
+                        true
+                    })?;
+            }
+            Backing::Seg(r) => {
+                r.scan_docids(left, right, &mut |d| out.push_back(base + d))?;
+            }
+        }
         Ok(())
     }
 
@@ -990,33 +1082,40 @@ impl PrixIndex {
     /// only needed by the leaf-matching phase; extended-query plans skip
     /// it, so those records (and their pages) are never touched.
     pub(crate) fn load_doc(&self, doc: DocId, need_leaf_data: bool) -> Result<DocData> {
-        let rec = &self.docs[doc as usize];
-        let nps = decode_u32s(&self.store.read(rec.nps)?);
-        let (lps, leaves) = if need_leaf_data {
-            let lps = decode_u32s(&self.store.read(rec.lps)?)
-                .into_iter()
-                .map(Sym)
-                .collect();
-            let leaves_raw = decode_u32s(&self.store.read(rec.leaves)?);
-            let leaves = leaves_raw
-                .chunks_exact(2)
-                .map(|c| (Sym(c[0]), c[1]))
-                .collect();
-            (lps, leaves)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        let orig_map = match rec.orig_map {
-            Some(r) => Some(decode_u32s(&self.store.read(r)?)),
-            None => None,
-        };
-        Ok(DocData {
-            nps,
-            lps,
-            leaves,
-            orig_map,
-            n_orig: rec.n_orig,
-        })
+        debug_assert!(doc >= self.doc_base, "document id below this tier's base");
+        let local = doc - self.doc_base;
+        match &self.backing {
+            Backing::Tree(t) => {
+                let rec = &t.docs[local as usize];
+                let nps = decode_u32s(&t.store.read(rec.nps)?);
+                let (lps, leaves) = if need_leaf_data {
+                    let lps = decode_u32s(&t.store.read(rec.lps)?)
+                        .into_iter()
+                        .map(Sym)
+                        .collect();
+                    let leaves_raw = decode_u32s(&t.store.read(rec.leaves)?);
+                    let leaves = leaves_raw
+                        .chunks_exact(2)
+                        .map(|c| (Sym(c[0]), c[1]))
+                        .collect();
+                    (lps, leaves)
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                let orig_map = match rec.orig_map {
+                    Some(r) => Some(decode_u32s(&t.store.read(r)?)),
+                    None => None,
+                };
+                Ok(DocData {
+                    nps,
+                    lps,
+                    leaves,
+                    orig_map,
+                    n_orig: rec.n_orig,
+                })
+            }
+            Backing::Seg(r) => Ok(decode_doc_record(&r.record(local)?, need_leaf_data)),
+        }
     }
 }
 
@@ -1051,7 +1150,7 @@ fn scope_underflow(level: u32, available: u64, need: u64) -> IndexError {
 /// Postorder gap between the first and last children per node
 /// (`out[post - 1]`; 0 for nodes with ≤ 1 child) — Definition 5 at
 /// single-node granularity.
-fn node_gaps(tree: &XmlTree) -> Vec<u32> {
+pub(crate) fn node_gaps(tree: &XmlTree) -> Vec<u32> {
     let mut out = vec![0u32; tree.len()];
     for node in tree.nodes() {
         let kids = tree.children(node);
@@ -1066,7 +1165,7 @@ fn node_gaps(tree: &XmlTree) -> Vec<u32> {
 
 /// Per-LPS-position gaps: `gaps[i]` = gap of the parent node recorded
 /// at position `i`.
-fn position_gaps(nps: &[PostNum], node_gaps: &[u32]) -> Vec<u32> {
+pub(crate) fn position_gaps(nps: &[PostNum], node_gaps: &[u32]) -> Vec<u32> {
     nps.iter().map(|&p| node_gaps[(p - 1) as usize]).collect()
 }
 
@@ -1124,16 +1223,19 @@ impl PrixIndex {
             IndexKind::Extended => 1,
         });
         w.u32(self.dummy.0);
-        w.u64(self.tag_index.root());
-        w.u64(self.docid_index.root());
-        w.u64(self.trie_nodes.root());
-        w.u32(self.docs.len() as u32);
-        for d in &self.docs {
-            w.u64(d.nps.raw());
-            w.u64(d.lps.raw());
-            w.u64(d.leaves.raw());
-            w.u64(d.orig_map.map_or(0, |r| r.raw()));
-            w.u32(d.n_orig);
+        {
+            let t = self.tree()?;
+            w.u64(t.tag_index.root());
+            w.u64(t.docid_index.root());
+            w.u64(t.trie_nodes.root());
+            w.u32(t.docs.len() as u32);
+            for d in &t.docs {
+                w.u64(d.nps.raw());
+                w.u64(d.lps.raw());
+                w.u64(d.leaves.raw());
+                w.u64(d.orig_map.map_or(0, |r| r.raw()));
+                w.u32(d.n_orig);
+            }
         }
         let gaps: Vec<(Sym, PostNum)> = self.maxgap.entries().collect();
         w.u32(gaps.len() as u32);
@@ -1151,13 +1253,14 @@ impl PrixIndex {
         w.u64(self.build_stats.max_path_sharing);
         w.u64(self.build_stats.underflows);
         w.u64(self.build_stats.total_seq_len);
-        if let Some((id, bytes)) = &self.saved_meta {
+        let t = self.tree_mut()?;
+        if let Some((id, bytes)) = &t.saved_meta {
             if *bytes == w.0 {
                 return Ok(*id);
             }
         }
-        let id = self.store.append(&w.0)?;
-        self.saved_meta = Some((id, w.0));
+        let id = t.store.append(&w.0)?;
+        t.saved_meta = Some((id, w.0));
         Ok(id)
     }
 
@@ -1208,20 +1311,186 @@ impl PrixIndex {
             total_seq_len: r.u64(),
         };
         Ok(PrixIndex {
-            tag_index: BPlusTree::open(Arc::clone(&pool), tag_root),
-            docid_index: BPlusTree::open(Arc::clone(&pool), docid_root),
-            trie_nodes: BPlusTree::open(Arc::clone(&pool), trie_nodes_root),
-            pool,
             kind,
-            docs,
-            store,
             maxgap,
             dummy,
             build_stats,
-            saved_meta: Some((meta, bytes)),
+            doc_base: 0,
             childless,
+            backing: Backing::Tree(TreeBacking {
+                tag_index: BPlusTree::open(Arc::clone(&pool), tag_root),
+                docid_index: BPlusTree::open(Arc::clone(&pool), docid_root),
+                trie_nodes: BPlusTree::open(Arc::clone(&pool), trie_nodes_root),
+                docs,
+                store,
+                saved_meta: Some((meta, bytes)),
+            }),
         })
     }
+
+    /// Opens an immutable segment as an index tier. The tier's
+    /// `doc_base` comes from the segment header; MaxGap table,
+    /// childless set, and build stats come from the segment's metadata
+    /// blob (see [`encode_seg_index_meta`]).
+    pub fn from_segment(reader: Arc<SegmentReader>) -> Result<Self> {
+        use codec::Reader;
+        let bytes = reader.meta()?;
+        let mut r = Reader(&bytes);
+        let kind = match r.u8() {
+            0 => IndexKind::Regular,
+            _ => IndexKind::Extended,
+        };
+        if (reader.kind() == SEG_KIND_RP) != matches!(kind, IndexKind::Regular) {
+            return Err(IndexError::Unsupported(
+                "segment header kind disagrees with its index metadata".into(),
+            ));
+        }
+        let dummy = Sym(r.u32());
+        let n_gaps = r.u32() as usize;
+        let maxgap = MaxGapTable::from_entries((0..n_gaps).map(|_| {
+            let sym = Sym(r.u32());
+            let gap = r.u32();
+            (sym, gap)
+        }));
+        let n_childless = r.u32() as usize;
+        let childless = (0..n_childless).map(|_| Sym(r.u32())).collect();
+        let build_stats = BuildStats {
+            trie_nodes: r.u64() as usize,
+            trie_paths: r.u64() as usize,
+            sequences: r.u64(),
+            max_path_sharing: r.u64(),
+            underflows: r.u64(),
+            total_seq_len: r.u64(),
+        };
+        Ok(PrixIndex {
+            kind,
+            maxgap,
+            dummy,
+            build_stats,
+            doc_base: reader.doc_base(),
+            childless,
+            backing: Backing::Seg(reader),
+        })
+    }
+}
+
+/// Encodes one document's refinement record for an immutable segment:
+/// everything [`PrixIndex::load_doc`] serves (NPS, LPS, leaf list, the
+/// ext→orig map for EPIndex tiers, and the original node count), in one
+/// contiguous blob the segment's record section stores verbatim.
+pub(crate) fn encode_doc_record(
+    nps: &[PostNum],
+    lps: &[Sym],
+    leaves: &[(Sym, PostNum)],
+    orig_map: Option<&[PostNum]>,
+    n_orig: u32,
+) -> Vec<u8> {
+    debug_assert_eq!(nps.len(), lps.len());
+    let mut w = codec::Writer::new();
+    w.u32(nps.len() as u32);
+    for &v in nps {
+        w.u32(v);
+    }
+    for &s in lps {
+        w.u32(s.0);
+    }
+    w.u32(leaves.len() as u32);
+    for &(s, p) in leaves {
+        w.u32(s.0);
+        w.u32(p);
+    }
+    match orig_map {
+        Some(m) => {
+            w.u32(m.len() as u32);
+            for &v in m {
+                w.u32(v);
+            }
+        }
+        None => w.u32(0),
+    }
+    w.u32(n_orig);
+    w.0
+}
+
+/// Inverse of [`encode_doc_record`]. With `need_leaf_data` unset the
+/// LPS and leaf list are skipped without allocating, mirroring the
+/// record-store fast path.
+fn decode_doc_record(bytes: &[u8], need_leaf_data: bool) -> DocData {
+    let mut r = codec::Reader(bytes);
+    let n = r.u32() as usize;
+    let nps: Vec<PostNum> = (0..n).map(|_| r.u32()).collect();
+    let (lps, leaves): (Vec<Sym>, Vec<(Sym, PostNum)>) = if need_leaf_data {
+        let lps = (0..n).map(|_| Sym(r.u32())).collect();
+        let nl = r.u32() as usize;
+        let leaves = (0..nl)
+            .map(|_| {
+                let s = Sym(r.u32());
+                let p = r.u32();
+                (s, p)
+            })
+            .collect();
+        (lps, leaves)
+    } else {
+        for _ in 0..n {
+            r.u32();
+        }
+        let nl = r.u32() as usize;
+        for _ in 0..(2 * nl) {
+            r.u32();
+        }
+        (Vec::new(), Vec::new())
+    };
+    let n_map = r.u32() as usize;
+    let orig_map = (n_map != 0).then(|| (0..n_map).map(|_| r.u32()).collect());
+    let n_orig = r.u32();
+    DocData {
+        nps,
+        lps,
+        leaves,
+        orig_map,
+        n_orig,
+    }
+}
+
+/// Encodes the per-tier index metadata a segment carries in its meta
+/// blob: kind, dummy symbol, MaxGap table, childless-label set, and
+/// build statistics. Map-shaped fields are **sorted** so the blob — and
+/// therefore the whole segment file — is byte-deterministic: bulk
+/// loading a collection and compacting the same documents out of the
+/// mutable tier produce identical files.
+pub(crate) fn encode_seg_index_meta(
+    kind: IndexKind,
+    dummy: Sym,
+    maxgap: &MaxGapTable,
+    childless: &std::collections::HashSet<Sym>,
+    stats: &BuildStats,
+) -> Vec<u8> {
+    let mut w = codec::Writer::new();
+    w.u8(match kind {
+        IndexKind::Regular => 0,
+        IndexKind::Extended => 1,
+    });
+    w.u32(dummy.0);
+    let mut gaps: Vec<(Sym, PostNum)> = maxgap.entries().collect();
+    gaps.sort_by_key(|&(s, _)| s.0);
+    w.u32(gaps.len() as u32);
+    for (sym, gap) in gaps {
+        w.u32(sym.0);
+        w.u32(gap);
+    }
+    let mut cl: Vec<u32> = childless.iter().map(|s| s.0).collect();
+    cl.sort_unstable();
+    w.u32(cl.len() as u32);
+    for s in cl {
+        w.u32(s);
+    }
+    w.u64(stats.trie_nodes as u64);
+    w.u64(stats.trie_paths as u64);
+    w.u64(stats.sequences);
+    w.u64(stats.max_path_sharing);
+    w.u64(stats.underflows);
+    w.u64(stats.total_seq_len);
+    w.0
 }
 
 pub(crate) struct QueryPlan {

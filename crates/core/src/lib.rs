@@ -39,6 +39,7 @@ pub mod index;
 pub mod naive;
 pub mod query;
 pub mod scan;
+pub mod segbuild;
 pub mod snapshot;
 pub mod trie;
 pub mod xpath;
@@ -46,7 +47,9 @@ pub mod xpath;
 pub use engine::{EngineConfig, EngineStores, IngestOutcome, PrixEngine, QueryOutcome};
 pub use exec::MatchStream;
 pub use index::{ExecOpts, IndexKind, PrixIndex, QueryStats, TwigMatch};
+pub use prix_storage::{ManifestSegment, SegmentCheck, SEG_KIND_EP, SEG_KIND_RP};
 pub use query::{TwigBuilder, TwigQuery};
+pub use segbuild::{BulkBuilder, DEFAULT_RUN_MEM_BYTES};
 pub use snapshot::{EngineSnapshot, IngestReport, SharedEngine};
 pub use trie::{LabelingMode, VirtualTrie};
 pub use xpath::{parse_xpath, XPathError};

@@ -39,7 +39,8 @@ use prix_storage::EpochPin;
 use prix_xml::{DocId, ScratchSyms, SymbolTable};
 
 use crate::engine::{
-    pick_index_from, run_query_batch, run_query_opts, run_query_unordered, PrixEngine, QueryOutcome,
+    collect_tiers, pick_index_from, run_query_batch, run_query_opts, run_query_unordered,
+    PrixEngine, QueryOutcome, SegTier,
 };
 use crate::index::{ExecOpts, IndexError, PrixIndex, Result};
 use crate::query::TwigQuery;
@@ -57,6 +58,12 @@ pub struct EngineSnapshot {
     syms: Arc<SymbolTable>,
     rp: Option<PrixIndex>,
     ep: Option<PrixIndex>,
+    /// Immutable segment tiers at capture time. The tiers themselves
+    /// never change after publication; cloning shares the underlying
+    /// segment readers. Epoch pinning is only needed for the mutable
+    /// `rp`/`ep` handles above.
+    segments: Vec<SegTier>,
+    generation: u64,
     arrangement_limit: usize,
     pin: EpochPin,
 }
@@ -69,9 +76,40 @@ impl EngineSnapshot {
             syms: Arc::new(engine.collection().symbols().clone()),
             rp: engine.rp_index().cloned(),
             ep: engine.ep_index().cloned(),
+            segments: engine.seg_tiers().to_vec(),
+            generation: engine.generation(),
             arrangement_limit: engine.arrangement_limit(),
             pin,
         }
+    }
+
+    /// The tier list this snapshot's queries descend.
+    fn tiers(&self) -> Vec<crate::engine::TierRefs<'_>> {
+        collect_tiers(&self.segments, self.rp.as_ref(), self.ep.as_ref())
+    }
+
+    /// Immutable segment tiers visible at this epoch.
+    pub fn segment_tiers(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Segment generation of the manifest visible at this epoch
+    /// (0 = the database has never been segmented).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Documents living in immutable segments at this epoch.
+    pub fn segment_docs(&self) -> u64 {
+        self.segments.iter().map(|t| u64::from(t.n_docs)).sum()
+    }
+
+    /// Documents living in the mutable delta at this epoch.
+    pub fn mutable_docs(&self) -> usize {
+        self.rp
+            .as_ref()
+            .or(self.ep.as_ref())
+            .map_or(0, |i| i.doc_count())
     }
 
     /// The published epoch this view is pinned at.
@@ -100,7 +138,7 @@ impl EngineSnapshot {
     /// [`EngineSnapshot::query`] with execution options.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
-        run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
+        run_query_opts(&self.tiers(), q, opts)
     }
 
     /// Executes a batch across `threads` workers; every worker reads
@@ -119,7 +157,7 @@ impl EngineSnapshot {
     ) -> Result<Vec<QueryOutcome>> {
         run_query_batch(queries, threads, |q| {
             let _pin = self.pin.guard();
-            run_query_opts(self.rp.as_ref(), self.ep.as_ref(), q, opts)
+            run_query_opts(&self.tiers(), q, opts)
         })
     }
 
@@ -132,13 +170,7 @@ impl EngineSnapshot {
     /// [`EngineSnapshot::query_unordered`] with execution options.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
-        run_query_unordered(
-            self.rp.as_ref(),
-            self.ep.as_ref(),
-            self.arrangement_limit,
-            q,
-            opts,
-        )
+        run_query_unordered(&self.tiers(), self.arrangement_limit, q, opts)
     }
 
     /// Describes the plan for an XPath at this epoch. Parses against a
@@ -149,7 +181,9 @@ impl EngineSnapshot {
         let q = parse_xpath(xpath, &mut syms)
             .map_err(|e| IndexError::Unsupported(format!("parse error: {e}")))?;
         let _pin = self.pin.guard();
-        let idx = pick_index_from(self.rp.as_ref(), self.ep.as_ref(), &q)?;
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        let idx = pick_index_from(rp, ep, &q)?;
         let mut out = format!("index: {}\n", idx.kind());
         out.push_str(&idx.explain(&q, &syms)?);
         Ok(out)
@@ -187,9 +221,18 @@ pub struct SharedEngine {
     writer: Mutex<PrixEngine>,
     current: Mutex<Arc<EngineSnapshot>>,
     poisoned: AtomicBool,
-    /// Copies taken at construction so metrics and shutdown never
-    /// block on the writer lock.
-    pool: Arc<prix_storage::BufferPool>,
+    /// The engine's *current* buffer pool, mirrored here so metrics
+    /// and shutdown never block on the writer lock. Behind its own
+    /// mutex because [`SharedEngine::compact`] swaps the pool.
+    pool: Mutex<Arc<prix_storage::BufferPool>>,
+    /// Pools superseded by compaction. Held weakly: a retired pool
+    /// stays alive only while some snapshot still pins it, and
+    /// [`SharedEngine::pinned_epochs`] keeps counting those readers
+    /// until they drain.
+    retired_pools: Mutex<Vec<std::sync::Weak<prix_storage::BufferPool>>>,
+    /// Lifetime segment-block I/O counters (shared with the engine;
+    /// compaction never resets them).
+    seg_io: Arc<prix_storage::IoStats>,
     recovery: Option<prix_storage::RecoveryReport>,
     /// Called with the new epoch right after each publish becomes
     /// visible (serving layers hang cache invalidation off this).
@@ -202,12 +245,15 @@ impl SharedEngine {
     pub fn new(engine: PrixEngine) -> Self {
         let current = Arc::new(EngineSnapshot::capture(&engine));
         let pool = Arc::clone(engine.pool());
+        let seg_io = Arc::clone(engine.seg_io());
         let recovery = engine.recovery();
         SharedEngine {
             writer: Mutex::new(engine),
             current: Mutex::new(current),
             poisoned: AtomicBool::new(false),
-            pool,
+            pool: Mutex::new(pool),
+            retired_pools: Mutex::new(Vec::new()),
+            seg_io,
             recovery,
             on_publish: Mutex::new(None),
         }
@@ -222,10 +268,94 @@ impl SharedEngine {
         *self.on_publish.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(hook));
     }
 
-    /// The engine's buffer pool (metrics, shutdown flush). Does not
-    /// take the writer lock.
-    pub fn pool(&self) -> &Arc<prix_storage::BufferPool> {
-        &self.pool
+    /// The engine's *current* buffer pool (metrics, shutdown flush).
+    /// Does not take the writer lock. Compaction replaces the pool, so
+    /// callers get a clone of the live `Arc` rather than a reference.
+    pub fn pool(&self) -> Arc<prix_storage::BufferPool> {
+        Arc::clone(&self.pool.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Lifetime segment-block I/O counters (`/metrics`). Never reset,
+    /// even across compaction pool swaps.
+    pub fn seg_io(&self) -> &Arc<prix_storage::IoStats> {
+        &self.seg_io
+    }
+
+    /// Epoch-pin observability aggregated across the live pool *and*
+    /// every pool retired by compaction that old snapshots still hold:
+    /// `(active pins, oldest pinned epoch)`. Dead retired pools are
+    /// pruned on the way.
+    pub fn pinned_epochs(&self) -> (usize, Option<u64>) {
+        let mut count = 0usize;
+        let mut oldest: Option<u64> = None;
+        let mut fold = |(c, o): (usize, Option<u64>)| {
+            count += c;
+            oldest = match (oldest, o) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        };
+        fold(self.pool().pinned_epochs());
+        let mut retired = self.retired_pools.lock().unwrap_or_else(|e| e.into_inner());
+        retired.retain(|w| match w.upgrade() {
+            Some(p) => {
+                fold(p.pinned_epochs());
+                true
+            }
+            None => false,
+        });
+        (count, oldest)
+    }
+
+    /// Folds the mutable delta into immutable segments and publishes
+    /// the compacted view (see [`PrixEngine::compact`]). Serializes on
+    /// the writer lock like ingest. Returns the published epoch, or
+    /// `None` when the delta was empty and nothing changed. Snapshots
+    /// taken before the call keep answering bit-identically from the
+    /// retired pool and the old segment set.
+    pub fn compact(&self) -> Result<Option<u64>> {
+        let mut engine = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_poisoned() {
+            return Err(IndexError::Unsupported(
+                "engine poisoned by an earlier failed ingest; reopen the database".into(),
+            ));
+        }
+        match engine.compact() {
+            Ok(false) => Ok(None),
+            Ok(true) => {
+                // The engine swapped in a fresh pool; mirror the swap
+                // here and keep a weak handle on the old pool so its
+                // pinned readers stay observable until they drain.
+                let new_pool = Arc::clone(engine.pool());
+                {
+                    let mut slot = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+                    let old = std::mem::replace(&mut *slot, new_pool);
+                    self.retired_pools
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(Arc::downgrade(&old));
+                }
+                let snap = Arc::new(EngineSnapshot::capture(&engine));
+                let epoch = snap.epoch();
+                *self.current.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+                if let Some(hook) = self
+                    .on_publish
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                {
+                    hook(epoch);
+                }
+                Ok(Some(epoch))
+            }
+            Err(e) => {
+                // Compaction failed at an unknown point; the in-memory
+                // state may be mid-swap. Readers keep the last good
+                // snapshot, further writes are refused.
+                self.poisoned.store(true, Ordering::Release);
+                Err(e)
+            }
+        }
     }
 
     /// What crash recovery did when the wrapped engine was opened.

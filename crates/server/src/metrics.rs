@@ -135,6 +135,33 @@ impl Histogram {
     }
 }
 
+/// Engine lifecycle gauges sampled at exposition time: the segment
+/// tiering state of the published snapshot plus the reader-pin
+/// pressure holding old epochs (and their pre-compaction buffer
+/// pools) alive.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineGauges {
+    /// Segment generation of the published manifest (0 = never
+    /// segmented).
+    pub generation: u64,
+    /// Immutable segment tiers currently serving reads.
+    pub segment_tiers: u64,
+    /// Documents served from immutable segments.
+    pub segment_docs: u64,
+    /// Documents in the mutable delta (what a compaction would fold).
+    pub mutable_docs: u64,
+    /// Reader pins currently holding an epoch open, across the live
+    /// pool and every pool retired by compaction.
+    pub pinned_epochs: u64,
+    /// `published_epoch - oldest_pinned_epoch` (0 when nothing is
+    /// pinned): how far behind the slowest reader is.
+    pub pinned_oldest_lag: u64,
+    /// Segment blocks served (cache hits + fetches), engine lifetime.
+    pub seg_block_reads: u64,
+    /// Segment blocks actually read from disk, engine lifetime.
+    pub seg_block_fetches: u64,
+}
+
 /// The server's metric registry. One instance lives in the shared
 /// server state; every handler records into it.
 #[derive(Debug, Default)]
@@ -158,6 +185,8 @@ pub struct Metrics {
     /// Documents refused: per-document validation rejections plus one
     /// per request shed with 503 while the writer was busy.
     ingest_rejected: AtomicU64,
+    /// Compactions published (mutable delta folded into a segment).
+    compactions: AtomicU64,
 }
 
 impl Metrics {
@@ -224,6 +253,16 @@ impl Metrics {
         self.ingest_rejected.load(Ordering::Relaxed)
     }
 
+    /// Records one published compaction.
+    pub fn record_compaction(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Compactions published so far (for tests).
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
     /// Marks a connection as being handled; decremented by the guard.
     pub fn connection_opened(&self) {
         self.active.fetch_add(1, Ordering::Relaxed);
@@ -254,7 +293,8 @@ impl Metrics {
     /// opened (`None` for legacy databases — the series still render,
     /// as zeros, so dashboards never see a metric vanish); `epoch` is
     /// the currently published snapshot epoch; `plan_cache` /
-    /// `result_cache` are the query caches' counter snapshots.
+    /// `result_cache` are the query caches' counter snapshots;
+    /// `engine` is the segment/pin gauge sample.
     #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
@@ -266,6 +306,7 @@ impl Metrics {
         epoch: u64,
         plan_cache: CacheSnapshot,
         result_cache: CacheSnapshot,
+        engine: EngineGauges,
     ) -> String {
         let mut out = String::with_capacity(4096);
 
@@ -363,6 +404,57 @@ impl Metrics {
         out.push_str("# HELP prix_engine_epoch The currently published snapshot epoch (advances once per ingest batch).\n");
         out.push_str("# TYPE prix_engine_epoch gauge\n");
         out.push_str(&format!("prix_engine_epoch {epoch}\n"));
+
+        // Segment lifecycle. Exact names are a dashboard contract:
+        // the pin gauges say how many reader snapshots are holding an
+        // epoch (and, after a compaction, its retired buffer pool)
+        // alive, and how far the slowest one lags the published epoch.
+        out.push_str("# HELP prix_engine_pinned_epochs Reader pins currently holding an epoch open, across the live and all retired buffer pools.\n");
+        out.push_str("# TYPE prix_engine_pinned_epochs gauge\n");
+        out.push_str(&format!(
+            "prix_engine_pinned_epochs {}\n",
+            engine.pinned_epochs
+        ));
+        out.push_str("# HELP prix_engine_pinned_oldest_lag Epochs between the published epoch and the oldest pinned reader (0 when nothing is pinned).\n");
+        out.push_str("# TYPE prix_engine_pinned_oldest_lag gauge\n");
+        out.push_str(&format!(
+            "prix_engine_pinned_oldest_lag {}\n",
+            engine.pinned_oldest_lag
+        ));
+        out.push_str("# HELP prix_engine_generation Segment generation of the published manifest (0 = never segmented).\n");
+        out.push_str("# TYPE prix_engine_generation gauge\n");
+        out.push_str(&format!("prix_engine_generation {}\n", engine.generation));
+        out.push_str(
+            "# HELP prix_segment_tiers Immutable segment tiers currently serving reads.\n",
+        );
+        out.push_str("# TYPE prix_segment_tiers gauge\n");
+        out.push_str(&format!("prix_segment_tiers {}\n", engine.segment_tiers));
+        out.push_str("# HELP prix_segment_docs Documents served from immutable segments.\n");
+        out.push_str("# TYPE prix_segment_docs gauge\n");
+        out.push_str(&format!("prix_segment_docs {}\n", engine.segment_docs));
+        out.push_str("# HELP prix_engine_mutable_docs Documents in the mutable delta (what a compaction would fold into a segment).\n");
+        out.push_str("# TYPE prix_engine_mutable_docs gauge\n");
+        out.push_str(&format!(
+            "prix_engine_mutable_docs {}\n",
+            engine.mutable_docs
+        ));
+        out.push_str(
+            "# HELP prix_segment_block_reads_total Segment blocks served (cache hits + fetches).\n",
+        );
+        out.push_str("# TYPE prix_segment_block_reads_total counter\n");
+        out.push_str(&format!(
+            "prix_segment_block_reads_total {}\n",
+            engine.seg_block_reads
+        ));
+        out.push_str("# HELP prix_segment_block_fetches_total Segment blocks read from disk.\n");
+        out.push_str("# TYPE prix_segment_block_fetches_total counter\n");
+        out.push_str(&format!(
+            "prix_segment_block_fetches_total {}\n",
+            engine.seg_block_fetches
+        ));
+        out.push_str("# HELP prix_compactions_total Compactions published (mutable delta folded into a segment).\n");
+        out.push_str("# TYPE prix_compactions_total counter\n");
+        out.push_str(&format!("prix_compactions_total {}\n", self.compactions()));
 
         out.push_str("# HELP prix_ingest_documents_total Documents accepted and published by POST /documents.\n");
         out.push_str("# TYPE prix_ingest_documents_total counter\n");
@@ -524,6 +616,7 @@ mod tests {
             0,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(
             text.contains(r#"prix_http_requests_total{endpoint="query",code="200"} 2"#),
@@ -554,6 +647,7 @@ mod tests {
             0,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(
             text.contains(r#"bucket{endpoint="query",le="0.00025"} 0"#),
@@ -597,11 +691,56 @@ mod tests {
             17,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(text.contains("prix_engine_epoch 17"), "{text}");
         assert!(text.contains("prix_ingest_documents_total 3"), "{text}");
         assert!(text.contains("prix_ingest_batches_total 2"), "{text}");
         assert!(text.contains("prix_ingest_rejected_total 4"), "{text}");
+    }
+
+    #[test]
+    fn segment_series_render_with_pinned_names() {
+        let m = Metrics::new();
+        m.record_compaction();
+        m.record_compaction();
+        assert_eq!(m.compactions(), 2);
+        let gauges = EngineGauges {
+            generation: 3,
+            segment_tiers: 2,
+            segment_docs: 450,
+            mutable_docs: 7,
+            pinned_epochs: 4,
+            pinned_oldest_lag: 2,
+            seg_block_reads: 100,
+            seg_block_fetches: 25,
+        };
+        let text = m.render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            gauges,
+        );
+        assert!(text.contains("prix_engine_pinned_epochs 4"), "{text}");
+        assert!(text.contains("prix_engine_pinned_oldest_lag 2"), "{text}");
+        assert!(text.contains("prix_engine_generation 3"), "{text}");
+        assert!(text.contains("prix_segment_tiers 2"), "{text}");
+        assert!(text.contains("prix_segment_docs 450"), "{text}");
+        assert!(text.contains("prix_engine_mutable_docs 7"), "{text}");
+        assert!(
+            text.contains("prix_segment_block_reads_total 100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("prix_segment_block_fetches_total 25"),
+            "{text}"
+        );
+        assert!(text.contains("prix_compactions_total 2"), "{text}");
     }
 
     #[test]
@@ -621,6 +760,7 @@ mod tests {
             0,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(text.contains("prix_bufferpool_hit_ratio 0.8"), "{text}");
         assert!(
@@ -657,6 +797,7 @@ mod tests {
             0,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(text.contains("prix_bufferpool_fsyncs_total 7"), "{text}");
         assert!(
@@ -682,6 +823,7 @@ mod tests {
             0,
             CacheSnapshot::default(),
             CacheSnapshot::default(),
+            EngineGauges::default(),
         );
         assert!(text.contains("prix_bufferpool_fsyncs_total 0"), "{text}");
         assert!(text.contains("prix_recovery_unclean_shutdown 0"), "{text}");

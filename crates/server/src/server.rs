@@ -56,7 +56,7 @@ use prix_core::{EngineSnapshot, ExecOpts, PrixEngine, QueryOutcome, SharedEngine
 use crate::cache::{PlanCache, ResultCache, ResultKey};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::JsonWriter;
-use crate::metrics::{Endpoint, Metrics, Stage};
+use crate::metrics::{Endpoint, EngineGauges, Metrics, Stage};
 use crate::workers::{QueueProbe, WorkerPool};
 
 /// Server tuning knobs. `Default` is sized for tests and small
@@ -101,6 +101,10 @@ pub struct ServerConfig {
     /// Entries in the plan cache (XPath string → parsed twig,
     /// invalidated only by symbol-table growth).
     pub plan_cache_entries: usize,
+    /// Compact once the mutable delta reaches this many documents
+    /// (checked after each ingest publish). `None` disables automatic
+    /// compaction; `prix compact` always works offline.
+    pub compact_after: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +126,7 @@ impl Default for ServerConfig {
             max_requests_per_conn: 1000,
             result_cache_entries: 4096,
             plan_cache_entries: 1024,
+            compact_after: None,
         }
     }
 }
@@ -529,15 +534,30 @@ fn route(req: &Request, shared: &Arc<Shared>) -> (Endpoint, Response) {
 
 fn handle_metrics(shared: &Arc<Shared>) -> Response {
     let pool = shared.engine.pool();
+    let snap = shared.engine.snapshot();
+    let (pinned, oldest) = shared.engine.pinned_epochs();
+    let seg_io = shared.engine.seg_io().snapshot();
+    let gauges = EngineGauges {
+        generation: snap.generation(),
+        segment_tiers: snap.segment_tiers() as u64,
+        segment_docs: snap.segment_docs(),
+        mutable_docs: snap.mutable_docs() as u64,
+        // This handler's own snapshot holds one pin; don't report it.
+        pinned_epochs: (pinned as u64).saturating_sub(1),
+        pinned_oldest_lag: oldest.map_or(0, |o| snap.epoch().saturating_sub(o)),
+        seg_block_reads: seg_io.seg_block_reads,
+        seg_block_fetches: seg_io.seg_block_fetches,
+    };
     let body = shared.metrics.render(
         pool.snapshot(),
         pool.resident(),
         pool.capacity(),
         shared.queue.depth(),
         shared.engine.recovery(),
-        shared.engine.epoch(),
+        snap.epoch(),
         shared.plan_cache.snapshot(),
         shared.result_cache.snapshot(),
+        gauges,
     );
     Response::new(200).body(
         "text/plain; version=0.0.4; charset=utf-8",
@@ -775,6 +795,7 @@ fn handle_documents(req: &Request, shared: &Arc<Shared>) -> Response {
             shared
                 .metrics
                 .record_ingest(report.accepted.len() as u64, report.rejected.len() as u64);
+            maybe_compact(shared);
             let status = if report.accepted.is_empty() && !report.rejected.is_empty() {
                 400
             } else {
@@ -803,6 +824,31 @@ fn handle_documents(req: &Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// Folds the mutable delta into a new segment generation when
+/// `ServerConfig::compact_after` is set and the published snapshot's
+/// delta has reached it. Runs on the ingesting worker's thread, after
+/// its publish: readers keep serving their pinned snapshots throughout,
+/// and a compaction failure poisons the writer exactly like a failed
+/// ingest (refusing to limp on a half-swapped engine), so it is only
+/// *reported* here, not swallowed.
+fn maybe_compact(shared: &Arc<Shared>) {
+    let threshold = match shared.cfg.compact_after {
+        Some(n) => n,
+        None => return,
+    };
+    if shared.engine.snapshot().mutable_docs() < threshold {
+        return;
+    }
+    match shared.engine.compact() {
+        Ok(Some(_)) => shared.metrics.record_compaction(),
+        // Raced with another worker's compaction (delta already empty)
+        // or the engine has no indexes; nothing to record.
+        Ok(None) => {}
+        // The writer is now poisoned; subsequent ingests answer 500.
+        Err(_) => {}
+    }
+}
+
 /// Writes the shared per-query fields (and optionally the embeddings)
 /// into an already-open JSON object. `count` is the number of matches
 /// actually returned by the executor; `truncated` reports whether the
@@ -818,6 +864,8 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matche
     w.key("physical_reads").num(out.io.physical_reads);
     w.key("physical_writes").num(out.io.physical_writes);
     w.key("fsyncs").num(out.io.fsyncs);
+    w.key("seg_block_reads").num(out.io.seg_block_reads);
+    w.key("seg_block_fetches").num(out.io.seg_block_fetches);
     w.end_obj();
     w.key("stats").obj();
     w.key("range_queries").num(out.stats.range_queries);

@@ -377,6 +377,44 @@ impl BufferPool {
         }
     }
 
+    /// Observability for long-held reader pins: the number of active
+    /// [`EpochPin`] registrations and the oldest epoch any of them
+    /// holds (`None` when nothing is pinned). `/metrics` derives the
+    /// pinned-epoch lag (`published - oldest`) from this.
+    pub fn pinned_epochs(&self) -> (usize, Option<u64>) {
+        let vs = self.vstate.lock();
+        let count = vs.pins.values().sum();
+        let oldest = vs.pins.keys().next().copied();
+        (count, oldest)
+    }
+
+    /// Re-seeds the epoch clock of a freshly built pool so it continues
+    /// a predecessor's sequence. Compaction swaps in a brand-new
+    /// mutable database whose pager restarts at epoch 1; snapshots,
+    /// epoch-keyed caches, and `/metrics` all require the published
+    /// epoch to be monotone across that swap, so the new pool jumps
+    /// forward before it is ever published. Only valid outside ingest
+    /// mode and only forward.
+    pub fn reseed_epoch(&self, epoch: u64) -> Result<()> {
+        assert!(
+            !self.ingest_active.load(Ordering::Acquire),
+            "reseed_epoch during an ingest round"
+        );
+        let vs = self.vstate.lock();
+        assert!(
+            vs.pins.is_empty(),
+            "reseed_epoch with readers pinned on the old clock"
+        );
+        if self.pager.has_checksums() && epoch > self.pager.epoch() {
+            self.pager.set_epoch(epoch)?;
+            self.pager.sync_meta()?;
+        }
+        let cur = self.published.load(Ordering::Acquire);
+        self.published.store(cur.max(epoch), Ordering::Release);
+        drop(vs);
+        Ok(())
+    }
+
     /// Pins the currently published epoch for a new reader. Registration
     /// shares the chain lock, so a concurrent publish either sees this
     /// pin (and retains its pre-images) or has not yet bumped

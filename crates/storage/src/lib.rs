@@ -25,6 +25,7 @@ pub mod crc;
 pub mod error;
 pub mod pager;
 pub mod record;
+pub mod segment;
 pub mod stats;
 pub mod store;
 pub mod sync;
@@ -36,6 +37,10 @@ pub use crc::crc32;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, NIL_PAGE, PAGE_SIZE};
 pub use record::{RecordId, RecordStore};
+pub use segment::{
+    env_temp_factory, FileSegEnv, Manifest, ManifestSegment, MemSegEnv, SegTrieStats,
+    SegmentBuilder, SegmentCheck, SegmentEnv, SegmentReader, SEG_KIND_EP, SEG_KIND_RP,
+};
 pub use stats::{IoScope, IoSnapshot, IoStats};
 pub use store::{FileStore, MemStore, RawStore};
 pub use wal::{recover, LogRecord, RecoveryReport, Wal};

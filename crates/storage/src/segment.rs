@@ -1,0 +1,1977 @@
+//! Immutable index segments: external-merge-sort bulk loading into
+//! implicit B⁺-tree files (the LSM-flavored half of the index
+//! lifecycle).
+//!
+//! The incremental path indexes one document at a time through the
+//! WAL'd buffer pool — the right shape for trickle inserts, the wrong
+//! one for loading millions of documents: every trie node becomes a
+//! B⁺-tree insert, and cold scans churn the pool because pages carry no
+//! key locality. A *segment* is the bulk alternative, following the
+//! read-only bstree design (cds-bstree-file-readonly): sort everything
+//! once with bounded memory, then write an **implicit** tree — entries
+//! packed back-to-back in key order with no per-node pointers and zero
+//! unused bytes, plus a small fence array (first key of every
+//! entry group) and an in-memory super-fence array (every
+//! [`FENCES_PER_SUPER`]-th fence). A point lookup is two bounded binary
+//! searches and at most two block fetches; a range scan is a seek plus
+//! a sequential read.
+//!
+//! One segment file holds one index flavor (RP or EP) for a contiguous
+//! range of document ids (`doc_base .. doc_base + n_docs`):
+//!
+//! ```text
+//! +--------+----------+---------+-------------+------------+----------+-----------+------+-----------+
+//! | header | rec data | rec idx | tag entries | tag fences | doc ends | doc fences| meta | CRC table |
+//! +--------+----------+---------+-------------+------------+----------+-----------+------+-----------+
+//! ```
+//!
+//! * **header** — fixed 128 bytes, magic `PRIXSEG\0`, section offsets,
+//!   its own CRC-32.
+//! * **rec data / rec idx** — per-document refinement records (opaque
+//!   blobs) and their `n_docs + 1` offsets.
+//! * **tag entries** — the Trie-Symbol index: 28-byte
+//!   `(sym, left, right, level, fine_gap)` rows sorted by `(sym, left)`.
+//! * **doc ends** — the Docid index: 12-byte `(left, doc)` rows sorted
+//!   by `(left, doc)`.
+//! * **meta** — an opaque blob (the core layer stores MaxGap table,
+//!   childless set, build stats).
+//! * **CRC table** — one CRC-32 per [`SEG_BLOCK`]-sized block of
+//!   everything before it, so `fsck` can verify the file without
+//!   trusting any of it.
+//!
+//! Readers bypass the buffer pool entirely: direct [`RawStore`] reads
+//! through a per-segment block cache of [`CACHE_BLOCKS`] blocks,
+//! counted separately in [`IoStats`] (`seg_block_reads` /
+//! `seg_block_fetches`) so benchmarks can compare segment I/O against
+//! buffer-pool I/O.
+//!
+//! The [`Manifest`] (double-slot, generation-stamped, CRC'd) is the
+//! atomic commit point for the whole index lifecycle: a crash anywhere
+//! during a bulk build or compaction leaves the previous manifest
+//! serving the previous files.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::crc::crc32;
+use crate::error::{Result, StorageError};
+use crate::stats::IoStats;
+use crate::store::{FileStore, MemStore, RawStore};
+use crate::sync::Mutex;
+
+/// Segment file magic (first 8 bytes).
+pub const SEG_MAGIC: [u8; 8] = *b"PRIXSEG\0";
+/// Segment format version.
+pub const SEG_VERSION: u32 = 1;
+/// Fixed header length in bytes.
+pub const SEG_HEADER_LEN: u64 = 128;
+/// Block granularity for the reader cache and the CRC table.
+pub const SEG_BLOCK: usize = 4096;
+/// Blocks held by one segment's read cache (256 KiB).
+pub const CACHE_BLOCKS: usize = 64;
+/// Tag entries per fence group (one group ≈ one block).
+pub const TAG_GROUP: u64 = 146;
+/// Doc-end entries per fence group.
+pub const DOC_GROUP: u64 = 341;
+/// Fences per in-memory super-fence (one super-fence spans ~256 KiB of
+/// entries — the disk-cache-sized outer blocking level).
+pub const FENCES_PER_SUPER: u64 = 64;
+/// Encoded tag entry size: sym(4) left(8) right(8) level(4) fine(4).
+pub const TAG_ENTRY_LEN: u64 = 28;
+/// Encoded tag fence size: sym(4) left(8).
+pub const TAG_FENCE_LEN: u64 = 12;
+/// Encoded doc-end entry size: left(8) doc(4).
+pub const DOC_ENTRY_LEN: u64 = 12;
+/// Encoded doc fence size: left(8).
+pub const DOC_FENCE_LEN: u64 = 8;
+/// `kind` byte for a Regular-Prüfer segment.
+pub const SEG_KIND_RP: u8 = 0;
+/// `kind` byte for an Extended-Prüfer segment.
+pub const SEG_KIND_EP: u8 = 1;
+
+fn corrupt(reason: String) -> StorageError {
+    StorageError::Corrupt { page: 0, reason }
+}
+
+fn div_ceil(a: u64, b: u64) -> u64 {
+    (a + b - 1) / b
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+// ---------------------------------------------------------------------------
+
+/// Buffered sequential reader over one spilled run.
+pub struct RunBuf {
+    store: Box<dyn RawStore>,
+    pos: u64,
+    end: u64,
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl RunBuf {
+    const CHUNK: usize = 256 * 1024;
+
+    fn new(store: Box<dyn RawStore>, end: u64) -> Self {
+        RunBuf {
+            store,
+            pos: 0,
+            end,
+            buf: Vec::new(),
+            off: 0,
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        (self.end - self.pos) + (self.buf.len() - self.off) as u64
+    }
+
+    /// Fills `dst` from the run, refilling the chunk buffer as needed.
+    pub fn take(&mut self, dst: &mut [u8]) -> Result<()> {
+        let mut done = 0;
+        while done < dst.len() {
+            if self.off == self.buf.len() {
+                let want = Self::CHUNK.min((self.end - self.pos) as usize);
+                if want == 0 {
+                    return Err(corrupt("spill run truncated".into()));
+                }
+                self.buf.resize(want, 0);
+                self.store.read_at(self.pos, &mut self.buf)?;
+                self.pos += want as u64;
+                self.off = 0;
+            }
+            let n = (dst.len() - done).min(self.buf.len() - self.off);
+            dst[done..done + n].copy_from_slice(&self.buf[self.off..self.off + n]);
+            self.off += n;
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+/// An item an [`ExternalSorter`] can spill and re-read.
+pub trait SortItem: Ord + Sized {
+    /// Appends a self-framing encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one item from a spill run.
+    fn decode(r: &mut RunBuf) -> Result<Self>;
+    /// Approximate in-memory footprint, for the run budget.
+    fn mem_size(&self) -> usize;
+}
+
+/// Factory for spill-run scratch stores (anonymous temp files on disk,
+/// [`MemStore`]s in tests).
+pub type TempFactory = Box<dyn FnMut() -> Result<Box<dyn RawStore>> + Send>;
+
+/// Bounded-memory sorter: buffers items up to a budget, spills sorted
+/// runs to scratch stores, and k-way-merges the runs on drain.
+pub struct ExternalSorter<T: SortItem> {
+    budget: usize,
+    mem: usize,
+    items: Vec<T>,
+    runs: Vec<(Box<dyn RawStore>, u64)>,
+    temp: TempFactory,
+    count: u64,
+}
+
+impl<T: SortItem> ExternalSorter<T> {
+    /// A sorter holding at most ~`budget` bytes of items in memory.
+    pub fn new(budget: usize, temp: TempFactory) -> Self {
+        ExternalSorter {
+            budget: budget.max(64 * 1024),
+            mem: 0,
+            items: Vec::new(),
+            runs: Vec::new(),
+            temp,
+            count: 0,
+        }
+    }
+
+    /// Number of items pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of runs spilled so far (observability / tests).
+    pub fn spilled_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Adds one item, spilling a sorted run if the budget is exceeded.
+    pub fn push(&mut self, item: T) -> Result<()> {
+        self.mem += item.mem_size();
+        self.items.push(item);
+        self.count += 1;
+        if self.mem >= self.budget {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<()> {
+        if self.items.is_empty() {
+            return Ok(());
+        }
+        self.items.sort_unstable();
+        let store = (self.temp)()?;
+        let mut buf = Vec::with_capacity(256 * 1024);
+        let mut off = 0u64;
+        for item in self.items.drain(..) {
+            item.encode(&mut buf);
+            if buf.len() >= 256 * 1024 {
+                store.write_at(off, &buf)?;
+                off += buf.len() as u64;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            store.write_at(off, &buf)?;
+            off += buf.len() as u64;
+        }
+        self.runs.push((store, off));
+        self.mem = 0;
+        Ok(())
+    }
+
+    /// Drains every item in ascending order through `f`.
+    pub fn drain(mut self, mut f: impl FnMut(T) -> Result<()>) -> Result<()> {
+        if self.runs.is_empty() {
+            self.items.sort_unstable();
+            for item in self.items.drain(..) {
+                f(item)?;
+            }
+            return Ok(());
+        }
+        self.spill()?;
+        let mut readers: Vec<RunBuf> = self
+            .runs
+            .drain(..)
+            .map(|(store, end)| RunBuf::new(store, end))
+            .collect();
+        // Min-heap keyed on (item, run); the run index breaks ties
+        // deterministically (items are unique in practice).
+        let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
+        for (i, r) in readers.iter_mut().enumerate() {
+            if r.remaining() > 0 {
+                heap.push(Reverse((T::decode(r)?, i)));
+            }
+        }
+        while let Some(Reverse((item, i))) = heap.pop() {
+            f(item)?;
+            if readers[i].remaining() > 0 {
+                heap.push(Reverse((T::decode(&mut readers[i])?, i)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One Prüfer sequence headed for a segment: its label path through the
+/// virtual trie, the per-position fine gaps, and the (local) document
+/// id. Ordered by `(path, doc)` — the gaps are payload, not key — so a
+/// sort puts every sequence in trie DFS order with ends per node in
+/// ascending doc order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEntry {
+    /// Label path (the LPS symbols).
+    pub path: Vec<u32>,
+    /// Per-position fine gaps (same length as `path`).
+    pub gaps: Vec<u32>,
+    /// Local document id within the segment.
+    pub doc: u32,
+}
+
+impl Ord for PathEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.path, self.doc).cmp(&(&other.path, other.doc))
+    }
+}
+
+impl PartialOrd for PathEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl SortItem for PathEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.path.len() as u32).to_le_bytes());
+        for &s in &self.path {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        for &g in &self.gaps {
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        out.extend_from_slice(&self.doc.to_le_bytes());
+    }
+
+    fn decode(r: &mut RunBuf) -> Result<Self> {
+        let len = r.u32()? as usize;
+        let mut raw = vec![0u8; len * 8 + 4];
+        r.take(&mut raw)?;
+        let word = |i: usize| u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().unwrap());
+        Ok(PathEntry {
+            path: (0..len).map(word).collect(),
+            gaps: (len..2 * len).map(word).collect(),
+            doc: word(2 * len),
+        })
+    }
+
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<PathEntry>() + self.path.len() * 8
+    }
+}
+
+/// One Trie-Symbol row of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TagEntry {
+    /// Trie symbol.
+    pub sym: u32,
+    /// LeftPos of the containment range.
+    pub left: u64,
+    /// RightPos of the containment range.
+    pub right: u64,
+    /// 1-based LPS position.
+    pub level: u32,
+    /// Per-node fine MaxGap (`u32::MAX` = unknown).
+    pub fine_gap: u32,
+}
+
+impl TagEntry {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.sym.to_le_bytes());
+        out.extend_from_slice(&self.left.to_le_bytes());
+        out.extend_from_slice(&self.right.to_le_bytes());
+        out.extend_from_slice(&self.level.to_le_bytes());
+        out.extend_from_slice(&self.fine_gap.to_le_bytes());
+    }
+
+    fn read(b: &[u8]) -> TagEntry {
+        TagEntry {
+            sym: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            left: u64::from_le_bytes(b[4..12].try_into().unwrap()),
+            right: u64::from_le_bytes(b[12..20].try_into().unwrap()),
+            level: u32::from_le_bytes(b[20..24].try_into().unwrap()),
+            fine_gap: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+        }
+    }
+
+    fn key(&self) -> (u32, u64) {
+        (self.sym, self.left)
+    }
+}
+
+impl SortItem for TagEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.write(out);
+    }
+
+    fn decode(r: &mut RunBuf) -> Result<Self> {
+        let mut b = [0u8; TAG_ENTRY_LEN as usize];
+        r.take(&mut b)?;
+        Ok(TagEntry::read(&b))
+    }
+
+    fn mem_size(&self) -> usize {
+        std::mem::size_of::<TagEntry>()
+    }
+}
+
+/// One Docid row of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DocEnd {
+    /// LeftPos of the trie node where the sequence ends.
+    pub left: u64,
+    /// Local document id.
+    pub doc: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Streaming trie labeler
+// ---------------------------------------------------------------------------
+
+/// Statistics of the virtual trie a segment build streamed through,
+/// bit-compatible with the in-memory `VirtualTrie` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegTrieStats {
+    /// Labeled (non-root) trie nodes.
+    pub nodes: u64,
+    /// Distinct root-to-leaf paths.
+    pub leaves: u64,
+    /// Sequences inserted.
+    pub sequences: u64,
+    /// Largest number of sequences sharing one leaf path.
+    pub max_path_sharing: u64,
+    /// Total length of all sequences.
+    pub total_path_len: u64,
+}
+
+struct TrieFrame {
+    sym: u32,
+    level: u32,
+    left: u64,
+    fine_gap: u32,
+    weight: u64,
+    has_child: bool,
+}
+
+/// Streams `(path, doc)` entries — which **must** arrive in ascending
+/// `(path, doc)` order — through a virtual-trie DFS, assigning the same
+/// exact labels a bulk `VirtualTrie::assign_ranges(Exact)` would:
+/// `left` = DFS first-visit rank (children in symbol order), `right` =
+/// max `left` in the subtree, per-node fine gaps max-folded across the
+/// sequences passing through. Emits finished tag rows at node pop and
+/// doc-end rows in `(left, doc)` order.
+struct StreamTrie {
+    stack: Vec<TrieFrame>,
+    prev_path: Vec<u32>,
+    counter: u64,
+    stats: SegTrieStats,
+}
+
+impl StreamTrie {
+    fn new() -> Self {
+        StreamTrie {
+            stack: Vec::new(),
+            prev_path: Vec::new(),
+            counter: 0,
+            stats: SegTrieStats::default(),
+        }
+    }
+
+    fn pop(&mut self, emit_tag: &mut impl FnMut(TagEntry) -> Result<()>) -> Result<()> {
+        let f = self.stack.pop().expect("pop on empty trie stack");
+        if !f.has_child {
+            self.stats.leaves += 1;
+            if f.weight > self.stats.max_path_sharing {
+                self.stats.max_path_sharing = f.weight;
+            }
+        }
+        emit_tag(TagEntry {
+            sym: f.sym,
+            left: f.left,
+            right: self.counter.max(f.left),
+            level: f.level,
+            fine_gap: f.fine_gap,
+        })
+    }
+
+    fn insert(
+        &mut self,
+        e: &PathEntry,
+        emit_tag: &mut impl FnMut(TagEntry) -> Result<()>,
+        emit_doc: &mut impl FnMut(DocEnd) -> Result<()>,
+    ) -> Result<()> {
+        debug_assert!(
+            (e.path.as_slice(), e.doc) >= (self.prev_path.as_slice(), 0),
+            "path entries must arrive sorted"
+        );
+        self.stats.sequences += 1;
+        self.stats.total_path_len += e.path.len() as u64;
+        let common = self
+            .prev_path
+            .iter()
+            .zip(e.path.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        while self.stack.len() > common {
+            self.pop(emit_tag)?;
+        }
+        // Shared prefix: every sequence through a node folds its gap
+        // and counts toward the node's weight.
+        for (i, f) in self.stack.iter_mut().enumerate() {
+            f.weight += 1;
+            if f.fine_gap == u32::MAX {
+                f.fine_gap = e.gaps[i];
+            } else {
+                f.fine_gap = f.fine_gap.max(e.gaps[i]);
+            }
+        }
+        for i in common..e.path.len() {
+            if let Some(parent) = self.stack.last_mut() {
+                parent.has_child = true;
+            }
+            self.counter += 1;
+            self.stack.push(TrieFrame {
+                sym: e.path[i],
+                level: (i + 1) as u32,
+                left: self.counter,
+                fine_gap: e.gaps[i],
+                weight: 1,
+                has_child: false,
+            });
+            self.stats.nodes += 1;
+        }
+        let end_left = self.stack.last().map_or(0, |f| f.left);
+        emit_doc(DocEnd {
+            left: end_left,
+            doc: e.doc,
+        })?;
+        self.prev_path.clear();
+        self.prev_path.extend_from_slice(&e.path);
+        Ok(())
+    }
+
+    fn finish(mut self, emit_tag: &mut impl FnMut(TagEntry) -> Result<()>) -> Result<SegTrieStats> {
+        while !self.stack.is_empty() {
+            self.pop(emit_tag)?;
+        }
+        Ok(self.stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment writer
+// ---------------------------------------------------------------------------
+
+struct Header {
+    kind: u8,
+    doc_base: u32,
+    n_docs: u32,
+    n_tag: u64,
+    n_doc: u64,
+    rec_data_off: u64,
+    rec_idx_off: u64,
+    tag_off: u64,
+    tag_fence_off: u64,
+    doc_off: u64,
+    doc_fence_off: u64,
+    meta_off: u64,
+    meta_len: u64,
+    crc_off: u64,
+    file_len: u64,
+}
+
+impl Header {
+    fn encode(&self) -> [u8; SEG_HEADER_LEN as usize] {
+        let mut h = [0u8; SEG_HEADER_LEN as usize];
+        h[0..8].copy_from_slice(&SEG_MAGIC);
+        h[8..12].copy_from_slice(&SEG_VERSION.to_le_bytes());
+        h[12] = self.kind;
+        h[16..20].copy_from_slice(&self.doc_base.to_le_bytes());
+        h[20..24].copy_from_slice(&self.n_docs.to_le_bytes());
+        h[24..32].copy_from_slice(&self.n_tag.to_le_bytes());
+        h[32..40].copy_from_slice(&self.n_doc.to_le_bytes());
+        h[40..48].copy_from_slice(&self.rec_idx_off.to_le_bytes());
+        h[48..56].copy_from_slice(&self.rec_data_off.to_le_bytes());
+        h[56..64].copy_from_slice(&self.tag_off.to_le_bytes());
+        h[64..72].copy_from_slice(&self.tag_fence_off.to_le_bytes());
+        h[72..80].copy_from_slice(&self.doc_off.to_le_bytes());
+        h[80..88].copy_from_slice(&self.doc_fence_off.to_le_bytes());
+        h[88..96].copy_from_slice(&self.meta_off.to_le_bytes());
+        h[96..104].copy_from_slice(&self.meta_len.to_le_bytes());
+        h[104..112].copy_from_slice(&self.crc_off.to_le_bytes());
+        h[112..120].copy_from_slice(&self.file_len.to_le_bytes());
+        let crc = crc32(&h[..120]);
+        h[120..124].copy_from_slice(&crc.to_le_bytes());
+        h
+    }
+
+    fn decode(h: &[u8]) -> Result<Header> {
+        if h[0..8] != SEG_MAGIC {
+            return Err(corrupt("bad segment magic".into()));
+        }
+        let version = u32::from_le_bytes(h[8..12].try_into().unwrap());
+        if version != SEG_VERSION {
+            return Err(corrupt(format!("unsupported segment version {version}")));
+        }
+        let stored = u32::from_le_bytes(h[120..124].try_into().unwrap());
+        if crc32(&h[..120]) != stored {
+            return Err(corrupt("segment header CRC mismatch".into()));
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(h[i..i + 8].try_into().unwrap());
+        let u32_at = |i: usize| u32::from_le_bytes(h[i..i + 4].try_into().unwrap());
+        Ok(Header {
+            kind: h[12],
+            doc_base: u32_at(16),
+            n_docs: u32_at(20),
+            n_tag: u64_at(24),
+            n_doc: u64_at(32),
+            rec_idx_off: u64_at(40),
+            rec_data_off: u64_at(48),
+            tag_off: u64_at(56),
+            tag_fence_off: u64_at(64),
+            doc_off: u64_at(72),
+            doc_fence_off: u64_at(80),
+            meta_off: u64_at(88),
+            meta_len: u64_at(96),
+            crc_off: u64_at(104),
+            file_len: u64_at(112),
+        })
+    }
+}
+
+/// Buffered sequential section writer over a [`RawStore`].
+struct SectionWriter<'a> {
+    store: &'a dyn RawStore,
+    off: u64,
+    buf: Vec<u8>,
+}
+
+impl<'a> SectionWriter<'a> {
+    fn new(store: &'a dyn RawStore, off: u64) -> Self {
+        SectionWriter {
+            store,
+            off,
+            buf: Vec::with_capacity(256 * 1024),
+        }
+    }
+
+    fn push(&mut self, bytes: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= 256 * 1024 {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.store.write_at(self.off, &self.buf)?;
+            self.off += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<u64> {
+        self.flush()?;
+        Ok(self.off)
+    }
+}
+
+/// Writes one immutable segment: stream documents in (records go
+/// straight to the output file, label paths to the external sorter),
+/// then [`SegmentBuilder::finish`] merges the runs through the
+/// streaming trie and lays out the remaining sections.
+pub struct SegmentBuilder {
+    out: Box<dyn RawStore>,
+    temp: Arc<Mutex<TempFactory>>,
+    kind: u8,
+    doc_base: u32,
+    run_budget: usize,
+    sorter: ExternalSorter<PathEntry>,
+    rec_offsets: Vec<u64>,
+    rec_writer_off: u64,
+    rec_buf: Vec<u8>,
+}
+
+/// Forwards a shared temp factory (the builder's two sort phases run
+/// strictly in sequence but each sorter owns its own handle).
+fn fwd_temp(shared: &Arc<Mutex<TempFactory>>) -> TempFactory {
+    let s = Arc::clone(shared);
+    Box::new(move || (s.lock())())
+}
+
+impl SegmentBuilder {
+    /// A builder writing to `out`, spilling sort runs via `temp`, with
+    /// roughly `run_mem_bytes` of in-memory sort buffer per phase.
+    pub fn new(
+        out: Box<dyn RawStore>,
+        temp: TempFactory,
+        kind: u8,
+        doc_base: u32,
+        run_mem_bytes: usize,
+    ) -> Self {
+        let temp = Arc::new(Mutex::new(temp));
+        let sorter = ExternalSorter::new(run_mem_bytes, fwd_temp(&temp));
+        SegmentBuilder {
+            out,
+            temp,
+            kind,
+            doc_base,
+            run_budget: run_mem_bytes,
+            sorter,
+            rec_offsets: vec![0],
+            rec_writer_off: SEG_HEADER_LEN,
+            rec_buf: Vec::with_capacity(256 * 1024),
+        }
+    }
+
+    /// Adds one document: its opaque refinement record and its label
+    /// path + fine gaps. Returns the local document id.
+    pub fn add_doc(&mut self, record: &[u8], path: Vec<u32>, gaps: Vec<u32>) -> Result<u32> {
+        debug_assert_eq!(path.len(), gaps.len());
+        let doc = (self.rec_offsets.len() - 1) as u32;
+        self.rec_buf.extend_from_slice(record);
+        if self.rec_buf.len() >= 256 * 1024 {
+            self.out.write_at(self.rec_writer_off, &self.rec_buf)?;
+            self.rec_writer_off += self.rec_buf.len() as u64;
+            self.rec_buf.clear();
+        }
+        let last = *self.rec_offsets.last().unwrap();
+        self.rec_offsets.push(last + record.len() as u64);
+        self.sorter.push(PathEntry { path, gaps, doc })?;
+        Ok(doc)
+    }
+
+    /// Number of documents added so far.
+    pub fn doc_count(&self) -> u32 {
+        (self.rec_offsets.len() - 1) as u32
+    }
+
+    /// Merges the runs, labels the trie, writes every section, the
+    /// header, and the CRC table, then syncs. `make_meta` receives the
+    /// trie statistics and returns the opaque meta blob.
+    pub fn finish(
+        mut self,
+        make_meta: impl FnOnce(&SegTrieStats) -> Vec<u8>,
+    ) -> Result<SegTrieStats> {
+        // Flush the record tail, then the record index.
+        if !self.rec_buf.is_empty() {
+            self.out.write_at(self.rec_writer_off, &self.rec_buf)?;
+            self.rec_writer_off += self.rec_buf.len() as u64;
+            self.rec_buf.clear();
+        }
+        let n_docs = (self.rec_offsets.len() - 1) as u32;
+        let rec_data_off = SEG_HEADER_LEN;
+        let rec_idx_off = self.rec_writer_off;
+        let mut w = SectionWriter::new(&*self.out, rec_idx_off);
+        for &o in &self.rec_offsets {
+            w.push(&o.to_le_bytes())?;
+        }
+        let tag_off = w.finish()?;
+
+        // Merge path runs through the streaming trie. Tag rows come out
+        // in pop (postorder) order and need a second sort by
+        // (sym, left); doc ends come out already sorted and are tiny
+        // (one per document), so they stay in memory.
+        let mut tag_sorter: ExternalSorter<TagEntry> =
+            ExternalSorter::new(self.run_budget, fwd_temp(&self.temp));
+        let mut doc_ends: Vec<DocEnd> = Vec::with_capacity(n_docs as usize);
+        let mut trie = StreamTrie::new();
+        {
+            let mut emit_tag = |t: TagEntry| tag_sorter.push(t);
+            let mut emit_doc = |d: DocEnd| {
+                debug_assert!(doc_ends.last().map_or(true, |p| *p < d));
+                doc_ends.push(d);
+                Ok(())
+            };
+            self.sorter
+                .drain(|e| trie.insert(&e, &mut emit_tag, &mut emit_doc))?;
+        }
+        let mut emit_tag = |t: TagEntry| tag_sorter.push(t);
+        let stats = trie.finish(&mut emit_tag)?;
+
+        // Tag entries + fences.
+        let n_tag = tag_sorter.len();
+        let mut w = SectionWriter::new(&*self.out, tag_off);
+        let mut tag_fences: Vec<u8> = Vec::new();
+        let mut i = 0u64;
+        let mut row = Vec::with_capacity(TAG_ENTRY_LEN as usize);
+        let mut prev_key: Option<(u32, u64)> = None;
+        tag_sorter.drain(|t| {
+            debug_assert!(prev_key.map_or(true, |p| p < t.key()), "duplicate tag key");
+            prev_key = Some(t.key());
+            if i % TAG_GROUP == 0 {
+                tag_fences.extend_from_slice(&t.sym.to_le_bytes());
+                tag_fences.extend_from_slice(&t.left.to_le_bytes());
+            }
+            i += 1;
+            row.clear();
+            t.write(&mut row);
+            w.push(&row)
+        })?;
+        let tag_fence_off = w.finish()?;
+        self.out.write_at(tag_fence_off, &tag_fences)?;
+        let doc_off = tag_fence_off + tag_fences.len() as u64;
+
+        // Doc ends + fences.
+        let n_doc = doc_ends.len() as u64;
+        let mut w = SectionWriter::new(&*self.out, doc_off);
+        let mut doc_fences: Vec<u8> = Vec::new();
+        for (i, d) in doc_ends.iter().enumerate() {
+            if i as u64 % DOC_GROUP == 0 {
+                doc_fences.extend_from_slice(&d.left.to_le_bytes());
+            }
+            let mut row = [0u8; DOC_ENTRY_LEN as usize];
+            row[0..8].copy_from_slice(&d.left.to_le_bytes());
+            row[8..12].copy_from_slice(&d.doc.to_le_bytes());
+            w.push(&row)?;
+        }
+        let doc_fence_off = w.finish()?;
+        self.out.write_at(doc_fence_off, &doc_fences)?;
+        let meta_off = doc_fence_off + doc_fences.len() as u64;
+
+        // Meta, header, CRC table.
+        let meta = make_meta(&stats);
+        self.out.write_at(meta_off, &meta)?;
+        let crc_off = meta_off + meta.len() as u64;
+        let n_blocks = div_ceil(crc_off, SEG_BLOCK as u64);
+        let file_len = crc_off + n_blocks * 4;
+        let header = Header {
+            kind: self.kind,
+            doc_base: self.doc_base,
+            n_docs,
+            n_tag,
+            n_doc,
+            rec_data_off,
+            rec_idx_off,
+            tag_off,
+            tag_fence_off,
+            doc_off,
+            doc_fence_off,
+            meta_off,
+            meta_len: meta.len() as u64,
+            crc_off,
+            file_len,
+        };
+        self.out.write_at(0, &header.encode())?;
+
+        // Sequential CRC pass over everything written so far (the
+        // header included), one CRC-32 per SEG_BLOCK.
+        let mut w = SectionWriter::new(&*self.out, crc_off);
+        let mut pos = 0u64;
+        let mut chunk = vec![0u8; 64 * SEG_BLOCK];
+        while pos < crc_off {
+            let want = (crc_off - pos).min(chunk.len() as u64) as usize;
+            self.out.read_at(pos, &mut chunk[..want])?;
+            for block in chunk[..want].chunks(SEG_BLOCK) {
+                w.push(&crc32(block).to_le_bytes())?;
+            }
+            pos += want as u64;
+        }
+        w.finish()?;
+        self.out.set_len(file_len)?;
+        self.out.sync()?;
+        Ok(stats)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment reader
+// ---------------------------------------------------------------------------
+
+struct Cache {
+    blocks: HashMap<u64, (u64, Arc<Vec<u8>>)>,
+    tick: u64,
+}
+
+/// Summary returned by [`SegmentReader::verify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCheck {
+    /// Content blocks whose CRC was verified.
+    pub blocks: u64,
+    /// Tag rows checked for strict `(sym, left)` order.
+    pub tag_entries: u64,
+    /// Doc-end rows checked for strict `(left, doc)` order.
+    pub doc_entries: u64,
+    /// Per-document records with consistent offsets.
+    pub records: u64,
+}
+
+/// Read handle over one immutable segment file: direct [`RawStore`]
+/// reads through a tiny per-segment block cache, never touching the
+/// buffer pool. All lookups run over the implicit layout — in-memory
+/// super-fences, then one fence group, then one entry group.
+pub struct SegmentReader {
+    store: Box<dyn RawStore>,
+    stats: Arc<IoStats>,
+    hdr: Header,
+    cache: Mutex<Cache>,
+    tag_supers: Vec<(u32, u64)>,
+    doc_supers: Vec<u64>,
+    n_tag_groups: u64,
+    n_doc_groups: u64,
+}
+
+impl SegmentReader {
+    /// Opens a segment, validating the header and priming the
+    /// super-fence arrays with one sequential pass over the (small)
+    /// fence sections. Segment block reads are recorded into `stats`.
+    pub fn open(store: Box<dyn RawStore>, stats: Arc<IoStats>) -> Result<SegmentReader> {
+        let len = store.len()?;
+        if len < SEG_HEADER_LEN {
+            return Err(corrupt(format!("segment file too short ({len} bytes)")));
+        }
+        let mut h = [0u8; SEG_HEADER_LEN as usize];
+        store.read_at(0, &mut h)?;
+        let hdr = Header::decode(&h)?;
+        if hdr.file_len != len {
+            return Err(corrupt(format!(
+                "segment length mismatch: header says {}, file has {len}",
+                hdr.file_len
+            )));
+        }
+        let n_tag_groups = div_ceil(hdr.n_tag, TAG_GROUP);
+        let n_doc_groups = div_ceil(hdr.n_doc, DOC_GROUP);
+        let mut reader = SegmentReader {
+            store,
+            stats,
+            hdr,
+            cache: Mutex::new(Cache {
+                blocks: HashMap::new(),
+                tick: 0,
+            }),
+            tag_supers: Vec::new(),
+            doc_supers: Vec::new(),
+            n_tag_groups,
+            n_doc_groups,
+        };
+        // Super-fences: every FENCES_PER_SUPER-th fence, via one
+        // sequential chunked pass over each fence section.
+        let mut off = reader.hdr.tag_fence_off;
+        for _ in 0..div_ceil(n_tag_groups, FENCES_PER_SUPER) {
+            let mut b = [0u8; TAG_FENCE_LEN as usize];
+            reader.store.read_at(off, &mut b)?;
+            reader.tag_supers.push((
+                u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                u64::from_le_bytes(b[4..12].try_into().unwrap()),
+            ));
+            off += FENCES_PER_SUPER * TAG_FENCE_LEN;
+        }
+        let mut off = reader.hdr.doc_fence_off;
+        for _ in 0..div_ceil(n_doc_groups, FENCES_PER_SUPER) {
+            let mut b = [0u8; DOC_FENCE_LEN as usize];
+            reader.store.read_at(off, &mut b)?;
+            reader.doc_supers.push(u64::from_le_bytes(b));
+            off += FENCES_PER_SUPER * DOC_FENCE_LEN;
+        }
+        Ok(reader)
+    }
+
+    /// Segment flavor byte ([`SEG_KIND_RP`] / [`SEG_KIND_EP`]).
+    pub fn kind(&self) -> u8 {
+        self.hdr.kind
+    }
+
+    /// First global document id covered by this segment.
+    pub fn doc_base(&self) -> u32 {
+        self.hdr.doc_base
+    }
+
+    /// Number of documents in this segment.
+    pub fn n_docs(&self) -> u32 {
+        self.hdr.n_docs
+    }
+
+    /// Number of Trie-Symbol rows.
+    pub fn n_tag_entries(&self) -> u64 {
+        self.hdr.n_tag
+    }
+
+    /// Number of Docid rows.
+    pub fn n_doc_entries(&self) -> u64 {
+        self.hdr.n_doc
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.hdr.file_len
+    }
+
+    /// Reads `len` bytes at `off` through the block cache, counting one
+    /// logical segment read per block touched and one fetch per miss.
+    fn read_bytes(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; len];
+        if len == 0 {
+            return Ok(out);
+        }
+        let first = off / SEG_BLOCK as u64;
+        let last = (off + len as u64 - 1) / SEG_BLOCK as u64;
+        let mut done = 0usize;
+        for b in first..=last {
+            let block = self.block(b)?;
+            let b_start = b * SEG_BLOCK as u64;
+            let lo = if b == first {
+                (off - b_start) as usize
+            } else {
+                0
+            };
+            let want = (len - done).min(block.len() - lo);
+            out[done..done + want].copy_from_slice(&block[lo..lo + want]);
+            done += want;
+        }
+        debug_assert_eq!(done, len);
+        Ok(out)
+    }
+
+    fn block(&self, idx: u64) -> Result<Arc<Vec<u8>>> {
+        self.stats.record_seg_block_read();
+        let mut c = self.cache.lock();
+        c.tick += 1;
+        let tick = c.tick;
+        if let Some((t, block)) = c.blocks.get_mut(&idx) {
+            *t = tick;
+            return Ok(Arc::clone(block));
+        }
+        drop(c);
+        self.stats.record_seg_block_fetch();
+        let start = idx * SEG_BLOCK as u64;
+        let len = (SEG_BLOCK as u64).min(self.hdr.file_len.saturating_sub(start)) as usize;
+        if len == 0 {
+            return Err(corrupt(format!("segment block {idx} out of range")));
+        }
+        let mut buf = vec![0u8; len];
+        self.store.read_at(start, &mut buf)?;
+        let block = Arc::new(buf);
+        let mut c = self.cache.lock();
+        if c.blocks.len() >= CACHE_BLOCKS {
+            if let Some((&victim, _)) = c.blocks.iter().min_by_key(|(_, (t, _))| *t) {
+                c.blocks.remove(&victim);
+            }
+        }
+        c.blocks.insert(idx, (tick, Arc::clone(&block)));
+        Ok(block)
+    }
+
+    fn tag_entry_range(&self, start: u64, end: u64) -> Result<Vec<TagEntry>> {
+        let bytes = self.read_bytes(
+            self.hdr.tag_off + start * TAG_ENTRY_LEN,
+            ((end - start) * TAG_ENTRY_LEN) as usize,
+        )?;
+        Ok(bytes
+            .chunks_exact(TAG_ENTRY_LEN as usize)
+            .map(TagEntry::read)
+            .collect())
+    }
+
+    fn doc_entry_range(&self, start: u64, end: u64) -> Result<Vec<DocEnd>> {
+        let bytes = self.read_bytes(
+            self.hdr.doc_off + start * DOC_ENTRY_LEN,
+            ((end - start) * DOC_ENTRY_LEN) as usize,
+        )?;
+        Ok(bytes
+            .chunks_exact(DOC_ENTRY_LEN as usize)
+            .map(|b| DocEnd {
+                left: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                doc: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            })
+            .collect())
+    }
+
+    /// First tag index whose key is strictly greater than `key`:
+    /// in-memory super-fences, one fence-group read, one entry-group
+    /// read.
+    fn tag_first_gt(&self, key: (u32, u64)) -> Result<u64> {
+        if self.hdr.n_tag == 0 {
+            return Ok(0);
+        }
+        let sj = self.tag_supers.partition_point(|k| *k <= key);
+        if sj == 0 {
+            return Ok(0);
+        }
+        let gstart = (sj as u64 - 1) * FENCES_PER_SUPER;
+        let gend = (gstart + FENCES_PER_SUPER).min(self.n_tag_groups);
+        let fences = self.read_bytes(
+            self.hdr.tag_fence_off + gstart * TAG_FENCE_LEN,
+            ((gend - gstart) * TAG_FENCE_LEN) as usize,
+        )?;
+        let keys: Vec<(u32, u64)> = fences
+            .chunks_exact(TAG_FENCE_LEN as usize)
+            .map(|b| {
+                (
+                    u32::from_le_bytes(b[0..4].try_into().unwrap()),
+                    u64::from_le_bytes(b[4..12].try_into().unwrap()),
+                )
+            })
+            .collect();
+        let rel = keys.partition_point(|k| *k <= key);
+        debug_assert!(rel >= 1, "super-fence said this range starts <= key");
+        let g = gstart + rel as u64 - 1;
+        let estart = g * TAG_GROUP;
+        let eend = (estart + TAG_GROUP).min(self.hdr.n_tag);
+        let entries = self.tag_entry_range(estart, eend)?;
+        let local = entries.partition_point(|e| e.key() <= key);
+        Ok(estart + local as u64)
+    }
+
+    /// First doc-end index whose left is `>= left`.
+    fn doc_first_ge(&self, left: u64) -> Result<u64> {
+        if self.hdr.n_doc == 0 {
+            return Ok(0);
+        }
+        let sj = self.doc_supers.partition_point(|&k| k < left);
+        if sj == 0 {
+            return Ok(0);
+        }
+        let gstart = (sj as u64 - 1) * FENCES_PER_SUPER;
+        let gend = (gstart + FENCES_PER_SUPER).min(self.n_doc_groups);
+        let fences = self.read_bytes(
+            self.hdr.doc_fence_off + gstart * DOC_FENCE_LEN,
+            ((gend - gstart) * DOC_FENCE_LEN) as usize,
+        )?;
+        let keys: Vec<u64> = fences
+            .chunks_exact(DOC_FENCE_LEN as usize)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        let rel = keys.partition_point(|&k| k < left);
+        debug_assert!(rel >= 1);
+        let g = gstart + rel as u64 - 1;
+        let estart = g * DOC_GROUP;
+        let eend = (estart + DOC_GROUP).min(self.hdr.n_doc);
+        let entries = self.doc_entry_range(estart, eend)?;
+        let local = entries.partition_point(|e| e.left < left);
+        Ok(estart + local as u64)
+    }
+
+    /// Range query on the Trie-Symbol section: rows with this `sym` and
+    /// `left` in `(ql, qr]`, in key order — the segment-side mirror of
+    /// the B⁺-tree `scan_tag_range`.
+    pub fn scan_tag_range(&self, sym: u32, ql: u64, qr: u64) -> Result<Vec<(u64, u64, u32, u32)>> {
+        let mut hits = Vec::new();
+        let mut i = self.tag_first_gt((sym, ql))?;
+        'outer: while i < self.hdr.n_tag {
+            let end = (i + TAG_GROUP).min(self.hdr.n_tag);
+            for e in self.tag_entry_range(i, end)? {
+                if e.key() > (sym, qr) {
+                    break 'outer;
+                }
+                hits.push((e.left, e.right, e.level, e.fine_gap));
+            }
+            i = end;
+        }
+        Ok(hits)
+    }
+
+    /// Range query on the Docid section: local doc ids whose end-node
+    /// left is in `[left, right]`, in `(left, doc)` order.
+    pub fn scan_docids(&self, left: u64, right: u64, out: &mut impl FnMut(u32)) -> Result<()> {
+        let mut i = self.doc_first_ge(left)?;
+        'outer: while i < self.hdr.n_doc {
+            let end = (i + DOC_GROUP).min(self.hdr.n_doc);
+            for e in self.doc_entry_range(i, end)? {
+                if e.left > right {
+                    break 'outer;
+                }
+                out(e.doc);
+            }
+            i = end;
+        }
+        Ok(())
+    }
+
+    /// Reads the refinement record of local document `doc`.
+    pub fn record(&self, doc: u32) -> Result<Vec<u8>> {
+        if doc >= self.hdr.n_docs {
+            return Err(corrupt(format!(
+                "record {doc} out of range (segment holds {})",
+                self.hdr.n_docs
+            )));
+        }
+        let idx = self.read_bytes(self.hdr.rec_idx_off + doc as u64 * 8, 16)?;
+        let a = u64::from_le_bytes(idx[0..8].try_into().unwrap());
+        let b = u64::from_le_bytes(idx[8..16].try_into().unwrap());
+        if b < a || self.hdr.rec_data_off + b > self.hdr.rec_idx_off {
+            return Err(corrupt(format!("record {doc} has corrupt offsets")));
+        }
+        self.read_bytes(self.hdr.rec_data_off + a, (b - a) as usize)
+    }
+
+    /// The opaque meta blob.
+    pub fn meta(&self) -> Result<Vec<u8>> {
+        self.read_bytes(self.hdr.meta_off, self.hdr.meta_len as usize)
+    }
+
+    /// Full integrity check: header CRC (already validated at open),
+    /// every content block against the CRC table, strict sort order of
+    /// both entry sections, fence consistency, and record-index
+    /// monotonicity. Reads bypass the cache (sequential, one pass).
+    pub fn verify(&self) -> Result<SegmentCheck> {
+        let mut check = SegmentCheck::default();
+        // CRC table.
+        let n_blocks = div_ceil(self.hdr.crc_off, SEG_BLOCK as u64);
+        let mut table = vec![0u8; (n_blocks * 4) as usize];
+        self.store.read_at(self.hdr.crc_off, &mut table)?;
+        let mut chunk = vec![0u8; 64 * SEG_BLOCK];
+        let mut pos = 0u64;
+        let mut b = 0usize;
+        while pos < self.hdr.crc_off {
+            let want = (self.hdr.crc_off - pos).min(chunk.len() as u64) as usize;
+            self.store.read_at(pos, &mut chunk[..want])?;
+            for block in chunk[..want].chunks(SEG_BLOCK) {
+                let stored = u32::from_le_bytes(table[b * 4..b * 4 + 4].try_into().unwrap());
+                if crc32(block) != stored {
+                    return Err(corrupt(format!("segment block {b} CRC mismatch")));
+                }
+                b += 1;
+            }
+            pos += want as u64;
+        }
+        check.blocks = b as u64;
+        // Record index monotone and bounded.
+        let idx_bytes = self.store_read(
+            self.hdr.rec_idx_off,
+            ((self.hdr.n_docs as u64 + 1) * 8) as usize,
+        )?;
+        let mut prev = 0u64;
+        for (i, c) in idx_bytes.chunks_exact(8).enumerate() {
+            let o = u64::from_le_bytes(c.try_into().unwrap());
+            if o < prev || self.hdr.rec_data_off + o > self.hdr.rec_idx_off {
+                return Err(corrupt(format!("record index entry {i} out of order")));
+            }
+            prev = o;
+        }
+        if self.hdr.rec_data_off + prev != self.hdr.rec_idx_off {
+            return Err(corrupt(
+                "record data length disagrees with record index".into(),
+            ));
+        }
+        check.records = self.hdr.n_docs as u64;
+        // Tag section: strict (sym, left) ascending + fences match.
+        let mut prev_key: Option<(u32, u64)> = None;
+        let mut i = 0u64;
+        while i < self.hdr.n_tag {
+            let end = (i + 4 * TAG_GROUP).min(self.hdr.n_tag);
+            let bytes = self.store_read(
+                self.hdr.tag_off + i * TAG_ENTRY_LEN,
+                ((end - i) * TAG_ENTRY_LEN) as usize,
+            )?;
+            for (j, row) in bytes.chunks_exact(TAG_ENTRY_LEN as usize).enumerate() {
+                let e = TagEntry::read(row);
+                let n = i + j as u64;
+                if let Some(p) = prev_key {
+                    if e.key() <= p {
+                        return Err(corrupt(format!("tag entry {n} out of order")));
+                    }
+                }
+                if n % TAG_GROUP == 0 {
+                    let f = self.store_read(
+                        self.hdr.tag_fence_off + (n / TAG_GROUP) * TAG_FENCE_LEN,
+                        TAG_FENCE_LEN as usize,
+                    )?;
+                    let fk = (
+                        u32::from_le_bytes(f[0..4].try_into().unwrap()),
+                        u64::from_le_bytes(f[4..12].try_into().unwrap()),
+                    );
+                    if fk != e.key() {
+                        return Err(corrupt(format!("tag fence {} disagrees", n / TAG_GROUP)));
+                    }
+                }
+                prev_key = Some(e.key());
+            }
+            i = end;
+        }
+        check.tag_entries = self.hdr.n_tag;
+        // Doc section: strict (left, doc) ascending + fences match.
+        let mut prev_doc: Option<(u64, u32)> = None;
+        let mut i = 0u64;
+        while i < self.hdr.n_doc {
+            let end = (i + 4 * DOC_GROUP).min(self.hdr.n_doc);
+            let bytes = self.store_read(
+                self.hdr.doc_off + i * DOC_ENTRY_LEN,
+                ((end - i) * DOC_ENTRY_LEN) as usize,
+            )?;
+            for (j, row) in bytes.chunks_exact(DOC_ENTRY_LEN as usize).enumerate() {
+                let left = u64::from_le_bytes(row[0..8].try_into().unwrap());
+                let doc = u32::from_le_bytes(row[8..12].try_into().unwrap());
+                let n = i + j as u64;
+                if let Some(p) = prev_doc {
+                    if (left, doc) <= p {
+                        return Err(corrupt(format!("doc entry {n} out of order")));
+                    }
+                }
+                if doc >= self.hdr.n_docs {
+                    return Err(corrupt(format!("doc entry {n} references document {doc}")));
+                }
+                if n % DOC_GROUP == 0 {
+                    let f = self.store_read(
+                        self.hdr.doc_fence_off + (n / DOC_GROUP) * DOC_FENCE_LEN,
+                        DOC_FENCE_LEN as usize,
+                    )?;
+                    if u64::from_le_bytes(f.as_slice().try_into().unwrap()) != left {
+                        return Err(corrupt(format!("doc fence {} disagrees", n / DOC_GROUP)));
+                    }
+                }
+                prev_doc = Some((left, doc));
+            }
+            i = end;
+        }
+        check.doc_entries = self.hdr.n_doc;
+        Ok(check)
+    }
+
+    fn store_read(&self, off: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.store.read_at(off, &mut buf)?;
+        Ok(buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One segment referenced by a [`Manifest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestSegment {
+    /// Flavor byte ([`SEG_KIND_RP`] / [`SEG_KIND_EP`]).
+    pub kind: u8,
+    /// File suffix relative to the database path (e.g. `.g1.rp.seg`).
+    pub suffix: String,
+    /// First global document id in the segment.
+    pub doc_base: u32,
+    /// Number of documents in the segment.
+    pub n_docs: u32,
+}
+
+/// The atomic commit point of the segmented index: names the current
+/// mutable generation and every live segment file. Two fixed slots;
+/// a write goes to slot `generation % 2` and a torn write leaves the
+/// other slot's older-but-valid manifest in charge, so publishing a
+/// bulk build or compaction is a single `write + fsync`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotone generation counter (slot selector).
+    pub generation: u64,
+    /// Suffix of the current mutable engine's files (`""` = the plain
+    /// database path, `.g2` = sibling files of generation 2, ...).
+    pub mutable_suffix: String,
+    /// Live segments, ascending by `doc_base` within each kind.
+    pub segments: Vec<ManifestSegment>,
+}
+
+/// Byte offset of manifest slot `i` (`i` in 0..2).
+const MANIFEST_SLOT: [u64; 2] = [0, 16384];
+const MANIFEST_MAGIC: u32 = 0x5052_4D4E; // "PRMN"
+
+impl Manifest {
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        p.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        p.extend_from_slice(&(self.mutable_suffix.len() as u32).to_le_bytes());
+        p.extend_from_slice(self.mutable_suffix.as_bytes());
+        p.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            p.push(s.kind);
+            p.extend_from_slice(&(s.suffix.len() as u32).to_le_bytes());
+            p.extend_from_slice(s.suffix.as_bytes());
+            p.extend_from_slice(&s.doc_base.to_le_bytes());
+            p.extend_from_slice(&s.n_docs.to_le_bytes());
+        }
+        p
+    }
+
+    /// Writes this manifest to its generation's slot and syncs.
+    pub fn write_to(&self, store: &dyn RawStore) -> Result<()> {
+        let payload = self.payload();
+        let mut frame = Vec::with_capacity(payload.len() + 16);
+        frame.extend_from_slice(&self.generation.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let slot = MANIFEST_SLOT[(self.generation % 2) as usize];
+        assert!(
+            frame.len() as u64 <= MANIFEST_SLOT[1],
+            "manifest payload exceeds slot size"
+        );
+        store.write_at(slot, &frame)?;
+        // Keep the file covering both slots so a slot-0 write after a
+        // slot-1 write never truncates it away.
+        if store.len()? < MANIFEST_SLOT[1] {
+            store.set_len(MANIFEST_SLOT[1])?;
+        }
+        store.sync()?;
+        Ok(())
+    }
+
+    fn read_slot(store: &dyn RawStore, slot: u64) -> Option<Manifest> {
+        let len = store.len().ok()?;
+        if len < slot + 16 {
+            return None;
+        }
+        let mut head = [0u8; 16];
+        store.read_at(slot, &mut head).ok()?;
+        let generation = u64::from_le_bytes(head[0..8].try_into().unwrap());
+        let plen = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(head[12..16].try_into().unwrap());
+        if plen < 8 || plen as u64 > MANIFEST_SLOT[1] || slot + 16 + plen as u64 > len {
+            return None;
+        }
+        let mut payload = vec![0u8; plen];
+        store.read_at(slot + 16, &mut payload).ok()?;
+        if crc32(&payload) != crc {
+            return None;
+        }
+        let mut r = &payload[..];
+        let u32_next = |r: &mut &[u8]| -> Option<u32> {
+            if r.len() < 4 {
+                return None;
+            }
+            let v = u32::from_le_bytes(r[..4].try_into().unwrap());
+            *r = &r[4..];
+            Some(v)
+        };
+        if u32_next(&mut r)? != MANIFEST_MAGIC {
+            return None;
+        }
+        let slen = u32_next(&mut r)? as usize;
+        if r.len() < slen {
+            return None;
+        }
+        let mutable_suffix = String::from_utf8(r[..slen].to_vec()).ok()?;
+        r = &r[slen..];
+        let n = u32_next(&mut r)? as usize;
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            if r.is_empty() {
+                return None;
+            }
+            let kind = r[0];
+            r = &r[1..];
+            let slen = u32_next(&mut r)? as usize;
+            if r.len() < slen {
+                return None;
+            }
+            let suffix = String::from_utf8(r[..slen].to_vec()).ok()?;
+            r = &r[slen..];
+            let doc_base = u32_next(&mut r)?;
+            let n_docs = u32_next(&mut r)?;
+            segments.push(ManifestSegment {
+                kind,
+                suffix,
+                doc_base,
+                n_docs,
+            });
+        }
+        Some(Manifest {
+            generation,
+            mutable_suffix,
+            segments,
+        })
+    }
+
+    /// Reads the newest valid manifest, or `None` when neither slot
+    /// holds one (fresh database, or torn first write).
+    pub fn read_from(store: &dyn RawStore) -> Result<Option<Manifest>> {
+        let a = Self::read_slot(store, MANIFEST_SLOT[0]);
+        let b = Self::read_slot(store, MANIFEST_SLOT[1]);
+        Ok(match (a, b) {
+            (Some(a), Some(b)) => Some(if a.generation >= b.generation { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment environments
+// ---------------------------------------------------------------------------
+
+/// Where a segmented database keeps its files: one store per suffix
+/// (`""` = the database itself, `.seg` = the manifest, `.g1.rp.seg` =
+/// a segment, ...) plus anonymous scratch stores for sort spills.
+/// Production uses [`FileSegEnv`]; tests use [`MemSegEnv`] or a
+/// fault-injecting wrapper.
+pub trait SegmentEnv: Send + Sync {
+    /// Creates (truncating) the store for `suffix`.
+    fn create(&self, suffix: &str) -> Result<Box<dyn RawStore>>;
+    /// Opens the existing store for `suffix`.
+    fn open(&self, suffix: &str) -> Result<Box<dyn RawStore>>;
+    /// Whether a store for `suffix` exists.
+    fn exists(&self, suffix: &str) -> Result<bool>;
+    /// Removes the store for `suffix` (idempotent).
+    fn remove(&self, suffix: &str) -> Result<()>;
+    /// A fresh anonymous scratch store for sort spills.
+    fn temp(&self) -> Result<Box<dyn RawStore>>;
+}
+
+/// [`SegmentEnv`] over real files: suffix `s` lives at `<base><s>`,
+/// scratch stores are unlinked-on-open temp files next to the database.
+pub struct FileSegEnv {
+    base: std::path::PathBuf,
+    tmp_seq: AtomicU64,
+}
+
+impl FileSegEnv {
+    /// An environment rooted at database path `base`.
+    pub fn new<P: Into<std::path::PathBuf>>(base: P) -> Self {
+        FileSegEnv {
+            base: base.into(),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The path for `suffix`.
+    pub fn path(&self, suffix: &str) -> std::path::PathBuf {
+        if suffix.is_empty() {
+            self.base.clone()
+        } else {
+            let mut os = self.base.clone().into_os_string();
+            os.push(suffix);
+            std::path::PathBuf::from(os)
+        }
+    }
+}
+
+impl SegmentEnv for FileSegEnv {
+    fn create(&self, suffix: &str) -> Result<Box<dyn RawStore>> {
+        Ok(Box::new(FileStore::create(self.path(suffix))?))
+    }
+
+    fn open(&self, suffix: &str) -> Result<Box<dyn RawStore>> {
+        Ok(Box::new(FileStore::open(self.path(suffix))?))
+    }
+
+    fn exists(&self, suffix: &str) -> Result<bool> {
+        Ok(self.path(suffix).exists())
+    }
+
+    fn remove(&self, suffix: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(suffix)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn temp(&self) -> Result<Box<dyn RawStore>> {
+        let n = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.path(&format!(".tmp{}-{n}", std::process::id()));
+        let store = FileStore::create(&path)?;
+        // Unlink immediately: the open handle keeps the bytes alive and
+        // the kernel reclaims them when the sorter drops the store.
+        let _ = std::fs::remove_file(&path);
+        Ok(Box::new(store))
+    }
+}
+
+/// In-memory [`SegmentEnv`] for tests: suffixes map to shared
+/// [`MemStore`]s, so "reopening" sees the same bytes.
+#[derive(Default)]
+pub struct MemSegEnv {
+    files: Mutex<HashMap<String, MemStore>>,
+}
+
+impl MemSegEnv {
+    /// An empty in-memory environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Direct handle to the named store (tests corrupt bytes this way).
+    pub fn store(&self, suffix: &str) -> Option<MemStore> {
+        self.files.lock().get(suffix).cloned()
+    }
+}
+
+impl SegmentEnv for MemSegEnv {
+    fn create(&self, suffix: &str) -> Result<Box<dyn RawStore>> {
+        let store = MemStore::new();
+        self.files.lock().insert(suffix.to_string(), store.clone());
+        Ok(Box::new(store))
+    }
+
+    fn open(&self, suffix: &str) -> Result<Box<dyn RawStore>> {
+        self.files
+            .lock()
+            .get(suffix)
+            .cloned()
+            .map(|s| Box::new(s) as Box<dyn RawStore>)
+            .ok_or_else(|| corrupt(format!("no such store: {suffix:?}")))
+    }
+
+    fn exists(&self, suffix: &str) -> Result<bool> {
+        Ok(self.files.lock().contains_key(suffix))
+    }
+
+    fn remove(&self, suffix: &str) -> Result<()> {
+        self.files.lock().remove(suffix);
+        Ok(())
+    }
+
+    fn temp(&self) -> Result<Box<dyn RawStore>> {
+        Ok(Box::new(MemStore::new()))
+    }
+}
+
+/// A temp factory over any shared [`SegmentEnv`].
+pub fn env_temp_factory(env: &Arc<dyn SegmentEnv>) -> TempFactory {
+    let env = Arc::clone(env);
+    Box::new(move || env.temp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// (sym, level, children, fine_gap, doc_ends) of one oracle node.
+    type RefNode = (u32, u32, BTreeMap<u32, usize>, u32, Vec<u32>);
+
+    /// Reference trie with the exact-labeling semantics of
+    /// `VirtualTrie::assign_ranges(Exact)`, used as the oracle.
+    #[derive(Default)]
+    struct RefTrie {
+        nodes: Vec<RefNode>,
+    }
+
+    impl RefTrie {
+        fn new() -> Self {
+            RefTrie {
+                nodes: vec![(u32::MAX, 0, BTreeMap::new(), u32::MAX, Vec::new())],
+            }
+        }
+
+        fn insert(&mut self, path: &[u32], gaps: &[u32], doc: u32) {
+            let mut cur = 0usize;
+            for (i, &sym) in path.iter().enumerate() {
+                let next = match self.nodes[cur].2.get(&sym) {
+                    Some(&n) => n,
+                    None => {
+                        let id = self.nodes.len();
+                        self.nodes.push((
+                            sym,
+                            (i + 1) as u32,
+                            BTreeMap::new(),
+                            u32::MAX,
+                            Vec::new(),
+                        ));
+                        self.nodes[cur].2.insert(sym, id);
+                        id
+                    }
+                };
+                let f = &mut self.nodes[next].3;
+                *f = if *f == u32::MAX {
+                    gaps[i]
+                } else {
+                    (*f).max(gaps[i])
+                };
+                cur = next;
+            }
+            self.nodes[cur].4.push(doc);
+        }
+
+        fn label(&self) -> (Vec<TagEntry>, Vec<DocEnd>) {
+            let mut tags = Vec::new();
+            let mut ends = Vec::new();
+            let mut counter = 0u64;
+            // (node, child iterator index, left)
+            let mut lefts = vec![0u64; self.nodes.len()];
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            let root_kids: Vec<usize> = self.nodes[0].2.values().copied().collect();
+            stack.push((0, root_kids, 0));
+            while let Some((id, kids, next)) = stack.last_mut() {
+                let id = *id;
+                if *next < kids.len() {
+                    let c = kids[*next];
+                    *next += 1;
+                    counter += 1;
+                    lefts[c] = counter;
+                    let ckids: Vec<usize> = self.nodes[c].2.values().copied().collect();
+                    stack.push((c, ckids, 0));
+                } else {
+                    stack.pop();
+                    if id != 0 {
+                        tags.push(TagEntry {
+                            sym: self.nodes[id].0,
+                            left: lefts[id],
+                            right: counter.max(lefts[id]),
+                            level: self.nodes[id].1,
+                            fine_gap: self.nodes[id].3,
+                        });
+                    }
+                }
+            }
+            for (id, n) in self.nodes.iter().enumerate() {
+                for &d in &n.4 {
+                    ends.push(DocEnd {
+                        left: lefts[id],
+                        doc: d,
+                    });
+                }
+            }
+            tags.sort();
+            ends.sort();
+            (tags, ends)
+        }
+    }
+
+    /// Pseudo-random collection of (path, gaps) pairs with shared
+    /// prefixes, duplicates, and one empty path.
+    fn sample_paths(n: usize, seed: u64) -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut s = seed;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if i == 3 {
+                out.push((Vec::new(), Vec::new()));
+                continue;
+            }
+            let len = (lcg(&mut s) % 8) as usize + (i % 2);
+            let path: Vec<u32> = (0..len).map(|_| (lcg(&mut s) % 6) as u32).collect();
+            let gaps: Vec<u32> = (0..len).map(|_| (lcg(&mut s) % 50) as u32).collect();
+            out.push((path, gaps));
+        }
+        out
+    }
+
+    fn build_segment(
+        paths: &[(Vec<u32>, Vec<u32>)],
+        run_mem: usize,
+    ) -> (Arc<MemSegEnv>, SegTrieStats) {
+        let env = Arc::new(MemSegEnv::new());
+        let out = env.create(".t.seg").unwrap();
+        let env_dyn: Arc<dyn SegmentEnv> = Arc::<MemSegEnv>::clone(&env);
+        let mut b = SegmentBuilder::new(out, env_temp_factory(&env_dyn), SEG_KIND_RP, 0, run_mem);
+        for (i, (path, gaps)) in paths.iter().enumerate() {
+            let rec = vec![i as u8; i % 7 + 1];
+            b.add_doc(&rec, path.clone(), gaps.clone()).unwrap();
+        }
+        let stats = b
+            .finish(|st| format!("meta:{}", st.nodes).into_bytes())
+            .unwrap();
+        (env, stats)
+    }
+
+    fn open_reader(env: &MemSegEnv) -> SegmentReader {
+        let store = env.open(".t.seg").unwrap();
+        SegmentReader::open(store, Arc::new(IoStats::default())).unwrap()
+    }
+
+    #[test]
+    fn segment_matches_reference_trie_labeling() {
+        let paths = sample_paths(200, 42);
+        let mut oracle = RefTrie::new();
+        for (doc, (p, g)) in paths.iter().enumerate() {
+            oracle.insert(p, g, doc as u32);
+        }
+        let (exp_tags, exp_ends) = oracle.label();
+        let (env, stats) = build_segment(&paths, 1 << 20);
+        let r = open_reader(&env);
+        assert_eq!(r.n_tag_entries(), exp_tags.len() as u64);
+        assert_eq!(r.n_doc_entries(), exp_ends.len() as u64);
+        assert_eq!(stats.sequences, paths.len() as u64);
+        // Full-range scans per symbol reproduce the oracle rows.
+        for sym in 0..6u32 {
+            let got = r.scan_tag_range(sym, 0, u64::MAX).unwrap();
+            let want: Vec<(u64, u64, u32, u32)> = exp_tags
+                .iter()
+                .filter(|t| t.sym == sym)
+                .map(|t| (t.left, t.right, t.level, t.fine_gap))
+                .collect();
+            assert_eq!(got, want, "sym {sym}");
+        }
+        let mut got_ends = Vec::new();
+        r.scan_docids(0, u64::MAX, &mut |d| got_ends.push(d))
+            .unwrap();
+        let want_ends: Vec<u32> = exp_ends.iter().map(|e| e.doc).collect();
+        assert_eq!(got_ends, want_ends);
+    }
+
+    #[test]
+    fn range_scans_match_filtered_oracle() {
+        let paths = sample_paths(300, 7);
+        let mut oracle = RefTrie::new();
+        for (doc, (p, g)) in paths.iter().enumerate() {
+            oracle.insert(p, g, doc as u32);
+        }
+        let (exp_tags, exp_ends) = oracle.label();
+        let (env, _) = build_segment(&paths, 1 << 20);
+        let r = open_reader(&env);
+        let mut s = 99u64;
+        for _ in 0..50 {
+            let sym = (lcg(&mut s) % 6) as u32;
+            let a = lcg(&mut s) % 400;
+            let b = a + lcg(&mut s) % 400;
+            // Tag range: (a, b], exclusive low like the B+-tree scan.
+            let got = r.scan_tag_range(sym, a, b).unwrap();
+            let want: Vec<(u64, u64, u32, u32)> = exp_tags
+                .iter()
+                .filter(|t| t.sym == sym && t.left > a && t.left <= b)
+                .map(|t| (t.left, t.right, t.level, t.fine_gap))
+                .collect();
+            assert_eq!(got, want, "sym {sym} range ({a}, {b}]");
+            // Doc range: [a, b] inclusive.
+            let mut got = Vec::new();
+            r.scan_docids(a, b, &mut |d| got.push(d)).unwrap();
+            let want: Vec<u32> = exp_ends
+                .iter()
+                .filter(|e| e.left >= a && e.left <= b)
+                .map(|e| e.doc)
+                .collect();
+            assert_eq!(got, want, "docs [{a}, {b}]");
+        }
+    }
+
+    #[test]
+    fn external_sorter_spills_and_merges_in_order() {
+        let mut s = 17u64;
+        let mut sorter: ExternalSorter<TagEntry> = ExternalSorter::new(
+            1,
+            Box::new(|| Ok(Box::new(MemStore::new()) as Box<dyn RawStore>)),
+        );
+        let n = 5000u64;
+        for _ in 0..n {
+            sorter
+                .push(TagEntry {
+                    sym: (lcg(&mut s) % 16) as u32,
+                    left: lcg(&mut s),
+                    right: 0,
+                    level: 1,
+                    fine_gap: 0,
+                })
+                .unwrap();
+        }
+        assert!(sorter.spilled_runs() >= 2, "tiny budget must spill runs");
+        assert_eq!(sorter.len(), n);
+        let mut prev: Option<(u32, u64)> = None;
+        let mut count = 0u64;
+        sorter
+            .drain(|t| {
+                assert!(prev.map_or(true, |p| p <= t.key()), "merge out of order");
+                prev = Some(t.key());
+                count += 1;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn tiny_run_budget_spills_and_produces_identical_files() {
+        let paths = sample_paths(2000, 11);
+        let (env_big, _) = build_segment(&paths, 16 << 20);
+        let (env_small, _) = build_segment(&paths, 1); // clamped to 64 KiB: forces spills
+        assert_eq!(
+            env_big.store(".t.seg").unwrap().snapshot(),
+            env_small.store(".t.seg").unwrap().snapshot(),
+            "spilled and in-memory builds must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn records_and_meta_roundtrip() {
+        let paths = sample_paths(50, 3);
+        let (env, stats) = build_segment(&paths, 1 << 20);
+        let r = open_reader(&env);
+        assert_eq!(r.n_docs(), 50);
+        for i in 0..50usize {
+            assert_eq!(r.record(i as u32).unwrap(), vec![i as u8; i % 7 + 1]);
+        }
+        assert!(r.record(50).is_err());
+        assert_eq!(
+            r.meta().unwrap(),
+            format!("meta:{}", stats.nodes).into_bytes()
+        );
+    }
+
+    #[test]
+    fn verify_passes_clean_and_catches_corruption() {
+        let paths = sample_paths(120, 5);
+        let (env, _) = build_segment(&paths, 1 << 20);
+        let r = open_reader(&env);
+        let check = r.verify().unwrap();
+        assert!(check.blocks > 0 && check.tag_entries > 0);
+        // Flip one byte in the middle of the tag section.
+        let store = env.store(".t.seg").unwrap();
+        let mut bytes = store.snapshot();
+        let victim = bytes.len() / 2;
+        bytes[victim] ^= 0x40;
+        store.set_len(0).unwrap();
+        store.write_at(0, &bytes).unwrap();
+        let r = open_reader(&env);
+        assert!(r.verify().is_err(), "bit flip must fail verification");
+    }
+
+    #[test]
+    fn open_rejects_bad_magic_and_truncation() {
+        let paths = sample_paths(20, 9);
+        let (env, _) = build_segment(&paths, 1 << 20);
+        let store = env.store(".t.seg").unwrap();
+        let good = store.snapshot();
+        store.write_at(0, b"NOTASEG!").unwrap();
+        assert!(
+            SegmentReader::open(env.open(".t.seg").unwrap(), Arc::new(IoStats::default())).is_err()
+        );
+        store.set_len(0).unwrap();
+        store.write_at(0, &good[..good.len() - 10]).unwrap();
+        assert!(
+            SegmentReader::open(env.open(".t.seg").unwrap(), Arc::new(IoStats::default())).is_err(),
+            "length mismatch must be rejected"
+        );
+    }
+
+    #[test]
+    fn block_cache_counts_logical_reads_and_fetches() {
+        let paths = sample_paths(400, 13);
+        let (env, _) = build_segment(&paths, 1 << 20);
+        let stats = Arc::new(IoStats::default());
+        let r = SegmentReader::open(env.open(".t.seg").unwrap(), Arc::clone(&stats)).unwrap();
+        let before = stats.snapshot();
+        for sym in 0..6u32 {
+            r.scan_tag_range(sym, 0, u64::MAX).unwrap();
+        }
+        let warm = stats.snapshot();
+        assert!(warm.seg_block_reads > before.seg_block_reads);
+        assert!(warm.seg_block_fetches > before.seg_block_fetches);
+        for sym in 0..6u32 {
+            r.scan_tag_range(sym, 0, u64::MAX).unwrap();
+        }
+        let hot = stats.snapshot();
+        assert!(hot.seg_block_reads > warm.seg_block_reads);
+        assert_eq!(
+            hot.seg_block_fetches, warm.seg_block_fetches,
+            "second pass over a small segment must be all cache hits"
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_survives_torn_writes() {
+        let store = MemStore::new();
+        assert!(Manifest::read_from(&store).unwrap().is_none());
+        let m1 = Manifest {
+            generation: 1,
+            mutable_suffix: "".into(),
+            segments: vec![ManifestSegment {
+                kind: SEG_KIND_RP,
+                suffix: ".g1.rp.seg".into(),
+                doc_base: 0,
+                n_docs: 10,
+            }],
+        };
+        m1.write_to(&store).unwrap();
+        assert_eq!(Manifest::read_from(&store).unwrap().unwrap(), m1);
+        let mut m2 = m1.clone();
+        m2.generation = 2;
+        m2.mutable_suffix = ".g2".into();
+        m2.write_to(&store).unwrap();
+        assert_eq!(Manifest::read_from(&store).unwrap().unwrap(), m2);
+        // Tear generation 2's slot (slot 0): generation 1 takes over.
+        store.write_at(20, &[0xFF; 8]).unwrap();
+        assert_eq!(Manifest::read_from(&store).unwrap().unwrap(), m1);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let env = Arc::new(MemSegEnv::new());
+        let env_dyn: Arc<dyn SegmentEnv> = Arc::<MemSegEnv>::clone(&env);
+        let b = SegmentBuilder::new(
+            env.create(".t.seg").unwrap(),
+            env_temp_factory(&env_dyn),
+            SEG_KIND_EP,
+            7,
+            1 << 20,
+        );
+        b.finish(|_| b"m".to_vec()).unwrap();
+        let r = open_reader(&env);
+        assert_eq!(r.kind(), SEG_KIND_EP);
+        assert_eq!(r.doc_base(), 7);
+        assert_eq!(r.n_docs(), 0);
+        assert_eq!(r.scan_tag_range(0, 0, u64::MAX).unwrap(), vec![]);
+        r.verify().unwrap();
+    }
+}

@@ -15,15 +15,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 // while other worker threads hammer the same shared pool counters.
 struct ScopeState {
     depth: u32,
-    cur: [u64; 3],
-    saved: Vec<[u64; 3]>,
+    cur: [u64; 5],
+    saved: Vec<[u64; 5]>,
 }
 
 thread_local! {
     static SCOPE: RefCell<ScopeState> = const {
         RefCell::new(ScopeState {
             depth: 0,
-            cur: [0; 3],
+            cur: [0; 5],
             saved: Vec::new(),
         })
     };
@@ -65,7 +65,7 @@ impl IoScope {
             let mut s = s.borrow_mut();
             let cur = s.cur;
             s.saved.push(cur);
-            s.cur = [0; 3];
+            s.cur = [0; 5];
             s.depth += 1;
         });
         IoScope {
@@ -86,17 +86,17 @@ impl IoScope {
         SCOPE.with(|s| {
             let mut s = s.borrow_mut();
             let delta = s.cur;
-            let saved = s.saved.pop().unwrap_or([0; 3]);
-            s.cur = [
-                saved[0] + delta[0],
-                saved[1] + delta[1],
-                saved[2] + delta[2],
-            ];
+            let saved = s.saved.pop().unwrap_or([0; 5]);
+            for (acc, d) in s.cur.iter_mut().zip(saved.iter().zip(&delta)) {
+                *acc = d.0 + d.1;
+            }
             s.depth = s.depth.saturating_sub(1);
             IoSnapshot {
                 logical_reads: delta[0],
                 physical_reads: delta[1],
                 physical_writes: delta[2],
+                seg_block_reads: delta[3],
+                seg_block_fetches: delta[4],
                 ..IoSnapshot::default()
             }
         })
@@ -124,6 +124,8 @@ pub struct IoStats {
     fsyncs: AtomicU64,
     wal_appends: AtomicU64,
     flush_errors: AtomicU64,
+    seg_block_reads: AtomicU64,
+    seg_block_fetches: AtomicU64,
 }
 
 impl IoStats {
@@ -166,6 +168,33 @@ impl IoStats {
     /// Pages written to the backing store.
     pub fn physical_writes(&self) -> u64 {
         self.physical_writes.load(Ordering::Relaxed)
+    }
+
+    /// Records a segment block request (cache hit or miss). Segments
+    /// bypass the buffer pool, so their reads get their own series.
+    #[inline]
+    pub fn record_seg_block_read(&self) {
+        self.seg_block_reads.fetch_add(1, Ordering::Relaxed);
+        scope_record(3);
+    }
+
+    /// Records a segment block actually fetched from its backing store
+    /// (a per-segment cache miss — the segment analogue of a physical
+    /// page read).
+    #[inline]
+    pub fn record_seg_block_fetch(&self) {
+        self.seg_block_fetches.fetch_add(1, Ordering::Relaxed);
+        scope_record(4);
+    }
+
+    /// Segment blocks requested (hits + misses).
+    pub fn seg_block_reads(&self) -> u64 {
+        self.seg_block_reads.load(Ordering::Relaxed)
+    }
+
+    /// Segment blocks fetched from disk.
+    pub fn seg_block_fetches(&self) -> u64 {
+        self.seg_block_fetches.load(Ordering::Relaxed)
     }
 
     /// Records one `fsync` of a backing store (database, checksum
@@ -214,6 +243,8 @@ impl IoStats {
             fsyncs: self.fsyncs(),
             wal_appends: self.wal_appends(),
             flush_errors: self.flush_errors(),
+            seg_block_reads: self.seg_block_reads(),
+            seg_block_fetches: self.seg_block_fetches(),
         }
     }
 
@@ -225,6 +256,8 @@ impl IoStats {
         self.fsyncs.store(0, Ordering::Relaxed);
         self.wal_appends.store(0, Ordering::Relaxed);
         self.flush_errors.store(0, Ordering::Relaxed);
+        self.seg_block_reads.store(0, Ordering::Relaxed);
+        self.seg_block_fetches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -245,6 +278,10 @@ pub struct IoSnapshot {
     pub wal_appends: u64,
     /// Flush failures swallowed by `BufferPool::drop`.
     pub flush_errors: u64,
+    /// Segment blocks requested through per-segment caches (logical).
+    pub seg_block_reads: u64,
+    /// Segment blocks fetched from disk (per-segment cache misses).
+    pub seg_block_fetches: u64,
 }
 
 impl IoSnapshot {
@@ -257,6 +294,8 @@ impl IoSnapshot {
             fsyncs: self.fsyncs - earlier.fsyncs,
             wal_appends: self.wal_appends - earlier.wal_appends,
             flush_errors: self.flush_errors - earlier.flush_errors,
+            seg_block_reads: self.seg_block_reads - earlier.seg_block_reads,
+            seg_block_fetches: self.seg_block_fetches - earlier.seg_block_fetches,
         }
     }
 
@@ -357,6 +396,22 @@ mod tests {
         }
         s.record_logical_read();
         assert_eq!(outer.end().logical_reads, 2);
+    }
+
+    #[test]
+    fn segment_counters_are_scoped_like_page_counters() {
+        let s = IoStats::new();
+        let scope = IoScope::begin();
+        s.record_seg_block_read();
+        s.record_seg_block_read();
+        s.record_seg_block_fetch();
+        let d = scope.end();
+        assert_eq!(d.seg_block_reads, 2);
+        assert_eq!(d.seg_block_fetches, 1);
+        assert_eq!(s.seg_block_reads(), 2);
+        assert_eq!(s.seg_block_fetches(), 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
     }
 
     #[test]

@@ -34,6 +34,11 @@ cargo test --release -p prix-server --offline --locked
 # optimized codegen.
 cargo test --release --test crash_recovery --offline --locked
 cargo test --release --test snapshot_isolation --offline --locked
+# The segment-lifecycle suite reruns in release for the same reasons:
+# its crash iterations sweep kill points through bulk rebuild and
+# compaction, and the byte-determinism tests compare segment files an
+# optimizing build must still produce identically.
+cargo test --release --test segments --offline --locked
 
 # End-to-end smoke: index a tiny corpus, start `prix serve` on an
 # ephemeral port, hit /healthz and /metrics over plain bash /dev/tcp,
@@ -144,3 +149,62 @@ grep -q 'shutdown complete' "$SMOKE/ingest.log" || { echo "no clean shutdown aft
 "$PRIX" fsck "$SMOKE/db.prix" >"$SMOKE/fsck.log" || { echo "fsck failed after live ingest" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
 grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean after live ingest" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
 echo "live-ingest smoke OK (count $BEFORE -> $AFTER on port $PORT)"
+
+# Segment lifecycle smoke: bulk-index the corpus into a fresh database,
+# verify the segments, grow a mutable delta with `prix add`, serve and
+# query it through segments + delta over /dev/tcp, then compact and
+# require the answer bit-identical — same matches before and after the
+# delta folds into generation 2 — and a clean fsck at the end.
+"$PRIX" index --bulk --alpha 4 "$SMOKE/seg.prix" "$SMOKE"/corpus/*.xml >"$SMOKE/bulk.log"
+grep -q 'generation 1' "$SMOKE/bulk.log" || { echo "bulk index did not report generation 1" >&2; cat "$SMOKE/bulk.log" >&2; exit 1; }
+"$PRIX" segments "$SMOKE/seg.prix" --verify >"$SMOKE/segments.log"
+grep -q 'segments: clean' "$SMOKE/segments.log" || { echo "segments --verify not clean after bulk index" >&2; cat "$SMOKE/segments.log" >&2; exit 1; }
+
+"$PRIX" add "$SMOKE/seg.prix" "$SMOKE"/corpus/doc00000*.xml >/dev/null
+
+"$PRIX" serve "$SMOKE/seg.prix" --addr 127.0.0.1:0 >"$SMOKE/seg-serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|^listening on http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$SMOKE/seg-serve.log")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "segment serve never reported its port" >&2; cat "$SMOKE/seg-serve.log" >&2; exit 1; }
+SEGQ=$(http "$Q")
+grep -q '200 OK' <<<"$SEGQ" || { echo "query against bulk-built database failed" >&2; echo "$SEGQ" >&2; exit 1; }
+grep -q '"seg_block_reads"' <<<"$SEGQ" || { echo "query response carries no segment I/O counters" >&2; exit 1; }
+SEGMETRICS=$(http /metrics)
+grep -q 'prix_engine_generation 1' <<<"$SEGMETRICS" || { echo "metrics missing generation gauge" >&2; exit 1; }
+grep -q 'prix_engine_pinned_epochs' <<<"$SEGMETRICS" || { echo "metrics missing pinned-epochs gauge" >&2; exit 1; }
+http /shutdown POST >/dev/null
+wait "$SERVE_PID" || { echo "segment serve exited non-zero" >&2; cat "$SMOKE/seg-serve.log" >&2; exit 1; }
+
+# Bit-identity across compaction: the match payload (doc -> embedding
+# lines plus the match count) must not change by one byte.
+match_payload() { # match_payload <out-file>
+  { head -1 "$1" | sed 's/ in .*//'; grep '^  doc ' "$1" || true; }
+}
+"$PRIX" query "$SMOKE/seg.prix" "//www/url" --limit 0 >"$SMOKE/q-before.txt"
+"$PRIX" compact "$SMOKE/seg.prix" >"$SMOKE/compact.log"
+grep -q 'into generation 2' "$SMOKE/compact.log" || { echo "compact did not produce generation 2" >&2; cat "$SMOKE/compact.log" >&2; exit 1; }
+"$PRIX" query "$SMOKE/seg.prix" "//www/url" --limit 0 >"$SMOKE/q-after.txt"
+match_payload "$SMOKE/q-before.txt" >"$SMOKE/m-before.txt"
+match_payload "$SMOKE/q-after.txt" >"$SMOKE/m-after.txt"
+cmp -s "$SMOKE/m-before.txt" "$SMOKE/m-after.txt" || {
+  echo "query answer changed across compaction" >&2
+  diff "$SMOKE/m-before.txt" "$SMOKE/m-after.txt" >&2 || true
+  exit 1
+}
+"$PRIX" fsck "$SMOKE/seg.prix" >"$SMOKE/fsck.log" || { echo "fsck failed after compaction" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean after compaction" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+echo "segment smoke OK (bulk -> add -> compact bit-identical, fsck clean)"
+
+# Perf trajectory: the bulk-build bench asserts its acceptance criteria
+# in code (bulk >= 3x the incremental path, cold-query segment reads
+# strictly below the buffer-pool path) and records the medians.
+# --json needs an absolute path: cargo runs the bench binary with the
+# package directory as its cwd.
+cargo bench -p prix-bench --bench bulk_build --offline --locked -- --json "$PWD/BENCH_bulk_build.json"
+[ -s BENCH_bulk_build.json ] || { echo "bench did not write BENCH_bulk_build.json" >&2; exit 1; }
+echo "bulk-build bench OK (BENCH_bulk_build.json written)"

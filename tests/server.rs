@@ -636,6 +636,56 @@ fn ingest_metrics_expose_epoch_and_counters() {
 }
 
 #[test]
+fn metrics_expose_segment_lifecycle_with_pinned_names() {
+    let h = start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ingest: true,
+        compact_after: Some(4),
+        ..Default::default()
+    });
+    let addr = h.addr();
+    // Exact metric names are a dashboard contract, and every series
+    // renders before any segment exists (as zeros, never vanishing).
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for name in [
+        "prix_engine_pinned_epochs ",
+        "prix_engine_pinned_oldest_lag ",
+        "prix_engine_generation ",
+        "prix_segment_tiers ",
+        "prix_segment_docs ",
+        "prix_engine_mutable_docs ",
+        "prix_segment_block_reads_total ",
+        "prix_segment_block_fetches_total ",
+        "prix_compactions_total ",
+    ] {
+        assert!(body.contains(name), "missing series {name}: {body}");
+    }
+    assert!(body.contains("prix_engine_generation 0"), "{body}");
+    assert!(body.contains("prix_engine_mutable_docs 3"), "{body}");
+    assert!(body.contains("prix_compactions_total 0"), "{body}");
+
+    // A fourth document pushes the mutable delta to compact_after: the
+    // ingesting worker folds everything into segment generation 1.
+    let (status, resp) = post(addr, "/documents", "<dblp><www><url>v</url></www></dblp>");
+    assert_eq!(status, 200, "{resp}");
+    let (_, body) = get(addr, "/metrics");
+    assert!(body.contains("prix_compactions_total 1"), "{body}");
+    assert!(body.contains("prix_engine_generation 1"), "{body}");
+    assert!(body.contains("prix_segment_docs 4"), "{body}");
+    assert!(body.contains("prix_engine_mutable_docs 0"), "{body}");
+
+    // Queries keep answering through the segment tier, and report
+    // their segment block I/O in the response's io object.
+    let (status, resp) = get(addr, "/query?xp=//www/url");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains(r#""count":2"#), "{resp}");
+    assert!(resp.contains(r#""seg_block_reads":"#), "{resp}");
+    assert!(resp.contains(r#""seg_block_fetches":"#), "{resp}");
+    h.shutdown().unwrap();
+}
+
+#[test]
 fn queries_stay_consistent_while_ingest_runs() {
     let h = start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),

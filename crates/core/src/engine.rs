@@ -20,17 +20,30 @@ use prix_xml::{Collection, PostNum, Sym, SymbolTable};
 
 use crate::arrange::arrangements;
 use crate::index::{ExecOpts, IndexError, IndexKind, PrixIndex, QueryStats, Result, TwigMatch};
+use crate::plan::{
+    AltProvider, EngineChoice, EngineId, Planner, PlannerStats, PrixBackend, Routed, Router,
+};
 use crate::query::TwigQuery;
 use crate::trie::LabelingMode;
 use crate::xpath::{parse_xpath, XPathError};
 
 /// Version of the catalog-page layout written by [`PrixEngine::save`].
-/// [`PrixEngine::reopen`] refuses any other version rather than
-/// misreading an unknown layout.
+/// [`PrixEngine::reopen`] refuses newer versions rather than misreading
+/// an unknown layout, but still accepts [`MIN_CATALOG_VERSION`].
 ///
 /// History: v1 ended after the dummy symbol; v2 appended the
-/// arrangement limit.
-const CATALOG_VERSION: u32 = 2;
+/// arrangement limit; v3 appended the length-prefixed planner
+/// statistics blob.
+const CATALOG_VERSION: u32 = 3;
+
+/// Oldest catalog version [`PrixEngine::reopen`] still reads. A v2
+/// database opens with empty planner statistics (the planner relearns
+/// from traffic) and is rewritten as v3 on the next save.
+const MIN_CATALOG_VERSION: u32 = 2;
+
+/// Byte offset of the planner-stats blob (u32 length + payload) in the
+/// catalog page, right after the v2 fields.
+const CATALOG_STATS_OFF: usize = 44;
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -157,6 +170,9 @@ pub struct QueryOutcome {
     /// proving the result set was drained; more matches *may* exist
     /// (conservative — no probing for the next match is done).
     pub truncated: bool,
+    /// Which engine produced this outcome. PRIX paths derive it from
+    /// `index_used`; routed alternative engines set their own id.
+    pub engine: EngineId,
 }
 
 /// An indexed XML database: the collection, its RP/EP indexes, and a
@@ -202,6 +218,10 @@ pub struct PrixEngine {
     buffer_pages: usize,
     /// Labeling mode for fresh mutable generations.
     labeling: LabelingMode,
+    /// The cost-based planner's statistics, shared (via `Arc`) with
+    /// every snapshot so observations from served queries feed back
+    /// into later plans. Persisted in the catalog (v3).
+    planner: Arc<Planner>,
 }
 
 impl PrixEngine {
@@ -316,6 +336,14 @@ impl PrixEngine {
         } else {
             (None, None)
         };
+        // Seed the planner from what the build just saw: label counts
+        // from the collection, trie fanout from the RP build.
+        let mut pstats = PlannerStats::default();
+        pstats.merge_collection(&collection);
+        if let Some(idx) = rp.as_ref().or(ep.as_ref()) {
+            let b = idx.build_stats();
+            pstats.set_trie_shape(b.trie_nodes as u64, b.trie_paths as u64, b.sequences);
+        }
         Ok(PrixEngine {
             collection,
             pool,
@@ -334,6 +362,7 @@ impl PrixEngine {
             mutable_suffix: String::new(),
             buffer_pages: cfg.buffer_pages,
             labeling: cfg.labeling,
+            planner: Arc::new(Planner::new(pstats)),
         })
     }
 
@@ -431,7 +460,15 @@ impl PrixEngine {
                 id
             }
         };
-        // Catalog page.
+        // Catalog page. The planner-stats blob is capped by its encoder
+        // to fit the remainder of the page; an oversized blob would be a
+        // bug in that cap, so refuse rather than corrupt the page.
+        let stats_blob = self.planner.encode();
+        if CATALOG_STATS_OFF + 4 + stats_blob.len() > PAGE_SIZE {
+            return Err(IndexError::Unsupported(
+                "planner statistics overflow the catalog page".into(),
+            ));
+        }
         self.pool
             .with_page_mut(0, |p: &mut [u8; PAGE_SIZE]| {
                 p[..4].copy_from_slice(b"PRIX");
@@ -441,6 +478,9 @@ impl PrixEngine {
                 p[24..32].copy_from_slice(&syms_rec.raw().to_le_bytes());
                 p[32..36].copy_from_slice(&self.dummy.0.to_le_bytes());
                 p[36..44].copy_from_slice(&(self.arrangement_limit as u64).to_le_bytes());
+                let off = CATALOG_STATS_OFF;
+                p[off..off + 4].copy_from_slice(&(stats_blob.len() as u32).to_le_bytes());
+                p[off + 4..off + 4 + stats_blob.len()].copy_from_slice(&stats_blob);
             })
             .map_err(IndexError::Storage)?;
         self.pool.flush().map_err(IndexError::Storage)
@@ -546,7 +586,7 @@ impl PrixEngine {
     fn reopen_over(pool: BufferPool, recovery: Option<RecoveryReport>) -> Result<Self> {
         let pool = Arc::new(pool);
         let buffer_pages = pool.capacity();
-        let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit) = pool
+        let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit, pstats) = pool
             .with_page(0, |p: &[u8; PAGE_SIZE]| {
                 if &p[..4] != b"PRIX" {
                     return Err(IndexError::Unsupported(
@@ -554,18 +594,36 @@ impl PrixEngine {
                     ));
                 }
                 let version = u32::from_le_bytes(p[4..8].try_into().unwrap());
-                if version != CATALOG_VERSION {
+                if !(MIN_CATALOG_VERSION..=CATALOG_VERSION).contains(&version) {
                     return Err(IndexError::Unsupported(format!(
                         "unsupported PRIX database version {version} (this build reads \
-                         version {CATALOG_VERSION}); refusing to guess at its layout"
+                         versions {MIN_CATALOG_VERSION}..={CATALOG_VERSION}); refusing to \
+                         guess at its layout"
                     )));
                 }
+                // v2 has no stats blob: the planner starts empty and
+                // relearns from traffic.
+                let pstats = if version >= 3 {
+                    let off = CATALOG_STATS_OFF;
+                    let len = u32::from_le_bytes(p[off..off + 4].try_into().unwrap()) as usize;
+                    if off + 4 + len > PAGE_SIZE {
+                        return Err(IndexError::Unsupported(
+                            "corrupt planner statistics in catalog".into(),
+                        ));
+                    }
+                    PlannerStats::decode(&p[off + 4..off + 4 + len]).ok_or_else(|| {
+                        IndexError::Unsupported("corrupt planner statistics in catalog".into())
+                    })?
+                } else {
+                    PlannerStats::default()
+                };
                 Ok((
                     u64::from_le_bytes(p[8..16].try_into().unwrap()),
                     u64::from_le_bytes(p[16..24].try_into().unwrap()),
                     u64::from_le_bytes(p[24..32].try_into().unwrap()),
                     Sym(u32::from_le_bytes(p[32..36].try_into().unwrap())),
                     u64::from_le_bytes(p[36..44].try_into().unwrap()) as usize,
+                    pstats,
                 ))
             })
             .map_err(IndexError::Storage)??;
@@ -612,6 +670,7 @@ impl PrixEngine {
             mutable_suffix: String::new(),
             buffer_pages,
             labeling: LabelingMode::Exact,
+            planner: Arc::new(Planner::new(pstats)),
         })
     }
 
@@ -1006,6 +1065,13 @@ impl PrixEngine {
             }
             id = Some(ep_id);
         }
+        self.planner.update(|s| s.merge_tree(&tree));
+        if let Some(idx) = self.rp.as_ref().or(self.ep.as_ref()) {
+            let b = idx.build_stats();
+            self.planner.update(|s| {
+                s.set_trie_shape(b.trie_nodes as u64, b.trie_paths as u64, b.sequences)
+            });
+        }
         let coll_id = self.collection.add_tree(tree);
         let id = id.unwrap_or(coll_id);
         debug_assert!(
@@ -1016,12 +1082,69 @@ impl PrixEngine {
     }
 
     /// Describes the plan the optimizer would use for `q` (index
-    /// choice, sequences, edge constraints, MaxGap rules).
+    /// choice, sequences, edge constraints, MaxGap rules), followed by
+    /// the cost-based planner's ranked alternatives.
     pub fn explain(&self, q: &TwigQuery) -> Result<String> {
         let idx = self.pick_index(q)?;
         let mut out = format!("index: {}\n", idx.kind());
         out.push_str(&idx.explain(q, self.collection.symbols())?);
+        let caps = self.engine_caps();
+        let report = self.planner.decide(q, caps, &ExecOpts::default(), None)?;
+        out.push_str(&report.render());
         Ok(out)
+    }
+
+    /// The engine capabilities the planner scores over: which PRIX
+    /// indexes exist, and whether the alternative engines could be
+    /// built (they replay documents out of the RP index, so every tier
+    /// must have one).
+    pub fn engine_caps(&self) -> crate::plan::EngineCaps {
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        let alt = tiers.iter().all(|(rp, _)| rp.is_some());
+        crate::plan::EngineCaps {
+            rp: rp.is_some(),
+            ep: ep.is_some(),
+            vist: alt,
+            twigstack: alt,
+        }
+    }
+
+    /// The shared planner (snapshots and the serving layer feed
+    /// observations back through it).
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
+    }
+
+    /// Plans and executes `q` through the cost-based router:
+    /// the planner scores every alternative, `forced` bypasses the
+    /// comparison, and the result is canonicalized (matches sorted by
+    /// `(doc, embedding)`) whatever engine ran.
+    pub fn query_routed(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        forced: Option<EngineChoice>,
+        alts: &dyn AltProvider,
+    ) -> Result<Routed> {
+        Router {
+            planner: &self.planner,
+            prix: self,
+            alts,
+        }
+        .route(q, opts, forced)
+    }
+
+    /// Rebuilds the document trees from the RP index's stored
+    /// sequences ([`prix_prufer::reconstruct::tree_from_sequences`]), in global
+    /// document order across every tier. This is how the alternative
+    /// engines get a collection to encode on a reopened database,
+    /// whose in-memory collection is empty. All nodes come back as
+    /// elements (the RP encoding does not mark text nodes), which is
+    /// exactly what label-driven matching needs. Requires the RP index
+    /// in every tier.
+    pub fn reconstruct_collection(&self) -> Result<Collection> {
+        reconstruct_from_tiers(&self.tiers(), self.collection.symbols().clone())
     }
 
     /// Executes an ordered twig query.
@@ -1078,7 +1201,13 @@ impl PrixEngine {
     /// as it is reached the current stream is abandoned mid-trie and
     /// the remaining arrangements never run at all.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        run_query_unordered(&self.tiers(), self.arrangement_limit, q, opts)
+        run_query_unordered(
+            &self.tiers(),
+            self.arrangement_limit,
+            q,
+            opts,
+            Some(&self.planner),
+        )
     }
 
     /// The commit epoch this engine's durable state is at: the pager's
@@ -1165,6 +1294,23 @@ impl PrixEngine {
     }
 }
 
+impl PrixBackend for PrixEngine {
+    fn prix_caps(&self) -> (bool, bool) {
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        (rp.is_some(), ep.is_some())
+    }
+
+    fn execute_prix(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        force: Option<IndexKind>,
+    ) -> Result<QueryOutcome> {
+        run_query_forced(&self.tiers(), q, opts, force)
+    }
+}
+
 /// What [`PrixEngine::ingest_batch`] did, before epoch publication.
 pub struct IngestOutcome {
     /// Ids assigned to accepted documents, in input order.
@@ -1182,14 +1328,74 @@ pub(crate) fn pick_index_from<'a>(
     ep: Option<&'a PrixIndex>,
     q: &TwigQuery,
 ) -> Result<&'a PrixIndex> {
-    if q.needs_extended() {
-        ep.ok_or_else(|| {
-            IndexError::Unsupported("query requires the EPIndex, which was not built".into())
-        })
-    } else {
-        rp.or(ep)
-            .ok_or_else(|| IndexError::Unsupported("no index was built".into()))
+    pick_index_forced(rp, ep, q, None)
+}
+
+/// [`pick_index_from`] with an optional forced index kind (the
+/// planner's RP-vs-EP choice, or `--engine prix_rp`/`prix_ep`).
+/// Forcing the RPIndex for a value query is refused — it cannot answer
+/// it — as is forcing an index that was not built.
+pub(crate) fn pick_index_forced<'a>(
+    rp: Option<&'a PrixIndex>,
+    ep: Option<&'a PrixIndex>,
+    q: &TwigQuery,
+    force: Option<IndexKind>,
+) -> Result<&'a PrixIndex> {
+    match force {
+        Some(IndexKind::Regular) => {
+            if q.needs_extended() {
+                return Err(IndexError::Unsupported(
+                    "value query cannot run on the RPIndex".into(),
+                ));
+            }
+            rp.ok_or_else(|| IndexError::Unsupported("the RPIndex was not built".into()))
+        }
+        Some(IndexKind::Extended) => {
+            ep.ok_or_else(|| IndexError::Unsupported("the EPIndex was not built".into()))
+        }
+        None => {
+            if q.needs_extended() {
+                ep.ok_or_else(|| {
+                    IndexError::Unsupported(
+                        "query requires the EPIndex, which was not built".into(),
+                    )
+                })
+            } else {
+                rp.or(ep)
+                    .ok_or_else(|| IndexError::Unsupported("no index was built".into()))
+            }
+        }
     }
+}
+
+/// Rebuilds every document tree from the RP index's stored sequences,
+/// ascending through the tiers so collection ids equal global document
+/// ids. Shared by the engine and snapshot `reconstruct_collection`.
+pub(crate) fn reconstruct_from_tiers(
+    tiers: &[TierRefs<'_>],
+    syms: SymbolTable,
+) -> Result<Collection> {
+    let mut collection = Collection::new();
+    *collection.symbols_mut() = syms;
+    for &(rp, _) in tiers {
+        let rp = rp.ok_or_else(|| {
+            IndexError::Unsupported(
+                "reconstructing documents requires the RPIndex in every tier".into(),
+            )
+        })?;
+        let base = rp.doc_base();
+        for local in 0..rp.doc_count() as u32 {
+            let data = rp.load_doc(base + local, true)?;
+            let tree =
+                prix_prufer::reconstruct::tree_from_sequences(&data.lps, &data.nps, &data.leaves)
+                    .map_err(|e| {
+                    IndexError::Unsupported(format!("stored sequences are inconsistent: {e}"))
+                })?;
+            let id = collection.add_tree(tree);
+            debug_assert_eq!(id, base + local, "tiers ascend contiguously");
+        }
+    }
+    Ok(collection)
 }
 
 /// Shared ordered-query path: the engine runs it over its live tiers,
@@ -1204,6 +1410,17 @@ pub(crate) fn run_query_opts(
     tiers: &[TierRefs<'_>],
     q: &TwigQuery,
     opts: &ExecOpts,
+) -> Result<QueryOutcome> {
+    run_query_forced(tiers, q, opts, None)
+}
+
+/// [`run_query_opts`] with an optional forced index kind (the routed
+/// RP-vs-EP decision).
+pub(crate) fn run_query_forced(
+    tiers: &[TierRefs<'_>],
+    q: &TwigQuery,
+    opts: &ExecOpts,
+    force: Option<IndexKind>,
 ) -> Result<QueryOutcome> {
     let scope = IoScope::begin();
     let start = Instant::now();
@@ -1221,7 +1438,7 @@ pub(crate) fn run_query_opts(
                 truncated = true;
                 break;
             }
-            let idx = pick_index_from(rp, ep, q)?;
+            let idx = pick_index_forced(rp, ep, q, force)?;
             index_used = idx.kind();
             let tier_opts = opts.with_limit(remaining);
             let mut stream = idx.execute_stream(q, &tier_opts)?;
@@ -1238,7 +1455,7 @@ pub(crate) fn run_query_opts(
         }
     } else {
         for &(rp, ep) in tiers {
-            let idx = pick_index_from(rp, ep, q)?;
+            let idx = pick_index_forced(rp, ep, q, force)?;
             index_used = idx.kind();
             let (m, s) = idx.execute_opts(q, opts)?;
             matches.extend(m);
@@ -1253,6 +1470,7 @@ pub(crate) fn run_query_opts(
         io: scope.end(),
         elapsed: start.elapsed(),
         truncated,
+        engine: EngineId::from_kind(index_used),
     })
 }
 
@@ -1299,15 +1517,31 @@ pub(crate) fn run_query_batch(
 }
 
 /// Shared unordered-query path (§5.7 arrangement loop with the shared
-/// limit and base-numbered dedup).
+/// limit and base-numbered dedup). With a limit set and a planner
+/// available, arrangements run cheapest-estimated-first: the shared
+/// budget fills from the arrangements expected to drain (or fail)
+/// fastest. Without a limit the order is left alone — every
+/// arrangement runs to completion anyway, and keeping the stock order
+/// keeps the concatenated match vector bit-identical to older builds.
 pub(crate) fn run_query_unordered(
     tiers: &[TierRefs<'_>],
     arrangement_limit: usize,
     q: &TwigQuery,
     opts: &ExecOpts,
+    planner: Option<&Planner>,
 ) -> Result<QueryOutcome> {
-    let arrs =
+    let mut arrs =
         arrangements(q, arrangement_limit).map_err(|e| IndexError::Unsupported(e.to_string()))?;
+    if let (Some(planner), Some(_)) = (planner, opts.limit) {
+        let queries: Vec<TwigQuery> = arrs.iter().map(|a| a.query.clone()).collect();
+        let order = planner.rank_arrangements(&queries);
+        let mut reordered = Vec::with_capacity(arrs.len());
+        let mut taken: Vec<Option<_>> = arrs.into_iter().map(Some).collect();
+        for i in order {
+            reordered.push(taken[i].take().expect("permutation visits each index once"));
+        }
+        arrs = reordered;
+    }
     let scope = IoScope::begin();
     let start = Instant::now();
     let mut stats = QueryStats::default();
@@ -1361,6 +1595,7 @@ pub(crate) fn run_query_unordered(
         io: scope.end(),
         elapsed: start.elapsed(),
         truncated,
+        engine: EngineId::from_kind(index_used),
     })
 }
 
@@ -1528,38 +1763,86 @@ mod tests {
         assert!(tv.contains("EPIndex"), "{tv}");
     }
 
+    /// Collapses digit runs (with embedded dots) to `#` and space runs
+    /// to one space, so the explain pins cover the full output shape —
+    /// including the planner section — without re-pinning on every
+    /// cost-constant or dataset tweak.
+    fn normalize_explain(s: &str) -> String {
+        let mut out = String::new();
+        let (mut in_num, mut in_space) = (false, false);
+        for ch in s.chars() {
+            if ch.is_ascii_digit() || (ch == '.' && in_num) {
+                if !in_num {
+                    out.push('#');
+                    in_num = true;
+                }
+                in_space = false;
+                continue;
+            }
+            in_num = false;
+            if ch == ' ' {
+                if in_space {
+                    continue;
+                }
+                in_space = true;
+            } else {
+                in_space = false;
+            }
+            out.push(ch);
+        }
+        out
+    }
+
     #[test]
     fn explain_output_shape_is_pinned() {
         // The serving layer's `GET /explain` exposes this text
-        // verbatim; pin the exact shape for one path query and one
-        // twig query so refactors can't silently change the contract.
+        // verbatim; pin the exact shape (digits and space runs
+        // normalized — see `normalize_explain`) for one path query and
+        // one twig query so refactors can't silently change the
+        // contract.
         let mut e = engine();
         let path_q = e.parse_query("/dblp/www/url").unwrap();
         assert_eq!(
-            e.explain(&path_q).unwrap(),
+            normalize_explain(&e.explain(&path_q).unwrap()),
             "index: RPIndex\n\
-             plan: RPIndex, leaf-extended query (§4.4 fast path)\n\
+             plan: RPIndex, leaf-extended query (§# fast path)\n\
              LPS(Q) = url www dblp\n\
-             NPS(Q) = 2 3 4\n\
-             edges  = / / / /\n\
+             NPS(Q) = # # #\n\
+             edges = / / / /\n\
              executor: streaming filter -> refine -> project (limit pushdown)\n\
-             MaxGap rules: 2 of 2 adjacent pairs bounded\n\
-             \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
-             \x20 positions 2->3: distance <= min(2, per-node) + 1\n"
+             MaxGap rules: # of # adjacent pairs bounded\n\
+             \x20positions #->#: distance <= min(#, per-node) + #\n\
+             \x20positions #->#: distance <= min(#, per-node) + #\n\
+             planner: engine=prix_rp maxgap=on cost=#us (routed) shape=n#l#v#d# ewma_rows=#\n\
+             \x20alt prix_rp maxgap=on cost= #us\n\
+             \x20alt prix_rp maxgap=off cost= #us\n\
+             \x20alt twigstack cost= #us\n\
+             \x20alt prix_ep maxgap=on cost= #us\n\
+             \x20alt prix_ep maxgap=off cost= #us\n\
+             \x20alt twigstackxb cost= #us\n\
+             \x20alt vist cost= #us\n"
         );
         let twig_q = e.parse_query("//www[./editor]/url").unwrap();
         assert_eq!(
-            e.explain(&twig_q).unwrap(),
+            normalize_explain(&e.explain(&twig_q).unwrap()),
             "index: RPIndex\n\
-             plan: RPIndex, leaf-extended query (§4.4 fast path)\n\
+             plan: RPIndex, leaf-extended query (§# fast path)\n\
              LPS(Q) = editor www url www\n\
-             NPS(Q) = 2 5 4 5\n\
-             edges  = / / / / /\n\
+             NPS(Q) = # # # #\n\
+             edges = / / / / /\n\
              executor: streaming filter -> refine -> project (limit pushdown)\n\
-             MaxGap rules: 3 of 3 adjacent pairs bounded\n\
-             \x20 positions 1->2: distance <= min(0, per-node) + 1\n\
-             \x20 positions 2->3: distance <= min(2, per-node) + 0\n\
-             \x20 positions 3->4: distance <= min(0, per-node) + 1\n"
+             MaxGap rules: # of # adjacent pairs bounded\n\
+             \x20positions #->#: distance <= min(#, per-node) + #\n\
+             \x20positions #->#: distance <= min(#, per-node) + #\n\
+             \x20positions #->#: distance <= min(#, per-node) + #\n\
+             planner: engine=prix_rp maxgap=on cost=#us (routed) shape=n#l#v#d# ewma_rows=#\n\
+             \x20alt prix_rp maxgap=on cost= #us\n\
+             \x20alt prix_rp maxgap=off cost= #us\n\
+             \x20alt twigstack cost= #us\n\
+             \x20alt prix_ep maxgap=on cost= #us\n\
+             \x20alt prix_ep maxgap=off cost= #us\n\
+             \x20alt twigstackxb cost= #us\n\
+             \x20alt vist cost= #us\n"
         );
     }
 

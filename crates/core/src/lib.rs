@@ -37,6 +37,7 @@ pub mod engine;
 pub mod exec;
 pub mod index;
 pub mod naive;
+pub mod plan;
 pub mod query;
 pub mod scan;
 pub mod segbuild;
@@ -47,6 +48,10 @@ pub mod xpath;
 pub use engine::{EngineConfig, EngineStores, IngestOutcome, PrixEngine, QueryOutcome};
 pub use exec::MatchStream;
 pub use index::{ExecOpts, IndexKind, PrixIndex, QueryStats, TwigMatch};
+pub use plan::{
+    canonicalize, prix_embedding_exact, AltProvider, EngineCaps, EngineChoice, EngineId, NoAlts,
+    PlanReport, Planner, PlannerStats, PrixBackend, QueryEngine, QueryShape, Routed, Router,
+};
 pub use prix_storage::{ManifestSegment, SegmentCheck, SEG_KIND_EP, SEG_KIND_RP};
 pub use query::{TwigBuilder, TwigQuery};
 pub use segbuild::{BulkBuilder, DEFAULT_RUN_MEM_BYTES};

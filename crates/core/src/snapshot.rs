@@ -39,10 +39,11 @@ use prix_storage::EpochPin;
 use prix_xml::{DocId, ScratchSyms, SymbolTable};
 
 use crate::engine::{
-    collect_tiers, pick_index_from, run_query_batch, run_query_opts, run_query_unordered,
-    PrixEngine, QueryOutcome, SegTier,
+    collect_tiers, pick_index_from, reconstruct_from_tiers, run_query_batch, run_query_forced,
+    run_query_opts, run_query_unordered, PrixEngine, QueryOutcome, SegTier,
 };
-use crate::index::{ExecOpts, IndexError, PrixIndex, Result};
+use crate::index::{ExecOpts, IndexError, IndexKind, PrixIndex, Result};
+use crate::plan::{AltProvider, EngineCaps, EngineChoice, Planner, PrixBackend, Routed, Router};
 use crate::query::TwigQuery;
 use crate::xpath::{parse_xpath, XPathError};
 
@@ -65,6 +66,11 @@ pub struct EngineSnapshot {
     segments: Vec<SegTier>,
     generation: u64,
     arrangement_limit: usize,
+    /// The engine's planner, *shared* (not frozen): observed stage
+    /// clocks from queries served off this snapshot feed the same
+    /// statistics later plans read. Plans are advisory — sharing never
+    /// affects result bytes.
+    planner: Arc<Planner>,
     pin: EpochPin,
 }
 
@@ -79,6 +85,7 @@ impl EngineSnapshot {
             segments: engine.seg_tiers().to_vec(),
             generation: engine.generation(),
             arrangement_limit: engine.arrangement_limit(),
+            planner: Arc::clone(engine.planner()),
             pin,
         }
     }
@@ -170,7 +177,57 @@ impl EngineSnapshot {
     /// [`EngineSnapshot::query_unordered`] with execution options.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
-        run_query_unordered(&self.tiers(), self.arrangement_limit, q, opts)
+        run_query_unordered(
+            &self.tiers(),
+            self.arrangement_limit,
+            q,
+            opts,
+            Some(&self.planner),
+        )
+    }
+
+    /// The engine capabilities the planner scores over at this epoch.
+    pub fn engine_caps(&self) -> EngineCaps {
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        let alt = tiers.iter().all(|(rp, _)| rp.is_some());
+        EngineCaps {
+            rp: rp.is_some(),
+            ep: ep.is_some(),
+            vist: alt,
+            twigstack: alt,
+        }
+    }
+
+    /// The shared planner.
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
+    }
+
+    /// Plans and executes `q` through the cost-based router against
+    /// this epoch's view (see `PrixEngine::query_routed`).
+    pub fn query_routed(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        forced: Option<EngineChoice>,
+        alts: &dyn AltProvider,
+    ) -> Result<Routed> {
+        Router {
+            planner: &self.planner,
+            prix: self,
+            alts,
+        }
+        .route(q, opts, forced)
+    }
+
+    /// Rebuilds the document trees this epoch can see from the RP
+    /// index's stored sequences (see
+    /// `PrixEngine::reconstruct_collection`); the alternative engines
+    /// encode their substrates from the result.
+    pub fn reconstruct_collection(&self) -> Result<prix_xml::Collection> {
+        let _pin = self.pin.guard();
+        reconstruct_from_tiers(&self.tiers(), (*self.syms).clone())
     }
 
     /// Describes the plan for an XPath at this epoch. Parses against a
@@ -186,7 +243,29 @@ impl EngineSnapshot {
         let idx = pick_index_from(rp, ep, &q)?;
         let mut out = format!("index: {}\n", idx.kind());
         out.push_str(&idx.explain(&q, &syms)?);
+        let report = self
+            .planner
+            .decide(&q, self.engine_caps(), &ExecOpts::default(), None)?;
+        out.push_str(&report.render());
         Ok(out)
+    }
+}
+
+impl PrixBackend for EngineSnapshot {
+    fn prix_caps(&self) -> (bool, bool) {
+        let tiers = self.tiers();
+        let (rp, ep) = tiers[0];
+        (rp.is_some(), ep.is_some())
+    }
+
+    fn execute_prix(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        force: Option<IndexKind>,
+    ) -> Result<QueryOutcome> {
+        let _pin = self.pin.guard();
+        run_query_forced(&self.tiers(), q, opts, force)
     }
 }
 

@@ -329,6 +329,10 @@ pub struct ResultKey {
     pub limit: u64,
     /// The snapshot epoch the result was computed at.
     pub epoch: u64,
+    /// The `engine=` routing override (empty = cost-based routing).
+    /// Forced and routed evaluations may legitimately differ in their
+    /// reported stats, so they must not share cache entries.
+    pub engine: String,
 }
 
 /// Sharded LRU of serialized `200` response bodies keyed by
@@ -427,6 +431,7 @@ mod tests {
             unordered: false,
             limit: 1000,
             epoch,
+            engine: String::new(),
         }
     }
 

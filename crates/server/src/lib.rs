@@ -20,6 +20,7 @@
 //! handle.wait().unwrap(); // until POST /shutdown
 //! ```
 
+pub mod alts;
 pub mod cache;
 pub mod http;
 pub mod json;
@@ -27,6 +28,7 @@ pub mod metrics;
 pub mod server;
 pub mod workers;
 
+pub use alts::{AltCache, SnapshotAlts};
 pub use cache::{CacheSnapshot, PlanCache, ResultCache, ResultKey};
 pub use http::{Request, Response};
 pub use metrics::{Endpoint, EngineGauges, Metrics, LATENCY_BUCKETS_US};

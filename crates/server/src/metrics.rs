@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use prix_core::plan::EngineId;
 use prix_storage::{IoSnapshot, RecoveryReport};
 
 use crate::cache::CacheSnapshot;
@@ -187,6 +188,12 @@ pub struct Metrics {
     ingest_rejected: AtomicU64,
     /// Compactions published (mutable delta folded into a segment).
     compactions: AtomicU64,
+    /// Queries the router executed, by chosen engine (indexed by
+    /// [`EngineId::index`]).
+    planner_chosen: [AtomicU64; EngineId::ALL.len()],
+    /// Routed (not forced) queries whose observed wall clock blew
+    /// through the planner's estimate.
+    planner_mispredict: AtomicU64,
 }
 
 impl Metrics {
@@ -254,6 +261,15 @@ impl Metrics {
     }
 
     /// Records one published compaction.
+    /// Records one routed query execution: which engine the planner
+    /// chose, and whether the estimate turned out badly wrong.
+    pub fn record_planner(&self, chosen: EngineId, mispredicted: bool) {
+        self.planner_chosen[chosen.index()].fetch_add(1, Ordering::Relaxed);
+        if mispredicted {
+            self.planner_mispredict.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub fn record_compaction(&self) {
         self.compactions.fetch_add(1, Ordering::Relaxed);
     }
@@ -455,6 +471,25 @@ impl Metrics {
         out.push_str("# HELP prix_compactions_total Compactions published (mutable delta folded into a segment).\n");
         out.push_str("# TYPE prix_compactions_total counter\n");
         out.push_str(&format!("prix_compactions_total {}\n", self.compactions()));
+
+        // Planner routing. Exact names are a dashboard contract:
+        // every engine renders (as zero when never chosen) so a
+        // dashboard never sees a series vanish.
+        out.push_str("# HELP prix_planner_engine_chosen_total Routed queries executed, by the engine the cost-based planner chose.\n");
+        out.push_str("# TYPE prix_planner_engine_chosen_total counter\n");
+        for id in EngineId::ALL {
+            out.push_str(&format!(
+                "prix_planner_engine_chosen_total{{engine=\"{}\"}} {}\n",
+                id.label(),
+                self.planner_chosen[id.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# HELP prix_planner_mispredict_total Routed queries whose observed latency exceeded the planner's estimate by the misprediction factor.\n");
+        out.push_str("# TYPE prix_planner_mispredict_total counter\n");
+        out.push_str(&format!(
+            "prix_planner_mispredict_total {}\n",
+            self.planner_mispredict.load(Ordering::Relaxed)
+        ));
 
         out.push_str("# HELP prix_ingest_documents_total Documents accepted and published by POST /documents.\n");
         out.push_str("# TYPE prix_ingest_documents_total counter\n");

@@ -51,8 +51,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use prix_core::plan::EngineChoice;
 use prix_core::{EngineSnapshot, ExecOpts, PrixEngine, QueryOutcome, SharedEngine, TwigQuery};
 
+use crate::alts::{AltCache, SnapshotAlts};
 use crate::cache::{PlanCache, ResultCache, ResultKey};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::json::JsonWriter;
@@ -174,6 +176,9 @@ struct Shared {
     /// `(query, opts, epoch)` → serialized 200 body; entries from
     /// superseded epochs are purged by the engine's publish hook.
     result_cache: Arc<ResultCache>,
+    /// Per-epoch ViST/TwigStack substrates for the router's
+    /// alternative engines.
+    alt_cache: AltCache,
 }
 
 /// Decrements the accepted-connection count on drop, whatever path the
@@ -219,6 +224,7 @@ impl Server {
             metrics: Metrics::new(),
             plan_cache: PlanCache::new(cfg.plan_cache_entries),
             result_cache,
+            alt_cache: AltCache::new(),
             cfg,
             shutdown: ShutdownSignal::default(),
             active_conns: AtomicUsize::new(0),
@@ -606,6 +612,20 @@ fn parse_query_param(
     }
 }
 
+/// Parses the `engine=` routing override. `Ok(None)` = cost-based
+/// routing; `Err` is a ready `400`.
+fn parse_engine_param(req: &Request) -> Result<Option<EngineChoice>, Response> {
+    match req.param("engine") {
+        None | Some("") => Ok(None),
+        Some(s) => match EngineChoice::parse(s) {
+            Some(c) => Ok(Some(c)),
+            None => Err(Response::new(400).json(error_json(&format!(
+                "bad `engine` parameter `{s}` (expected prix, prix_rp, prix_ep, vist, twigstack, or twigstackxb)"
+            )))),
+        },
+    }
+}
+
 fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
     let snap = shared.engine.snapshot();
     let (xp, q) = match parse_query_param(req, &snap, shared) {
@@ -613,6 +633,15 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
         Err(resp) => return resp,
     };
     let unordered = matches!(req.param("unordered"), Some("1" | "true"));
+    let forced = match parse_engine_param(req) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    if unordered && forced.is_some() {
+        return Response::new(400).json(error_json(
+            "`engine` cannot be combined with `unordered` (arrangement matching is PRIX-only)",
+        ));
+    }
     // The limit is pushed down into the executor: the trie descent
     // stops once enough distinct matches streamed out. `limit=0` asks
     // for everything; absent, the server's configured cap applies.
@@ -631,22 +660,41 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
         unordered,
         limit: opts.limit.map_or(u64::MAX, |n| n as u64),
         epoch: snap.epoch(),
+        engine: req.param("engine").unwrap_or("").to_string(),
     };
     if let Some(body) = shared.result_cache.get(&key) {
         return Response::new(200).json(String::from(&*body));
     }
-    let result = if unordered {
-        snap.query_unordered_opts(&q, &opts)
-    } else {
-        snap.query_opts(&q, &opts)
+    if unordered {
+        return match snap.query_unordered_opts(&q, &opts) {
+            Ok(out) => {
+                record_stage_timings(shared, &out);
+                let mut w = JsonWriter::new();
+                w.obj();
+                w.key("epoch").num(snap.epoch());
+                outcome_json(&mut w, &xp, &out, true);
+                w.end_obj();
+                let body = w.finish();
+                shared.result_cache.insert(key, Arc::from(body.as_str()));
+                Response::new(200).json(body)
+            }
+            Err(e) => Response::new(400).json(error_json(&format!("query error: {e}"))),
+        };
+    }
+    let alts = SnapshotAlts {
+        snap: &snap,
+        cache: &shared.alt_cache,
     };
-    match result {
-        Ok(out) => {
-            record_stage_timings(shared, &out);
+    match snap.query_routed(&q, &opts, forced, &alts) {
+        Ok(routed) => {
+            shared
+                .metrics
+                .record_planner(routed.report.chosen, routed.mispredicted);
+            record_stage_timings(shared, &routed.outcome);
             let mut w = JsonWriter::new();
             w.obj();
             w.key("epoch").num(snap.epoch());
-            outcome_json(&mut w, &xp, &out, true);
+            outcome_json(&mut w, &xp, &routed.outcome, true);
             w.end_obj();
             let body = w.finish();
             shared.result_cache.insert(key, Arc::from(body.as_str()));
@@ -702,6 +750,10 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
         Some(Ok(n)) => ExecOpts::new().with_limit(n),
         Some(Err(_)) => return Response::new(400).json(error_json("bad `limit` parameter")),
     };
+    let forced = match parse_engine_param(req) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
     let lines: Vec<&str> = body
         .lines()
         .map(str::trim)
@@ -716,6 +768,7 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
         unordered: false,
         limit: opts.limit.map_or(u64::MAX, |n| n as u64),
         epoch: snap.epoch(),
+        engine: req.param("engine").unwrap_or("").to_string(),
     };
     if let Some(cached) = shared.result_cache.get(&key) {
         return Response::new(200).json(String::from(&*cached));
@@ -730,7 +783,40 @@ fn handle_batch(req: &Request, shared: &Arc<Shared>) -> Response {
             }
         }
     }
-    match snap.query_batch_opts(&queries, threads, &opts) {
+    // A forced engine runs each query through the router (sequentially:
+    // the alternative substrates are shared and the point of forcing is
+    // comparison, not throughput); the default batch path keeps the
+    // multi-threaded PRIX executor.
+    let result = match forced {
+        Some(choice) => {
+            let alts = SnapshotAlts {
+                snap: &snap,
+                cache: &shared.alt_cache,
+            };
+            let mut outs = Vec::with_capacity(queries.len());
+            let mut routed_err = None;
+            for q in &queries {
+                match snap.query_routed(q, &opts, Some(choice), &alts) {
+                    Ok(routed) => {
+                        shared
+                            .metrics
+                            .record_planner(routed.report.chosen, routed.mispredicted);
+                        outs.push(routed.outcome);
+                    }
+                    Err(e) => {
+                        routed_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match routed_err {
+                Some(e) => Err(e),
+                None => Ok(outs),
+            }
+        }
+        None => snap.query_batch_opts(&queries, threads, &opts),
+    };
+    match result {
         Ok(outs) => {
             let mut w = JsonWriter::new();
             w.obj();
@@ -856,6 +942,7 @@ fn maybe_compact(shared: &Arc<Shared>) {
 fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matches: bool) {
     w.key("xpath").str_val(xpath);
     w.key("index").str_val(&out.index_used.to_string());
+    w.key("engine").str_val(out.engine.label());
     w.key("count").num(out.matches.len() as u64);
     w.key("elapsed_us")
         .num(out.elapsed.as_micros().min(u64::MAX as u128) as u64);

@@ -18,12 +18,14 @@
 //!   edges are finally enforced — the *sub-optimality* the PRIX paper
 //!   exploits with query Q8, §6.4.2).
 
+pub mod engine;
 pub mod join;
 pub mod pathstack;
 pub mod pos;
 pub mod stream;
 pub mod xbtree;
 
+pub use engine::{Substrate, TwigStackEngine};
 pub use join::{Algorithm, JoinStats, TwigJoin, TwigResult};
 pub use pathstack::{path_stack, NotAPath};
 pub use pos::{encode_collection, Element};

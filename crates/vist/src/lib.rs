@@ -29,407 +29,36 @@
 //!   [`VistIndex::execute`] reports both the native candidate set and
 //!   the verified matches so benchmarks can measure the former while
 //!   tests assert on the latter.
+//!
+//! The crate is split by lifecycle stage: [`seq`](self) holds the
+//! structure encoding, `index` the B⁺-tree construction, `query` the
+//! subsequence matching, and `engine` the routed
+//! [`prix_core::plan::QueryEngine`] adapter.
 
-use std::collections::HashMap;
-use std::ops::Bound;
-use std::sync::Arc;
+use prix_storage::StorageError;
 
-use prix_core::naive::naive_ordered;
-use prix_core::query::TwigQuery;
-use prix_core::trie::{LabelingMode, VirtualTrie};
-use prix_prufer::EdgeKind;
-use prix_storage::{BPlusTree, BufferPool, StorageError};
-use prix_xml::{Collection, DocId, NodeId, Sym, XmlTree};
+mod engine;
+mod index;
+mod query;
+mod seq;
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
 
-/// A `(symbol, prefix)` pair, interned to a dense id so the shared
-/// virtual-trie machinery can store structure-encoded sequences.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct PairKey {
-    sym: Sym,
-    prefix: Vec<Sym>,
-}
-
-/// One step of a query prefix pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PatStep {
-    /// An exact tag.
-    Exact(Sym),
-    /// `//`: any number (≥ 0) of intermediate tags.
-    AnyDeep,
-}
-
-/// Query execution counters.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct VistStats {
-    /// Range queries against the D-Ancestorship index.
-    pub range_queries: u64,
-    /// Distinct `(symbol, prefix)` keys touched (the paper reports 515
-    /// for Q7 and 46 355 for Q8).
-    pub keys_matched: u64,
-    /// Trie positions scanned.
-    pub nodes_scanned: u64,
-    /// Candidate documents reported by native ViST matching.
-    pub candidates: u64,
-    /// Candidates that are false alarms (fail verification).
-    pub false_alarms: u64,
-}
-
-/// Build-time statistics.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct VistBuildStats {
-    /// Distinct `(symbol, prefix)` keys in the D-Ancestorship index.
-    pub unique_keys: usize,
-    /// Trie nodes.
-    pub trie_nodes: usize,
-    /// Total encoded sequence length (elements).
-    pub total_seq_len: u64,
-    /// Total bytes of (symbol, prefix) key material — the quantity that
-    /// grows `O(n²)` on unary trees (§2).
-    pub key_bytes: u64,
-}
-
-/// Outcome of a ViST query.
-#[derive(Debug, Clone)]
-pub struct VistOutcome {
-    /// Documents the native ViST subsequence matching reports
-    /// (may contain false alarms, Figure 1(b)).
-    pub candidate_docs: Vec<DocId>,
-    /// Documents with at least one verified twig occurrence.
-    pub verified_docs: Vec<DocId>,
-    /// Total verified twig occurrences.
-    pub verified_matches: u64,
-    /// Counters.
-    pub stats: VistStats,
-}
-
-/// The ViST index over one collection.
-pub struct VistIndex {
-    pool: Arc<BufferPool>,
-    /// D-Ancestorship index: key = sym(4 BE) ++ prefix syms(4 BE each)
-    /// ++ left(8 BE); value = right(8 LE) ++ pair-id(4 LE).
-    dancestor: BPlusTree,
-    /// Docid index: left(8 BE) -> doc(4 LE).
-    docid: BPlusTree,
-    /// Pair id -> (sym, prefix), for prefix-pattern filtering.
-    pairs: Vec<PairKey>,
-    build_stats: VistBuildStats,
-}
-
-fn dancestor_key(sym: Sym, prefix: &[Sym], left: u64) -> Vec<u8> {
-    let mut k = Vec::with_capacity(12 + prefix.len() * 4);
-    k.extend_from_slice(&sym.0.to_be_bytes());
-    for s in prefix {
-        k.extend_from_slice(&s.0.to_be_bytes());
-    }
-    k.extend_from_slice(&left.to_be_bytes());
-    k
-}
-
-impl VistIndex {
-    /// Builds the index.
-    pub fn build(pool: Arc<BufferPool>, collection: &Collection) -> Result<Self> {
-        let mut pair_ids: HashMap<PairKey, u32> = HashMap::new();
-        let mut pairs: Vec<PairKey> = Vec::new();
-        let mut trie = VirtualTrie::new();
-        let mut total_seq_len = 0u64;
-        let mut key_bytes = 0u64;
-
-        for (doc, tree) in collection.iter() {
-            let seq = structure_encode(tree);
-            total_seq_len += seq.len() as u64;
-            let ids: Vec<Sym> = seq
-                .into_iter()
-                .map(|pk| {
-                    key_bytes += 4 + 4 * pk.prefix.len() as u64;
-                    let id = *pair_ids.entry(pk.clone()).or_insert_with(|| {
-                        pairs.push(pk);
-                        (pairs.len() - 1) as u32
-                    });
-                    Sym(id)
-                })
-                .collect();
-            // Reuse the PRIX virtual trie over the pair-id alphabet.
-            trie.insert(&ids, doc);
-        }
-        trie.assign_ranges(LabelingMode::Exact);
-
-        let mut entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        trie.for_each_node(|n| {
-            let pk = &pairs[n.sym.0 as usize];
-            let mut v = Vec::with_capacity(12);
-            v.extend_from_slice(&n.right.to_le_bytes());
-            v.extend_from_slice(&n.sym.0.to_le_bytes());
-            entries.push((dancestor_key(pk.sym, &pk.prefix, n.left), v));
-        });
-        entries.sort();
-        let dancestor = BPlusTree::bulk_load(Arc::clone(&pool), entries, 0.9)?;
-
-        let mut doc_entries: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        trie.for_each_doc_end(|left, doc| {
-            doc_entries.push((left.to_be_bytes().to_vec(), doc.to_le_bytes().to_vec()));
-        });
-        doc_entries.sort();
-        let docid = BPlusTree::bulk_load(Arc::clone(&pool), doc_entries, 0.9)?;
-
-        let build_stats = VistBuildStats {
-            unique_keys: pairs.len(),
-            trie_nodes: trie.node_count(),
-            total_seq_len,
-            key_bytes,
-        };
-        Ok(VistIndex {
-            pool,
-            dancestor,
-            docid,
-            pairs,
-            build_stats,
-        })
-    }
-
-    /// Build-time statistics.
-    pub fn build_stats(&self) -> &VistBuildStats {
-        &self.build_stats
-    }
-
-    /// The buffer pool the index reads through.
-    pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
-    }
-
-    /// Executes a twig query: native ViST subsequence matching plus a
-    /// verification pass (against `collection`) that separates the false
-    /// alarms the native strategy produces.
-    pub fn execute(&self, q: &TwigQuery, collection: &Collection) -> Result<VistOutcome> {
-        let qseq = query_encode(q);
-        let mut stats = VistStats::default();
-        let mut candidates: Vec<DocId> = Vec::new();
-        if !qseq.is_empty() {
-            let mut keys_seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
-            self.find(
-                &qseq,
-                0,
-                (0, u64::MAX),
-                &mut stats,
-                &mut keys_seen,
-                &mut candidates,
-            )?;
-            stats.keys_matched = keys_seen.len() as u64;
-        }
-        candidates.sort_unstable();
-        candidates.dedup();
-        stats.candidates = candidates.len() as u64;
-
-        // Verification pass (NOT part of native ViST; separates the
-        // false alarms for correctness-checking and reporting).
-        let mut verified_docs = Vec::new();
-        let mut verified_matches = 0u64;
-        for &doc in &candidates {
-            let n = naive_ordered(collection.doc(doc), q).len();
-            if n > 0 {
-                verified_docs.push(doc);
-                verified_matches += n as u64;
-            } else {
-                stats.false_alarms += 1;
-            }
-        }
-        Ok(VistOutcome {
-            candidate_docs: candidates,
-            verified_docs,
-            verified_matches,
-            stats,
-        })
-    }
-
-    /// Recursive subsequence matching over the virtual trie: for query
-    /// element `i`, find all trie nodes whose `(symbol, prefix)`
-    /// satisfies the pattern, inside the current range.
-    fn find(
-        &self,
-        qseq: &[(Sym, Vec<PatStep>)],
-        i: usize,
-        range: (u64, u64),
-        stats: &mut VistStats,
-        keys_seen: &mut std::collections::HashSet<u32>,
-        out: &mut Vec<DocId>,
-    ) -> Result<()> {
-        let (ql, qr) = range;
-        let (sym, pattern) = &qseq[i];
-        let exact = pattern.iter().all(|s| matches!(s, PatStep::Exact(_)));
-        stats.range_queries += 1;
-        let mut hits: Vec<(u64, u64, u32)> = Vec::new();
-        if exact {
-            // Fully specified prefix: one key, range query on left.
-            let prefix: Vec<Sym> = pattern
-                .iter()
-                .map(|s| match s {
-                    PatStep::Exact(x) => *x,
-                    PatStep::AnyDeep => unreachable!(),
-                })
-                .collect();
-            let lo = dancestor_key(*sym, &prefix, ql);
-            let hi = dancestor_key(*sym, &prefix, qr);
-            self.dancestor.scan(
-                Bound::Excluded(&lo[..]),
-                Bound::Included(&hi[..]),
-                |k, v| {
-                    if k.len() != lo.len() {
-                        // A key of a longer prefix sorting inside the
-                        // range; not this (symbol, prefix).
-                        return true;
-                    }
-                    let left = u64::from_be_bytes(k[k.len() - 8..].try_into().unwrap());
-                    let right = u64::from_le_bytes(v[..8].try_into().unwrap());
-                    let pair = u32::from_le_bytes(v[8..12].try_into().unwrap());
-                    hits.push((left, right, pair));
-                    true
-                },
-            )?;
-        } else {
-            // Wildcard prefix: every key with this symbol is touched —
-            // exactly the behaviour the PRIX paper measured for Q7/Q8.
-            let lo = sym.0.to_be_bytes();
-            let hi = (sym.0 + 1).to_be_bytes();
-            self.dancestor.scan(
-                Bound::Included(&lo[..]),
-                Bound::Excluded(&hi[..]),
-                |k, v| {
-                    let left = u64::from_be_bytes(k[k.len() - 8..].try_into().unwrap());
-                    if left <= ql || left > qr {
-                        return true;
-                    }
-                    let right = u64::from_le_bytes(v[..8].try_into().unwrap());
-                    let pair = u32::from_le_bytes(v[8..12].try_into().unwrap());
-                    if prefix_matches(pattern, &self.pairs[pair as usize].prefix) {
-                        hits.push((left, right, pair));
-                    }
-                    true
-                },
-            )?;
-        }
-        stats.nodes_scanned += hits.len() as u64;
-        for (left, right, pair) in hits {
-            keys_seen.insert(pair);
-            if i + 1 == qseq.len() {
-                let lo = left.to_be_bytes();
-                let hi = right.to_be_bytes();
-                self.docid.scan(
-                    Bound::Included(&lo[..]),
-                    Bound::Included(&hi[..]),
-                    |_, v| {
-                        out.push(u32::from_le_bytes(v.try_into().unwrap()));
-                        true
-                    },
-                )?;
-            } else {
-                self.find(qseq, i + 1, (left, right), stats, keys_seen, out)?;
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Structure-encoded sequence of a document (preorder `(symbol,
-/// prefix)` pairs).
-fn structure_encode(tree: &XmlTree) -> Vec<PairKey> {
-    let mut out = Vec::with_capacity(tree.len());
-    // Iterative preorder with the running prefix (depth-stamped).
-    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
-    let mut prefix: Vec<Sym> = Vec::new();
-    while let Some((node, depth)) = stack.pop() {
-        prefix.truncate(depth);
-        out.push(PairKey {
-            sym: tree.label(node),
-            prefix: prefix.clone(),
-        });
-        prefix.push(tree.label(node));
-        for &c in tree.children(node).iter().rev() {
-            stack.push((c, depth + 1));
-        }
-    }
-    out
-}
-
-/// Structure-encoded query sequence: preorder `(symbol, prefix
-/// pattern)` pairs, `//` (and `*`, which ViST over-approximates as
-/// `//`; verification restores exactness) becoming [`PatStep::AnyDeep`].
-fn query_encode(q: &TwigQuery) -> Vec<(Sym, Vec<PatStep>)> {
-    let tree = q.tree();
-    // Pattern of the path above each node, computed from the parent's.
-    let mut above: Vec<Vec<PatStep>> = vec![Vec::new(); tree.len()];
-    let mut order: Vec<NodeId> = Vec::with_capacity(tree.len());
-    let mut stack: Vec<NodeId> = vec![tree.root()];
-    while let Some(node) = stack.pop() {
-        order.push(node);
-        for &c in tree.children(node).iter().rev() {
-            stack.push(c);
-        }
-    }
-    let mut out = Vec::with_capacity(tree.len());
-    for node in order {
-        let mut pat: Vec<PatStep> = if node == tree.root() {
-            if q.is_absolute() {
-                Vec::new()
-            } else {
-                vec![PatStep::AnyDeep]
-            }
-        } else {
-            let parent = tree.parent(node).unwrap();
-            let mut p = above[parent as usize].clone();
-            p.push(PatStep::Exact(tree.label(parent)));
-            match q.edge_of_id(node) {
-                EdgeKind::Child => {}
-                EdgeKind::Descendant | EdgeKind::Exactly(_) => p.push(PatStep::AnyDeep),
-            }
-            p
-        };
-        pat.dedup_by(|a, b| *a == PatStep::AnyDeep && *b == PatStep::AnyDeep);
-        above[node as usize] = pat.clone();
-        out.push((tree.label(node), pat));
-    }
-    out
-}
-
-/// Does `prefix` match the pattern (anchored at both ends)?
-fn prefix_matches(pattern: &[PatStep], prefix: &[Sym]) -> bool {
-    // Classic wildcard matching (AnyDeep behaves like '*' over whole
-    // symbols), iterative with backtracking.
-    let (mut pi, mut si) = (0usize, 0usize);
-    let mut star: Option<(usize, usize)> = None;
-    while si < prefix.len() {
-        match pattern.get(pi) {
-            Some(PatStep::Exact(s)) if *s == prefix[si] => {
-                pi += 1;
-                si += 1;
-            }
-            Some(PatStep::AnyDeep) => {
-                star = Some((pi, si));
-                pi += 1;
-            }
-            _ => match star {
-                Some((sp, ss)) => {
-                    pi = sp + 1;
-                    si = ss + 1;
-                    star = Some((sp, ss + 1));
-                }
-                None => return false,
-            },
-        }
-    }
-    while matches!(pattern.get(pi), Some(PatStep::AnyDeep)) {
-        pi += 1;
-    }
-    pi == pattern.len()
-}
+pub use engine::VistEngine;
+pub use index::{VistBuildStats, VistIndex};
+pub use query::{VistOutcome, VistStats};
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use std::sync::Arc;
+
     use prix_core::xpath::parse_xpath;
-    use prix_storage::Pager;
-    use prix_xml::SymbolTable;
+    use prix_storage::{BufferPool, Pager};
+    use prix_xml::{Collection, Sym, SymbolTable};
+
+    use crate::seq::{prefix_matches, PatStep};
+    use crate::VistIndex;
 
     fn pool() -> Arc<BufferPool> {
         Arc::new(BufferPool::new(Pager::in_memory(), 256))

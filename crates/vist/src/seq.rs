@@ -1,0 +1,118 @@
+//! Structure-encoded sequences: the ViST transformation of documents
+//! and twig queries into preorder `(symbol, prefix)` pairs, and the
+//! wildcard matcher that compares a query's prefix *pattern* against a
+//! document's concrete prefix.
+
+use prix_core::query::TwigQuery;
+use prix_prufer::EdgeKind;
+use prix_xml::{NodeId, Sym, XmlTree};
+
+/// A `(symbol, prefix)` pair, interned to a dense id so the shared
+/// virtual-trie machinery can store structure-encoded sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PairKey {
+    pub(crate) sym: Sym,
+    pub(crate) prefix: Vec<Sym>,
+}
+
+/// One step of a query prefix pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PatStep {
+    /// An exact tag.
+    Exact(Sym),
+    /// `//`: any number (≥ 0) of intermediate tags.
+    AnyDeep,
+}
+
+/// Structure-encoded sequence of a document (preorder `(symbol,
+/// prefix)` pairs).
+pub(crate) fn structure_encode(tree: &XmlTree) -> Vec<PairKey> {
+    let mut out = Vec::with_capacity(tree.len());
+    // Iterative preorder with the running prefix (depth-stamped).
+    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+    let mut prefix: Vec<Sym> = Vec::new();
+    while let Some((node, depth)) = stack.pop() {
+        prefix.truncate(depth);
+        out.push(PairKey {
+            sym: tree.label(node),
+            prefix: prefix.clone(),
+        });
+        prefix.push(tree.label(node));
+        for &c in tree.children(node).iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+/// Structure-encoded query sequence: preorder `(symbol, prefix
+/// pattern)` pairs, `//` (and `*`, which ViST over-approximates as
+/// `//`; verification restores exactness) becoming [`PatStep::AnyDeep`].
+pub(crate) fn query_encode(q: &TwigQuery) -> Vec<(Sym, Vec<PatStep>)> {
+    let tree = q.tree();
+    // Pattern of the path above each node, computed from the parent's.
+    let mut above: Vec<Vec<PatStep>> = vec![Vec::new(); tree.len()];
+    let mut order: Vec<NodeId> = Vec::with_capacity(tree.len());
+    let mut stack: Vec<NodeId> = vec![tree.root()];
+    while let Some(node) = stack.pop() {
+        order.push(node);
+        for &c in tree.children(node).iter().rev() {
+            stack.push(c);
+        }
+    }
+    let mut out = Vec::with_capacity(tree.len());
+    for node in order {
+        let mut pat: Vec<PatStep> = if node == tree.root() {
+            if q.is_absolute() {
+                Vec::new()
+            } else {
+                vec![PatStep::AnyDeep]
+            }
+        } else {
+            let parent = tree.parent(node).unwrap();
+            let mut p = above[parent as usize].clone();
+            p.push(PatStep::Exact(tree.label(parent)));
+            match q.edge_of_id(node) {
+                EdgeKind::Child => {}
+                EdgeKind::Descendant | EdgeKind::Exactly(_) => p.push(PatStep::AnyDeep),
+            }
+            p
+        };
+        pat.dedup_by(|a, b| *a == PatStep::AnyDeep && *b == PatStep::AnyDeep);
+        above[node as usize] = pat.clone();
+        out.push((tree.label(node), pat));
+    }
+    out
+}
+
+/// Does `prefix` match the pattern (anchored at both ends)?
+pub(crate) fn prefix_matches(pattern: &[PatStep], prefix: &[Sym]) -> bool {
+    // Classic wildcard matching (AnyDeep behaves like '*' over whole
+    // symbols), iterative with backtracking.
+    let (mut pi, mut si) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while si < prefix.len() {
+        match pattern.get(pi) {
+            Some(PatStep::Exact(s)) if *s == prefix[si] => {
+                pi += 1;
+                si += 1;
+            }
+            Some(PatStep::AnyDeep) => {
+                star = Some((pi, si));
+                pi += 1;
+            }
+            _ => match star {
+                Some((sp, ss)) => {
+                    pi = sp + 1;
+                    si = ss + 1;
+                    star = Some((sp, ss + 1));
+                }
+                None => return false,
+            },
+        }
+    }
+    while matches!(pattern.get(pi), Some(PatStep::AnyDeep)) {
+        pi += 1;
+    }
+    pi == pattern.len()
+}

@@ -94,6 +94,32 @@ exec 3>&- 3<&-
 grep -qi 'connection: keep-alive' <<<"$KEEPALIVE" || { echo "keep-alive smoke: first response closed the connection" >&2; exit 1; }
 echo "keep-alive smoke OK (two 200s, one socket)"
 
+# Forced-engine smoke: the same query answered by the routed default
+# and with ?engine=twigstackxb / ?engine=vist must return the identical
+# match payload (the router canonicalizes every engine's matches), and
+# the planner metrics must record the choices.
+EQ='/query?xp=%2F%2Fwww%2Furl&limit=0'
+match_json() { sed -n 's/.*"matches":\(.*\)}$/\1/p' <<<"$1"; }
+ROUTED=$(http "$EQ")
+grep -q '200 OK' <<<"$ROUTED" || { echo "forced-engine smoke: routed query failed" >&2; exit 1; }
+grep -q '"engine":"prix_' <<<"$ROUTED" || { echo "forced-engine smoke: no engine field" >&2; echo "$ROUTED" >&2; exit 1; }
+for ENG in twigstackxb vist; do
+  FORCED=$(http "$EQ&engine=$ENG")
+  grep -q '200 OK' <<<"$FORCED" || { echo "forced-engine smoke: engine=$ENG failed" >&2; echo "$FORCED" >&2; exit 1; }
+  grep -q "\"engine\":\"$ENG\"" <<<"$FORCED" || { echo "forced-engine smoke: engine=$ENG did not run" >&2; echo "$FORCED" >&2; exit 1; }
+  [ "$(match_json "$FORCED")" = "$(match_json "$ROUTED")" ] || {
+    echo "forced-engine smoke: engine=$ENG matches differ from routed PRIX" >&2
+    echo "routed: $(match_json "$ROUTED")" >&2
+    echo "forced: $(match_json "$FORCED")" >&2
+    exit 1
+  }
+done
+PLANMETRICS=$(http /metrics)
+grep -q 'prix_planner_engine_chosen_total{engine="twigstackxb"} 1' <<<"$PLANMETRICS" || {
+  echo "forced-engine smoke: planner metrics missing twigstackxb choice" >&2; exit 1;
+}
+echo "forced-engine smoke OK (twigstackxb + vist bit-identical to routed)"
+
 http /shutdown POST >/dev/null
 
 wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; cat "$SMOKE/serve.log" >&2; exit 1; }
@@ -208,3 +234,10 @@ echo "segment smoke OK (bulk -> add -> compact bit-identical, fsck clean)"
 cargo bench -p prix-bench --bench bulk_build --offline --locked -- --json "$PWD/BENCH_bulk_build.json"
 [ -s BENCH_bulk_build.json ] || { echo "bench did not write BENCH_bulk_build.json" >&2; exit 1; }
 echo "bulk-build bench OK (BENCH_bulk_build.json written)"
+
+# The routing bench asserts in code that the planner picks a non-PRIX
+# engine for the rare-ancestor class and that this engine beats forced
+# PRIX on wall clock.
+cargo bench -p prix-bench --bench engine_routing --offline --locked -- --json "$PWD/BENCH_engine_routing.json"
+[ -s BENCH_engine_routing.json ] || { echo "bench did not write BENCH_engine_routing.json" >&2; exit 1; }
+echo "engine-routing bench OK (BENCH_engine_routing.json written)"

@@ -188,6 +188,71 @@ fn explain_describes_the_plan_over_http() {
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("RPIndex"), "{body}");
     assert!(body.contains("MaxGap"), "{body}");
+    // The planner section: chosen engine plus one cost-estimated line
+    // per alternative (engine × maxgap on/off for the PRIX pair).
+    assert!(body.contains("planner: engine=prix_rp"), "{body}");
+    assert!(body.contains("(routed)"), "{body}");
+    assert!(body.contains("cost="), "{body}");
+    for alt in [
+        "alt prix_rp",
+        "alt prix_ep",
+        "alt vist",
+        "alt twigstack",
+        "alt twigstackxb",
+    ] {
+        assert!(body.contains(alt), "missing `{alt}` in {body}");
+    }
+    h.shutdown().unwrap();
+}
+
+#[test]
+fn forced_engine_param_agrees_and_is_counted() {
+    let h = start_default();
+    let addr = h.addr();
+    let xp = "xp=//www[./editor]/url";
+
+    let (status, routed) = get(addr, &format!("/query?{xp}"));
+    assert_eq!(status, 200, "{routed}");
+    // The default limit keeps routing on PRIX (no limit pushdown in
+    // the alternative joins), so the routed default stays bit-compat.
+    assert!(routed.contains(r#""engine":"prix_rp""#), "{routed}");
+
+    // The canonical match vector is the trailing `"matches":` array.
+    let matches_of = |body: &str| {
+        body.split_once(r#""matches":"#)
+            .map(|(_, m)| m.to_string())
+            .unwrap_or_else(|| panic!("no matches array in {body}"))
+    };
+
+    for engine in ["vist", "twigstack", "twigstackxb", "prix_rp"] {
+        let (status, body) = get(addr, &format!("/query?{xp}&engine={engine}"));
+        assert_eq!(status, 200, "{engine}: {body}");
+        assert!(
+            body.contains(&format!(r#""engine":"{engine}""#)),
+            "{engine}: {body}"
+        );
+        assert_eq!(matches_of(&body), matches_of(&routed), "{engine}: {body}");
+    }
+
+    // Unknown engines and engine+unordered are rejected up front.
+    let (status, body) = get(addr, &format!("/query?{xp}&engine=nope"));
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = get(addr, &format!("/query?{xp}&engine=vist&unordered=1"));
+    assert_eq!(status, 400, "{body}");
+
+    // Planner metrics: the default routed query and forced prix_rp both
+    // land on prix_rp; each alternative was forced exactly once.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for line in [
+        r#"prix_planner_engine_chosen_total{engine="prix_rp"} 2"#,
+        r#"prix_planner_engine_chosen_total{engine="vist"} 1"#,
+        r#"prix_planner_engine_chosen_total{engine="twigstack"} 1"#,
+        r#"prix_planner_engine_chosen_total{engine="twigstackxb"} 1"#,
+        "prix_planner_mispredict_total",
+    ] {
+        assert!(metrics.contains(line), "missing `{line}` in {metrics}");
+    }
     h.shutdown().unwrap();
 }
 

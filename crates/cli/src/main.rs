@@ -30,7 +30,7 @@ use prix_server::{Server, ServerConfig};
 use prix_storage::{BufferPool, Pager};
 use prix_xml::{write_document, Collection};
 
-const USAGE: &str = "usage:\n  prix index [--bulk] [--run-mem-mb N] [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N] [--engine prix|prix_rp|prix_ep|vist|twigstack|twigstackxb]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--result-cache-entries N] [--idle-timeout-ms N] [--compact-after N] [--no-wal]\n  prix stats <db.prix>\n  prix segments <db.prix> [--verify]\n  prix compact <db.prix> [--run-mem-mb N]\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank> <dir> [--scale S] [--seed N]";
+const USAGE: &str = "usage:\n  prix index [--bulk] [--run-mem-mb N] [--split] [--no-wal] [--alpha N] <out.prix> <file.xml>...\n  prix query <db.prix> \"<xpath>\" [--unordered] [--limit N] [--engine prix|prix_rp|prix_ep|vist|twigstack|twigstackxb]\n  prix serve <db.prix> [--addr HOST:PORT] [--ingest] [--threads N] [--queue N] [--buffer-pages N] [--batch-threads N] [--max-conns N] [--result-cache-entries N] [--idle-timeout-ms N] [--compact-after N] [--no-wal]\n  prix stats <db.prix>\n  prix segments <db.prix> [--verify]\n  prix compact <db.prix> [--run-mem-mb N]\n  prix fsck <db.prix>\n  prix explain <db.prix> \"<xpath>\"\n  prix add <db.prix> <file.xml>...\n  prix gen <dblp|swissprot|treebank|shop> <dir> [--scale S] [--seed N]";
 
 /// A CLI failure: usage errors exit 2 (with the usage text on stderr),
 /// runtime errors exit 1.
@@ -599,8 +599,65 @@ fn cmd_fsck(args: &[String]) -> Result<(), CliError> {
             );
         }
     }
+    match engine.valix() {
+        Some(vx) => {
+            let (nums, strs) = vx.verify().map_err(|e| e.to_string())?;
+            println!("valix: {nums} numeric posting(s), {strs} string posting(s) ok");
+        }
+        None => println!("valix: none"),
+    }
+    for name in unknown_siblings(db) {
+        println!("sibling {name}: not part of this database (ignored)");
+    }
     println!("fsck: clean");
     Ok(())
+}
+
+/// Files next to `<db>` that share its name prefix but match none of
+/// the engine's file-naming patterns. fsck reports them (a stray
+/// editor backup, a half-copied segment) instead of crashing on or
+/// silently blessing them.
+fn unknown_siblings(db: &str) -> Vec<String> {
+    let path = std::path::Path::new(db);
+    let Some(base) = path.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut unknown: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().to_str().map(String::from))
+        .filter(|name| name.starts_with(base) && !known_db_suffix(&name[base.len()..]))
+        .collect();
+    unknown.sort();
+    unknown
+}
+
+/// Whether `suffix` (the part after the database name) is one the
+/// engine itself writes: the page file, its WAL/checksum sidecars, the
+/// manifest, or a generation's files (`.gN`, `.gN.sum`, `.gN.wal`,
+/// `.gN.rp.seg`, `.gN.ep.seg`).
+fn known_db_suffix(suffix: &str) -> bool {
+    let rest = match suffix {
+        "" | ".sum" | ".wal" | ".seg" => return true,
+        s => match s.strip_prefix(".g") {
+            Some(r) => r,
+            None => return false,
+        },
+    };
+    let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 {
+        return false;
+    }
+    matches!(
+        &rest[digits..],
+        "" | ".sum" | ".wal" | ".rp.seg" | ".ep.seg"
+    )
 }
 
 fn print_index_stats(engine: &PrixEngine) {
@@ -626,12 +683,19 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
     use prix_datagen::Dataset;
     let (dataset, dir, rest) = match args {
         [ds, dir, rest @ ..] => (ds, dir, rest),
-        _ => return Err(usage_err("gen needs <dblp|swissprot|treebank> and <dir>")),
+        _ => {
+            return Err(usage_err(
+                "gen needs <dblp|swissprot|treebank|shop> and <dir>",
+            ))
+        }
     };
+    // `shop` (the value-predicate scenario) lives outside the Table 2
+    // trio and is generated through its own config below.
     let dataset = match dataset.as_str() {
-        "dblp" => Dataset::Dblp,
-        "swissprot" => Dataset::Swissprot,
-        "treebank" => Dataset::Treebank,
+        "dblp" => Some(Dataset::Dblp),
+        "swissprot" => Some(Dataset::Swissprot),
+        "treebank" => Some(Dataset::Treebank),
+        "shop" => None,
         other => return Err(usage_err(format!("unknown dataset `{other}`"))),
     };
     let mut scale = 0.05f64;
@@ -654,7 +718,12 @@ fn cmd_gen(args: &[String]) -> Result<(), CliError> {
             other => return Err(usage_err(format!("unknown flag `{other}`"))),
         }
     }
-    let collection = prix_datagen::generate(dataset, scale, seed);
+    let collection = match dataset {
+        Some(ds) => prix_datagen::generate(ds, scale, seed),
+        None => {
+            prix_datagen::values::generate(&prix_datagen::values::ShopConfig::scaled(scale, seed))
+        }
+    };
     let dir = Path::new(dir);
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
     for (id, tree) in collection.iter() {

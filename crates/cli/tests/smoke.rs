@@ -136,11 +136,31 @@ fn index_query_roundtrip_works() {
     assert!(text.contains("pages written"), "{text}");
     assert!(text.contains("fsyncs"), "{text}");
 
-    // fsck on a cleanly saved durable database reports clean.
+    // Predicate XPath goes straight through the same query path: only
+    // the www whose editor leaf equals "E" survives.
+    let out = prix(&["query", db.to_str().unwrap(), "//www[editor = \"E\"]/url"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "predicate query: {}",
+        stderr(&out)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 match(es)"), "{text}");
+
+    // fsck on a cleanly saved durable database reports clean, verifies
+    // the value index, and reports (without failing on) stray sibling
+    // files that merely share the database's name prefix.
+    std::fs::write(dir.join("db.prix.stray"), b"not ours").unwrap();
     let out = prix(&["fsck", db.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0), "fsck: {}", stderr(&out));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("recovery: clean shutdown"), "{text}");
+    assert!(text.contains("valix:"), "{text}");
+    assert!(
+        text.contains("sibling db.prix.stray: not part of this database"),
+        "{text}"
+    );
     assert!(text.contains("fsck: clean"), "{text}");
 
     std::fs::remove_dir_all(&dir).unwrap();

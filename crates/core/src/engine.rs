@@ -25,6 +25,7 @@ use crate::plan::{
 };
 use crate::query::TwigQuery;
 use crate::trie::LabelingMode;
+use crate::valix::{PredEval, Valix, ValixEntry};
 use crate::xpath::{parse_xpath, XPathError};
 
 /// Version of the catalog-page layout written by [`PrixEngine::save`].
@@ -33,12 +34,15 @@ use crate::xpath::{parse_xpath, XPathError};
 ///
 /// History: v1 ended after the dummy symbol; v2 appended the
 /// arrangement limit; v3 appended the length-prefixed planner
-/// statistics blob.
-const CATALOG_VERSION: u32 = 3;
+/// statistics blob; v4 appended the valix metadata record id after the
+/// blob (0 = no value index).
+const CATALOG_VERSION: u32 = 4;
 
 /// Oldest catalog version [`PrixEngine::reopen`] still reads. A v2
 /// database opens with empty planner statistics (the planner relearns
-/// from traffic) and is rewritten as v3 on the next save.
+/// from traffic); a v3 database opens without a value index (predicate
+/// queries fall back to verification-only). Both are rewritten as v4 on
+/// the next save.
 const MIN_CATALOG_VERSION: u32 = 2;
 
 /// Byte offset of the planner-stats blob (u32 length + payload) in the
@@ -222,6 +226,10 @@ pub struct PrixEngine {
     /// every snapshot so observations from served queries feed back
     /// into later plans. Persisted in the catalog (v3).
     planner: Arc<Planner>,
+    /// The value-predicate secondary index over leaf values
+    /// ([`crate::valix`]), living in the same buffer pool as the
+    /// structural indexes. `None` on pre-v4 databases.
+    valix: Option<Valix>,
 }
 
 impl PrixEngine {
@@ -344,6 +352,17 @@ impl PrixEngine {
             let b = idx.build_stats();
             pstats.set_trie_shape(b.trie_nodes as u64, b.trie_paths as u64, b.sequences);
         }
+        // The value-predicate index rides along whenever a structural
+        // index exists (it shares their document numbering).
+        let valix = if rp.is_some() || ep.is_some() {
+            let mut vx = Valix::create(Arc::clone(&pool))?;
+            for (doc, tree) in collection.iter() {
+                vx.index_tree(tree, doc, collection.symbols())?;
+            }
+            Some(vx)
+        } else {
+            None
+        };
         Ok(PrixEngine {
             collection,
             pool,
@@ -363,6 +382,7 @@ impl PrixEngine {
             buffer_pages: cfg.buffer_pages,
             labeling: cfg.labeling,
             planner: Arc::new(Planner::new(pstats)),
+            valix,
         })
     }
 
@@ -460,11 +480,16 @@ impl PrixEngine {
                 id
             }
         };
+        let valix_meta = match &mut self.valix {
+            Some(v) => v.save()?.raw(),
+            None => 0,
+        };
         // Catalog page. The planner-stats blob is capped by its encoder
-        // to fit the remainder of the page; an oversized blob would be a
-        // bug in that cap, so refuse rather than corrupt the page.
+        // to fit the remainder of the page (minus the trailing valix
+        // record id); an oversized blob would be a bug in that cap, so
+        // refuse rather than corrupt the page.
         let stats_blob = self.planner.encode();
-        if CATALOG_STATS_OFF + 4 + stats_blob.len() > PAGE_SIZE {
+        if CATALOG_STATS_OFF + 4 + stats_blob.len() + 8 > PAGE_SIZE {
             return Err(IndexError::Unsupported(
                 "planner statistics overflow the catalog page".into(),
             ));
@@ -481,6 +506,9 @@ impl PrixEngine {
                 let off = CATALOG_STATS_OFF;
                 p[off..off + 4].copy_from_slice(&(stats_blob.len() as u32).to_le_bytes());
                 p[off + 4..off + 4 + stats_blob.len()].copy_from_slice(&stats_blob);
+                // v4: the valix metadata record id trails the blob.
+                let voff = off + 4 + stats_blob.len();
+                p[voff..voff + 8].copy_from_slice(&valix_meta.to_le_bytes());
             })
             .map_err(IndexError::Storage)?;
         self.pool.flush().map_err(IndexError::Storage)
@@ -586,7 +614,7 @@ impl PrixEngine {
     fn reopen_over(pool: BufferPool, recovery: Option<RecoveryReport>) -> Result<Self> {
         let pool = Arc::new(pool);
         let buffer_pages = pool.capacity();
-        let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit, pstats) = pool
+        let (rp_meta, ep_meta, syms_rec, dummy, arrangement_limit, pstats, valix_meta) = pool
             .with_page(0, |p: &[u8; PAGE_SIZE]| {
                 if &p[..4] != b"PRIX" {
                     return Err(IndexError::Unsupported(
@@ -603,6 +631,7 @@ impl PrixEngine {
                 }
                 // v2 has no stats blob: the planner starts empty and
                 // relearns from traffic.
+                let mut blob_end = CATALOG_STATS_OFF;
                 let pstats = if version >= 3 {
                     let off = CATALOG_STATS_OFF;
                     let len = u32::from_le_bytes(p[off..off + 4].try_into().unwrap()) as usize;
@@ -611,11 +640,19 @@ impl PrixEngine {
                             "corrupt planner statistics in catalog".into(),
                         ));
                     }
+                    blob_end = off + 4 + len;
                     PlannerStats::decode(&p[off + 4..off + 4 + len]).ok_or_else(|| {
                         IndexError::Unsupported("corrupt planner statistics in catalog".into())
                     })?
                 } else {
                     PlannerStats::default()
+                };
+                // v3 has no valix: predicate queries run
+                // verification-only until the next save rewrites v4.
+                let valix_meta = if version >= 4 && blob_end + 8 <= PAGE_SIZE {
+                    u64::from_le_bytes(p[blob_end..blob_end + 8].try_into().unwrap())
+                } else {
+                    0
                 };
                 Ok((
                     u64::from_le_bytes(p[8..16].try_into().unwrap()),
@@ -624,6 +661,7 @@ impl PrixEngine {
                     Sym(u32::from_le_bytes(p[32..36].try_into().unwrap())),
                     u64::from_le_bytes(p[36..44].try_into().unwrap()) as usize,
                     pstats,
+                    valix_meta,
                 ))
             })
             .map_err(IndexError::Storage)??;
@@ -650,6 +688,9 @@ impl PrixEngine {
         let ep = (ep_meta != 0)
             .then(|| PrixIndex::load(Arc::clone(&pool), RecordId::from_raw(ep_meta)))
             .transpose()?;
+        let valix = (valix_meta != 0)
+            .then(|| Valix::load(Arc::clone(&pool), RecordId::from_raw(valix_meta)))
+            .transpose()?;
         Ok(PrixEngine {
             collection,
             pool,
@@ -671,6 +712,7 @@ impl PrixEngine {
             buffer_pages,
             labeling: LabelingMode::Exact,
             planner: Arc::new(Planner::new(pstats)),
+            valix,
         })
     }
 
@@ -826,10 +868,24 @@ impl PrixEngine {
         generation: u64,
         mutable_suffix: String,
         segments: Vec<ManifestSegment>,
+        valix_entries: Vec<ValixEntry>,
     ) -> Result<Self> {
         let mut collection = Collection::new();
         *collection.symbols_mut() = syms;
+        let n_docs: u32 = segments
+            .iter()
+            .map(|s| s.doc_base + s.n_docs)
+            .max()
+            .unwrap_or(0);
         let mut eng = Self::build_mutable_env(collection, &cfg, &env, &mutable_suffix)?;
+        // The segments' leaf values, bulk-loaded into the fresh mutable
+        // generation's pool (the valix always lives with the mutable
+        // generation; its coverage spans the segment documents).
+        eng.valix = Some(Valix::build_bulk(
+            Arc::clone(&eng.pool),
+            &valix_entries,
+            n_docs,
+        )?);
         eng.save()?;
         let manifest = Manifest {
             generation,
@@ -919,6 +975,13 @@ impl PrixEngine {
         let new_suffix = format!(".g{generation}");
         let mut fresh = Self::build_mutable_env(collection, &cfg, &self.seg_env, &new_suffix)?;
         debug_assert_eq!(fresh.dummy, self.dummy, "dummy symbol survives compaction");
+        // The valix covers *global* document ids, so it migrates
+        // page-for-page into the replacement generation's pool rather
+        // than being rebuilt from the (empty) fresh collection.
+        fresh.valix = match &self.valix {
+            Some(v) => Some(v.clone_into(Arc::clone(&fresh.pool))?),
+            None => fresh.valix,
+        };
         fresh.save()?;
         let epoch = self.pool.published_epoch().max(self.pool.current_epoch()) + 1;
         fresh.pool.reseed_epoch(epoch)?;
@@ -937,6 +1000,7 @@ impl PrixEngine {
         self.ep = fresh.ep;
         self.catalog_store = fresh.catalog_store;
         self.saved_syms = fresh.saved_syms;
+        self.valix = fresh.valix;
         self.recovery = None;
         self.attach_manifest(&manifest)?;
         for side in ["", ".sum", ".wal"] {
@@ -1072,6 +1136,11 @@ impl PrixEngine {
                 s.set_trie_shape(b.trie_nodes as u64, b.trie_paths as u64, b.sequences)
             });
         }
+        if let (Some(vx), Some(id)) = (&mut self.valix, id) {
+            if id == vx.covered() {
+                vx.index_tree(&tree, id, self.collection.symbols())?;
+            }
+        }
         let coll_id = self.collection.add_tree(tree);
         let id = id.unwrap_or(coll_id);
         debug_assert!(
@@ -1088,6 +1157,9 @@ impl PrixEngine {
         let idx = self.pick_index(q)?;
         let mut out = format!("index: {}\n", idx.kind());
         out.push_str(&idx.explain(q, self.collection.symbols())?);
+        if let Some(pred) = self.pred_eval(q)? {
+            out.push_str(&explain_pred(q, &pred, self.collection.symbols()));
+        }
         let caps = self.engine_caps();
         let report = self.planner.decide(q, caps, &ExecOpts::default(), None)?;
         out.push_str(&report.render());
@@ -1157,7 +1229,8 @@ impl PrixEngine {
     /// executor and stops pulling at the limit — the remaining trie
     /// range queries and refinements never happen.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
-        run_query_opts(&self.tiers(), q, opts)
+        let pred = self.pred_eval(q)?;
+        run_query_opts(&self.tiers(), q, opts, pred.as_ref())
     }
 
     /// Executes a batch of ordered twig queries on up to `threads`
@@ -1201,13 +1274,26 @@ impl PrixEngine {
     /// as it is reached the current stream is abandoned mid-trie and
     /// the remaining arrangements never run at all.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
+        let pred = self.pred_eval(q)?;
         run_query_unordered(
             &self.tiers(),
             self.arrangement_limit,
             q,
             opts,
             Some(&self.planner),
+            pred.as_ref(),
         )
+    }
+
+    /// The value-predicate index, when this engine carries one.
+    pub fn valix(&self) -> Option<&Valix> {
+        self.valix.as_ref()
+    }
+
+    /// Resolves `q`'s value predicates against this engine's valix and
+    /// symbol table (`None` for predicate-free queries).
+    fn pred_eval(&self, q: &TwigQuery) -> Result<Option<PredEval>> {
+        PredEval::build(q, self.valix.as_ref(), self.collection.symbols())
     }
 
     /// The commit epoch this engine's durable state is at: the pager's
@@ -1307,7 +1393,8 @@ impl PrixBackend for PrixEngine {
         opts: &ExecOpts,
         force: Option<IndexKind>,
     ) -> Result<QueryOutcome> {
-        run_query_forced(&self.tiers(), q, opts, force)
+        let pred = self.pred_eval(q)?;
+        run_query_forced(&self.tiers(), q, opts, force, pred.as_ref())
     }
 }
 
@@ -1410,8 +1497,9 @@ pub(crate) fn run_query_opts(
     tiers: &[TierRefs<'_>],
     q: &TwigQuery,
     opts: &ExecOpts,
+    pred: Option<&PredEval>,
 ) -> Result<QueryOutcome> {
-    run_query_forced(tiers, q, opts, None)
+    run_query_forced(tiers, q, opts, None, pred)
 }
 
 /// [`run_query_opts`] with an optional forced index kind (the routed
@@ -1421,6 +1509,7 @@ pub(crate) fn run_query_forced(
     q: &TwigQuery,
     opts: &ExecOpts,
     force: Option<IndexKind>,
+    pred: Option<&PredEval>,
 ) -> Result<QueryOutcome> {
     let scope = IoScope::begin();
     let start = Instant::now();
@@ -1441,7 +1530,7 @@ pub(crate) fn run_query_forced(
             let idx = pick_index_forced(rp, ep, q, force)?;
             index_used = idx.kind();
             let tier_opts = opts.with_limit(remaining);
-            let mut stream = idx.execute_stream(q, &tier_opts)?;
+            let mut stream = idx.execute_stream_pred(q, &tier_opts, pred)?;
             while let Some(m) = stream.next_match()? {
                 matches.push(m);
                 remaining -= 1;
@@ -1457,12 +1546,16 @@ pub(crate) fn run_query_forced(
         for &(rp, ep) in tiers {
             let idx = pick_index_forced(rp, ep, q, force)?;
             index_used = idx.kind();
-            let (m, s) = idx.execute_opts(q, opts)?;
+            let (m, s) = idx.execute_opts_pred(q, opts, pred)?;
             matches.extend(m);
             add_filter_counters(&mut stats, &s);
         }
     }
     stats.matches = matches.len() as u64;
+    if let Some(p) = pred {
+        stats.valix_probes += p.probe.probes;
+        stats.valix_postings += p.probe.postings;
+    }
     Ok(QueryOutcome {
         matches,
         stats,
@@ -1529,6 +1622,7 @@ pub(crate) fn run_query_unordered(
     q: &TwigQuery,
     opts: &ExecOpts,
     planner: Option<&Planner>,
+    pred: Option<&PredEval>,
 ) -> Result<QueryOutcome> {
     let mut arrs =
         arrangements(q, arrangement_limit).map_err(|e| IndexError::Unsupported(e.to_string()))?;
@@ -1557,10 +1651,14 @@ pub(crate) fn run_query_unordered(
     // global order either way.
     let arr_opts = opts.without_limit();
     'arrs: for arr in &arrs {
+        // Arrangements strip predicates from their queries (the
+        // structural twig is what gets rearranged), so the evaluator is
+        // renumbered to each arrangement's postorders instead.
+        let arr_pred = pred.map(|p| p.remap(&arr.base_of));
         for &(rp, ep) in tiers {
             let idx = pick_index_from(rp, ep, &arr.query)?;
             index_used = idx.kind();
-            let mut stream = idx.execute_stream(&arr.query, &arr_opts)?;
+            let mut stream = idx.execute_stream_pred(&arr.query, &arr_opts, arr_pred.as_ref())?;
             while let Some(m) = stream.next_match()? {
                 // Re-map the arrangement's postorder numbering back to
                 // the base query's.
@@ -1588,6 +1686,10 @@ pub(crate) fn run_query_unordered(
     }
     matches.sort();
     stats.matches = matches.len() as u64;
+    if let Some(p) = pred {
+        stats.valix_probes += p.probe.probes;
+        stats.valix_postings += p.probe.postings;
+    }
     Ok(QueryOutcome {
         matches,
         stats,
@@ -1597,6 +1699,35 @@ pub(crate) fn run_query_unordered(
         truncated,
         engine: EngineId::from_kind(index_used),
     })
+}
+
+/// Renders the `/explain` lines for a predicate query: one line per
+/// predicate plus the valix probe's estimated selectivity. Predicate-
+/// free queries never reach this (their explain output is pinned).
+pub(crate) fn explain_pred(q: &TwigQuery, pred: &PredEval, syms: &SymbolTable) -> String {
+    let mut out = String::new();
+    for p in q.preds() {
+        out.push_str(&format!(
+            "predicate: {}{{{}}}\n",
+            syms.name(q.tree().label(p.node)),
+            p.render_op()
+        ));
+    }
+    match pred.estimate() {
+        Some((n, covered)) if covered > 0 => {
+            out.push_str(&format!(
+                "valix: probe passes {n}/{covered} docs (estimated selectivity {:.2}%)\n",
+                (n as f64 / covered as f64) * 100.0
+            ));
+        }
+        Some((n, _)) => {
+            out.push_str(&format!("valix: probe passes {n} docs (nothing indexed)\n"));
+        }
+        None => {
+            out.push_str("valix: no probeable predicate (verification only)\n");
+        }
+    }
+    out
 }
 
 /// Accumulates one arrangement's pipeline stats into the union's
@@ -1611,6 +1742,8 @@ fn add_filter_counters(total: &mut QueryStats, s: &QueryStats) {
     total.filter_time += s.filter_time;
     total.refine_time += s.refine_time;
     total.project_time += s.project_time;
+    total.pred_skipped += s.pred_skipped;
+    total.pred_rejected += s.pred_rejected;
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ use crate::index::{
     project_embedding, DocData, ExecOpts, GapRule, PrixIndex, QueryPlan, QueryStats, Result,
     TwigMatch,
 };
+use crate::valix::PredEval;
 
 /// One suspended level of the trie descent: the rows its range query
 /// produced and how far the cursor has advanced through them.
@@ -203,6 +204,9 @@ pub(crate) struct RefineStage<'a> {
     idx: &'a PrixIndex,
     cache: HashMap<DocId, DocData>,
     seen: HashMap<DocId, HashSet<Vec<PostNum>>>,
+    /// Load leaf records even when the plan's leaf check is skipped —
+    /// positional predicate verification needs them.
+    force_leaves: bool,
     /// Candidates surviving all refinement phases.
     pub(crate) refined: u64,
     pub(crate) refine_time: Duration,
@@ -210,15 +214,21 @@ pub(crate) struct RefineStage<'a> {
 }
 
 impl<'a> RefineStage<'a> {
-    pub(crate) fn new(idx: &'a PrixIndex) -> Self {
+    pub(crate) fn new(idx: &'a PrixIndex, force_leaves: bool) -> Self {
         RefineStage {
             idx,
             cache: HashMap::new(),
             seen: HashMap::new(),
+            force_leaves,
             refined: 0,
             refine_time: Duration::default(),
             project_time: Duration::default(),
         }
+    }
+
+    /// The cached per-document data for a document already processed.
+    pub(crate) fn doc_data(&self, doc: DocId) -> Option<&DocData> {
+        self.cache.get(&doc)
     }
 
     /// Runs one candidate through refinement, projection, the
@@ -234,9 +244,10 @@ impl<'a> RefineStage<'a> {
         let t0 = Instant::now();
         let data = match self.cache.entry(doc) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(self.idx.load_doc(doc, !plan.skip_leaf)?)
-            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                self.idx
+                    .load_doc(doc, !plan.skip_leaf || self.force_leaves)?,
+            ),
         };
         let ctx = RefineCtx {
             doc_nps: &data.nps,
@@ -285,8 +296,14 @@ pub struct MatchStream<'a> {
     plan: QueryPlan,
     absolute: bool,
     limit: Option<usize>,
+    /// Value-predicate evaluator: documents failing its pre-filter are
+    /// skipped before refinement, and refined matches must pass its
+    /// positional verification before being emitted.
+    pred: Option<&'a PredEval>,
     candidates: u64,
     emitted: u64,
+    pred_skipped: u64,
+    pred_rejected: u64,
     halted: bool,
 }
 
@@ -296,6 +313,7 @@ impl<'a> MatchStream<'a> {
         plan: QueryPlan,
         absolute: bool,
         opts: &ExecOpts,
+        pred: Option<&'a PredEval>,
     ) -> Self {
         let rules = if opts.use_maxgap {
             idx.gap_rules(&plan)
@@ -305,12 +323,15 @@ impl<'a> MatchStream<'a> {
         let cursor = CandidateCursor::new(idx, plan.seq.lps.clone(), rules, opts.use_fine_maxgap);
         MatchStream {
             cursor,
-            stage: RefineStage::new(idx),
+            stage: RefineStage::new(idx, pred.is_some()),
             plan,
             absolute,
             limit: opts.limit,
+            pred,
             candidates: 0,
             emitted: 0,
+            pred_skipped: 0,
+            pred_rejected: 0,
             halted: false,
         }
     }
@@ -336,11 +357,30 @@ impl<'a> MatchStream<'a> {
                     return Ok(None);
                 }
             };
+            // Predicate pre-filter: a document the valix probe ruled
+            // out cannot pass positional verification below, so its
+            // candidates never reach refinement (or load a record).
+            if let Some(p) = self.pred {
+                if !p.allows(doc) {
+                    self.pred_skipped += 1;
+                    continue;
+                }
+            }
             self.candidates += 1;
             if let Some(m) = self
                 .stage
                 .process(&self.plan, self.absolute, doc, positions)?
             {
+                if let Some(p) = self.pred {
+                    let data = self
+                        .stage
+                        .doc_data(doc)
+                        .expect("process() cached this document");
+                    if !p.matches(data, &m.embedding) {
+                        self.pred_rejected += 1;
+                        continue;
+                    }
+                }
                 self.emitted += 1;
                 if let Some(k) = self.limit {
                     if self.emitted as usize >= k {
@@ -371,6 +411,8 @@ impl<'a> MatchStream<'a> {
         s.refine_time = self.stage.refine_time;
         s.project_time = self.stage.project_time;
         s.matches = self.emitted;
+        s.pred_skipped = self.pred_skipped;
+        s.pred_rejected = self.pred_rejected;
         s
     }
 }

@@ -109,6 +109,15 @@ pub struct QueryStats {
     pub refined: u64,
     /// Distinct twig matches reported.
     pub matches: u64,
+    /// Value-index probes issued for the query's predicates.
+    pub valix_probes: u64,
+    /// Postings scanned by those probes.
+    pub valix_postings: u64,
+    /// Candidates dropped by the valix document pre-filter before
+    /// refinement (their documents cannot satisfy every predicate).
+    pub pred_skipped: u64,
+    /// Refined matches rejected by positional predicate verification.
+    pub pred_rejected: u64,
     /// Wall clock spent in the filtering stage (Algorithm 1: trie range
     /// queries + MaxGap pruning + docid scans).
     pub filter_time: Duration,
@@ -824,8 +833,22 @@ impl PrixIndex {
         q: &TwigQuery,
         opts: &ExecOpts,
     ) -> Result<(Vec<TwigMatch>, QueryStats)> {
+        self.execute_opts_pred(q, opts, None)
+    }
+
+    /// [`PrixIndex::execute_opts`] with a value-predicate evaluator:
+    /// candidates from documents the valix pre-filter rules out are
+    /// skipped before refinement, and every emitted match passes the
+    /// evaluator's positional verification — results are exactly the
+    /// predicate-free results post-filtered.
+    pub fn execute_opts_pred(
+        &self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        pred: Option<&crate::valix::PredEval>,
+    ) -> Result<(Vec<TwigMatch>, QueryStats)> {
         if opts.limit.is_some() {
-            let mut stream = self.execute_stream(q, opts)?;
+            let mut stream = self.execute_stream_pred(q, opts, pred)?;
             let mut matches = Vec::new();
             while let Some(m) = stream.next_match()? {
                 matches.push(m);
@@ -853,20 +876,37 @@ impl PrixIndex {
             rules,
             opts.use_fine_maxgap,
         );
+        let mut pred_skipped = 0u64;
         let mut candidates: Vec<(DocId, Vec<PostNum>)> = Vec::new();
         while let Some((doc, pos)) = cursor.next()? {
+            // Predicate pre-filter: documents the valix probe ruled out
+            // cannot pass the positional verification below.
+            if let Some(p) = pred {
+                if !p.allows(doc) {
+                    pred_skipped += 1;
+                    continue;
+                }
+            }
             candidates.push((doc, pos.to_vec()));
         }
         let mut stats = cursor.stats();
         stats.candidates = candidates.len() as u64;
+        stats.pred_skipped = pred_skipped;
 
         // Phase 2: refinement (Algorithm 2), grouped per document so the
         // NPS / LPS / leaf records are fetched once.
         candidates.sort();
-        let mut stage = crate::exec::RefineStage::new(self);
+        let mut stage = crate::exec::RefineStage::new(self, pred.is_some());
         let mut matches: Vec<TwigMatch> = Vec::new();
         for (doc, positions) in &candidates {
             if let Some(m) = stage.process(&plan, q.is_absolute(), *doc, positions)? {
+                if let Some(p) = pred {
+                    let data = stage.doc_data(*doc).expect("process() cached this doc");
+                    if !p.matches(data, &m.embedding) {
+                        stats.pred_rejected += 1;
+                        continue;
+                    }
+                }
                 matches.push(m);
             }
         }
@@ -889,6 +929,18 @@ impl PrixIndex {
         q: &TwigQuery,
         opts: &ExecOpts,
     ) -> Result<crate::exec::MatchStream<'_>> {
+        self.execute_stream_pred(q, opts, None)
+    }
+
+    /// [`PrixIndex::execute_stream`] with a value-predicate evaluator
+    /// (see [`PrixIndex::execute_opts_pred`]). The evaluator must
+    /// outlive the stream.
+    pub fn execute_stream_pred<'a>(
+        &'a self,
+        q: &TwigQuery,
+        opts: &ExecOpts,
+        pred: Option<&'a crate::valix::PredEval>,
+    ) -> Result<crate::exec::MatchStream<'a>> {
         let plan = self.plan(q)?;
         if plan.seq.is_empty() {
             return Err(IndexError::Unsupported(
@@ -900,6 +952,7 @@ impl PrixIndex {
             plan,
             q.is_absolute(),
             opts,
+            pred,
         ))
     }
 

@@ -43,6 +43,7 @@ pub mod scan;
 pub mod segbuild;
 pub mod snapshot;
 pub mod trie;
+pub mod valix;
 pub mod xpath;
 
 pub use engine::{EngineConfig, EngineStores, IngestOutcome, PrixEngine, QueryOutcome};
@@ -53,8 +54,9 @@ pub use plan::{
     PlanReport, Planner, PlannerStats, PrixBackend, QueryEngine, QueryShape, Routed, Router,
 };
 pub use prix_storage::{ManifestSegment, SegmentCheck, SEG_KIND_EP, SEG_KIND_RP};
-pub use query::{TwigBuilder, TwigQuery};
+pub use query::{PredOp, PredValue, TwigBuilder, TwigQuery, ValuePred};
 pub use segbuild::{BulkBuilder, DEFAULT_RUN_MEM_BYTES};
 pub use snapshot::{EngineSnapshot, IngestReport, SharedEngine};
 pub use trie::{LabelingMode, VirtualTrie};
+pub use valix::{PredEval, ProbeStats, Valix, ValixEntry};
 pub use xpath::{parse_xpath, XPathError};

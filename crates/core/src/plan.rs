@@ -342,8 +342,8 @@ pub struct PlannerStats {
     /// `shape key -> per-engine EWMA of observed wall µs` (0 = no
     /// sample yet). Indexed by [`EngineId::index`].
     pub ewma_us: HashMap<u32, [f64; 5]>,
-    /// Insertion order of EWMA keys, oldest first (the eviction queue
-    /// keeping the table inside `EWMA_CAP`).
+    /// Recency order of EWMA keys, least-recently-observed first (the
+    /// LRU eviction queue keeping the table inside `EWMA_CAP`).
     ewma_order: Vec<u32>,
 }
 
@@ -395,13 +395,16 @@ impl PlannerStats {
 
     fn observe(&mut self, shape: QueryShape, engine: EngineId, observed_us: f64) {
         let key = shape.key();
-        if !self.ewma_us.contains_key(&key) {
-            if self.ewma_order.len() >= EWMA_CAP {
-                let evict = self.ewma_order.remove(0);
-                self.ewma_us.remove(&evict);
-            }
-            self.ewma_order.push(key);
+        // LRU: a re-observed shape moves to the back of the queue, so
+        // eviction removes the shape least recently *seen*, not the one
+        // first inserted — hot shapes survive cold churn.
+        if let Some(pos) = self.ewma_order.iter().position(|&k| k == key) {
+            self.ewma_order.remove(pos);
+        } else if self.ewma_order.len() >= EWMA_CAP {
+            let evict = self.ewma_order.remove(0);
+            self.ewma_us.remove(&evict);
         }
+        self.ewma_order.push(key);
         let row = self.ewma_us.entry(key).or_insert([0.0; 5]);
         let slot = &mut row[engine.index()];
         *slot = if *slot == 0.0 {
@@ -711,17 +714,21 @@ impl Planner {
             }
         };
 
-        // Alternative engines cannot push a limit into their joins and
-        // the arrangement (unordered) mode is PRIX machinery, so both
-        // stay on PRIX unless explicitly forced.
-        let alt_note: &'static str = if !exact {
+        // Alternative engines cannot push a limit into their joins, the
+        // arrangement (unordered) mode is PRIX machinery, and value
+        // predicates are evaluated by the PRIX refinement stage, so all
+        // three stay on PRIX unless explicitly forced.
+        let has_preds = !q.preds().is_empty();
+        let alt_note: &'static str = if has_preds {
+            "cannot evaluate value predicates"
+        } else if !exact {
             "PRIX enumerates fewer embeddings for // at a branch"
         } else if opts.limit.is_some() {
             "no limit pushdown"
         } else {
             ""
         };
-        let alt_ok = exact && opts.limit.is_none();
+        let alt_ok = exact && opts.limit.is_none() && !has_preds;
 
         let mut alts = Vec::new();
         if caps.rp && !needs_ep {
@@ -1060,12 +1067,43 @@ mod tests {
             );
         }
         let bytes = s.encode();
-        // Must leave room for the fixed catalog header (44 bytes) and
-        // the length prefix inside one 4 KiB page.
-        assert!(bytes.len() + 48 <= 4096, "{} bytes", bytes.len());
+        // Must leave room for the fixed catalog header (44 bytes), the
+        // length prefix, and the trailing valix record id inside one
+        // 4 KiB page.
+        assert!(bytes.len() + 56 <= 4096, "{} bytes", bytes.len());
         let d = PlannerStats::decode(&bytes).unwrap();
         assert_eq!(d.tag_freq.len(), TAG_CAP);
         assert!(d.ewma_us.len() <= EWMA_CAP);
+    }
+
+    #[test]
+    fn ewma_eviction_is_lru_and_pinned_at_64_shapes() {
+        // The cap is part of the persisted PLN1 format (the blob must
+        // fit the catalog page); changing it is a format decision, not
+        // a tuning knob.
+        assert_eq!(EWMA_CAP, 64);
+        let shape = |i: u32| QueryShape {
+            nodes: i % 60,
+            leaves: i / 60,
+            values: 0,
+            desc_edges: 0,
+        };
+        let mut s = PlannerStats::default();
+        s.observe(shape(0), EngineId::PrixRp, 50.0);
+        for i in 1..200u32 {
+            s.observe(shape(i), EngineId::PrixRp, 50.0);
+            // Re-observe shape 0 every round: LRU must keep it alive.
+            s.observe(shape(0), EngineId::PrixRp, 50.0);
+            assert!(s.ewma_us.len() <= EWMA_CAP);
+            assert_eq!(s.ewma_us.len(), s.ewma_order.len());
+        }
+        assert_eq!(s.ewma_us.len(), EWMA_CAP);
+        // FIFO would have evicted the hot shape after 64 distinct
+        // newcomers; LRU evicts the cold ones instead.
+        assert!(s.ewma_us.contains_key(&shape(0).key()));
+        assert!(!s.ewma_us.contains_key(&shape(1).key()));
+        let d = PlannerStats::decode(&s.encode()).unwrap();
+        assert_eq!(d.ewma_us.len(), EWMA_CAP);
     }
 
     #[test]
@@ -1171,6 +1209,34 @@ mod tests {
         assert!(again.cost_us > report.cost_us);
         // Within budget: not a misprediction.
         assert!(!planner.observe(&again, Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn value_predicates_gate_the_alternative_engines() {
+        // The same skew that routes //hay//needle to XB: adding a value
+        // predicate pins the plan to PRIX, because only the PRIX
+        // refinement stage evaluates predicates.
+        let mut s = PlannerStats::default();
+        s.tag_freq.insert(Sym(1), 200_000);
+        s.tag_freq.insert(Sym(2), 50);
+        s.total_nodes = 200_050;
+        s.doc_count = 1;
+        let planner = Planner::new(s);
+        let caps = EngineCaps {
+            rp: true,
+            ep: true,
+            vist: true,
+            twigstack: true,
+        };
+        let query = q("//hay//needle[price < 10]");
+        let report = planner
+            .decide(&query, caps, &ExecOpts::default(), None)
+            .unwrap();
+        assert!(report.chosen.is_prix(), "{report:?}");
+        for alt in report.alternatives.iter().filter(|a| !a.engine.is_prix()) {
+            assert!(!alt.eligible);
+            assert!(alt.note.contains("predicate"), "{}", alt.note);
+        }
     }
 
     #[test]

@@ -9,6 +9,109 @@
 use prix_prufer::{EdgeKind, ExtendedTree, PruferSeq};
 use prix_xml::{InternSyms, NodeId, NodeKind, PostNum, Sym, SymbolTable, XmlTree};
 
+/// Comparison operator of a value predicate (`[tag op literal]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `starts-with(path, "prefix")`
+    StartsWith,
+}
+
+impl PredOp {
+    /// The operator as it appears in XPath.
+    pub fn token(self) -> &'static str {
+        match self {
+            PredOp::Eq => "=",
+            PredOp::Ne => "!=",
+            PredOp::Lt => "<",
+            PredOp::Le => "<=",
+            PredOp::Gt => ">",
+            PredOp::Ge => ">=",
+            PredOp::StartsWith => "starts-with",
+        }
+    }
+}
+
+/// The literal a value predicate compares against. Numeric literals get
+/// numeric comparison semantics (the leaf text is parsed as `f64`);
+/// string literals compare byte-exactly (`=`) or by prefix
+/// (`starts-with`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredValue {
+    /// Unquoted numeric literal (`[price < 10]`).
+    Num(f64),
+    /// Quoted string literal (`[id = "x7"]`).
+    Str(String),
+}
+
+/// A value predicate attached to one query node: the node's image must
+/// have a leaf child whose *label text* satisfies `op literal`.
+///
+/// Predicates never add nodes to the twig; the structural part of
+/// `//book[price < 10]` is exactly `//book[price]`, and the predicate
+/// filters its matches. Matching is label-based, consistent with how
+/// the structural engines treat values: a childless element and a text
+/// node with the same label are indistinguishable to Prüfer matching,
+/// so they are indistinguishable to predicates too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuePred {
+    /// Arena id (in [`TwigQuery::tree`]) of the node the predicate
+    /// constrains.
+    pub node: NodeId,
+    /// Comparison operator.
+    pub op: PredOp,
+    /// Literal to compare against.
+    pub value: PredValue,
+}
+
+impl ValuePred {
+    /// Whether a leaf label `s` satisfies this predicate. This is the
+    /// single definition of predicate truth: the valix probe ranges,
+    /// the positional verification during refinement, and the test
+    /// oracles all reduce to it.
+    pub fn accepts(&self, s: &str) -> bool {
+        match &self.value {
+            PredValue::Num(lit) => match s.parse::<f64>() {
+                Ok(v) => match self.op {
+                    PredOp::Eq => v == *lit,
+                    PredOp::Ne => v != *lit,
+                    PredOp::Lt => v < *lit,
+                    PredOp::Le => v <= *lit,
+                    PredOp::Gt => v > *lit,
+                    PredOp::Ge => v >= *lit,
+                    PredOp::StartsWith => false,
+                },
+                Err(_) => false,
+            },
+            PredValue::Str(lit) => match self.op {
+                PredOp::Eq => s == lit.as_str(),
+                PredOp::StartsWith => s.starts_with(lit.as_str()),
+                _ => false,
+            },
+        }
+    }
+
+    /// Renders `op literal` (e.g. `< 10`, `= "x7"`).
+    pub fn render_op(&self) -> String {
+        match (&self.value, self.op) {
+            (PredValue::Str(s), PredOp::StartsWith) => format!("starts-with \"{s}\""),
+            (PredValue::Str(s), op) => format!("{} \"{s}\"", op.token()),
+            (PredValue::Num(n), op) => format!("{} {n}", op.token()),
+        }
+    }
+}
+
 /// A twig pattern with per-edge structural constraints.
 #[derive(Debug, Clone)]
 pub struct TwigQuery {
@@ -18,6 +121,9 @@ pub struct TwigQuery {
     /// `true` when the query began with a single `/`: the twig root must
     /// be the document root.
     absolute: bool,
+    /// Value predicates over node images (empty for purely structural
+    /// queries — the overwhelmingly common case).
+    preds: Vec<ValuePred>,
 }
 
 impl TwigQuery {
@@ -29,7 +135,39 @@ impl TwigQuery {
             tree,
             edges_by_id,
             absolute,
+            preds: Vec::new(),
         }
+    }
+
+    /// [`TwigQuery::new`] with value predicates attached.
+    pub fn with_preds(
+        tree: XmlTree,
+        edges_by_id: Vec<EdgeKind>,
+        absolute: bool,
+        preds: Vec<ValuePred>,
+    ) -> Self {
+        let mut q = TwigQuery::new(tree, edges_by_id, absolute);
+        for p in &preds {
+            assert!(
+                (p.node as usize) < q.tree.len(),
+                "predicate node out of range"
+            );
+        }
+        q.preds = preds;
+        q
+    }
+
+    /// Value predicates attached to this query.
+    pub fn preds(&self) -> &[ValuePred] {
+        &self.preds
+    }
+
+    /// This query with its value predicates stripped — the structural
+    /// part whose matches the predicates filter.
+    pub fn without_preds(&self) -> TwigQuery {
+        let mut q = self.clone();
+        q.preds.clear();
+        q
     }
 
     /// The query twig as a tree.
@@ -130,6 +268,11 @@ impl TwigQuery {
         } else {
             out.push_str(syms.name(self.tree.label(node)));
         }
+        for p in self.preds.iter().filter(|p| p.node == node) {
+            out.push('{');
+            out.push_str(&p.render_op());
+            out.push('}');
+        }
         let kids = self.tree.children(node);
         if !kids.is_empty() {
             out.push('(');
@@ -179,6 +322,7 @@ pub struct TwigBuilder<'a, S: InternSyms = SymbolTable> {
     edges: Vec<EdgeKind>,
     stack: Vec<NodeId>,
     absolute: bool,
+    preds: Vec<ValuePred>,
 }
 
 impl<'a, S: InternSyms> TwigBuilder<'a, S> {
@@ -192,6 +336,7 @@ impl<'a, S: InternSyms> TwigBuilder<'a, S> {
             tree,
             edges: vec![EdgeKind::Child],
             absolute: false,
+            preds: Vec::new(),
         }
     }
 
@@ -222,6 +367,14 @@ impl<'a, S: InternSyms> TwigBuilder<'a, S> {
         self
     }
 
+    /// Attaches a value predicate to the current node: its image must
+    /// have a leaf child whose label satisfies `op value`.
+    pub fn pred(&mut self, op: PredOp, value: PredValue) -> &mut Self {
+        let node = *self.stack.last().expect("twig stack empty");
+        self.preds.push(ValuePred { node, op, value });
+        self
+    }
+
     /// Closes the current node.
     pub fn up(&mut self) -> &mut Self {
         assert!(self.stack.len() > 1, "up() would close the twig root");
@@ -233,7 +386,7 @@ impl<'a, S: InternSyms> TwigBuilder<'a, S> {
     pub fn finish(self) -> TwigQuery {
         let mut tree = self.tree;
         tree.seal();
-        TwigQuery::new(tree, self.edges, self.absolute)
+        TwigQuery::with_preds(tree, self.edges, self.absolute, self.preds)
     }
 }
 
@@ -345,5 +498,52 @@ mod tests {
         b.absolute();
         let q = b.finish();
         assert!(q.is_absolute());
+    }
+
+    #[test]
+    fn preds_attach_strip_and_display() {
+        let mut syms = SymbolTable::new();
+        let mut b = TwigBuilder::new(&mut syms, "book");
+        b.child("price", EdgeKind::Child);
+        b.pred(PredOp::Lt, PredValue::Num(10.0));
+        b.up();
+        let q = b.finish();
+        assert_eq!(q.preds().len(), 1);
+        assert_eq!(q.display(&syms), "book(price{< 10})");
+        // The stripped query is the structural part, displayed without
+        // any predicate decoration.
+        let bare = q.without_preds();
+        assert!(bare.preds().is_empty());
+        assert_eq!(bare.display(&syms), "book(price)");
+        // Predicates don't force the EPIndex: the structural part is
+        // element-only.
+        assert!(!q.needs_extended());
+    }
+
+    #[test]
+    fn accepts_follows_operator_semantics() {
+        let num = |op| ValuePred {
+            node: 0,
+            op,
+            value: PredValue::Num(10.0),
+        };
+        assert!(num(PredOp::Lt).accepts("9.5"));
+        assert!(!num(PredOp::Lt).accepts("10"));
+        assert!(num(PredOp::Le).accepts("10.0"));
+        assert!(num(PredOp::Eq).accepts("10"));
+        assert!(num(PredOp::Ne).accepts("11"));
+        assert!(num(PredOp::Gt).accepts("1e3"));
+        assert!(num(PredOp::Ge).accepts("10"));
+        // Non-numeric text never satisfies a numeric predicate.
+        assert!(!num(PredOp::Ne).accepts("cheap"));
+        let s = |op, lit: &str| ValuePred {
+            node: 0,
+            op,
+            value: PredValue::Str(lit.to_string()),
+        };
+        assert!(s(PredOp::Eq, "x7").accepts("x7"));
+        assert!(!s(PredOp::Eq, "x7").accepts("x70"));
+        assert!(s(PredOp::StartsWith, "x7").accepts("x70"));
+        assert!(!s(PredOp::StartsWith, "x7").accepts("ax7"));
     }
 }

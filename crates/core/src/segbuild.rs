@@ -30,6 +30,7 @@ use crate::index::{
     encode_doc_record, encode_seg_index_meta, node_gaps, position_gaps, BuildStats, DocData,
     IndexError, IndexKind, Result,
 };
+use crate::valix::ValixEntry;
 
 /// Default in-memory sort budget per segment build (64 MiB, the
 /// `--run-mem-mb` default).
@@ -201,6 +202,7 @@ pub struct BulkBuilder {
     rp_maxgap: MaxGapTable,
     ep_maxgap: MaxGapTable,
     childless: HashSet<Sym>,
+    valix: Vec<ValixEntry>,
     n_docs: u32,
 }
 
@@ -285,6 +287,7 @@ impl BulkBuilder {
             rp_maxgap: MaxGapTable::new(),
             ep_maxgap: MaxGapTable::new(),
             childless: HashSet::new(),
+            valix: Vec::new(),
             n_docs: 0,
         })
     }
@@ -320,6 +323,16 @@ impl BulkBuilder {
         for node in tree.nodes() {
             if tree.is_leaf(node) {
                 self.childless.insert(tree.label(node));
+                if node != tree.root() {
+                    let post = tree.postorder(node);
+                    let parent = tree.parent_post(post).expect("non-root leaf has a parent");
+                    self.valix.push(ValixEntry {
+                        tag: tree.label_at(parent),
+                        value: self.syms.name(tree.label(node)).to_owned(),
+                        doc: self.n_docs,
+                        post,
+                    });
+                }
             }
         }
         if let Some(rp) = &mut self.rp {
@@ -360,6 +373,7 @@ impl BulkBuilder {
             rp_maxgap,
             ep_maxgap,
             childless,
+            valix,
             n_docs,
         } = self;
         let mut segments: Vec<ManifestSegment> = Vec::new();
@@ -386,7 +400,8 @@ impl BulkBuilder {
         } else {
             format!(".g{generation}")
         };
-        let engine = PrixEngine::from_bulk(cfg, env, syms, generation, mutable_suffix, segments)?;
+        let engine =
+            PrixEngine::from_bulk(cfg, env, syms, generation, mutable_suffix, segments, valix)?;
         // The manifest has committed; the previous generation's files
         // are dead weight now. Unlinking is safe even under live
         // readers (their open handles keep the bytes).

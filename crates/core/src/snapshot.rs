@@ -39,12 +39,13 @@ use prix_storage::EpochPin;
 use prix_xml::{DocId, ScratchSyms, SymbolTable};
 
 use crate::engine::{
-    collect_tiers, pick_index_from, reconstruct_from_tiers, run_query_batch, run_query_forced,
-    run_query_opts, run_query_unordered, PrixEngine, QueryOutcome, SegTier,
+    collect_tiers, explain_pred, pick_index_from, reconstruct_from_tiers, run_query_batch,
+    run_query_forced, run_query_opts, run_query_unordered, PrixEngine, QueryOutcome, SegTier,
 };
 use crate::index::{ExecOpts, IndexError, IndexKind, PrixIndex, Result};
 use crate::plan::{AltProvider, EngineCaps, EngineChoice, Planner, PrixBackend, Routed, Router};
 use crate::query::TwigQuery;
+use crate::valix::{PredEval, Valix};
 use crate::xpath::{parse_xpath, XPathError};
 
 /// An immutable, epoch-pinned view of a [`PrixEngine`].
@@ -71,6 +72,10 @@ pub struct EngineSnapshot {
     /// statistics later plans read. Plans are advisory — sharing never
     /// affects result bytes.
     planner: Arc<Planner>,
+    /// The value index at capture time. A clone of the engine's handle:
+    /// shares pages through the pool, and under this snapshot's epoch
+    /// pin reads the frozen bytes of its epoch like `rp`/`ep` do.
+    valix: Option<Valix>,
     pin: EpochPin,
 }
 
@@ -86,8 +91,15 @@ impl EngineSnapshot {
             generation: engine.generation(),
             arrangement_limit: engine.arrangement_limit(),
             planner: Arc::clone(engine.planner()),
+            valix: engine.valix().cloned(),
             pin,
         }
+    }
+
+    /// Builds the predicate evaluator for `q` against this epoch's
+    /// value index (`None` when the query has no predicates).
+    fn pred_eval(&self, q: &TwigQuery) -> Result<Option<PredEval>> {
+        PredEval::build(q, self.valix.as_ref(), &self.syms)
     }
 
     /// The tier list this snapshot's queries descend.
@@ -145,7 +157,8 @@ impl EngineSnapshot {
     /// [`EngineSnapshot::query`] with execution options.
     pub fn query_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
-        run_query_opts(&self.tiers(), q, opts)
+        let pred = self.pred_eval(q)?;
+        run_query_opts(&self.tiers(), q, opts, pred.as_ref())
     }
 
     /// Executes a batch across `threads` workers; every worker reads
@@ -164,7 +177,8 @@ impl EngineSnapshot {
     ) -> Result<Vec<QueryOutcome>> {
         run_query_batch(queries, threads, |q| {
             let _pin = self.pin.guard();
-            run_query_opts(&self.tiers(), q, opts)
+            let pred = self.pred_eval(q)?;
+            run_query_opts(&self.tiers(), q, opts, pred.as_ref())
         })
     }
 
@@ -177,12 +191,14 @@ impl EngineSnapshot {
     /// [`EngineSnapshot::query_unordered`] with execution options.
     pub fn query_unordered_opts(&self, q: &TwigQuery, opts: &ExecOpts) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
+        let pred = self.pred_eval(q)?;
         run_query_unordered(
             &self.tiers(),
             self.arrangement_limit,
             q,
             opts,
             Some(&self.planner),
+            pred.as_ref(),
         )
     }
 
@@ -243,6 +259,9 @@ impl EngineSnapshot {
         let idx = pick_index_from(rp, ep, &q)?;
         let mut out = format!("index: {}\n", idx.kind());
         out.push_str(&idx.explain(&q, &syms)?);
+        if let Some(pred) = PredEval::build(&q, self.valix.as_ref(), &syms)? {
+            out.push_str(&explain_pred(&q, &pred, &syms));
+        }
         let report = self
             .planner
             .decide(&q, self.engine_caps(), &ExecOpts::default(), None)?;
@@ -265,7 +284,8 @@ impl PrixBackend for EngineSnapshot {
         force: Option<IndexKind>,
     ) -> Result<QueryOutcome> {
         let _pin = self.pin.guard();
-        run_query_forced(&self.tiers(), q, opts, force)
+        let pred = self.pred_eval(q)?;
+        run_query_forced(&self.tiers(), q, opts, force, pred.as_ref())
     }
 }
 

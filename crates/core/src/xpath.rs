@@ -7,6 +7,18 @@
 //! equality tests against a string (`[./year="1990"]`,
 //! `[text()="..."]`).
 //!
+//! Beyond the paper's workload, predicates may compare leaf values
+//! through the valix (`crate::valix`): `[path op literal]` with
+//! `= != < <= > >=` against an unquoted numeric literal
+//! (`[price < 10]`, `[./price >= 2.5]`), `=` against a quoted string
+//! (`[@id = "x7"]` on a *bare* path), and
+//! `[starts-with(path, "prefix")]`. The path may be `.`-relative,
+//! bare (`price`, sugar for `./price`), or an attribute (`@id`). A
+//! dotted path with `= "string"` keeps the paper's semantics — a
+//! structural text-leaf match — so the historical grammar is
+//! unchanged; every other comparison becomes a
+//! [`crate::query::ValuePred`] carried alongside the structural twig.
+//!
 //! `*` steps between named steps fold into the edge constraint
 //! ([`EdgeKind::Exactly`]), matching the paper's `*` processing (§4.5).
 
@@ -15,7 +27,7 @@ use std::fmt;
 use prix_prufer::EdgeKind;
 use prix_xml::InternSyms;
 
-use crate::query::{TwigBuilder, TwigQuery};
+use crate::query::{PredOp, PredValue, TwigBuilder, TwigQuery};
 
 /// Error from parsing an XPath expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,50 +224,184 @@ impl<'a> Lexer<'a> {
     }
 }
 
-/// Parses one predicate body (after `[`): `.` (sep step)* (`=` string)?
-/// or `text() = string`.
+/// Parses one predicate body (after `[`):
+///
+/// * `text() = string` — structural text-leaf equality,
+/// * `starts-with(path, string)` — string-prefix value predicate,
+/// * `path (op literal)?` — existential path, structural equality
+///   (dotted path, `=`, quoted string), or a value predicate (any
+///   comparison against a number; `=` against a string on a bare path).
 fn parse_predicate<S: InternSyms>(
     p: &mut Lexer<'_>,
     b: &mut TwigBuilder<'_, S>,
 ) -> Result<(), XPathError> {
+    skip_ws(p);
     if p.eat("text()") {
         skip_ws(p);
         p.expect("=")?;
         skip_ws(p);
         let v = p.parse_string()?;
         b.value(&v);
+        skip_ws(p);
         return Ok(());
     }
-    p.expect(".")?;
-    let mut depth = 0usize;
-    while matches!(p.peek(), Some(b'/')) {
-        let edge = p.parse_axis_and_stars()?;
-        let (name, is_text) = p.parse_step_name()?;
+    if p.eat("starts-with(") {
+        skip_ws(p);
+        let (depth, is_text) = parse_pred_path(p, b)?;
         if is_text {
-            // ./text() = "v" — value directly under the current node.
-            skip_ws(p);
-            p.expect("=")?;
-            skip_ws(p);
-            let v = p.parse_string()?;
-            b.value(&v);
-            for _ in 0..depth {
-                b.up();
-            }
-            return Ok(());
+            return Err(p.err("text() cannot be the target of starts-with(); use the parent step"));
         }
-        b.child(&name, edge);
-        depth += 1;
+        skip_ws(p);
+        p.expect(",")?;
+        skip_ws(p);
+        let v = p.parse_string()?;
+        skip_ws(p);
+        p.expect(")")?;
+        b.pred(PredOp::StartsWith, PredValue::Str(v));
+        for _ in 0..depth {
+            b.up();
+        }
+        skip_ws(p);
+        return Ok(());
     }
-    skip_ws(p);
-    if p.eat("=") {
+    let dotted = p.peek() == Some(b'.');
+    let (depth, is_text) = parse_pred_path(p, b)?;
+    if is_text {
+        // `./text() = "v"` (possibly after steps) — text-leaf value
+        // directly under the node the path descended to.
+        skip_ws(p);
+        p.expect("=")?;
         skip_ws(p);
         let v = p.parse_string()?;
         b.value(&v);
+        for _ in 0..depth {
+            b.up();
+        }
+        skip_ws(p);
+        return Ok(());
+    }
+    skip_ws(p);
+    if let Some(op) = parse_pred_op(p) {
+        skip_ws(p);
+        if matches!(p.peek(), Some(b'"' | b'\'')) {
+            let v = p.parse_string()?;
+            match op {
+                // Dotted `= "s"` keeps the paper's structural
+                // text-leaf semantics; bare paths get a value
+                // predicate so equality probes the valix.
+                PredOp::Eq if dotted => {
+                    b.value(&v);
+                }
+                PredOp::Eq => {
+                    b.pred(PredOp::Eq, PredValue::Str(v));
+                }
+                _ => {
+                    return Err(p.err(format!(
+                        "operator `{}` is not supported on strings; use `=` or starts-with()",
+                        op.token()
+                    )))
+                }
+            }
+        } else {
+            let n = parse_number(p)?;
+            b.pred(op, PredValue::Num(n));
+        }
     }
     for _ in 0..depth {
         b.up();
     }
+    skip_ws(p);
     Ok(())
+}
+
+/// Parses the path part of a predicate: `.` followed by steps, or a
+/// bare `name`/`@name` first step (sugar for `./name`). Returns the
+/// number of steps descended and whether the path ended in `text()`
+/// (the builder is left positioned at the descended node either way;
+/// the caller unwinds `depth` levels when done).
+fn parse_pred_path<S: InternSyms>(
+    p: &mut Lexer<'_>,
+    b: &mut TwigBuilder<'_, S>,
+) -> Result<(usize, bool), XPathError> {
+    let mut depth = 0usize;
+    if !p.eat(".") {
+        let (name, is_text) = p.parse_step_name()?;
+        if is_text {
+            return Ok((0, true));
+        }
+        b.child(&name, EdgeKind::Child);
+        depth = 1;
+    }
+    while matches!(p.peek(), Some(b'/')) {
+        let edge = p.parse_axis_and_stars()?;
+        let (name, is_text) = p.parse_step_name()?;
+        if is_text {
+            return Ok((depth, true));
+        }
+        b.child(&name, edge);
+        depth += 1;
+    }
+    Ok((depth, false))
+}
+
+/// Parses a comparison operator, longest-match first.
+fn parse_pred_op(p: &mut Lexer<'_>) -> Option<PredOp> {
+    for (tok, op) in [
+        ("!=", PredOp::Ne),
+        ("<=", PredOp::Le),
+        (">=", PredOp::Ge),
+        ("<", PredOp::Lt),
+        (">", PredOp::Gt),
+        ("=", PredOp::Eq),
+    ] {
+        if p.eat(tok) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+/// Parses an unquoted numeric literal: `-?digits(.digits)?([eE][+-]?digits)?`.
+fn parse_number(p: &mut Lexer<'_>) -> Result<f64, XPathError> {
+    let start = p.pos;
+    if matches!(p.peek(), Some(b'-' | b'+')) {
+        p.pos += 1;
+    }
+    let mut digits = false;
+    while matches!(p.peek(), Some(b'0'..=b'9')) {
+        p.pos += 1;
+        digits = true;
+    }
+    if p.peek() == Some(b'.') {
+        p.pos += 1;
+        while matches!(p.peek(), Some(b'0'..=b'9')) {
+            p.pos += 1;
+            digits = true;
+        }
+    }
+    if !digits {
+        p.pos = start;
+        return Err(p.err("expected a quoted string or numeric literal"));
+    }
+    if matches!(p.peek(), Some(b'e' | b'E')) {
+        p.pos += 1;
+        if matches!(p.peek(), Some(b'-' | b'+')) {
+            p.pos += 1;
+        }
+        let mut exp_digits = false;
+        while matches!(p.peek(), Some(b'0'..=b'9')) {
+            p.pos += 1;
+            exp_digits = true;
+        }
+        if !exp_digits {
+            return Err(p.err("expected exponent digits"));
+        }
+    }
+    std::str::from_utf8(&p.input[start..p.pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| !n.is_nan())
+        .ok_or_else(|| p.err("invalid numeric literal"))
 }
 
 fn skip_ws(p: &mut Lexer<'_>) {
@@ -382,6 +528,82 @@ mod tests {
         assert!(parse_xpath("//", &mut syms).is_err());
         assert!(parse_xpath("//a//", &mut syms).is_err());
         assert!(parse_xpath("a/text()", &mut syms).is_err());
+    }
+
+    #[test]
+    fn numeric_predicates_parse_on_all_operators() {
+        assert_eq!(show("//book[price < 10]"), "book(price{< 10})");
+        assert_eq!(show("//book[./price <= 10.5]"), "book(price{<= 10.5})");
+        assert_eq!(show("//book[price>2]"), "book(price{> 2})");
+        assert_eq!(show("//book[price >= -1.5]"), "book(price{>= -1.5})");
+        assert_eq!(show("//book[price = 10]"), "book(price{= 10})");
+        assert_eq!(show("//book[price != 1e3]"), "book(price{!= 1000})");
+    }
+
+    #[test]
+    fn string_predicates_parse_on_bare_and_attribute_paths() {
+        assert_eq!(show(r#"//person[@id = "x7"]"#), r#"person(id{= "x7"})"#);
+        assert_eq!(show(r#"//person[id = "x7"]"#), r#"person(id{= "x7"})"#);
+        assert_eq!(
+            show(r#"//person[starts-with(@id, "x")]"#),
+            r#"person(id{starts-with "x"})"#
+        );
+        assert_eq!(
+            show(r#"//a[starts-with(./b/c, "pre")]/d"#),
+            r#"a(b(c{starts-with "pre"}),d)"#
+        );
+    }
+
+    #[test]
+    fn dotted_string_equality_keeps_structural_semantics() {
+        // `./path = "s"` is the paper's structural text-leaf match,
+        // not a value predicate — display and preds() must show that.
+        let mut syms = SymbolTable::new();
+        let q = parse_xpath(r#"//a[./b = "x"]"#, &mut syms).unwrap();
+        assert!(q.preds().is_empty());
+        assert_eq!(q.display(&syms), r#"a(b("x"))"#);
+        // Bare-path `=` on a string goes through the valix instead.
+        let q2 = parse_xpath(r#"//a[b = "x"]"#, &mut syms).unwrap();
+        assert_eq!(q2.preds().len(), 1);
+    }
+
+    #[test]
+    fn bare_existential_predicates_are_sugar_for_dotted() {
+        assert_eq!(show("//www[editor]/url"), show("//www[./editor]/url"));
+        assert_eq!(show("//a[b/c]/d"), show("//a[./b/c]/d"));
+    }
+
+    #[test]
+    fn predicate_errors_never_panic() {
+        let mut syms = SymbolTable::new();
+        for bad in [
+            "//book[price <]",
+            "//book[price < ]",
+            "//book[price < abc]",
+            "//book[price !< 3]",
+            "//book[price < 1e]",
+            "//book[price < 3",
+            "//a[b != \"x\"]",
+            "//a[b < \"x\"]",
+            "//a[starts-with(b)]",
+            "//a[starts-with(b, 3)]",
+            "//a[starts-with(b, \"x\"]",
+            "//a[starts-with(text(), \"x\")]",
+            "//a[price < 1.2.3]",
+            "//a[= 3]",
+        ] {
+            assert!(parse_xpath(bad, &mut syms).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn predicate_on_the_current_node_targets_the_host() {
+        // `[. < 10]` anchors the predicate on the step itself.
+        let mut syms = SymbolTable::new();
+        let q = parse_xpath("//price[. < 10]", &mut syms).unwrap();
+        assert_eq!(q.preds().len(), 1);
+        assert_eq!(q.preds()[0].node, q.tree().root());
+        assert_eq!(q.display(&syms), "price{< 10}");
     }
 
     #[test]

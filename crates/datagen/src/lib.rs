@@ -23,8 +23,9 @@ pub mod queries;
 pub mod rng;
 pub mod swissprot;
 pub mod treebank;
+pub mod values;
 
-pub use queries::{paper_queries, PaperQuery};
+pub use queries::{paper_queries, predicate_queries, PaperQuery, PredicateQuery};
 pub use rng::SplitMix64;
 
 use prix_xml::Collection;

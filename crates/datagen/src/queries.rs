@@ -87,6 +87,82 @@ pub fn paper_queries() -> Vec<PaperQuery> {
     ]
 }
 
+/// One query of the value-predicate workload (QP1–QP8): analogues of
+/// the paper's value queries recast in the `[path op literal]` predicate
+/// syntax of DESIGN.md §14, all targeting the [`crate::values`] shop
+/// scenario, which plants their match counts exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct PredicateQuery {
+    /// Identifier, `"QP1"` .. `"QP8"`.
+    pub id: &'static str,
+    /// XPath text, using comparison / starts-with predicates.
+    pub xpath: &'static str,
+    /// Planted twig-match count (scale- and seed-invariant).
+    pub expected_matches: u64,
+    /// Which Table 3 value query this is the analogue of, if any.
+    pub analogue_of: Option<&'static str>,
+}
+
+/// The predicate workload over the shop scenario.
+///
+/// QP1–QP5 mirror the *shapes* of the paper's value queries (Q1's
+/// conjunctive equality pair, Q3's unique exact match, Q4's rare
+/// equality, Q5's repeated-sibling conjunction, Q6's predicate plus
+/// descendant output); QP6–QP8 exercise what the old `text()=` path
+/// could not express: numeric ranges and string prefixes.
+pub fn predicate_queries() -> Vec<PredicateQuery> {
+    vec![
+        PredicateQuery {
+            id: "QP1",
+            xpath: r#"//item[id = "SKU-HOT"][quantity = 77]"#,
+            expected_matches: 6,
+            analogue_of: Some("Q1"),
+        },
+        PredicateQuery {
+            id: "QP2",
+            xpath: r#"//item[name = "One Of A Kind Widget"]"#,
+            expected_matches: 1,
+            analogue_of: Some("Q3"),
+        },
+        PredicateQuery {
+            id: "QP3",
+            xpath: r#"//item[category = "heirloom"]"#,
+            expected_matches: 3,
+            analogue_of: Some("Q4"),
+        },
+        PredicateQuery {
+            id: "QP4",
+            xpath: r#"//item[tag = "clearance"][tag = "vintage"]"#,
+            expected_matches: 5,
+            analogue_of: Some("Q5"),
+        },
+        PredicateQuery {
+            id: "QP5",
+            xpath: r#"//order[buyer = "ACME Corp"]//sku"#,
+            expected_matches: 40,
+            analogue_of: Some("Q6"),
+        },
+        PredicateQuery {
+            id: "QP6",
+            xpath: "//item[price < 10]",
+            expected_matches: 7,
+            analogue_of: None,
+        },
+        PredicateQuery {
+            id: "QP7",
+            xpath: "//item[quantity >= 500]",
+            expected_matches: 4,
+            analogue_of: None,
+        },
+        PredicateQuery {
+            id: "QP8",
+            xpath: r#"//item[starts-with(./id, "SKU-X")]"#,
+            expected_matches: 9,
+            analogue_of: None,
+        },
+    ]
+}
+
 /// The queries that target one dataset.
 pub fn queries_for(dataset: Dataset) -> Vec<PaperQuery> {
     paper_queries()
@@ -112,6 +188,17 @@ mod tests {
     fn expected_counts_match_table3() {
         let counts: Vec<u64> = paper_queries().iter().map(|q| q.expected_matches).collect();
         assert_eq!(counts, vec![6, 21, 1, 3, 5, 158, 9, 1, 6]);
+    }
+
+    #[test]
+    fn predicate_workload_counts_are_pinned() {
+        let qs = predicate_queries();
+        assert_eq!(qs.len(), 8);
+        let counts: Vec<u64> = qs.iter().map(|q| q.expected_matches).collect();
+        assert_eq!(counts, vec![6, 1, 3, 5, 40, 7, 4, 9]);
+        // The five paper value queries each have exactly one analogue.
+        let analogues: Vec<&str> = qs.iter().filter_map(|q| q.analogue_of).collect();
+        assert_eq!(analogues, vec!["Q1", "Q3", "Q4", "Q5", "Q6"]);
     }
 
     #[test]

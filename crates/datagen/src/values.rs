@@ -1,0 +1,401 @@
+//! Value-bearing "shop" scenario for the value-predicate index.
+//!
+//! The paper's datasets exercise *structure*; the value index (DESIGN.md
+//! §14) needs a workload where selectivity lives in the *leaf values*.
+//! This generator produces a catalog of `item` records (numeric `price`
+//! and `quantity` leaves, Zipf-skewed `id` strings) plus a minority of
+//! multi-line `order` records, and deterministically plants the match
+//! counts for the predicate Q-analogues ([`crate::queries::predicate_queries`]):
+//!
+//! * QP1 `//item[id = "SKU-HOT"][quantity = 77]` → **6**
+//! * QP2 `//item[name = "One Of A Kind Widget"]` → **1**
+//! * QP3 `//item[category = "heirloom"]` → **3**
+//! * QP4 `//item[tag = "clearance"][tag = "vintage"]` → **5**
+//! * QP5 `//order[buyer = "ACME Corp"]//sku` → **40**
+//! * QP6 `//item[price < 10]` → **7**
+//! * QP7 `//item[quantity >= 500]` → **4**
+//! * QP8 `//item[starts-with(./id, "SKU-X")]` → **9**
+//!
+//! Random records stay out of every planted value range: random prices
+//! are uniform in [10, 1000), quantities in [0, 499] skipping 77, ids
+//! avoid the `SKU-HOT` literal and the `SKU-X` prefix, and the planted
+//! strings never appear in the random pools — so the counts are exact
+//! at any scale.
+
+use prix_xml::{Collection, TreeBuilder};
+
+use crate::rng::SplitMix64;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct ShopConfig {
+    /// Number of records (documents); mostly `item`, ~1 in 8 `order`.
+    pub records: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShopConfig {
+    /// `scale = 1.0` ≈ 12 000 records.
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        ShopConfig {
+            records: ((12_000.0 * scale) as usize).max(400),
+            seed,
+        }
+    }
+}
+
+const ADJ: &[&str] = &[
+    "Sturdy", "Compact", "Deluxe", "Basic", "Folding", "Electric", "Manual", "Ceramic", "Wooden",
+    "Steel", "Portable", "Heavy",
+];
+const NOUN: &[&str] = &[
+    "Widget", "Gadget", "Bracket", "Sprocket", "Fixture", "Crate", "Valve", "Gear", "Lamp",
+    "Stool", "Kettle", "Anvil",
+];
+// `heirloom` is planted (QP3) and deliberately absent here.
+const CATEGORIES: &[&str] = &[
+    "hardware",
+    "kitchen",
+    "garden",
+    "office",
+    "outdoors",
+    "electronics",
+    "toys",
+];
+// `clearance` and `vintage` are planted (QP4) and deliberately absent.
+const TAGS: &[&str] = &[
+    "new", "sale", "popular", "fragile", "imported", "bulky", "seasonal",
+];
+// `X` is reserved for the planted `SKU-X` prefix (QP8); skewed draws
+// over this pool give the hot-head/long-tail id distribution.
+const ID_LETTERS: &[&str] = &[
+    "A", "B", "C", "D", "E", "F", "G", "H", "J", "K", "L", "M", "N", "P", "Q", "R",
+];
+const BUYER_FIRST: &[&str] = &[
+    "Northwind",
+    "Contoso",
+    "Globex",
+    "Initech",
+    "Umbrella",
+    "Stark",
+    "Wayne",
+    "Tyrell",
+];
+const BUYER_LAST: &[&str] = &["Trading", "Industries", "Logistics", "Holdings", "Supply"];
+
+fn name(r: &mut SplitMix64) -> String {
+    // Always exactly two words, so the four-word planted name (QP2)
+    // cannot collide.
+    format!("{} {}", r.pick(ADJ), r.pick(NOUN))
+}
+
+fn random_id(r: &mut SplitMix64) -> String {
+    let letter = ID_LETTERS[r.skewed(ID_LETTERS.len() as u64) as usize];
+    format!("SKU-{letter}{:04}", r.below(10_000))
+}
+
+fn random_price(r: &mut SplitMix64) -> String {
+    // Uniform in [10.00, 999.99]: never under the QP6 threshold.
+    format!("{}.{:02}", r.range(10, 999), r.below(100))
+}
+
+fn random_quantity(r: &mut SplitMix64) -> u64 {
+    // [0, 499], skipping the planted QP1 quantity 77.
+    let q = r.range(0, 499);
+    if q == 77 {
+        78
+    } else {
+        q
+    }
+}
+
+/// What (if anything) is planted in one record slot.
+#[derive(Clone, Copy, PartialEq)]
+enum Plant {
+    None,
+    /// QP1: id `SKU-HOT`; the flag marks the 6 that also get quantity 77.
+    Hot {
+        qty77: bool,
+    },
+    /// QP2: the unique four-word name.
+    OneOfAKind,
+    /// QP3: category `heirloom`.
+    Heirloom,
+    /// QP4: tags `clearance` then `vintage`.
+    TagPair,
+    /// QP5: an order bought by `ACME Corp` with exactly 4 sku lines.
+    Acme,
+    /// QP6: price under 10.
+    Cheap(u64),
+    /// QP7: quantity at or above 500.
+    Bulk(u64),
+    /// QP8: id with the `SKU-X` prefix.
+    SkuX(u64),
+}
+
+/// Generates the collection.
+pub fn generate(cfg: &ShopConfig) -> Collection {
+    assert!(cfg.records >= 400, "shop generator needs >= 400 records");
+    let mut c = Collection::new();
+    let mut r = SplitMix64::new(cfg.seed ^ 0x5A0B_C0DE);
+    let n = cfg.records;
+
+    // Deterministic, pairwise-distinct slots for the planted records
+    // (same claim-and-shift scheme as the DBLP generator).
+    let slot = |k: usize, of: usize| -> usize { (n / (of + 1)) * (k + 1) };
+    let mut taken = std::collections::HashSet::new();
+    let mut claim = |mut s: usize| -> usize {
+        while !taken.insert(s % n) {
+            s += 1;
+        }
+        s % n
+    };
+    let mut plants = vec![Plant::None; n];
+    for k in 0..12 {
+        plants[claim(slot(k, 12))] = Plant::Hot { qty77: k < 6 };
+    }
+    plants[claim(slot(0, 2) + 1)] = Plant::OneOfAKind;
+    for k in 0..3 {
+        plants[claim(slot(k, 3) + 2)] = Plant::Heirloom;
+    }
+    for k in 0..5 {
+        plants[claim(slot(k, 5) + 3)] = Plant::TagPair;
+    }
+    for k in 0..10 {
+        plants[claim(slot(k, 10) + 4)] = Plant::Acme;
+    }
+    for k in 0..7 {
+        plants[claim(slot(k, 7) + 5)] = Plant::Cheap(k as u64);
+    }
+    for k in 0..4 {
+        plants[claim(slot(k, 4) + 6)] = Plant::Bulk(k as u64);
+    }
+    for k in 0..9 {
+        plants[claim(slot(k, 9) + 7)] = Plant::SkuX(k as u64);
+    }
+
+    for &plant in &plants {
+        let is_order = plant == Plant::Acme || (plant == Plant::None && r.below(8) == 0);
+        let b = if is_order {
+            let mut b = TreeBuilder::new(c.symbols_mut(), "order");
+            // Buyer first: document order agrees with QP5's branch order.
+            let buyer = if plant == Plant::Acme {
+                "ACME Corp".to_string()
+            } else {
+                format!("{} {}", r.pick(BUYER_FIRST), r.pick(BUYER_LAST))
+            };
+            b.leaf_element("buyer", &buyer);
+            let lines = if plant == Plant::Acme {
+                4 // 10 planted orders × 4 lines = QP5's 40 sku matches
+            } else {
+                r.range(1, 5)
+            };
+            for _ in 0..lines {
+                b.start_element("line");
+                b.leaf_element("sku", &random_id(&mut r));
+                b.leaf_element("count", &r.range(1, 40).to_string());
+                b.end_element();
+            }
+            b
+        } else {
+            let mut b = TreeBuilder::new(c.symbols_mut(), "item");
+            let id = match plant {
+                Plant::Hot { .. } => "SKU-HOT".to_string(),
+                Plant::SkuX(k) => format!("SKU-X{k:03}"),
+                _ => random_id(&mut r),
+            };
+            b.leaf_element("id", &id);
+            let nm = if plant == Plant::OneOfAKind {
+                "One Of A Kind Widget".to_string()
+            } else {
+                name(&mut r)
+            };
+            b.leaf_element("name", &nm);
+            let price = match plant {
+                Plant::Cheap(k) => format!("{}.{:02}", k + 2, (17 * k) % 100), // 2.00 .. 8.02
+                _ => random_price(&mut r),
+            };
+            b.leaf_element("price", &price);
+            let qty = match plant {
+                Plant::Hot { qty77: true } => 77,
+                Plant::Bulk(k) => 500 + 125 * k,
+                _ => random_quantity(&mut r),
+            };
+            b.leaf_element("quantity", &qty.to_string());
+            if plant == Plant::TagPair {
+                b.leaf_element("tag", "clearance");
+                b.leaf_element("tag", "vintage");
+            } else {
+                for _ in 0..r.below(3) {
+                    let tag = *r.pick(TAGS);
+                    b.leaf_element("tag", tag);
+                }
+            }
+            if plant == Plant::Heirloom {
+                b.leaf_element("category", "heirloom");
+            } else if r.chance(0.6) {
+                let cat = *r.pick(CATEGORIES);
+                b.leaf_element("category", cat);
+            }
+            b
+        };
+        let tree = b.finish();
+        c.note_source_bytes(36 * tree.len() as u64);
+        c.add_tree(tree);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prix_xml::{NodeId, SymbolTable, XmlTree};
+
+    fn leaf_text<'a>(t: &XmlTree, syms: &'a SymbolTable, node: NodeId) -> Option<&'a str> {
+        match t.children(node) {
+            [text] if t.is_leaf(*text) => Some(syms.name(t.label(*text))),
+            _ => None,
+        }
+    }
+
+    /// Child elements of `node` named `tag`, as their leaf text.
+    fn child_values<'a>(
+        t: &'a XmlTree,
+        syms: &'a SymbolTable,
+        node: NodeId,
+        tag: &str,
+    ) -> Vec<&'a str> {
+        let Some(sym) = syms.lookup(tag) else {
+            return Vec::new();
+        };
+        t.children(node)
+            .iter()
+            .filter(|&&c| t.label(c) == sym)
+            .filter_map(|&c| leaf_text(t, syms, c))
+            .collect()
+    }
+
+    /// Structural oracle for the eight planted counts (walks the trees
+    /// directly; the engine-level check lives in tests/predicate_workload.rs).
+    fn planted_counts(c: &Collection) -> [u64; 8] {
+        let syms = c.symbols();
+        let mut out = [0u64; 8];
+        for (_, t) in c.iter() {
+            let root = t.root();
+            let root_name = syms.name(t.label(root));
+            if root_name == "item" {
+                let ids = child_values(t, syms, root, "id");
+                let qtys = child_values(t, syms, root, "quantity");
+                if ids.contains(&"SKU-HOT") && qtys.contains(&"77") {
+                    out[0] += 1;
+                }
+                if child_values(t, syms, root, "name").contains(&"One Of A Kind Widget") {
+                    out[1] += 1;
+                }
+                if child_values(t, syms, root, "category").contains(&"heirloom") {
+                    out[2] += 1;
+                }
+                let tags = child_values(t, syms, root, "tag");
+                let clearance = tags.iter().position(|&v| v == "clearance");
+                let vintage = tags.iter().rposition(|&v| v == "vintage");
+                if let (Some(a), Some(b)) = (clearance, vintage) {
+                    if a < b {
+                        out[3] += 1;
+                    }
+                }
+                let price_lt10 = child_values(t, syms, root, "price")
+                    .iter()
+                    .any(|v| v.parse::<f64>().unwrap() < 10.0);
+                if price_lt10 {
+                    out[5] += 1;
+                }
+                if qtys.iter().any(|v| v.parse::<f64>().unwrap() >= 500.0) {
+                    out[6] += 1;
+                }
+                if ids.iter().any(|v| v.starts_with("SKU-X")) {
+                    out[7] += 1;
+                }
+            } else if root_name == "order"
+                && child_values(t, syms, root, "buyer").contains(&"ACME Corp")
+            {
+                // QP5 counts one match per descendant sku.
+                let sku = syms.lookup("sku").unwrap();
+                out[4] += t.nodes().filter(|&nd| t.label(nd) == sku).count() as u64;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn planted_counts_are_exact() {
+        let c = generate(&ShopConfig {
+            records: 900,
+            seed: 17,
+        });
+        assert_eq!(planted_counts(&c), [6, 1, 3, 5, 40, 7, 4, 9]);
+    }
+
+    #[test]
+    fn planted_counts_are_scale_and_seed_invariant() {
+        for (records, seed) in [(400, 1), (2500, 99)] {
+            let c = generate(&ShopConfig { records, seed });
+            assert_eq!(
+                planted_counts(&c),
+                [6, 1, 3, 5, 40, 7, 4, 9],
+                "at {records} records, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_skewed() {
+        // The Zipf-ish letter draw must make the hottest id initial far
+        // more common than the coldest — that skew is what the value
+        // index's string opclass is benchmarked against.
+        let c = generate(&ShopConfig {
+            records: 1500,
+            seed: 5,
+        });
+        let syms = c.symbols();
+        let mut by_letter = std::collections::HashMap::new();
+        for (_, t) in c.iter() {
+            if syms.name(t.label(t.root())) != "item" {
+                continue;
+            }
+            for v in child_values(t, syms, t.root(), "id") {
+                if let Some(rest) = v.strip_prefix("SKU-") {
+                    *by_letter.entry(rest.as_bytes()[0]).or_insert(0u64) += 1;
+                }
+            }
+        }
+        let hot = by_letter.get(&b'A').copied().unwrap_or(0);
+        let cold = by_letter.get(&b'R').copied().unwrap_or(0);
+        assert!(hot > 4 * cold.max(1), "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn random_values_stay_out_of_planted_ranges() {
+        let c = generate(&ShopConfig {
+            records: 1200,
+            seed: 23,
+        });
+        let syms = c.symbols();
+        let (mut hot, mut qty77) = (0, 0);
+        for (_, t) in c.iter() {
+            if syms.name(t.label(t.root())) != "item" {
+                continue;
+            }
+            for v in child_values(t, syms, t.root(), "quantity") {
+                if v.parse::<f64>().unwrap() == 77.0 {
+                    qty77 += 1;
+                }
+            }
+            if child_values(t, syms, t.root(), "id").contains(&"SKU-HOT") {
+                hot += 1;
+            }
+        }
+        assert_eq!(hot, 12, "exactly the 12 planted SKU-HOT items");
+        assert_eq!(qty77, 6, "quantity 77 appears only in the QP1 plants");
+    }
+}

@@ -194,6 +194,14 @@ pub struct Metrics {
     /// Routed (not forced) queries whose observed wall clock blew
     /// through the planner's estimate.
     planner_mispredict: AtomicU64,
+    /// Value-index probes issued by predicate queries.
+    valix_probes: AtomicU64,
+    /// Value-index postings scanned across all probes.
+    valix_postings: AtomicU64,
+    /// Structural candidates skipped by the value-index pre-filter.
+    valix_pred_skipped: AtomicU64,
+    /// Refined matches rejected by positional predicate verification.
+    valix_pred_rejected: AtomicU64,
 }
 
 impl Metrics {
@@ -272,6 +280,17 @@ impl Metrics {
 
     pub fn record_compaction(&self) {
         self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one executed query's value-index counters in (all zeros
+    /// for predicate-free queries — recording those is free).
+    pub fn record_valix(&self, probes: u64, postings: u64, skipped: u64, rejected: u64) {
+        self.valix_probes.fetch_add(probes, Ordering::Relaxed);
+        self.valix_postings.fetch_add(postings, Ordering::Relaxed);
+        self.valix_pred_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+        self.valix_pred_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
     }
 
     /// Compactions published so far (for tests).
@@ -489,6 +508,38 @@ impl Metrics {
         out.push_str(&format!(
             "prix_planner_mispredict_total {}\n",
             self.planner_mispredict.load(Ordering::Relaxed)
+        ));
+
+        // The value-predicate secondary index. Exact names are a
+        // dashboard contract; all four render as zeros on databases
+        // that never see a predicate query.
+        out.push_str(
+            "# HELP prix_valix_probes_total Value-index probes issued by predicate queries.\n",
+        );
+        out.push_str("# TYPE prix_valix_probes_total counter\n");
+        out.push_str(&format!(
+            "prix_valix_probes_total {}\n",
+            self.valix_probes.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP prix_valix_postings_total Value-index postings scanned across all probes.\n",
+        );
+        out.push_str("# TYPE prix_valix_postings_total counter\n");
+        out.push_str(&format!(
+            "prix_valix_postings_total {}\n",
+            self.valix_postings.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP prix_valix_pred_skipped_total Structural candidates skipped by the value-index pre-filter before refinement.\n");
+        out.push_str("# TYPE prix_valix_pred_skipped_total counter\n");
+        out.push_str(&format!(
+            "prix_valix_pred_skipped_total {}\n",
+            self.valix_pred_skipped.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP prix_valix_pred_rejected_total Refined matches rejected by positional predicate verification.\n");
+        out.push_str("# TYPE prix_valix_pred_rejected_total counter\n");
+        out.push_str(&format!(
+            "prix_valix_pred_rejected_total {}\n",
+            self.valix_pred_rejected.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP prix_ingest_documents_total Documents accepted and published by POST /documents.\n");
@@ -776,6 +827,41 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("prix_compactions_total 2"), "{text}");
+    }
+
+    #[test]
+    fn valix_series_render_with_pinned_names() {
+        let m = Metrics::new();
+        m.record_valix(2, 15, 9, 1);
+        m.record_valix(1, 5, 0, 0);
+        let text = m.render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            EngineGauges::default(),
+        );
+        assert!(text.contains("prix_valix_probes_total 3"), "{text}");
+        assert!(text.contains("prix_valix_postings_total 20"), "{text}");
+        assert!(text.contains("prix_valix_pred_skipped_total 9"), "{text}");
+        assert!(text.contains("prix_valix_pred_rejected_total 1"), "{text}");
+        // Zero-valued series still render for predicate-free servers.
+        let fresh = Metrics::new().render(
+            IoSnapshot::default(),
+            0,
+            0,
+            0,
+            None,
+            0,
+            CacheSnapshot::default(),
+            CacheSnapshot::default(),
+            EngineGauges::default(),
+        );
+        assert!(fresh.contains("prix_valix_probes_total 0"), "{fresh}");
     }
 
     #[test]

@@ -705,7 +705,8 @@ fn handle_query(req: &Request, shared: &Arc<Shared>) -> Response {
 }
 
 /// Feeds one outcome's per-stage executor timings into the
-/// `prix_query_stage_duration_seconds` histograms.
+/// `prix_query_stage_duration_seconds` histograms and its value-index
+/// counters into the `prix_valix_*` series.
 fn record_stage_timings(shared: &Arc<Shared>, out: &QueryOutcome) {
     shared
         .metrics
@@ -716,6 +717,12 @@ fn record_stage_timings(shared: &Arc<Shared>, out: &QueryOutcome) {
     shared
         .metrics
         .record_stage(Stage::Project, out.stats.project_time);
+    shared.metrics.record_valix(
+        out.stats.valix_probes,
+        out.stats.valix_postings,
+        out.stats.pred_skipped,
+        out.stats.pred_rejected,
+    );
 }
 
 fn handle_explain(req: &Request, shared: &Arc<Shared>) -> Response {
@@ -960,6 +967,10 @@ fn outcome_json(w: &mut JsonWriter, xpath: &str, out: &QueryOutcome, with_matche
     w.key("maxgap_pruned").num(out.stats.maxgap_pruned);
     w.key("candidates").num(out.stats.candidates);
     w.key("refined").num(out.stats.refined);
+    w.key("valix_probes").num(out.stats.valix_probes);
+    w.key("valix_postings").num(out.stats.valix_postings);
+    w.key("pred_skipped").num(out.stats.pred_skipped);
+    w.key("pred_rejected").num(out.stats.pred_rejected);
     w.key("filter_us")
         .num(out.stats.filter_time.as_micros().min(u64::MAX as u128) as u64);
     w.key("refine_us")

@@ -226,6 +226,47 @@ cmp -s "$SMOKE/m-before.txt" "$SMOKE/m-after.txt" || {
 grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean after compaction" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
 echo "segment smoke OK (bulk -> add -> compact bit-identical, fsck clean)"
 
+# Value-predicate smoke: generate the shop scenario, index it (the
+# value index is built alongside the structural ones), and require the
+# same predicate answer from the CLI and from /query on a fresh server
+# — bit-identical match lists — then an fsck, which also verifies the
+# valix pages.
+"$PRIX" gen shop "$SMOKE/shop" --scale 0.05 >/dev/null
+"$PRIX" index "$SMOKE/shop.prix" "$SMOKE"/shop/*.xml >/dev/null
+CLI_PRED=$("$PRIX" query "$SMOKE/shop.prix" '//item[price < 10]' --limit 0)
+grep -q '^7 match(es)' <<<"$CLI_PRED" || { echo "predicate smoke: CLI expected the 7 planted matches" >&2; echo "$CLI_PRED" >&2; exit 1; }
+CLI_MATCHES=$(sed -n 's/^  doc \([0-9]*\) -> nodes \[\(.*\)\]$/\1:[\2]/p' <<<"$CLI_PRED" | tr -d ' ')
+[ -n "$CLI_MATCHES" ] || { echo "predicate smoke: CLI printed no match lines" >&2; exit 1; }
+
+"$PRIX" serve "$SMOKE/shop.prix" --addr 127.0.0.1:0 >"$SMOKE/shop-serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's|^listening on http://127\.0\.0\.1:\([0-9]*\)$|\1|p' "$SMOKE/shop-serve.log")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "shop serve never reported its port" >&2; cat "$SMOKE/shop-serve.log" >&2; exit 1; }
+# //item[price < 10], URL-encoded.
+HTTP_PRED=$(http '/query?xp=%2F%2Fitem%5Bprice%20%3C%2010%5D&limit=0')
+grep -q '200 OK' <<<"$HTTP_PRED" || { echo "predicate smoke: /query failed" >&2; echo "$HTTP_PRED" >&2; exit 1; }
+HTTP_MATCHES=$(grep -o '{"doc":[0-9]*,"embedding":\[[0-9,]*\]}' <<<"$HTTP_PRED" \
+  | sed 's/{"doc":\([0-9]*\),"embedding":\(\[[0-9,]*\]\)}/\1:\2/')
+[ "$CLI_MATCHES" = "$HTTP_MATCHES" ] || {
+  echo "predicate smoke: CLI and /query answers differ" >&2
+  echo "cli:  $CLI_MATCHES" >&2
+  echo "http: $HTTP_MATCHES" >&2
+  exit 1
+}
+SHOPMETRICS=$(http /metrics)
+grep -q 'prix_valix_probes_total [1-9]' <<<"$SHOPMETRICS" || { echo "predicate smoke: valix probe counter never moved" >&2; exit 1; }
+http /shutdown POST >/dev/null
+wait "$SERVE_PID" || { echo "shop serve exited non-zero" >&2; cat "$SMOKE/shop-serve.log" >&2; exit 1; }
+"$PRIX" fsck "$SMOKE/shop.prix" >"$SMOKE/fsck.log" || { echo "fsck failed on the shop database" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+grep -q 'valix: .* ok' "$SMOKE/fsck.log" || { echo "fsck did not verify the valix" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+grep -q 'fsck: clean' "$SMOKE/fsck.log" || { echo "fsck not clean on the shop database" >&2; cat "$SMOKE/fsck.log" >&2; exit 1; }
+echo "value-predicate smoke OK (CLI and /query bit-identical, fsck clean)"
+
 # Perf trajectory: the bulk-build bench asserts its acceptance criteria
 # in code (bulk >= 3x the incremental path, cold-query segment reads
 # strictly below the buffer-pool path) and records the medians.
@@ -241,3 +282,11 @@ echo "bulk-build bench OK (BENCH_bulk_build.json written)"
 cargo bench -p prix-bench --bench engine_routing --offline --locked -- --json "$PWD/BENCH_engine_routing.json"
 [ -s BENCH_engine_routing.json ] || { echo "bench did not write BENCH_engine_routing.json" >&2; exit 1; }
 echo "engine-routing bench OK (BENCH_engine_routing.json written)"
+
+# The value-predicate bench asserts in code that a ~1%-selectivity
+# predicate does strictly fewer page reads and lower median latency
+# than structural-match-then-post-filter, with the gap compounding
+# under --limit.
+cargo bench -p prix-bench --bench value_predicates --offline --locked -- --json "$PWD/BENCH_value_predicates.json"
+[ -s BENCH_value_predicates.json ] || { echo "bench did not write BENCH_value_predicates.json" >&2; exit 1; }
+echo "value-predicates bench OK (BENCH_value_predicates.json written)"
